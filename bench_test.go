@@ -1,0 +1,317 @@
+// Package madpipe's root benchmark harness regenerates the data behind
+// every figure of the paper's evaluation (Section 5) and measures the
+// cost of each algorithmic component. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig* benchmarks execute a reduced sweep per iteration and report
+// the headline metric of the corresponding figure through ReportMetric
+// (periods in milliseconds, ratios, speedups); cmd/experiments prints the
+// full tables on the paper's grid.
+package madpipe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/expt"
+	"madpipe/internal/ilpsched"
+	"madpipe/internal/listsched"
+	"madpipe/internal/lp"
+	"madpipe/internal/milp"
+	"madpipe/internal/nets"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/pipedream"
+	"madpipe/internal/platform"
+	"madpipe/internal/sim"
+)
+
+func benchChain(b *testing.B, name string) *chain.Chain {
+	b.Helper()
+	c, err := nets.Build(nets.PaperSpec(name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc, err := c.Coarsen(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cc
+}
+
+func benchPlat(p int, memGB, bwGB float64) platform.Platform {
+	return platform.Platform{Workers: p, Memory: memGB * platform.GB, Bandwidth: bwGB * platform.GB}
+}
+
+// BenchmarkFig6ResNet50 regenerates one Figure 6 point per planner:
+// ResNet-50, P=4, beta=12 GB/s, M=10 GB. Metrics: valid periods (ms).
+func BenchmarkFig6ResNet50(b *testing.B) {
+	c := benchChain(b, "resnet50")
+	plat := benchPlat(4, 10, 12)
+	var mp, pd float64
+	for i := 0; i < b.N; i++ {
+		plan, err := core.PlanAndSchedule(c, plat, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mp = plan.Period
+		res, err := pipedream.Plan(c, plat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pdPlan, err := core.ScheduleAllocation(res.Alloc, core.ScheduleOptions{}); err == nil {
+			pd = pdPlan.Period
+		} else {
+			pd = math.Inf(1)
+		}
+	}
+	b.ReportMetric(mp*1e3, "madpipe-ms")
+	if !math.IsInf(pd, 1) {
+		b.ReportMetric(pd*1e3, "pipedream-ms")
+		b.ReportMetric(pd/mp, "ratio")
+	}
+}
+
+// BenchmarkFig7AllNetworks regenerates the Figure 7 aggregate on a
+// reduced grid: the geometric mean over configurations and networks of
+// the PipeDream/MadPipe period ratio (>1 means MadPipe is faster).
+func BenchmarkFig7AllNetworks(b *testing.B) {
+	runner := &expt.Runner{SimPeriods: 8, MaxChain: 20}
+	chains := nets.All()
+	grid := expt.Grid{Workers: []int{4, 8}, MemoryGB: []float64{8, 16}, BandwidthG: []float64{12}}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.Sweep(chains, grid, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var logSum float64
+		n := 0
+		for _, r := range rows {
+			if r.PipeDream.Feasible() && r.MadPipe.Feasible() {
+				logSum += math.Log(r.PipeDream.Valid / r.MadPipe.Valid)
+				n++
+			}
+		}
+		if n > 0 {
+			ratio = math.Exp(logSum / float64(n))
+		}
+	}
+	b.ReportMetric(ratio, "pd/mp-geomean")
+}
+
+// BenchmarkFig8Speedup regenerates a Figure 8 point: MadPipe's speedup
+// over sequential execution for ResNet-101 at P=8, M=16 GB.
+func BenchmarkFig8Speedup(b *testing.B) {
+	c := benchChain(b, "resnet101")
+	plat := benchPlat(8, 16, 12)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		plan, err := core.PlanAndSchedule(c, plat, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = c.TotalU() / plan.Period
+	}
+	b.ReportMetric(speedup, "speedup-x")
+}
+
+// BenchmarkAblationSpecialProcessor measures the value of non-contiguous
+// allocations: ratio of the best contiguous period to MadPipe's on a
+// workload with strong heterogeneity.
+func BenchmarkAblationSpecialProcessor(b *testing.B) {
+	c := benchChain(b, "densenet121")
+	plat := benchPlat(8, 16, 12)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		full, err := core.PlanAndSchedule(c, plat, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		contig, err := core.PlanAndSchedule(c, plat, core.Options{DisableSpecial: true}, core.ScheduleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = contig.Period / full.Period
+	}
+	b.ReportMetric(ratio, "contig/full")
+}
+
+// BenchmarkMadPipeDP measures one MadPipe-DP invocation at the paper's
+// discretization (Section 5.1 reports seconds to minutes).
+func BenchmarkMadPipeDP(b *testing.B) {
+	c := benchChain(b, "resnet50")
+	plat := benchPlat(8, 12, 12)
+	that := c.TotalU() / 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DP(c, plat, that, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1 measures the full phase-1 binary search.
+func BenchmarkAlgorithm1(b *testing.B) {
+	c := benchChain(b, "inception")
+	plat := benchPlat(6, 10, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanAllocation(c, plat, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeDreamPlan measures the baseline partitioner.
+func BenchmarkPipeDreamPlan(b *testing.B) {
+	c := benchChain(b, "resnet101")
+	plat := benchPlat(8, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipedream.Plan(c, plat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneFOneB measures the optimal contiguous scheduler including
+// its minimal-period search.
+func BenchmarkOneFOneB(b *testing.B) {
+	c := benchChain(b, "resnet50")
+	plat := benchPlat(8, 16, 12)
+	res, err := pipedream.Plan(c, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := onefoneb.MinFeasiblePeriod(res.Alloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListScheduler measures the heuristic periodic scheduler on a
+// non-contiguous allocation.
+func BenchmarkListScheduler(b *testing.B) {
+	a := nonContigAlloc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := listsched.MinFeasiblePeriod(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkILPSchedule measures one exact MILP solve at a feasible
+// period on a non-contiguous allocation (paper: 1-minute limit, usually
+// optimal much earlier).
+func BenchmarkILPSchedule(b *testing.B) {
+	a := nonContigAlloc(b)
+	T, _, err := listsched.MinFeasiblePeriod(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, status := ilpsched.SolveAtPeriod(a, T*1.1, milp.Options{TimeLimit: 5 * time.Second})
+		if status != milp.Optimal && status != milp.Feasible {
+			b.Fatalf("status %v", status)
+		}
+	}
+}
+
+func nonContigAlloc(b *testing.B) *partition.Allocation {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	c := chain.Random(rng, 7, chain.DefaultRandomOptions())
+	a := &partition.Allocation{
+		Chain: c,
+		Plat:  benchPlat(3, 1000, 12),
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 3}, {From: 4, To: 5}, {From: 6, To: 7}},
+		Procs: []int{2, 0, 2, 1},
+	}
+	if err := a.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkSimulator measures discrete-event execution of a ResNet-50
+// schedule over 64 periods.
+func BenchmarkSimulator(b *testing.B) {
+	c := benchChain(b, "resnet50")
+	plat := benchPlat(4, 16, 12)
+	plan, err := core.PlanAndSchedule(c, plat, core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(plan.Pattern, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			b.Fatalf("violations: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkLPSolve measures the simplex core on a mid-size dense LP.
+func BenchmarkLPSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := lp.New()
+	const n, m = 60, 80
+	for j := 0; j < n; j++ {
+		p.AddVar("x", rng.Float64()-0.3)
+	}
+	for i := 0; i < m; i++ {
+		row := map[int]float64{}
+		for j := 0; j < n; j++ {
+			row[j] = rng.Float64()
+		}
+		p.AddRow(row, lp.LE, 5+rng.Float64()*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := p.Solve(); s.Status != lp.Optimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+// BenchmarkNetProfiles measures building the analytical profiles.
+func BenchmarkNetProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = nets.All()
+	}
+}
+
+// BenchmarkAblationWeightPolicy compares the paper's PipeDream-2BW
+// weight discipline (3W) against original PipeDream's per-batch weight
+// stashing on a deep pipeline — the Section 2 motivation for 2BW.
+func BenchmarkAblationWeightPolicy(b *testing.B) {
+	c := chain.Uniform(16, 0.02, 0.04, 5e8, 2e6)
+	plat := benchPlat(8, 4, 12)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		twoBW, err := core.PlanAndSchedule(c, plat, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stash, err := core.PlanAndSchedule(c, plat, core.Options{Weights: chain.StashedWeights()}, core.ScheduleOptions{})
+		if err != nil {
+			ratio = math.Inf(1)
+			continue
+		}
+		ratio = stash.Period / twoBW.Period
+	}
+	b.ReportMetric(ratio, "stash/2bw")
+}

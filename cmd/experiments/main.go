@@ -1,0 +1,133 @@
+// Command experiments regenerates the evaluation of the MadPipe paper:
+// the period-vs-memory curves of Figure 6, the geometric-mean ratio
+// curves of Figure 7, the speedup curves of Figure 8, and this
+// repository's ablation comparing MadPipe with its contiguous variant.
+//
+//	experiments                 # quick grid, all figures
+//	experiments -grid paper     # the paper's full sweep (several minutes)
+//	experiments -fig 6 -net resnet50
+//	experiments -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/expt"
+	"madpipe/internal/nets"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to print: 6, 7, 8, ablation, hybrid, gap, all")
+		gridName = flag.String("grid", "quick", "sweep size: quick or paper")
+		netList  = flag.String("nets", "all", "comma-separated networks (resnet50,resnet101,inception,densenet121) or all")
+		csvFile  = flag.String("csv", "", "also write the raw sweep to this CSV file")
+		ilp      = flag.Duration("ilp", 500*time.Millisecond, "exact-scheduler budget per allocation (0 disables)")
+		maxChain = flag.Int("maxchain", 24, "coarsen profiles to at most this many nodes")
+		verbose  = flag.Bool("v", false, "print each configuration as it completes")
+	)
+	flag.Parse()
+
+	var grid expt.Grid
+	switch *gridName {
+	case "paper":
+		grid = expt.PaperGrid()
+	case "quick":
+		grid = expt.QuickGrid()
+	default:
+		fatal(fmt.Errorf("unknown grid %q", *gridName))
+	}
+
+	var chains []*chain.Chain
+	names := nets.Names()
+	if *netList != "all" {
+		names = strings.Split(*netList, ",")
+	}
+	for _, n := range names {
+		c, err := nets.Build(nets.PaperSpec(strings.TrimSpace(n)))
+		if err != nil {
+			fatal(err)
+		}
+		chains = append(chains, c)
+	}
+
+	runner := expt.DefaultRunner()
+	runner.ILPBudget = *ilp
+	runner.MaxChain = *maxChain
+
+	if *fig == "gap" { // standalone: exhaustive search on small instances
+		trials, err := runner.OptimalityGap(6, 7, 45*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expt.GapTable(trials))
+		return
+	}
+
+	if *fig == "hybrid" { // standalone: runs its own sweep
+		hrows, err := runner.HybridSweep(chains, grid)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expt.HybridTable(hrows))
+		return
+	}
+
+	total := len(chains) * len(grid.Workers) * len(grid.MemoryGB) * len(grid.BandwidthG)
+	fmt.Fprintf(os.Stderr, "running %d configurations (%s grid)...\n", total, *gridName)
+	start := time.Now()
+	done := 0
+	rows, err := runner.Sweep(chains, grid, func(r expt.Row) {
+		done++
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %-12s P=%d M=%2.0f beta=%2.0f pd=%s mp=%s (%s)\n",
+				done, total, r.Net, r.Workers, r.MemGB, r.BandGB,
+				period(r.PipeDream.Valid), period(r.MadPipe.Valid), r.MadPipe.Scheduler)
+		} else if done%25 == 0 {
+			fmt.Fprintf(os.Stderr, "  %d/%d done (%s)\n", done, total, time.Since(start).Round(time.Second))
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep finished in %s\n\n", time.Since(start).Round(time.Second))
+
+	show := func(name string) bool { return *fig == "all" || *fig == name }
+	if show("6") {
+		for _, c := range chains {
+			fmt.Println(expt.Fig6Table(rows, c.Name()))
+		}
+	}
+	if show("7") {
+		fmt.Println(expt.Fig7Table(rows))
+	}
+	if show("8") {
+		fmt.Println(expt.Fig8Table(rows))
+	}
+	if show("ablation") {
+		fmt.Println(expt.AblationTable(rows))
+	}
+	if *csvFile != "" {
+		if err := os.WriteFile(*csvFile, []byte(expt.CSV(rows)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "raw sweep written to %s\n", *csvFile)
+	}
+}
+
+func period(v float64) string {
+	if v > 1e300 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

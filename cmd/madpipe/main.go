@@ -1,0 +1,162 @@
+// Command madpipe plans and schedules pipelined model-parallel training
+// for one network on one platform, printing the allocation, the periodic
+// schedule (as an ASCII Gantt chart), per-GPU memory, and a comparison
+// with the PipeDream baseline.
+//
+// Examples:
+//
+//	madpipe -net resnet50 -p 4 -mem 8 -bw 12
+//	madpipe -chain profile.json -p 8 -mem 16 -ilp 10s
+//	madpipe -net densenet121 -p 4 -mem 6 -contig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/ilpsched"
+	"madpipe/internal/nets"
+	"madpipe/internal/pipedream"
+	"madpipe/internal/platform"
+	"madpipe/internal/sim"
+	"madpipe/internal/trace"
+)
+
+func main() {
+	var (
+		netName   = flag.String("net", "resnet50", "network profile: resnet50, resnet101, inception, densenet121")
+		chainFile = flag.String("chain", "", "load the chain from a JSON profile instead of -net")
+		workers   = flag.Int("p", 4, "number of GPUs")
+		memGB     = flag.Float64("mem", 8, "memory per GPU in GB")
+		bwGB      = flag.Float64("bw", 12, "link bandwidth in GB/s")
+		batch     = flag.Int("batch", 8, "mini-batch size (with -net)")
+		size      = flag.Int("size", 1000, "image size (with -net)")
+		ilp       = flag.Duration("ilp", 10*time.Second, "exact-scheduler budget (0 disables the MILP)")
+		contig    = flag.Bool("contig", false, "disable the special processor (contiguous ablation)")
+		maxChain  = flag.Int("maxchain", 24, "coarsen the chain to at most this many nodes before planning")
+		width     = flag.Int("gantt", 100, "Gantt chart width in columns (0 disables)")
+		simP      = flag.Int("sim", 24, "simulation horizon in periods for verification (0 disables)")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the schedule to this file")
+		weights   = flag.String("weights", "2bw", "weight-versioning policy: 2bw (paper) or stash (original PipeDream)")
+	)
+	flag.Parse()
+
+	c, err := loadChain(*chainFile, *netName, *batch, *size)
+	if err != nil {
+		fatal(err)
+	}
+	plat := platform.Platform{Workers: *workers, Memory: *memGB * platform.GB, Bandwidth: *bwGB * platform.GB}
+	if err := plat.Validate(); err != nil {
+		fatal(err)
+	}
+	cc, err := c.Coarsen(*maxChain)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network: %v\nplatform: %v\n", cc, plat)
+
+	opts := core.Options{DisableSpecial: *contig}
+	switch *weights {
+	case "2bw":
+		opts.Weights = chain.TwoBufferedWeights()
+	case "stash":
+		opts.Weights = chain.StashedWeights()
+	default:
+		fatal(fmt.Errorf("unknown -weights %q (want 2bw or stash)", *weights))
+	}
+	sched := core.ScheduleOptions{}
+	if *ilp > 0 {
+		sched.MILP = ilpsched.New(ilpsched.Options{Budget: *ilp})
+	}
+	start := time.Now()
+	plan, err := core.PlanAndSchedule(cc, plat, opts, sched)
+	if err != nil {
+		fatal(fmt.Errorf("madpipe found no feasible schedule: %w", err))
+	}
+	fmt.Printf("\nMadPipe (planned in %s):\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  phase-1 prediction: %.4fs (target T=%.4fs)\n",
+		plan.PhaseOne.PredictedPeriod, plan.PhaseOne.TargetPeriod)
+	fmt.Printf("  valid schedule:     %.4fs via %s  (%.2f batches/s)\n",
+		plan.Period, plan.Scheduler, 1/plan.Period)
+	fmt.Printf("  speedup vs 1 GPU:   %.2fx (of %d)\n", cc.TotalU()/plan.Period, *workers)
+	fmt.Printf("  allocation:         %v\n", plan.Pattern.Alloc)
+	fmt.Println("  memory peaks:")
+	peaks := plan.Pattern.MemoryPeaks()
+	for gpu := 0; gpu < *workers; gpu++ {
+		fmt.Printf("    gpu%d: %.2f / %.2f GB\n", gpu, peaks[gpu]/platform.GB, *memGB)
+	}
+	if *width > 0 {
+		fmt.Println("\nschedule pattern:")
+		fmt.Print(plan.Pattern.Gantt(*width))
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WritePattern(f, plan.Pattern, 12); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (open in chrome://tracing or Perfetto)\n", *traceFile)
+	}
+	if *simP > 0 {
+		res, err := sim.Run(plan.Pattern, *simP)
+		if err != nil {
+			fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			fmt.Printf("\nSIMULATION VIOLATIONS (%d):\n", len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Println(" ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nsimulated %d periods: no violations, throughput %.3f batches/s\n",
+			res.Periods, res.Throughput)
+	}
+
+	// Baseline comparison.
+	if pd, err := pipedream.Plan(cc, plat); err == nil {
+		if pdPlan, err := core.ScheduleAllocation(pd.Alloc, core.ScheduleOptions{}); err == nil {
+			ratio := pdPlan.Period / plan.Period
+			fmt.Printf("\nPipeDream baseline: predicted %.4fs, valid %.4fs -> MadPipe is %.2fx %s\n",
+				pd.PredictedPeriod, pdPlan.Period, math.Max(ratio, 1/ratio), winner(ratio))
+		} else {
+			fmt.Printf("\nPipeDream baseline: partitioning unschedulable within memory (%v)\n", err)
+		}
+	} else {
+		fmt.Printf("\nPipeDream baseline: no partitioning fits (%v)\n", err)
+	}
+}
+
+func winner(ratio float64) string {
+	if ratio >= 1 {
+		return "faster"
+	}
+	return "slower"
+}
+
+func loadChain(file, net string, batch, size int) (*chain.Chain, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return chain.Read(f)
+	}
+	return nets.Build(nets.Spec{Name: net, Batch: batch, Size: size})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "madpipe:", err)
+	os.Exit(1)
+}

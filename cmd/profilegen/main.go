@@ -1,0 +1,85 @@
+// Command profilegen emits the analytical network profiles as JSON
+// chains, the interchange format consumed by madpipe -chain. It stands in
+// for the paper's GPU profiling step.
+//
+//	profilegen -net resnet50 > resnet50.json
+//	profilegen -net inception -batch 16 -size 500 -o inception.json
+//	profilegen -all -dir profiles/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"madpipe/internal/nets"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "resnet50", "network: resnet50, resnet101, inception, densenet121")
+		batch   = flag.Int("batch", 8, "mini-batch size")
+		size    = flag.Int("size", 1000, "square image size in pixels")
+		out     = flag.String("o", "", "output file (default stdout)")
+		all     = flag.Bool("all", false, "emit every network")
+		dir     = flag.String("dir", ".", "output directory with -all")
+		asGraph = flag.Bool("graph", false, "emit the op-level computational graph instead of the linearized chain")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, n := range nets.Names() {
+			c, err := nets.Build(nets.Spec{Name: n, Batch: *batch, Size: *size})
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dir, n+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := c.Write(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d layers)\n", path, c.Len())
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	spec := nets.Spec{Name: *netName, Batch: *batch, Size: *size}
+	if *asGraph {
+		g, _, err := nets.BuildGraph(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.Write(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	c, err := nets.Build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.Write(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profilegen:", err)
+	os.Exit(1)
+}

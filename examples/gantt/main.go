@@ -1,0 +1,65 @@
+// 1F1B* patterns (paper Figures 2 and 3): build a contiguous allocation,
+// compute its optimal periodic pattern at several periods, and render the
+// group structure. As the period shrinks toward the load bound, stages
+// split into more groups and retain more in-flight activations:
+//
+//	go run ./examples/gantt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+func main() {
+	// Three stages on three GPUs with visible communications, as in the
+	// paper's Figure 3.
+	network, err := chain.New("fig3", 60e6, []chain.Layer{
+		{Name: "s1", UF: 0.020, UB: 0.030, W: 10e6, A: 60e6},
+		{Name: "s2", UF: 0.025, UB: 0.035, W: 10e6, A: 60e6},
+		{Name: "s3", UF: 0.020, UB: 0.040, W: 10e6, A: 10e6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc := &partition.Allocation{
+		Chain: network,
+		Plat:  platform.Platform{Workers: 3, Memory: 4 * platform.GB, Bandwidth: 6 * platform.GB},
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 2}, {From: 3, To: 3}},
+		Procs: []int{0, 1, 2},
+	}
+	lp := alloc.LoadPeriod()
+	fmt.Printf("%v\nload-based period bound: %.4fs\n", alloc, lp)
+
+	for _, factor := range []float64{2.5, 1.5, 1.0} {
+		T := lp * factor
+		pat, err := onefoneb.Schedule(alloc, T)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pat.Validate(); err != nil {
+			log.Fatalf("invalid pattern at T=%g: %v", T, err)
+		}
+		groups, err := onefoneb.Groups(pat.Nodes, T)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxG := 1
+		for _, g := range groups {
+			if g > maxG {
+				maxG = g
+			}
+		}
+		fmt.Printf("\n=== period %.4fs (%.1fx bound): %d group(s), peak memory %.2f GB ===\n",
+			T, factor, maxG, pat.MaxMemoryPeak()/platform.GB)
+		fmt.Print(pat.Gantt(96))
+	}
+
+	fmt.Println("\nShift notation sN[h=f/b]: the stage's forward runs batch k-f in period k,")
+	fmt.Println("its backward batch k-b; b-f+1 is the number of retained activation copies.")
+}

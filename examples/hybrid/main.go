@@ -1,0 +1,54 @@
+// Hybrid parallelism (the paper's conclusion perspective): split P GPUs
+// into G pipeline stages of D data-parallel replicas and let the planner
+// choose D. With loose memory, data parallelism scales; when activations
+// dominate, deeper pipelines win:
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"madpipe/internal/core"
+	"madpipe/internal/hybrid"
+	"madpipe/internal/nets"
+	"madpipe/internal/platform"
+)
+
+func main() {
+	network, err := nets.Build(nets.PaperSpec("resnet50"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := network.Coarsen(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v\n\n", cc)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "P\tM(GB)\tbest D x G\tperiod(s)\tall degrees (D:period)")
+	for _, memGB := range []float64{10, 16, 32} {
+		plat := platform.Platform{Workers: 8, Memory: memGB * platform.GB, Bandwidth: 12 * platform.GB}
+		res, err := hybrid.Plan(cc, plat, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			fmt.Fprintf(w, "%d\t%.0f\t-\tinf\t(no degree feasible)\n", plat.Workers, memGB)
+			continue
+		}
+		degrees := ""
+		for _, d := range res.Degrees {
+			if d.Period > 1e300 {
+				degrees += fmt.Sprintf(" %d:inf", d.Replication)
+			} else {
+				degrees += fmt.Sprintf(" %d:%.3f", d.Replication, d.Period)
+			}
+		}
+		fmt.Fprintf(w, "%d\t%.0f\t%dx%d\t%.4f\t%s\n",
+			plat.Workers, memGB, res.Replication, res.Groups, res.Period, degrees)
+	}
+	w.Flush()
+	fmt.Println("\nD = data-parallel replicas per stage, G = pipeline stages; D*G = P.")
+}

@@ -1,0 +1,3 @@
+module madpipe
+
+go 1.22

@@ -1,0 +1,254 @@
+// End-to-end integration tests: the paper's four networks planned on
+// representative platforms, every schedule checked analytically and
+// re-executed in the discrete-event simulator, plus the headline
+// qualitative claims of the evaluation (Section 5.2) asserted as
+// invariants.
+package madpipe
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"madpipe/internal/core"
+	"madpipe/internal/expt"
+	"madpipe/internal/hybrid"
+	"madpipe/internal/ilpsched"
+	"madpipe/internal/nets"
+	"madpipe/internal/pipedream"
+	"madpipe/internal/platform"
+	"madpipe/internal/sim"
+)
+
+func testPlat(p int, memGB float64) platform.Platform {
+	return platform.Platform{Workers: p, Memory: memGB * platform.GB, Bandwidth: 12 * platform.GB}
+}
+
+// TestAllNetworksPlanAndExecute plans each profiled network at a loose
+// and a tight memory setting and verifies the schedule end to end.
+func TestAllNetworksPlanAndExecute(t *testing.T) {
+	for _, name := range nets.Names() {
+		c, err := nets.Build(nets.PaperSpec(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := c.Coarsen(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, memGB := range []float64{16, 10} {
+			plan, err := core.PlanAndSchedule(cc, testPlat(4, memGB), core.Options{}, core.ScheduleOptions{})
+			if errors.Is(err, platform.ErrInfeasible) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s @%gGB: %v", name, memGB, err)
+			}
+			if err := plan.Pattern.Validate(); err != nil {
+				t.Fatalf("%s @%gGB: invalid pattern: %v", name, memGB, err)
+			}
+			res, err := sim.Run(plan.Pattern, 24)
+			if err != nil {
+				t.Fatalf("%s @%gGB: sim: %v", name, memGB, err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%s @%gGB: %v", name, memGB, res.Violations)
+			}
+			lb := cc.TotalU() / 4
+			if plan.Period < lb-1e-9 {
+				t.Fatalf("%s @%gGB: period %g below U/P=%g", name, memGB, plan.Period, lb)
+			}
+		}
+	}
+}
+
+// TestPaperClaimMadPipeBeatsPipeDreamWhenTight asserts the paper's
+// headline (Section 5.2): under memory pressure MadPipe sustains lower
+// periods than PipeDream in aggregate, and stays feasible at settings
+// where PipeDream's optimistic partitioning cannot be scheduled.
+func TestPaperClaimMadPipeBeatsPipeDreamWhenTight(t *testing.T) {
+	var logSum float64
+	wins, losses, pdInfeasible, n := 0, 0, 0, 0
+	for _, name := range nets.Names() {
+		c, err := nets.Build(nets.PaperSpec(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := c.Coarsen(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{4, 8} {
+			for _, memGB := range []float64{8, 12} {
+				plat := testPlat(p, memGB)
+				plan, err := core.PlanAndSchedule(cc, plat, core.Options{}, core.ScheduleOptions{})
+				if err != nil {
+					continue
+				}
+				pdRes, err := pipedream.Plan(cc, plat)
+				if err != nil {
+					pdInfeasible++
+					continue
+				}
+				pdPlan, err := core.ScheduleAllocation(pdRes.Alloc, core.ScheduleOptions{})
+				if err != nil {
+					pdInfeasible++
+					continue
+				}
+				ratio := pdPlan.Period / plan.Period
+				logSum += math.Log(ratio)
+				n++
+				if ratio > 1+1e-9 {
+					wins++
+				}
+				if ratio < 1-1e-6 {
+					losses++
+					if ratio < 1/1.10 {
+						t.Errorf("%s P=%d M=%g: MadPipe loses badly: ratio %.3f", name, p, memGB, ratio)
+					}
+				}
+			}
+		}
+	}
+	if n+pdInfeasible < 8 {
+		t.Fatalf("too few comparable configurations: %d", n+pdInfeasible)
+	}
+	geo := math.Exp(logSum / float64(n))
+	t.Logf("geomean PipeDream/MadPipe = %.3f over %d configs (%d MadPipe wins, %d losses, %d PipeDream-infeasible)",
+		geo, n, wins, losses, pdInfeasible)
+	if geo < 1.0 {
+		t.Errorf("MadPipe does not win in aggregate: geomean %.3f", geo)
+	}
+	if wins+pdInfeasible == 0 {
+		t.Errorf("MadPipe never strictly better although memory is tight")
+	}
+}
+
+// TestPredictionGapShape asserts the Figure 6 structure: PipeDream's
+// dashed (predicted) line sits well below its solid (valid) line under
+// pressure, while MadPipe's prediction is much closer to its schedule.
+func TestPredictionGapShape(t *testing.T) {
+	c, err := nets.Build(nets.PaperSpec("resnet50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Coarsen(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &expt.Runner{SimPeriods: 8, MaxChain: 20}
+	var pdGap, mpGap []float64
+	for _, memGB := range []float64{6, 8, 10} {
+		row, err := runner.Run(cc, testPlat(8, memGB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.PipeDream.Feasible() {
+			pdGap = append(pdGap, row.PipeDream.Valid/row.PipeDream.Predicted)
+		}
+		if row.MadPipe.Feasible() && !math.IsInf(row.MadPipe.Predicted, 1) {
+			mpGap = append(mpGap, row.MadPipe.Valid/row.MadPipe.Predicted)
+		}
+	}
+	if len(pdGap) == 0 || len(mpGap) == 0 {
+		t.Skip("not enough feasible settings")
+	}
+	if gm(pdGap) < gm(mpGap) {
+		t.Errorf("PipeDream's prediction gap (%.3f) should exceed MadPipe's (%.3f)", gm(pdGap), gm(mpGap))
+	}
+}
+
+func gm(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// TestSpeedupDegradesWithMemory asserts the Figure 8 shape: MadPipe's
+// speedup at P=8 is higher with 16 GB than with 6 GB.
+func TestSpeedupDegradesWithMemory(t *testing.T) {
+	c, err := nets.Build(nets.PaperSpec("inception"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Coarsen(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := func(memGB float64) float64 {
+		plan, err := core.PlanAndSchedule(cc, testPlat(8, memGB), core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			return 0
+		}
+		return cc.TotalU() / plan.Period
+	}
+	loose, tight := speedup(16), speedup(6)
+	if loose <= 0 {
+		t.Fatal("loose setting infeasible")
+	}
+	if tight > loose+1e-9 {
+		t.Errorf("speedup should degrade with memory: 16GB=%.2f, 6GB=%.2f", loose, tight)
+	}
+	if loose < 2 {
+		t.Errorf("expected useful scalability at 16GB, got %.2fx", loose)
+	}
+}
+
+// TestMILPImprovesOrMatchesListScheduler wires the exact phase 2 into
+// the full pipeline on a network instance.
+func TestMILPImprovesOrMatchesListScheduler(t *testing.T) {
+	c, err := nets.Build(nets.PaperSpec("densenet121"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Coarsen(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := testPlat(4, 12)
+	noILP, err1 := core.PlanAndSchedule(cc, plat, core.Options{}, core.ScheduleOptions{})
+	withILP, err2 := core.PlanAndSchedule(cc, plat, core.Options{}, core.ScheduleOptions{
+		MILP: ilpsched.New(ilpsched.Options{Budget: 5 * time.Second, Probes: 3}),
+	})
+	if err1 != nil || err2 != nil {
+		t.Skipf("infeasible: %v %v", err1, err2)
+	}
+	if withILP.Period > noILP.Period*(1+1e-9) {
+		t.Errorf("MILP made things worse: %g vs %g", withILP.Period, noILP.Period)
+	}
+	if err := withILP.Pattern.Validate(); err != nil {
+		t.Fatalf("MILP pattern invalid: %v", err)
+	}
+}
+
+// TestHybridEndToEnd exercises the extension on a real profile.
+func TestHybridEndToEnd(t *testing.T) {
+	c, err := nets.Build(nets.PaperSpec("resnet50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Coarsen(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hybrid.Plan(cc, testPlat(8, 16), core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replication*res.Groups != 8 {
+		t.Fatalf("D*G = %d*%d != 8", res.Replication, res.Groups)
+	}
+	// The hybrid can never be worse than the best pure pipeline it
+	// evaluated (D=1 is in the portfolio).
+	for _, d := range res.Degrees {
+		if d.Replication == 1 && d.Period < res.Period-1e-9 {
+			t.Fatalf("hybrid %g worse than pure pipeline %g", res.Period, d.Period)
+		}
+	}
+	if err := res.Plan.Pattern.Validate(); err != nil {
+		t.Fatalf("hybrid pattern invalid: %v", err)
+	}
+}

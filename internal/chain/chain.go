@@ -1,0 +1,286 @@
+// Package chain models a linearized deep neural network as a chain of
+// layers, following the notation of the MadPipe paper (Section 3).
+//
+// A chain of L layers is numbered 1..L. Layer l has a forward operation
+// F_l of duration UF_l, a backward operation B_l of duration UB_l,
+// parameter weights of size W_l bytes and an output activation tensor
+// a^(l) of size A_l bytes (which is also the size of the back-propagated
+// gradient b^(l)). The activation a^(0) is the input mini-batch itself.
+//
+// The package also provides the prefix-sum accessors used throughout the
+// planners — U(k,l), C(l), the stored-activation cost ā — the per-stage
+// memory model M(k,l,g) of Section 4.2.1, chain contraction (Section 4.3)
+// and the greedy coarsening used to linearize fine-grained profiles.
+package chain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layer is one element of a linearized DNN chain.
+type Layer struct {
+	// Name identifies the layer in reports and schedules.
+	Name string
+	// UF and UB are the durations, in seconds, of the forward and
+	// backward operations on one mini-batch.
+	UF, UB float64
+	// W is the size in bytes of the parameter weights of the layer.
+	W float64
+	// A is the size in bytes of the output activation tensor a^(l)
+	// produced by the forward operation (equal to the size of the
+	// gradient b^(l) consumed by the backward operation of layer l+1).
+	A float64
+	// AStore is the number of bytes of activations that must be retained
+	// per in-flight mini-batch so that the backward operation of this
+	// layer can run. For an atomic layer this is the size of its input
+	// activation a^(l-1); for a layer obtained by merging several atomic
+	// layers it is the sum of the inputs of all merged layers (the ā of
+	// Section 4.3). New fills it with the input activation size when it
+	// is left at zero.
+	AStore float64
+}
+
+// U returns the total compute duration UF+UB of the layer.
+func (l Layer) U() float64 { return l.UF + l.UB }
+
+// Chain is an immutable linearized DNN. All layer indices exposed by its
+// methods are 1-based, matching the paper; index 0 designates the network
+// input where meaningful (e.g. A(0)).
+type Chain struct {
+	name   string
+	input  float64
+	layers []Layer
+
+	// 1-indexed prefix sums: pX[i] = sum over layers 1..i.
+	pu  []float64 // UF+UB
+	puF []float64 // UF
+	puB []float64 // UB
+	pw  []float64 // W
+	pas []float64 // AStore
+}
+
+// New builds a chain from the given layers. input is the size in bytes of
+// the input activation a^(0). Layers with AStore == 0 get it defaulted to
+// their input activation size. New returns an error if the chain is empty
+// or any quantity is negative or non-finite.
+func New(name string, input float64, layers []Layer) (*Chain, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("chain %q: no layers", name)
+	}
+	if err := checkFinite("input activation", input); err != nil {
+		return nil, fmt.Errorf("chain %q: %w", name, err)
+	}
+	ls := make([]Layer, len(layers))
+	copy(ls, layers)
+	prevA := input
+	for i := range ls {
+		l := &ls[i]
+		if l.Name == "" {
+			l.Name = fmt.Sprintf("layer%d", i+1)
+		}
+		for _, q := range []struct {
+			what string
+			v    float64
+		}{
+			{"UF", l.UF}, {"UB", l.UB}, {"W", l.W}, {"A", l.A}, {"AStore", l.AStore},
+		} {
+			if err := checkFinite(q.what, q.v); err != nil {
+				return nil, fmt.Errorf("chain %q layer %d (%s): %w", name, i+1, l.Name, err)
+			}
+		}
+		if l.UF+l.UB <= 0 {
+			return nil, fmt.Errorf("chain %q layer %d (%s): zero compute time", name, i+1, l.Name)
+		}
+		if l.AStore == 0 {
+			l.AStore = prevA
+		}
+		prevA = l.A
+	}
+	c := &Chain{name: name, input: input, layers: ls}
+	c.buildPrefix()
+	return c, nil
+}
+
+// MustNew is New that panics on error; intended for static profiles and
+// tests where the input is known valid.
+func MustNew(name string, input float64, layers []Layer) *Chain {
+	c, err := New(name, input, layers)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func checkFinite(what string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%s must be finite and non-negative, got %g", what, v)
+	}
+	return nil
+}
+
+func (c *Chain) buildPrefix() {
+	n := len(c.layers)
+	c.pu = make([]float64, n+1)
+	c.puF = make([]float64, n+1)
+	c.puB = make([]float64, n+1)
+	c.pw = make([]float64, n+1)
+	c.pas = make([]float64, n+1)
+	for i, l := range c.layers {
+		c.pu[i+1] = c.pu[i] + l.UF + l.UB
+		c.puF[i+1] = c.puF[i] + l.UF
+		c.puB[i+1] = c.puB[i] + l.UB
+		c.pw[i+1] = c.pw[i] + l.W
+		c.pas[i+1] = c.pas[i] + l.AStore
+	}
+}
+
+// Name returns the chain's identifier.
+func (c *Chain) Name() string { return c.name }
+
+// Len returns the number of layers L.
+func (c *Chain) Len() int { return len(c.layers) }
+
+// Layer returns layer l, 1 <= l <= Len().
+func (c *Chain) Layer(l int) Layer {
+	c.checkIndex(l, 1)
+	return c.layers[l-1]
+}
+
+// Layers returns a copy of all layers in order.
+func (c *Chain) Layers() []Layer {
+	out := make([]Layer, len(c.layers))
+	copy(out, c.layers)
+	return out
+}
+
+// A returns the size in bytes of activation a^(l), 0 <= l <= Len().
+// A(0) is the network input.
+func (c *Chain) A(l int) float64 {
+	c.checkIndex(l, 0)
+	if l == 0 {
+		return c.input
+	}
+	return c.layers[l-1].A
+}
+
+func (c *Chain) checkIndex(l, min int) {
+	if l < min || l > len(c.layers) {
+		panic(fmt.Sprintf("chain %q: layer index %d out of range [%d,%d]",
+			c.name, l, min, len(c.layers)))
+	}
+}
+
+func (c *Chain) checkRange(k, l int) {
+	if k < 1 || l > len(c.layers) || k > l {
+		panic(fmt.Sprintf("chain %q: layer range [%d,%d] invalid for L=%d",
+			c.name, k, l, len(c.layers)))
+	}
+}
+
+// U returns the total compute time of layers k..l (both forward and
+// backward): U(k,l) = sum_{i=k}^{l} uF_i + uB_i.
+func (c *Chain) U(k, l int) float64 {
+	c.checkRange(k, l)
+	return c.pu[l] - c.pu[k-1]
+}
+
+// UF returns the forward compute time of layers k..l.
+func (c *Chain) UF(k, l int) float64 {
+	c.checkRange(k, l)
+	return c.puF[l] - c.puF[k-1]
+}
+
+// UB returns the backward compute time of layers k..l.
+func (c *Chain) UB(k, l int) float64 {
+	c.checkRange(k, l)
+	return c.puB[l] - c.puB[k-1]
+}
+
+// SumW returns the total weight bytes of layers k..l.
+func (c *Chain) SumW(k, l int) float64 {
+	c.checkRange(k, l)
+	return c.pw[l] - c.pw[k-1]
+}
+
+// AStore returns ā(k,l), the bytes of activations retained per in-flight
+// batch by a stage holding layers k..l: sum of each layer's AStore (for
+// atomic layers, sum_{i=k}^{l} a_{i-1}).
+func (c *Chain) AStore(k, l int) float64 {
+	c.checkRange(k, l)
+	return c.pas[l] - c.pas[k-1]
+}
+
+// TotalU returns U(1,L), the sequential execution time of one mini-batch.
+func (c *Chain) TotalU() float64 { return c.pu[len(c.layers)] }
+
+// CommBytes returns the bytes crossing a cut placed after layer l:
+// the activation a^(l) forward plus the gradient b^(l) backward, i.e.
+// 2*A(l). Valid for 1 <= l <= Len()-1 (there is no cut after the last
+// layer); CommBytes(0) and CommBytes(L) return 0 for convenience.
+func (c *Chain) CommBytes(l int) float64 {
+	c.checkIndex(l, 0)
+	if l == 0 || l == len(c.layers) {
+		return 0
+	}
+	return 2 * c.A(l)
+}
+
+// CommTime returns C(l), the busy time of the link crossing a cut after
+// layer l: two transfers of A(l) bytes (activation forward, gradient
+// backward), each charged alpha + bytes/beta under the alpha-beta model
+// (the paper's model is the special case alpha = 0). Zero at the chain
+// boundaries.
+func (c *Chain) CommTime(l int, bandwidth float64) float64 {
+	return c.CommTimeAlphaBeta(l, 0, bandwidth)
+}
+
+// CommTimeAlphaBeta is CommTime with an explicit per-message latency.
+func (c *Chain) CommTimeAlphaBeta(l int, latency, bandwidth float64) float64 {
+	b := c.CommBytes(l)
+	if b <= 0 {
+		return 0
+	}
+	return 2*latency + b/bandwidth
+}
+
+// TotalCommTime returns the sum of C(l) over all internal cuts, used as
+// the upper bound of Algorithm 1.
+func (c *Chain) TotalCommTime(bandwidth float64) float64 {
+	return c.TotalCommTimeAlphaBeta(0, bandwidth)
+}
+
+// TotalCommTimeAlphaBeta is TotalCommTime under the alpha-beta model.
+func (c *Chain) TotalCommTimeAlphaBeta(latency, bandwidth float64) float64 {
+	var s float64
+	for l := 1; l < len(c.layers); l++ {
+		s += c.CommTimeAlphaBeta(l, latency, bandwidth)
+	}
+	return s
+}
+
+// StageMemory returns M(k,l,g) of Section 4.2.1: the memory needed on a
+// processor holding layers k..l as one stage while retaining g copies of
+// the stage's activations:
+//
+//	M(k,l,g) = sum_{i=k}^{l} (3 W_i + g * astore_i) + 2 a_{k-1} + 2 a_l
+//
+// where the boundary buffer terms are dropped when k == 1 or l == Len()
+// (no communication takes place at the ends of the chain). The 3W term
+// is the paper's PipeDream-2BW weight policy; StageMemoryWith generalizes
+// it.
+func (c *Chain) StageMemory(k, l, g int) float64 {
+	return c.StageMemoryWith(k, l, g, TwoBufferedWeights())
+}
+
+// MinStageMemory returns the memory of a stage [k,l] retaining a single
+// activation copy — the absolute floor of any pipelined schedule.
+func (c *Chain) MinStageMemory(k, l int) float64 { return c.StageMemory(k, l, 1) }
+
+// TotalWeights returns the weight bytes of the whole network.
+func (c *Chain) TotalWeights() float64 { return c.pw[len(c.layers)] }
+
+func (c *Chain) String() string {
+	return fmt.Sprintf("chain %q: L=%d U=%.3fs W=%.2fGB",
+		c.name, c.Len(), c.TotalU(), c.TotalWeights()/1e9)
+}

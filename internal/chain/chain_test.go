@@ -1,0 +1,303 @@
+package chain
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func testChain(t *testing.T) *Chain {
+	t.Helper()
+	c, err := New("test", 100, []Layer{
+		{Name: "a", UF: 1, UB: 2, W: 10, A: 80},
+		{Name: "b", UF: 2, UB: 4, W: 20, A: 60},
+		{Name: "c", UF: 3, UB: 6, W: 30, A: 40},
+		{Name: "d", UF: 4, UB: 8, W: 40, A: 20},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		input  float64
+		layers []Layer
+	}{
+		{"empty", 1, nil},
+		{"negative input", -1, []Layer{{UF: 1}}},
+		{"nan duration", 1, []Layer{{UF: math.NaN()}}},
+		{"inf weight", 1, []Layer{{UF: 1, W: math.Inf(1)}}},
+		{"zero compute", 1, []Layer{{W: 5}}},
+		{"negative activation", 1, []Layer{{UF: 1, A: -2}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.name, tc.input, tc.layers); err == nil {
+			t.Errorf("New(%s): expected error", tc.name)
+		}
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	c := testChain(t)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	if got := c.U(1, 4); !almost(got, 30) {
+		t.Errorf("U(1,4) = %g, want 30", got)
+	}
+	if got := c.U(2, 3); !almost(got, 15) {
+		t.Errorf("U(2,3) = %g, want 15", got)
+	}
+	if got := c.UF(1, 4); !almost(got, 10) {
+		t.Errorf("UF(1,4) = %g, want 10", got)
+	}
+	if got := c.UB(2, 2); !almost(got, 4) {
+		t.Errorf("UB(2,2) = %g, want 4", got)
+	}
+	if got := c.SumW(1, 4); !almost(got, 100) {
+		t.Errorf("SumW = %g, want 100", got)
+	}
+	if got := c.TotalU(); !almost(got, 30) {
+		t.Errorf("TotalU = %g, want 30", got)
+	}
+}
+
+func TestActivationAccessors(t *testing.T) {
+	c := testChain(t)
+	if got := c.A(0); got != 100 {
+		t.Errorf("A(0) = %g, want 100 (input)", got)
+	}
+	if got := c.A(3); got != 40 {
+		t.Errorf("A(3) = %g, want 40", got)
+	}
+	// AStore defaults to each layer's input activation.
+	if got := c.AStore(1, 1); got != 100 {
+		t.Errorf("AStore(1,1) = %g, want 100", got)
+	}
+	if got := c.AStore(2, 4); got != 80+60+40 {
+		t.Errorf("AStore(2,4) = %g, want 180", got)
+	}
+}
+
+func TestCommAccessors(t *testing.T) {
+	c := testChain(t)
+	if got := c.CommBytes(2); got != 120 {
+		t.Errorf("CommBytes(2) = %g, want 120", got)
+	}
+	if got := c.CommBytes(0); got != 0 {
+		t.Errorf("CommBytes(0) = %g, want 0", got)
+	}
+	if got := c.CommBytes(4); got != 0 {
+		t.Errorf("CommBytes(L) = %g, want 0", got)
+	}
+	if got := c.CommTime(1, 10); !almost(got, 16) {
+		t.Errorf("CommTime(1,10) = %g, want 16", got)
+	}
+	if got := c.TotalCommTime(2); !almost(got, (160+120+80)/2.0) {
+		t.Errorf("TotalCommTime = %g, want 180", got)
+	}
+}
+
+func TestStageMemory(t *testing.T) {
+	c := testChain(t)
+	// Interior stage [2,3], g=2: 3*(20+30) + 2*(80+60) + 2*(80+40).
+	want := 3*50.0 + 2*(80+60) + 2*(80.0+40)
+	if got := c.StageMemory(2, 3, 2); !almost(got, want) {
+		t.Errorf("StageMemory(2,3,2) = %g, want %g", got, want)
+	}
+	// First stage: no left buffer.
+	want = 3*10.0 + 3*100 + 2*80
+	if got := c.StageMemory(1, 1, 3); !almost(got, want) {
+		t.Errorf("StageMemory(1,1,3) = %g, want %g", got, want)
+	}
+	// Last stage: no right buffer.
+	want = 3*40.0 + 1*40 + 2*40
+	if got := c.StageMemory(4, 4, 1); !almost(got, want) {
+		t.Errorf("StageMemory(4,4,1) = %g, want %g", got, want)
+	}
+	if got, want := c.MinStageMemory(2, 2), c.StageMemory(2, 2, 1); got != want {
+		t.Errorf("MinStageMemory = %g, want %g", got, want)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	c := testChain(t)
+	for _, f := range []func(){
+		func() { c.Layer(0) },
+		func() { c.Layer(5) },
+		func() { c.A(-1) },
+		func() { c.U(3, 2) },
+		func() { c.U(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := testChain(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name() != c.Name() || got.Len() != c.Len() {
+		t.Fatalf("round trip mismatch: %v vs %v", got, c)
+	}
+	for l := 1; l <= c.Len(); l++ {
+		if got.Layer(l) != c.Layer(l) {
+			t.Errorf("layer %d: %+v != %+v", l, got.Layer(l), c.Layer(l))
+		}
+	}
+	if got.A(0) != c.A(0) {
+		t.Errorf("input mismatch")
+	}
+}
+
+func TestContract(t *testing.T) {
+	c := testChain(t)
+	cc, err := c.Contract([]Span{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("Contract: %v", err)
+	}
+	if cc.Len() != 2 {
+		t.Fatalf("contracted Len = %d, want 2", cc.Len())
+	}
+	if got := cc.U(1, 1); !almost(got, c.U(1, 2)) {
+		t.Errorf("stage1 U = %g, want %g", got, c.U(1, 2))
+	}
+	if got := cc.A(1); got != c.A(2) {
+		t.Errorf("stage1 A = %g, want %g", got, c.A(2))
+	}
+	// The contracted AStore keeps the exact ā of the span.
+	if got := cc.AStore(1, 1); !almost(got, c.AStore(1, 2)) {
+		t.Errorf("stage1 AStore = %g, want %g", got, c.AStore(1, 2))
+	}
+	if got := cc.AStore(2, 2); !almost(got, c.AStore(3, 4)) {
+		t.Errorf("stage2 AStore = %g, want %g", got, c.AStore(3, 4))
+	}
+	// Totals are preserved.
+	if !almost(cc.TotalU(), c.TotalU()) || !almost(cc.TotalWeights(), c.TotalWeights()) {
+		t.Errorf("totals not preserved")
+	}
+}
+
+func TestContractBadPartition(t *testing.T) {
+	c := testChain(t)
+	for _, spans := range [][]Span{
+		{},
+		{{1, 2}},
+		{{1, 2}, {4, 4}},
+		{{2, 4}},
+		{{1, 4}, {1, 4}},
+	} {
+		if _, err := c.Contract(spans); err == nil {
+			t.Errorf("Contract(%v): expected error", spans)
+		}
+	}
+}
+
+func TestCoarsenPreservesTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := Random(rng, 40, DefaultRandomOptions())
+	cc, err := c.Coarsen(12)
+	if err != nil {
+		t.Fatalf("Coarsen: %v", err)
+	}
+	if cc.Len() > 12 {
+		t.Fatalf("coarsened Len = %d, want <= 12", cc.Len())
+	}
+	if !almost(cc.TotalU(), c.TotalU()) {
+		t.Errorf("TotalU changed: %g -> %g", c.TotalU(), cc.TotalU())
+	}
+	if !almost(cc.TotalWeights(), c.TotalWeights()) {
+		t.Errorf("TotalWeights changed")
+	}
+	if !almost(cc.AStore(1, cc.Len()), c.AStore(1, c.Len())) {
+		t.Errorf("total AStore changed")
+	}
+	if cc.A(cc.Len()) != c.A(c.Len()) {
+		t.Errorf("final activation changed")
+	}
+}
+
+func TestCoarsenNoop(t *testing.T) {
+	c := testChain(t)
+	cc, err := c.Coarsen(10)
+	if err != nil || cc != c {
+		t.Fatalf("Coarsen above Len should return the chain unchanged, got %v, %v", cc, err)
+	}
+	if _, err := c.Coarsen(0); err == nil {
+		t.Fatalf("Coarsen(0): expected error")
+	}
+}
+
+// Property: for random chains, prefix-sum accessors agree with naive sums
+// and StageMemory is monotone in g.
+func TestChainProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		c := Random(r, n, DefaultRandomOptions())
+		k := 1 + r.Intn(n)
+		l := k + r.Intn(n-k+1)
+		var u, w, as float64
+		for i := k; i <= l; i++ {
+			u += c.Layer(i).U()
+			w += c.Layer(i).W
+			as += c.Layer(i).AStore
+		}
+		if !almost(u, c.U(k, l)) || !almost(w, c.SumW(k, l)) || !almost(as, c.AStore(k, l)) {
+			return false
+		}
+		return c.StageMemory(k, l, 3) >= c.StageMemory(k, l, 2) &&
+			c.StageMemory(k, l, 2) >= c.StageMemory(k, l, 1)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformAndConvLike(t *testing.T) {
+	u := Uniform(5, 1, 2, 10, 20)
+	if u.Len() != 5 || !almost(u.TotalU(), 15) {
+		t.Fatalf("Uniform: %v", u)
+	}
+	c := ConvLike(10, 100, 1e9, 5e8)
+	if c.Len() != 10 {
+		t.Fatalf("ConvLike Len = %d", c.Len())
+	}
+	if !almost(c.TotalU(), 100) {
+		t.Errorf("ConvLike TotalU = %g, want 100", c.TotalU())
+	}
+	if !almost(c.TotalWeights(), 1e9) {
+		t.Errorf("ConvLike TotalWeights = %g, want 1e9", c.TotalWeights())
+	}
+	// Activations decay, weights grow.
+	if c.A(1) <= c.A(9) {
+		t.Errorf("ConvLike activations should decay along the chain")
+	}
+	if c.Layer(1).W >= c.Layer(10).W {
+		t.Errorf("ConvLike weights should grow along the chain")
+	}
+}

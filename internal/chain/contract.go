@@ -1,0 +1,103 @@
+package chain
+
+import "fmt"
+
+// Span designates a contiguous range of layers [From, To], 1-indexed and
+// inclusive, within some chain.
+type Span struct {
+	From, To int
+}
+
+// Len returns the number of layers covered by the span.
+func (s Span) Len() int { return s.To - s.From + 1 }
+
+func (s Span) String() string {
+	if s.From == s.To {
+		return fmt.Sprintf("[%d]", s.From)
+	}
+	return fmt.Sprintf("[%d..%d]", s.From, s.To)
+}
+
+// Contract builds the stage-level chain of Section 4.3: each span becomes
+// a single layer whose durations and weights are the sums over the span,
+// whose output activation is the activation at the span's right boundary,
+// and whose AStore is ā(span) — the sum of the inputs of all covered
+// layers, so that memory accounting stays exact after contraction.
+//
+// The spans must partition 1..Len() in order.
+func (c *Chain) Contract(spans []Span) (*Chain, error) {
+	if err := c.CheckPartition(spans); err != nil {
+		return nil, err
+	}
+	layers := make([]Layer, len(spans))
+	for i, s := range spans {
+		layers[i] = Layer{
+			Name:   fmt.Sprintf("stage%d%s", i+1, s),
+			UF:     c.UF(s.From, s.To),
+			UB:     c.UB(s.From, s.To),
+			W:      c.SumW(s.From, s.To),
+			A:      c.A(s.To),
+			AStore: c.AStore(s.From, s.To),
+		}
+	}
+	return New(c.name+"/contracted", c.input, layers)
+}
+
+// CheckPartition verifies that spans cover 1..Len() contiguously in order.
+func (c *Chain) CheckPartition(spans []Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("chain %q: empty partition", c.name)
+	}
+	next := 1
+	for i, s := range spans {
+		if s.From != next || s.To < s.From {
+			return fmt.Errorf("chain %q: span %d = %v does not continue at layer %d", c.name, i, s, next)
+		}
+		next = s.To + 1
+	}
+	if next != c.Len()+1 {
+		return fmt.Errorf("chain %q: partition covers layers 1..%d, want 1..%d", c.name, next-1, c.Len())
+	}
+	return nil
+}
+
+// Coarsen reduces the chain to at most maxLen layers by repeatedly merging
+// the adjacent pair of layers with the smallest combined compute time —
+// the greedy linearization/grouping step used before running the planners
+// on fine-grained profiles (Section 5.1). Merging layers i and i+1 keeps
+// memory accounting exact: the merged AStore is the sum of both.
+//
+// If the chain already has at most maxLen layers it is returned unchanged.
+func (c *Chain) Coarsen(maxLen int) (*Chain, error) {
+	if maxLen < 1 {
+		return nil, fmt.Errorf("chain %q: maxLen must be >= 1, got %d", c.name, maxLen)
+	}
+	if c.Len() <= maxLen {
+		return c, nil
+	}
+	layers := c.Layers()
+	for len(layers) > maxLen {
+		best, bestU := -1, 0.0
+		for i := 0; i+1 < len(layers); i++ {
+			u := layers[i].U() + layers[i+1].U()
+			if best < 0 || u < bestU {
+				best, bestU = i, u
+			}
+		}
+		a, b := layers[best], layers[best+1]
+		merged := Layer{
+			Name:   a.Name + "+" + b.Name,
+			UF:     a.UF + b.UF,
+			UB:     a.UB + b.UB,
+			W:      a.W + b.W,
+			A:      b.A,
+			AStore: a.AStore + b.AStore,
+		}
+		layers = append(layers[:best], append([]Layer{merged}, layers[best+2:]...)...)
+	}
+	cc, err := New(c.name, c.input, layers)
+	if err != nil {
+		return nil, err
+	}
+	return cc, nil
+}

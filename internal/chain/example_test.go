@@ -1,0 +1,50 @@
+package chain_test
+
+import (
+	"fmt"
+
+	"madpipe/internal/chain"
+)
+
+// Building a chain and querying the paper's quantities: total compute
+// U(1,L), cut communication volumes, and the per-stage memory model
+// M(k,l,g).
+func Example() {
+	c, err := chain.New("tiny", 100, []chain.Layer{
+		{Name: "conv", UF: 1, UB: 2, W: 10, A: 80},
+		{Name: "dense", UF: 0.5, UB: 1, W: 40, A: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("U(1,L) = %.1fs\n", c.TotalU())
+	fmt.Printf("cut after layer 1 moves %.0f bytes\n", c.CommBytes(1))
+	fmt.Printf("stage [1,1] with 3 in-flight batches needs %.0f bytes\n", c.StageMemory(1, 1, 3))
+	// Output:
+	// U(1,L) = 4.5s
+	// cut after layer 1 moves 160 bytes
+	// stage [1,1] with 3 in-flight batches needs 490 bytes
+}
+
+// Weight policies: the paper's PipeDream-2BW discipline (3W, independent
+// of pipeline depth) versus original PipeDream's per-batch stashing.
+func ExampleWeightPolicy() {
+	fmt.Printf("2BW at depth 5: %.0f weight copies\n", chain.TwoBufferedWeights().Copies(5))
+	fmt.Printf("stashing at depth 5: %.0f weight copies\n", chain.StashedWeights().Copies(5))
+	// Output:
+	// 2BW at depth 5: 3 weight copies
+	// stashing at depth 5: 6 weight copies
+}
+
+// Contracting a partitioning into a stage-level chain (Section 4.3)
+// keeps the stored-activation cost ā exact.
+func ExampleChain_Contract() {
+	c := chain.Uniform(4, 1, 2, 10, 20)
+	cc, err := c.Contract([]chain.Span{{From: 1, To: 2}, {From: 3, To: 4}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stages: %d, stage-1 astore: %.0f bytes\n", cc.Len(), cc.AStore(1, 1))
+	// Output:
+	// stages: 2, stage-1 astore: 40 bytes
+}

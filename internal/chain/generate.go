@@ -1,0 +1,96 @@
+package chain
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Uniform builds a homogeneous chain of n identical layers — useful in
+// tests and as the simplest workload model (NLP-style homogeneous
+// transformer blocks, the setting of PipeDream-2BW).
+func Uniform(n int, uf, ub, w, a float64) *Chain {
+	layers := make([]Layer, n)
+	for i := range layers {
+		layers[i] = Layer{Name: fmt.Sprintf("u%d", i+1), UF: uf, UB: ub, W: w, A: a}
+	}
+	return MustNew(fmt.Sprintf("uniform%d", n), a, layers)
+}
+
+// RandomOptions bounds the per-layer quantities drawn by Random.
+type RandomOptions struct {
+	MinUF, MaxUF float64 // seconds
+	BackwardMin  float64 // UB = UF * uniform(BackwardMin, BackwardMax)
+	BackwardMax  float64
+	MinW, MaxW   float64 // bytes
+	MinA, MaxA   float64 // bytes
+}
+
+// DefaultRandomOptions mimics the heterogeneity of a convolutional
+// network trained on large images: activations up to two orders of
+// magnitude larger than weights on some layers and vice versa.
+func DefaultRandomOptions() RandomOptions {
+	return RandomOptions{
+		MinUF: 1e-3, MaxUF: 50e-3,
+		BackwardMin: 1.5, BackwardMax: 2.5,
+		MinW: 1e4, MaxW: 400e6,
+		MinA: 1e6, MaxA: 800e6,
+	}
+}
+
+// Random draws a chain of n layers from the given bounds. It is
+// deterministic for a given rng state and is the workload generator for
+// the property-based tests.
+func Random(rng *rand.Rand, n int, o RandomOptions) *Chain {
+	uni := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	layers := make([]Layer, n)
+	for i := range layers {
+		uf := uni(o.MinUF, o.MaxUF)
+		layers[i] = Layer{
+			Name: fmt.Sprintf("r%d", i+1),
+			UF:   uf,
+			UB:   uf * uni(o.BackwardMin, o.BackwardMax),
+			W:    uni(o.MinW, o.MaxW),
+			A:    uni(o.MinA, o.MaxA),
+		}
+	}
+	return MustNew(fmt.Sprintf("random%d", n), uni(o.MinA, o.MaxA), layers)
+}
+
+// ConvLike builds a deterministic synthetic chain with the canonical CNN
+// shape: early layers have very large activations and few weights, late
+// layers small activations and heavy weights, with compute roughly
+// balanced. This is the heterogeneity profile that makes memory-aware
+// partitioning matter (Section 5.2 discussion).
+func ConvLike(n int, totalU, totalW, peakA float64) *Chain {
+	layers := make([]Layer, n)
+	// Geometric decay of activations, geometric growth of weights.
+	const decay = 0.75
+	aw, ww := 0.0, 0.0
+	ascale := make([]float64, n)
+	wscale := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ascale[i] = pow(decay, i)
+		wscale[i] = pow(decay, n-1-i)
+		aw += ascale[i]
+		ww += wscale[i]
+	}
+	for i := 0; i < n; i++ {
+		u := totalU / float64(n)
+		layers[i] = Layer{
+			Name: fmt.Sprintf("conv%d", i+1),
+			UF:   u / 3,
+			UB:   2 * u / 3,
+			W:    totalW * wscale[i] / ww,
+			A:    peakA * ascale[i],
+		}
+	}
+	return MustNew(fmt.Sprintf("convlike%d", n), peakA, layers)
+}
+
+func pow(b float64, e int) float64 {
+	p := 1.0
+	for i := 0; i < e; i++ {
+		p *= b
+	}
+	return p
+}

@@ -1,0 +1,52 @@
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// spec is the serialized form of a Chain.
+type spec struct {
+	Name   string  `json:"name"`
+	Input  float64 `json:"input_bytes"`
+	Layers []Layer `json:"layers"`
+}
+
+// MarshalJSON encodes the chain, including derived AStore values, so that
+// a round-trip reproduces the chain exactly.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	return json.Marshal(spec{Name: c.name, Input: c.input, Layers: c.layers})
+}
+
+// UnmarshalJSON decodes a chain previously produced by MarshalJSON (or
+// hand-written: AStore may be omitted, in which case it defaults to the
+// input activation of each layer).
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var s spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("chain: decode: %w", err)
+	}
+	nc, err := New(s.Name, s.Input, s.Layers)
+	if err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}
+
+// Write serializes the chain as indented JSON to w.
+func (c *Chain) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Read parses a chain from JSON.
+func Read(r io.Reader) (*Chain, error) {
+	var c Chain
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,68 @@
+package chain
+
+import "fmt"
+
+// WeightPolicy models how many copies of a stage's parameters live in
+// memory during pipelined training. The paper (Section 3, following
+// PipeDream-2BW [12]) keeps two weight versions plus one accumulated
+// gradient — 3W regardless of pipeline depth. The original PipeDream
+// instead stashes one weight version per in-flight mini-batch, which the
+// paper's Section 2 points out "can potentially cancel the benefit of
+// using model parallelism".
+//
+// The memory charged to a stage holding weights W while retaining g
+// in-flight batches is (Fixed + PerBatch*g) * W.
+type WeightPolicy struct {
+	// Fixed is the number of weight-sized buffers kept regardless of
+	// pipeline depth (versions + gradient accumulators).
+	Fixed float64
+	// PerBatch is the number of additional weight-sized buffers per
+	// in-flight mini-batch (weight stashing).
+	PerBatch float64
+}
+
+// TwoBufferedWeights is the paper's policy (PipeDream-2BW): two versions
+// plus one gradient, 3W total.
+func TwoBufferedWeights() WeightPolicy { return WeightPolicy{Fixed: 3} }
+
+// StashedWeights is original PipeDream's policy: one stashed version per
+// in-flight batch plus one gradient accumulator.
+func StashedWeights() WeightPolicy { return WeightPolicy{Fixed: 1, PerBatch: 1} }
+
+// zero value means "unset"; normalize to the paper's default.
+func (p WeightPolicy) orDefault() WeightPolicy {
+	if p == (WeightPolicy{}) {
+		return TwoBufferedWeights()
+	}
+	return p
+}
+
+// Copies returns the number of weight-sized buffers at g in-flight
+// batches.
+func (p WeightPolicy) Copies(g int) float64 {
+	p = p.orDefault()
+	return p.Fixed + p.PerBatch*float64(g)
+}
+
+func (p WeightPolicy) String() string {
+	p = p.orDefault()
+	if p.PerBatch == 0 {
+		return fmt.Sprintf("%gW", p.Fixed)
+	}
+	return fmt.Sprintf("%gW+%gW/batch", p.Fixed, p.PerBatch)
+}
+
+// StageMemoryWith generalizes StageMemory to an arbitrary weight policy:
+//
+//	M(k,l,g) = Copies(g)*sumW + g*ā + comm buffers.
+func (c *Chain) StageMemoryWith(k, l, g int, pol WeightPolicy) float64 {
+	c.checkRange(k, l)
+	m := pol.Copies(g)*c.SumW(k, l) + float64(g)*c.AStore(k, l)
+	if k > 1 {
+		m += 2 * c.A(k-1)
+	}
+	if l < len(c.layers) {
+		m += 2 * c.A(l)
+	}
+	return m
+}

@@ -1,0 +1,55 @@
+package chain
+
+import "testing"
+
+func TestWeightPolicyCopies(t *testing.T) {
+	if got := TwoBufferedWeights().Copies(5); got != 3 {
+		t.Errorf("2BW Copies(5) = %g, want 3 (depth-independent)", got)
+	}
+	if got := StashedWeights().Copies(5); got != 6 {
+		t.Errorf("stashed Copies(5) = %g, want 6 (1 gradient + 5 versions)", got)
+	}
+	// The zero value defaults to the paper's policy.
+	var zero WeightPolicy
+	if got := zero.Copies(7); got != 3 {
+		t.Errorf("zero-value Copies(7) = %g, want 3", got)
+	}
+}
+
+func TestWeightPolicyString(t *testing.T) {
+	if s := TwoBufferedWeights().String(); s != "3W" {
+		t.Errorf("2BW String = %q", s)
+	}
+	if s := StashedWeights().String(); s != "1W+1W/batch" {
+		t.Errorf("stashed String = %q", s)
+	}
+	var zero WeightPolicy
+	if s := zero.String(); s != "3W" {
+		t.Errorf("zero String = %q", s)
+	}
+}
+
+func TestStageMemoryWith(t *testing.T) {
+	c := MustNew("w", 100, []Layer{
+		{UF: 1, UB: 1, W: 10, A: 80},
+		{UF: 1, UB: 1, W: 20, A: 60},
+	})
+	// 2BW at g=4: 3*30 + 4*(100+80) + right buffer 0 (l=L) + left 0 (k=1).
+	if got, want := c.StageMemoryWith(1, 2, 4, TwoBufferedWeights()), 3*30.0+4*180; !almost(got, want) {
+		t.Errorf("2BW memory = %g, want %g", got, want)
+	}
+	// Stashing at g=4: (1+4)*30 + 4*180.
+	if got, want := c.StageMemoryWith(1, 2, 4, StashedWeights()), 5*30.0+4*180; !almost(got, want) {
+		t.Errorf("stashed memory = %g, want %g", got, want)
+	}
+	// StageMemory is the 2BW special case.
+	if c.StageMemory(1, 2, 4) != c.StageMemoryWith(1, 2, 4, TwoBufferedWeights()) {
+		t.Errorf("StageMemory must equal the 2BW policy")
+	}
+	// Deeper pipelines cost more under stashing, equally much under 2BW.
+	d2BW := c.StageMemoryWith(1, 1, 3, TwoBufferedWeights()) - c.StageMemoryWith(1, 1, 2, TwoBufferedWeights())
+	dStash := c.StageMemoryWith(1, 1, 3, StashedWeights()) - c.StageMemoryWith(1, 1, 2, StashedWeights())
+	if dStash <= d2BW {
+		t.Errorf("stashing marginal cost %g should exceed 2BW's %g", dStash, d2BW)
+	}
+}

@@ -1,0 +1,316 @@
+// Package core implements MadPipe (Sections 4.2 and 4.3): a dynamic
+// program that builds a non-contiguous allocation — every normal
+// processor holds one stage, one special processor may hold any number of
+// stages — with memory needs estimated through the 1F1B* group counts,
+// followed by a target-period binary search (Algorithm 1) and a
+// scheduling phase that turns the allocation into a valid periodic
+// pattern.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+// Discretization controls the grids used for the continuous DP state
+// variables t_P (special-processor load), m_P (special-processor memory)
+// and V (forward-to-backward delay). The paper uses 101, 11 and 51
+// equally spaced values respectively.
+type Discretization struct {
+	TP int
+	MP int
+	V  int
+}
+
+// DefaultDiscretization returns the paper's grid sizes.
+func DefaultDiscretization() Discretization {
+	return Discretization{TP: 101, MP: 11, V: 51}
+}
+
+func (d Discretization) validate() error {
+	if d.TP < 2 || d.TP > 256 || d.MP < 2 || d.MP > 64 || d.V < 2 || d.V > 256 {
+		return fmt.Errorf("core: discretization out of range: %+v", d)
+	}
+	return nil
+}
+
+const inf = math.MaxFloat64
+
+// dpRun holds the state of one MadPipe-DP invocation for a fixed target
+// period T̂.
+type dpRun struct {
+	c    *chain.Chain
+	plat platform.Platform
+	that float64 // target period T̂
+
+	disableSpecial bool
+	weights        chain.WeightPolicy
+
+	stepT, stepM, stepV float64
+	nT, nM, nV          int
+
+	memo map[uint64]dpEntry
+}
+
+type dpEntry struct {
+	period  float64
+	k       int16 // chosen stage start layer; -1 for base cases
+	special bool  // chosen branch
+}
+
+func key(l, p, itP, imP, iV int) uint64 {
+	return uint64(l) | uint64(p)<<8 | uint64(itP)<<16 | uint64(imP)<<24 | uint64(iV)<<32
+}
+
+// roundUp maps a continuous value onto its grid index, rounding up
+// (pessimistic: larger loads, memory and delays) and clamping at the top
+// of the grid.
+func roundUp(v, step float64, n int) int {
+	if step <= 0 {
+		return 0
+	}
+	i := int(math.Ceil(v/step - 1e-9))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// ceilT returns ceil(x / T̂) with a relative epsilon guard.
+func (r *dpRun) ceilT(x float64) float64 {
+	return math.Ceil(x/r.that - 1e-9)
+}
+
+// oplus is the ⊕ operator of Section 4.2.2: advance a delay x by a work
+// amount y, snapping x up to the next multiple of T̂ when the addition
+// crosses a group boundary.
+func (r *dpRun) oplus(x, y float64) float64 {
+	if r.ceilT(x+y) == r.ceilT(x) {
+		return x + y
+	}
+	return r.that*r.ceilT(x) + y
+}
+
+// groups returns g(k,l,V) = ceil((V + U(k,l)) / T̂), the number of
+// activation copies a stage [k,l] must retain when the downstream delay
+// is V.
+func (r *dpRun) groups(k, l int, v float64) int {
+	g := int(r.ceilT(v + r.c.U(k, l)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// commLeft returns C(k-1), the busy time of the link crossing the cut to
+// the left of a stage starting at layer k (zero at the chain head).
+func (r *dpRun) commLeft(k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return r.c.CommTimeAlphaBeta(k-1, r.plat.Latency, r.plat.Bandwidth)
+}
+
+// solve computes T(l, p, t_P, m_P, V): the smallest achievable period of
+// an allocation of the first l layers on p normal processors, with the
+// special processor already loaded with compute time t_P and memory m_P,
+// such that the delay between the end of F_l and the start of B_l on the
+// same batch is at least V. State variables are grid indices.
+func (r *dpRun) solve(l, p, itP, imP, iV int) float64 {
+	tP := float64(itP) * r.stepT
+	if l == 0 {
+		return tP
+	}
+	k := key(l, p, itP, imP, iV)
+	if e, ok := r.memo[k]; ok {
+		return e.period
+	}
+	e := r.compute(l, p, itP, imP, iV)
+	r.memo[k] = e
+	return e.period
+}
+
+func (r *dpRun) compute(l, p, itP, imP, iV int) dpEntry {
+	tP := float64(itP) * r.stepT
+	mP := float64(imP) * r.stepM
+	v := float64(iV) * r.stepV
+	mem := r.plat.Memory
+
+	if p == 0 {
+		// No normal processor left: the remaining prefix becomes a single
+		// stage on the special processor (paper base case).
+		if r.disableSpecial {
+			return dpEntry{period: inf, k: -1}
+		}
+		g := r.groups(1, l, v)
+		if mP+r.c.StageMemoryWith(1, l, g-1, r.weights) > mem {
+			return dpEntry{period: inf, k: -1}
+		}
+		return dpEntry{period: r.c.U(1, l) + tP, k: -1, special: true}
+	}
+
+	best := dpEntry{period: inf, k: -1}
+	for k := l; k >= 1; k-- {
+		u := r.c.U(k, l)
+		if u >= best.period {
+			// Both branches cost at least U(k,l), which only grows as k
+			// decreases.
+			break
+		}
+		g := r.groups(k, l, v)
+		cLeft := r.commLeft(k)
+		vNext := r.oplus(r.oplus(v, u), cLeft)
+		iVN := roundUp(vNext, r.stepV, r.nV)
+
+		// Assign stage [k,l] to a normal processor.
+		if r.c.StageMemoryWith(k, l, g, r.weights) <= mem {
+			sub := r.solve(k-1, p-1, itP, imP, iVN)
+			cand := math.Max(u, math.Max(cLeft, sub))
+			if cand < best.period {
+				best = dpEntry{period: cand, k: int16(k), special: false}
+			}
+		}
+
+		// Assign stage [k,l] to the special processor. Its memory is
+		// under-estimated with g-1 copies (Section 4.2.1); the scheduling
+		// phase repairs the difference.
+		if !r.disableSpecial {
+			mNext := mP + r.c.StageMemoryWith(k, l, g-1, r.weights)
+			if mNext <= mem {
+				itPN := roundUp(tP+u, r.stepT, r.nT)
+				tNext := float64(itPN) * r.stepT
+				imPN := roundUp(mNext, r.stepM, r.nM)
+				sub := r.solve(k-1, p, itPN, imPN, iVN)
+				cand := math.Max(tNext, math.Max(cLeft, sub))
+				if cand < best.period {
+					best = dpEntry{period: cand, k: int16(k), special: true}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// DPResult is the outcome of one MadPipe-DP call.
+type DPResult struct {
+	// Period is the allocation's load-based period (inf if infeasible at
+	// this target).
+	Period float64
+	// Alloc is the reconstructed allocation; nil when infeasible.
+	Alloc *partition.Allocation
+	// States is the number of memoized DP states, for diagnostics.
+	States int
+}
+
+// runDP executes MadPipe-DP for a fixed target period T̂ and reconstructs
+// the allocation. normals is the number of normal processors (P-1 with
+// the special processor enabled, P for the contiguous ablation).
+func runDP(c *chain.Chain, plat platform.Platform, that float64, disc Discretization, disableSpecial bool, weights chain.WeightPolicy) (*DPResult, error) {
+	if that <= 0 {
+		return nil, fmt.Errorf("core: target period must be positive, got %g", that)
+	}
+	if err := disc.validate(); err != nil {
+		return nil, err
+	}
+	totalU := c.TotalU()
+	r := &dpRun{
+		c: c, plat: plat, that: that,
+		disableSpecial: disableSpecial,
+		weights:        weights,
+		nT:             disc.TP, nM: disc.MP, nV: disc.V,
+		stepT: totalU / float64(disc.TP-1),
+		stepM: plat.Memory / float64(disc.MP-1),
+		stepV: (totalU + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)) / float64(disc.V-1),
+		memo:  make(map[uint64]dpEntry),
+	}
+	normals := plat.Workers - 1
+	if disableSpecial {
+		normals = plat.Workers
+	}
+	period := r.solve(c.Len(), normals, 0, 0, 0)
+	res := &DPResult{Period: period, States: len(r.memo)}
+	if period == inf {
+		return res, nil
+	}
+	alloc, err := r.reconstruct(normals)
+	if err != nil {
+		return nil, err
+	}
+	res.Alloc = alloc
+	return res, nil
+}
+
+// reconstruct replays the memoized decisions from the root state and
+// builds the allocation. Normal stages are mapped to processors
+// 0..normals-1 in chain order; special stages to processor P-1.
+func (r *dpRun) reconstruct(normals int) (*partition.Allocation, error) {
+	type rev struct {
+		span    chain.Span
+		special bool
+	}
+	var stages []rev
+
+	l, p, itP, imP, iV := r.c.Len(), normals, 0, 0, 0
+	for l > 0 {
+		if p == 0 {
+			stages = append(stages, rev{span: chain.Span{From: 1, To: l}, special: true})
+			break
+		}
+		e, ok := r.memo[key(l, p, itP, imP, iV)]
+		if !ok || e.period == inf {
+			return nil, fmt.Errorf("core: reconstruction reached unexplored state (l=%d p=%d)", l, p)
+		}
+		if e.k < 0 {
+			// Base case chosen at p == 0 is handled above; k < 0 with
+			// p > 0 cannot happen.
+			return nil, fmt.Errorf("core: reconstruction hit base entry with p=%d", p)
+		}
+		k := int(e.k)
+		tP := float64(itP) * r.stepT
+		mP := float64(imP) * r.stepM
+		v := float64(iV) * r.stepV
+		u := r.c.U(k, l)
+		g := r.groups(k, l, v)
+		vNext := r.oplus(r.oplus(v, u), r.commLeft(k))
+		iV = roundUp(vNext, r.stepV, r.nV)
+		stages = append(stages, rev{span: chain.Span{From: k, To: l}, special: e.special})
+		if e.special {
+			itP = roundUp(tP+u, r.stepT, r.nT)
+			imP = roundUp(mP+r.c.StageMemoryWith(k, l, g-1, r.weights), r.stepM, r.nM)
+		} else {
+			p--
+		}
+		l = k - 1
+	}
+
+	// stages were collected from the tail of the chain; reverse them.
+	n := len(stages)
+	spans := make([]chain.Span, n)
+	procs := make([]int, n)
+	normal := 0
+	for i := range stages {
+		s := stages[n-1-i]
+		spans[i] = s.span
+		if s.special {
+			procs[i] = r.plat.Workers - 1
+		} else {
+			procs[i] = normal
+			normal++
+		}
+	}
+	if normal > normals {
+		return nil, fmt.Errorf("core: reconstruction used %d normal processors, budget %d", normal, normals)
+	}
+	a := &partition.Allocation{Chain: r.c, Plat: r.plat, Spans: spans, Procs: procs, Weights: r.weights}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: reconstructed allocation invalid: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/platform"
+)
+
+// Planning end to end: MadPipe's two phases on a small balanced chain.
+// With ample memory the planner reaches the perfect-balance period U/P.
+func ExamplePlanAndSchedule() {
+	network := chain.Uniform(8, 0.01, 0.02, 1e6, 1e6)
+	gpus := platform.Platform{Workers: 4, Memory: platform.GB, Bandwidth: 12 * platform.GB}
+	plan, err := core.PlanAndSchedule(network, gpus, core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("period: %.3fs (U/P = %.3fs)\n", plan.Period, network.TotalU()/4)
+	fmt.Printf("stages: %d, scheduler: %s\n", plan.Pattern.Alloc.NumStages(), plan.Scheduler)
+	// Output:
+	// period: 0.060s (U/P = 0.060s)
+	// stages: 4, scheduler: 1f1b*
+}
+
+// A single MadPipe-DP evaluation at a fixed target period T̂ returns the
+// allocation's load-based period and the allocation itself.
+func ExampleDP() {
+	network := chain.Uniform(6, 0.01, 0.02, 1e6, 1e6)
+	gpus := platform.Platform{Workers: 3, Memory: platform.GB, Bandwidth: 12 * platform.GB}
+	res, err := core.DP(network, gpus, network.TotalU()/3, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("period %.3fs with %d stages\n", res.Period, res.Alloc.NumStages())
+	// Output:
+	// period 0.060s with 3 stages
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+// Options configures the MadPipe planner.
+type Options struct {
+	// Disc sets the DP grids; zero value means the paper's defaults.
+	Disc Discretization
+	// Iterations is K, the number of binary-search rounds of Algorithm 1
+	// (paper: 10). Zero means the default.
+	Iterations int
+	// DisableSpecial removes the special processor, restricting the DP to
+	// contiguous allocations on all P processors — the memory-aware
+	// contiguous ablation.
+	DisableSpecial bool
+	// MaxChainLength coarsens longer chains before planning (0 = no
+	// coarsening). Coarsening preserves total compute, weights and stored
+	// activations exactly.
+	MaxChainLength int
+	// Weights selects the weight-versioning policy; the zero value is
+	// the paper's PipeDream-2BW discipline (3W per stage).
+	Weights chain.WeightPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Disc == (Discretization{}) {
+		o.Disc = DefaultDiscretization()
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	return o
+}
+
+// Eval records one iteration of Algorithm 1.
+type Eval struct {
+	// That is the target period T̂ probed.
+	That float64
+	// Raw is MadPipe-DP(T̂); +Inf when no allocation fits memory.
+	Raw float64
+	// Effective is max(Raw, T̂), the period the allocation can promise.
+	Effective float64
+	// States is the number of DP states explored.
+	States int
+	// Alloc is the allocation this iteration produced (nil when
+	// infeasible). The scheduling phase evaluates every distinct
+	// candidate, since the special processor's memory under-estimate can
+	// make the nominally best Effective value unreachable in practice.
+	Alloc *partition.Allocation
+}
+
+// PhaseOneResult is the allocation produced by the first phase of
+// MadPipe (Algorithm 1).
+type PhaseOneResult struct {
+	// Alloc is the best allocation found.
+	Alloc *partition.Allocation
+	// PredictedPeriod is min_i max(DP(T̂_i), T̂_i) — the dashed line of
+	// Figure 6.
+	PredictedPeriod float64
+	// TargetPeriod is the T̂ that produced the best allocation; it is the
+	// period at which the memory estimates of the allocation hold.
+	TargetPeriod float64
+	// Evals logs every binary-search iteration.
+	Evals []Eval
+}
+
+// DP exposes a single MadPipe-DP invocation at a fixed target period,
+// mainly for analysis and tests; PlanAllocation is the full Algorithm 1.
+func DP(c *chain.Chain, plat platform.Platform, that float64, opts Options) (*DPResult, error) {
+	opts = opts.withDefaults()
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := prepared(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runDP(c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
+}
+
+func prepared(c *chain.Chain, opts Options) (*chain.Chain, error) {
+	if opts.MaxChainLength > 0 {
+		return c.Coarsen(opts.MaxChainLength)
+	}
+	return c, nil
+}
+
+// PlanAllocation runs the first phase of MadPipe: Algorithm 1's modified
+// binary search over the target period T̂, keeping the allocation with
+// the best effective period max(MadPipe-DP(T̂), T̂).
+func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*PhaseOneResult, error) {
+	opts = opts.withDefaults()
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := prepared(c, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	lb := c.TotalU() / float64(plat.Workers)
+	ub := c.TotalU() + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)
+	that := lb
+
+	res := &PhaseOneResult{PredictedPeriod: math.Inf(1)}
+	for i := 0; i < opts.Iterations; i++ {
+		dp, err := runDP(c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
+		if err != nil {
+			return nil, err
+		}
+		ev := Eval{That: that, Raw: dp.Period, Effective: math.Max(dp.Period, that), States: dp.States, Alloc: dp.Alloc}
+		if dp.Alloc == nil {
+			// Infeasible: every solution needs a larger target period.
+			ev.Raw = math.Inf(1)
+			ev.Effective = math.Inf(1)
+			lb = math.Max(lb, that)
+		} else {
+			if ev.Effective < res.PredictedPeriod {
+				res.PredictedPeriod = ev.Effective
+				res.TargetPeriod = that
+				res.Alloc = dp.Alloc
+			}
+			lb = math.Max(lb, math.Min(dp.Period, that))
+			ub = math.Min(ub, ev.Effective)
+		}
+		res.Evals = append(res.Evals, ev)
+		if ub <= lb {
+			break
+		}
+		that = (lb + ub) / 2
+	}
+	if res.Alloc == nil {
+		return nil, fmt.Errorf("core: no feasible allocation in %d iterations: %w",
+			opts.Iterations, platform.ErrInfeasible)
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"madpipe/internal/chain"
+	"sort"
+
+	"madpipe/internal/listsched"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+// Plan is the complete MadPipe output: the phase-1 allocation and the
+// phase-2 valid schedule.
+type Plan struct {
+	PhaseOne *PhaseOneResult
+	// Pattern is the validated periodic schedule.
+	Pattern *pattern.Pattern
+	// Period is the period of Pattern — the solid line of Figure 6.
+	Period float64
+	// Scheduler names the phase-2 algorithm that produced the pattern:
+	// "1f1b*" for contiguous allocations (provably memory-optimal),
+	// "milp" when the exact solver found the schedule, "list" when the
+	// heuristic incumbent was used (solver timeout or disabled).
+	Scheduler string
+}
+
+// ScheduleOptions configures phase 2.
+type ScheduleOptions struct {
+	// MILP enables the exact periodic-schedule solver for non-contiguous
+	// allocations; when nil or unsuccessful, the list-scheduler result is
+	// used.
+	MILP MILPScheduler
+}
+
+// MILPScheduler is implemented by package ilpsched; it is an interface
+// here to keep the dependency direction planner -> solver optional.
+type MILPScheduler interface {
+	// Improve attempts to find a valid pattern with a period strictly
+	// better than incumbent; it returns nil when it cannot.
+	Improve(a *partition.Allocation, incumbent *pattern.Pattern) *pattern.Pattern
+}
+
+// ScheduleAllocation runs MadPipe's second phase on an allocation:
+// 1F1B* (optimal) for contiguous allocations, otherwise the heuristic
+// list scheduler optionally refined by the exact MILP scheduler.
+func ScheduleAllocation(a *partition.Allocation, opts ScheduleOptions) (*Plan, error) {
+	if a.IsContiguous() {
+		T, pat, err := onefoneb.MinFeasiblePeriod(a)
+		if err != nil {
+			return nil, err
+		}
+		return &Plan{Pattern: pat, Period: T, Scheduler: "1f1b*"}, nil
+	}
+	T, pat, err := listsched.MinFeasiblePeriod(a)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Pattern: pat, Period: T, Scheduler: "list"}
+	if opts.MILP != nil {
+		if better := opts.MILP.Improve(a, pat); better != nil {
+			if verr := better.Validate(); verr == nil && better.Period < plan.Period {
+				plan.Pattern = better
+				plan.Period = better.Period
+				plan.Scheduler = "milp"
+			}
+		}
+	}
+	return plan, nil
+}
+
+// PlanAndSchedule runs both phases of MadPipe end to end. Because the
+// special processor's memory is under-estimated by design in phase 1
+// (Section 4.2.1), the allocation with the best *predicted* period is not
+// always the one with the best *schedulable* period. The planner
+// therefore builds a portfolio: every distinct allocation discovered
+// during the Algorithm 1 binary search, plus (unless DisableSpecial
+// already restricts the search) the candidates of the memory-aware
+// contiguous variant of the same DP. All portfolio members are scheduled
+// by phase 2 and the best valid pattern wins; allocations whose
+// load-based period already exceeds the best schedule found are pruned.
+func PlanAndSchedule(c *chain.Chain, plat platform.Platform, opts Options, sopts ScheduleOptions) (*Plan, error) {
+	p1, err := PlanAllocation(c, plat, opts)
+	if err != nil {
+		return nil, err
+	}
+	evals := p1.Evals
+	if !opts.DisableSpecial {
+		fopts := opts
+		fopts.DisableSpecial = true
+		if p1c, err := PlanAllocation(c, plat, fopts); err == nil {
+			evals = append(append([]Eval(nil), evals...), p1c.Evals...)
+		}
+	}
+	var best *Plan
+	for _, a := range distinctAllocations(evals) {
+		if best != nil && a.LoadPeriod() >= best.Period {
+			continue // cannot beat the incumbent schedule
+		}
+		plan, err := ScheduleAllocation(a, sopts)
+		if err != nil {
+			continue
+		}
+		if best == nil || plan.Period < best.Period {
+			best = plan
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no phase-1 allocation is schedulable: %w", platform.ErrInfeasible)
+	}
+	best.PhaseOne = p1
+	return best, nil
+}
+
+// distinctAllocations returns the unique allocations of the binary-search
+// log, ordered by their predicted effective period.
+func distinctAllocations(evals []Eval) []*partition.Allocation {
+	type cand struct {
+		eff float64
+		a   *partition.Allocation
+	}
+	var cands []cand
+	seen := make(map[string]bool)
+	for _, ev := range evals {
+		if ev.Alloc == nil {
+			continue
+		}
+		sig := fmt.Sprintf("%v%v", ev.Alloc.Spans, ev.Alloc.Procs)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		cands = append(cands, cand{ev.Effective, ev.Alloc})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].eff < cands[j].eff })
+	out := make([]*partition.Allocation, len(cands))
+	for i, c := range cands {
+		out[i] = c.a
+	}
+	return out
+}

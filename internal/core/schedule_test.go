@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+)
+
+func TestDistinctAllocations(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	pl := plat(2, 1e9, 1e9)
+	mk := func(cut int, procs []int) *partition.Allocation {
+		return &partition.Allocation{
+			Chain: c, Plat: pl,
+			Spans: []chain.Span{{From: 1, To: cut}, {From: cut + 1, To: 4}},
+			Procs: procs,
+		}
+	}
+	a1 := mk(2, []int{0, 1})
+	a2 := mk(2, []int{0, 1}) // duplicate of a1
+	a3 := mk(3, []int{0, 1})
+	evals := []Eval{
+		{Effective: 3, Alloc: a3},
+		{Effective: 1, Alloc: a1},
+		{Effective: 2, Alloc: a2},
+		{Effective: 9, Alloc: nil}, // infeasible iteration
+	}
+	got := distinctAllocations(evals)
+	if len(got) != 2 {
+		t.Fatalf("distinct = %d, want 2", len(got))
+	}
+	if got[0] != a1 || got[1] != a3 {
+		t.Fatalf("wrong order/dedup: %v", got)
+	}
+}
+
+// stubMILP returns a fixed pattern, or nil.
+type stubMILP struct {
+	pat    *pattern.Pattern
+	called int
+}
+
+func (s *stubMILP) Improve(a *partition.Allocation, inc *pattern.Pattern) *pattern.Pattern {
+	s.called++
+	return s.pat
+}
+
+func TestScheduleAllocationUsesMILPOnlyWhenBetter(t *testing.T) {
+	// A non-contiguous allocation so the MILP hook is consulted.
+	c := chain.MustNew("nc", 50, []chain.Layer{
+		{UF: 1, UB: 1, W: 1, A: 10},
+		{UF: 1, UB: 1, W: 1, A: 10},
+		{UF: 1, UB: 1, W: 1, A: 10},
+	})
+	a := &partition.Allocation{
+		Chain: c, Plat: plat(2, 1e9, 1e9),
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 2}, {From: 3, To: 3}},
+		Procs: []int{0, 1, 0},
+	}
+	stub := &stubMILP{}
+	plan, err := ScheduleAllocation(a, ScheduleOptions{MILP: stub})
+	if err != nil {
+		t.Fatalf("ScheduleAllocation: %v", err)
+	}
+	if stub.called != 1 {
+		t.Fatalf("MILP hook called %d times, want 1", stub.called)
+	}
+	if plan.Scheduler != "list" {
+		t.Fatalf("scheduler %q, want list when MILP returns nil", plan.Scheduler)
+	}
+
+	// Returning an invalid "improvement" must be rejected.
+	bogus := *plan.Pattern
+	bogus.Period = plan.Period / 2 // ops unchanged: will fail validation
+	stub2 := &stubMILP{pat: &bogus}
+	plan2, err := ScheduleAllocation(a, ScheduleOptions{MILP: stub2})
+	if err != nil {
+		t.Fatalf("ScheduleAllocation: %v", err)
+	}
+	if plan2.Scheduler != "list" || plan2.Period != plan.Period {
+		t.Fatalf("invalid MILP pattern accepted: %v", plan2.Scheduler)
+	}
+}
+
+func TestScheduleAllocationContiguousSkipsMILP(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	a := &partition.Allocation{
+		Chain: c, Plat: plat(2, 1e9, 1e9),
+		Spans: []chain.Span{{From: 1, To: 2}, {From: 3, To: 4}},
+		Procs: []int{0, 1},
+	}
+	stub := &stubMILP{}
+	plan, err := ScheduleAllocation(a, ScheduleOptions{MILP: stub})
+	if err != nil {
+		t.Fatalf("ScheduleAllocation: %v", err)
+	}
+	if stub.called != 0 {
+		t.Fatalf("MILP consulted for a contiguous allocation (1F1B* is already optimal)")
+	}
+	if plan.Scheduler != "1f1b*" {
+		t.Fatalf("scheduler %q, want 1f1b*", plan.Scheduler)
+	}
+}
+
+func TestPlanAndScheduleCoarsens(t *testing.T) {
+	// MaxChainLength must be honored end to end.
+	c := chain.Uniform(40, 0.1, 0.2, 1e6, 1e6)
+	pl := plat(3, 1e12, 1e12)
+	plan, err := PlanAndSchedule(c, pl, Options{MaxChainLength: 12}, ScheduleOptions{})
+	if err != nil {
+		t.Fatalf("PlanAndSchedule: %v", err)
+	}
+	if got := plan.Pattern.Alloc.Chain.Len(); got > 12 {
+		t.Fatalf("planned on %d-layer chain, want <= 12", got)
+	}
+	if err := plan.Pattern.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Disc != DefaultDiscretization() || o.Iterations != 10 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	d := Discretization{TP: 1, MP: 5, V: 5}
+	if err := d.validate(); err == nil {
+		t.Fatal("undersized grid accepted")
+	}
+	d = Discretization{TP: 300, MP: 5, V: 5}
+	if err := d.validate(); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+}
+
+func TestDPRejectsBadTarget(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	if _, err := DP(c, plat(2, 1e9, 1e9), 0, Options{}); err == nil {
+		t.Fatal("zero target period accepted")
+	}
+	if _, err := DP(c, plat(2, 1e9, 1e9), -1, Options{}); err == nil {
+		t.Fatal("negative target period accepted")
+	}
+}
+
+// TestWeightStashingCostsThroughput reproduces the Section 2 argument for
+// adopting PipeDream-2BW: in a deep pipeline, per-batch weight stashing
+// multiplies the weight footprint by the pipeline depth ("can potentially
+// cancel the benefit of using model parallelism"), forcing a slower
+// schedule than the paper's depth-independent two-version discipline.
+func TestWeightStashingCostsThroughput(t *testing.T) {
+	// Heavy weights, tiny activations: a 4-deep pipeline stores up to
+	// ~2P-1 weight versions on the first stage under stashing.
+	c := chain.Uniform(8, 0.05, 0.1, 1e9, 1e6)
+	pl := plat(4, 6.5e9, 12e9) // 2 layers/stage: 2BW = 6 GB fits at any depth
+	twoBW, err1 := PlanAndSchedule(c, pl, Options{}, ScheduleOptions{})
+	if err1 != nil {
+		t.Fatalf("2BW infeasible: %v", err1)
+	}
+	// 2BW reaches (near) the load bound: weights do not grow with depth.
+	if twoBW.Period > c.TotalU()/4*1.3 {
+		t.Fatalf("2BW period %g, want near %g", twoBW.Period, c.TotalU()/4)
+	}
+	stash, err2 := PlanAndSchedule(c, pl, Options{Weights: chain.StashedWeights()}, ScheduleOptions{})
+	if err2 == nil {
+		if stash.Period < twoBW.Period*1.2 {
+			t.Fatalf("stashing (%g) should cost real throughput vs 2BW (%g) in a deep pipeline",
+				stash.Period, twoBW.Period)
+		}
+		// The policy must propagate so validation charges the right memory.
+		if stash.Pattern.Alloc.Weights != chain.StashedWeights() {
+			t.Fatalf("policy not propagated to the allocation")
+		}
+		if err := stash.Pattern.Validate(); err != nil {
+			t.Fatalf("stashed pattern invalid: %v", err)
+		}
+	}
+	// Conversely, at one in-flight batch stashing is the cheaper policy
+	// (2W vs 3W): both facts together explain the paper picking 2BW for
+	// pipelined training specifically.
+	if chain.StashedWeights().Copies(1) >= chain.TwoBufferedWeights().Copies(1) {
+		t.Fatalf("stashing at depth 1 should be cheaper than 2BW")
+	}
+}
+
+// TestLatencyShiftsCutChoices verifies the alpha-beta extension: with a
+// large per-message latency, cutting the chain becomes expensive and the
+// planner uses fewer stages than with free messages.
+func TestLatencyShiftsCutChoices(t *testing.T) {
+	c := chain.Uniform(8, 0.01, 0.02, 1e6, 1e6)
+	fast := plat(4, 1e12, 1e12)
+	slow := fast
+	slow.Latency = 0.1 // >> per-stage compute of 0.06
+	quick, err := PlanAndSchedule(c, fast, Options{}, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := PlanAndSchedule(c, slow, Options{}, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.Pattern.Validate(); err != nil {
+		t.Fatalf("latency-aware pattern invalid: %v", err)
+	}
+	if quick.Pattern.Alloc.NumStages() < 4 {
+		t.Fatalf("zero-latency plan should use all 4 workers, got %d stages", quick.Pattern.Alloc.NumStages())
+	}
+	if lat.Pattern.Alloc.NumStages() >= quick.Pattern.Alloc.NumStages() {
+		t.Fatalf("latency %d stages, zero-latency %d: expensive messages should reduce cuts",
+			lat.Pattern.Alloc.NumStages(), quick.Pattern.Alloc.NumStages())
+	}
+}

@@ -1,0 +1,213 @@
+// Package expt is the experiment harness reproducing the evaluation of
+// the MadPipe paper (Section 5): it sweeps the four profiled networks
+// over processor counts, memory limits and bandwidths, runs PipeDream
+// (with the 1F1B* repair the paper applies) and MadPipe (both phases,
+// with the contiguous ablation), verifies every emitted schedule in the
+// discrete-event simulator, and renders the series behind Figures 6, 7
+// and 8 as tables and CSV.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/ilpsched"
+	"madpipe/internal/pipedream"
+	"madpipe/internal/platform"
+	"madpipe/internal/sim"
+)
+
+// Grid defines the sweep of Section 5.1: GPUs from 2 to 8, memory from
+// 3 GB to 16 GB, bandwidths 12 and 24 GB/s.
+type Grid struct {
+	Workers    []int
+	MemoryGB   []float64
+	BandwidthG []float64 // GB/s
+}
+
+// PaperGrid returns the paper's sweep.
+func PaperGrid() Grid {
+	return Grid{
+		Workers:    []int{2, 3, 4, 5, 6, 7, 8},
+		MemoryGB:   []float64{3, 4, 5, 6, 7, 8, 10, 12, 14, 16},
+		BandwidthG: []float64{12, 24},
+	}
+}
+
+// QuickGrid is a reduced sweep for benchmarks and smoke tests.
+func QuickGrid() Grid {
+	return Grid{
+		Workers:    []int{2, 4, 8},
+		MemoryGB:   []float64{4, 8, 16},
+		BandwidthG: []float64{12},
+	}
+}
+
+// Outcome is one planner's result on one configuration.
+type Outcome struct {
+	// Predicted is the planner's phase-1 period estimate (the dashed
+	// lines of Figure 6); +Inf when the planner found nothing.
+	Predicted float64
+	// Valid is the period of the validated schedule (solid lines); +Inf
+	// when no schedule fits memory.
+	Valid float64
+	// Scheduler names the phase-2 algorithm behind Valid.
+	Scheduler string
+	// SimOK records that the discrete-event simulator executed the
+	// schedule without violations.
+	SimOK bool
+	// Elapsed is the planning wall-clock time.
+	Elapsed time.Duration
+}
+
+// Feasible reports whether a valid schedule exists.
+func (o Outcome) Feasible() bool { return !math.IsInf(o.Valid, 1) && o.Valid > 0 }
+
+// Row is the full result of one configuration.
+type Row struct {
+	Net     string
+	Workers int
+	MemGB   float64
+	BandGB  float64
+	SeqTime float64 // U(1,L): sequential time per mini-batch
+	PipeDream, MadPipe,
+	MadPipeContig Outcome
+}
+
+// Runner executes configurations with shared settings.
+type Runner struct {
+	// Opts configures MadPipe's phase 1.
+	Opts core.Options
+	// ILPBudget is the per-allocation budget for the exact scheduler in
+	// phase 2; zero disables the MILP and uses the list scheduler alone.
+	ILPBudget time.Duration
+	// SimPeriods is the verification horizon (0 = 24 periods).
+	SimPeriods int
+	// MaxChain coarsens profiles before planning (0 = 24 nodes).
+	MaxChain int
+}
+
+// DefaultRunner returns the settings used by cmd/experiments: paper
+// discretization, a short MILP budget per allocation, 24-period
+// verification.
+func DefaultRunner() *Runner {
+	return &Runner{ILPBudget: 500 * time.Millisecond, SimPeriods: 24, MaxChain: 24}
+}
+
+func (r *Runner) maxChain() int {
+	if r.MaxChain <= 0 {
+		return 24
+	}
+	return r.MaxChain
+}
+
+func (r *Runner) schedOpts() core.ScheduleOptions {
+	if r.ILPBudget <= 0 {
+		return core.ScheduleOptions{}
+	}
+	return core.ScheduleOptions{MILP: ilpsched.New(ilpsched.Options{Budget: r.ILPBudget, Probes: 3})}
+}
+
+// Run evaluates all planners on one configuration.
+func (r *Runner) Run(c *chain.Chain, plat platform.Platform) (Row, error) {
+	cc, err := c.Coarsen(r.maxChain())
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{
+		Net:     c.Name(),
+		Workers: plat.Workers,
+		MemGB:   plat.Memory / platform.GB,
+		BandGB:  plat.Bandwidth / platform.GB,
+		SeqTime: cc.TotalU(),
+	}
+	row.PipeDream = r.runPipeDream(cc, plat)
+	row.MadPipe = r.runMadPipe(cc, plat, false)
+	row.MadPipeContig = r.runMadPipe(cc, plat, true)
+	return row, nil
+}
+
+func (r *Runner) runPipeDream(c *chain.Chain, plat platform.Platform) Outcome {
+	start := time.Now()
+	out := Outcome{Predicted: math.Inf(1), Valid: math.Inf(1)}
+	defer func() { out.Elapsed = time.Since(start) }()
+	res, err := pipedream.Plan(c, plat)
+	if err != nil {
+		return out
+	}
+	out.Predicted = res.PredictedPeriod
+	// The paper repairs PipeDream's partitioning with 1F1B* to obtain a
+	// valid schedule (Section 5.1); ScheduleAllocation does exactly that
+	// for contiguous allocations.
+	plan, err := core.ScheduleAllocation(res.Alloc, core.ScheduleOptions{})
+	if err != nil {
+		return out
+	}
+	out.Valid = plan.Period
+	out.Scheduler = plan.Scheduler
+	out.SimOK = r.verify(plan)
+	return out
+}
+
+func (r *Runner) runMadPipe(c *chain.Chain, plat platform.Platform, contig bool) Outcome {
+	start := time.Now()
+	out := Outcome{Predicted: math.Inf(1), Valid: math.Inf(1)}
+	defer func() { out.Elapsed = time.Since(start) }()
+	opts := r.Opts
+	opts.DisableSpecial = contig
+	if p1, err := core.PlanAllocation(c, plat, opts); err == nil {
+		out.Predicted = p1.PredictedPeriod
+	}
+	plan, err := core.PlanAndSchedule(c, plat, opts, r.schedOpts())
+	if err != nil {
+		return out
+	}
+	out.Valid = plan.Period
+	out.Scheduler = plan.Scheduler
+	out.SimOK = r.verify(plan)
+	return out
+}
+
+func (r *Runner) verify(plan *core.Plan) bool {
+	periods := r.SimPeriods
+	if periods <= 0 {
+		periods = 24
+	}
+	res, err := sim.Run(plan.Pattern, periods)
+	if err != nil || len(res.Violations) > 0 {
+		return false
+	}
+	want := 1 / plan.Period
+	return math.Abs(res.Throughput-want) <= 0.25*want
+}
+
+// Sweep runs a grid over the given chains. Progress is reported through
+// onRow when non-nil.
+func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, error) {
+	var rows []Row
+	for _, c := range chains {
+		for _, p := range g.Workers {
+			for _, bw := range g.BandwidthG {
+				for _, m := range g.MemoryGB {
+					plat := platform.Platform{
+						Workers:   p,
+						Memory:    m * platform.GB,
+						Bandwidth: bw * platform.GB,
+					}
+					row, err := r.Run(c, plat)
+					if err != nil {
+						return nil, fmt.Errorf("expt: %s on %v: %w", c.Name(), plat, err)
+					}
+					rows = append(rows, row)
+					if onRow != nil {
+						onRow(row)
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,230 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/platform"
+)
+
+// testChains returns small synthetic workloads so the sweep stays fast.
+func testChains() []*chain.Chain {
+	a := chain.ConvLike(10, 1.0, 1.5e9, 8e8)
+	b := chain.Uniform(10, 0.05, 0.1, 50e6, 300e6)
+	return []*chain.Chain{a, b}
+}
+
+func testGrid() Grid {
+	return Grid{Workers: []int{2, 4}, MemoryGB: []float64{6, 12}, BandwidthG: []float64{12}}
+}
+
+func runSweep(t *testing.T) []Row {
+	t.Helper()
+	r := &Runner{SimPeriods: 12, MaxChain: 10} // no MILP: keep tests fast
+	rows, err := r.Sweep(testChains(), testGrid(), nil)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	return rows
+}
+
+func TestSweepShape(t *testing.T) {
+	rows := runSweep(t)
+	if len(rows) != 2*2*2 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.SeqTime <= 0 {
+			t.Errorf("row %v: missing SeqTime", r)
+		}
+		// Every feasible schedule must have passed simulation.
+		for _, o := range []Outcome{r.PipeDream, r.MadPipe, r.MadPipeContig} {
+			if o.Feasible() && o.Scheduler == "" {
+				t.Errorf("feasible outcome with no scheduler: %+v", o)
+			}
+		}
+		if r.MadPipe.Feasible() && !r.MadPipe.SimOK {
+			t.Errorf("MadPipe schedule failed simulation: net=%s P=%d M=%g", r.Net, r.Workers, r.MemGB)
+		}
+		if r.PipeDream.Feasible() && !r.PipeDream.SimOK {
+			t.Errorf("PipeDream schedule failed simulation: net=%s P=%d M=%g", r.Net, r.Workers, r.MemGB)
+		}
+	}
+}
+
+func TestOutcomeInvariants(t *testing.T) {
+	rows := runSweep(t)
+	for _, r := range rows {
+		// Valid schedules can never beat the phase-1 prediction for
+		// PipeDream (its prediction is optimistic).
+		if r.PipeDream.Feasible() && r.PipeDream.Valid < r.PipeDream.Predicted-1e-9 {
+			t.Errorf("PipeDream valid %g < predicted %g", r.PipeDream.Valid, r.PipeDream.Predicted)
+		}
+		// MadPipe (portfolio) is never worse than its contiguous variant
+		// by more than round-off: the portfolio contains it.
+		if r.MadPipeContig.Feasible() && r.MadPipe.Feasible() &&
+			r.MadPipe.Valid > r.MadPipeContig.Valid*(1+1e-6) {
+			t.Errorf("MadPipe %g worse than its contiguous variant %g (net=%s P=%d M=%g)",
+				r.MadPipe.Valid, r.MadPipeContig.Valid, r.Net, r.Workers, r.MemGB)
+		}
+		// Speedup can't exceed the number of workers (period >= U/P).
+		if s := Speedup(r, r.MadPipe); s > float64(r.Workers)+1e-6 {
+			t.Errorf("speedup %g exceeds worker count %d", s, r.Workers)
+		}
+	}
+}
+
+func TestFig6Table(t *testing.T) {
+	rows := runSweep(t)
+	out := Fig6Table(rows, rows[0].Net)
+	for _, want := range []string{"Figure 6", "PD-solid", "MP-solid", "M(GB)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6Table missing %q:\n%s", want, out)
+		}
+	}
+	// Filtering works: the other net's rows are absent.
+	if strings.Contains(out, "uniform10") && rows[0].Net != "uniform10" {
+		t.Errorf("Fig6Table leaked rows from other networks")
+	}
+}
+
+func TestFig7TableAndGeoMean(t *testing.T) {
+	rows := runSweep(t)
+	out := Fig7Table(rows)
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "convlike10") {
+		t.Fatalf("Fig7Table malformed:\n%s", out)
+	}
+	// GeoMean on a hand-built set.
+	mk := func(pd, mp float64) Row {
+		return Row{Net: "x", MemGB: 8, PipeDream: Outcome{Predicted: pd, Valid: pd, Scheduler: "s"},
+			MadPipe: Outcome{Predicted: mp, Valid: mp, Scheduler: "s"}}
+	}
+	set := []Row{mk(2, 1), mk(8, 1)} // ratios 2 and 8 -> geomean 4
+	g, used, skipped := GeoMeanRatio(set, "x", 8, func(r Row) Outcome { return r.PipeDream })
+	if used != 2 || skipped != 0 || math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMeanRatio = %g (%d used, %d skipped), want 4", g, used, skipped)
+	}
+	set = append(set, Row{Net: "x", MemGB: 8, PipeDream: Outcome{Valid: math.Inf(1)},
+		MadPipe: Outcome{Valid: 1, Scheduler: "s"}})
+	_, used, skipped = GeoMeanRatio(set, "x", 8, func(r Row) Outcome { return r.PipeDream })
+	if used != 2 || skipped != 1 {
+		t.Fatalf("infeasible row not skipped: used=%d skipped=%d", used, skipped)
+	}
+}
+
+func TestFig8Table(t *testing.T) {
+	rows := runSweep(t)
+	out := Fig8Table(rows)
+	for _, want := range []string{"Figure 8", "speedup", "PD@6GB", "MP@12GB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig8Table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	rows := runSweep(t)
+	out := AblationTable(rows)
+	if !strings.Contains(out, "Ablation") {
+		t.Fatalf("AblationTable malformed:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	rows := runSweep(t)
+	out := CSV(rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), len(rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "net,workers") {
+		t.Fatalf("CSV header missing: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != strings.Count(lines[0], ",") {
+			t.Fatalf("CSV row has %d commas, header %d: %s", n, strings.Count(lines[0], ","), l)
+		}
+	}
+}
+
+func TestGrids(t *testing.T) {
+	pg := PaperGrid()
+	if len(pg.Workers) != 7 || pg.Workers[0] != 2 || pg.Workers[6] != 8 {
+		t.Errorf("PaperGrid workers = %v", pg.Workers)
+	}
+	if pg.MemoryGB[0] != 3 || pg.MemoryGB[len(pg.MemoryGB)-1] != 16 {
+		t.Errorf("PaperGrid memory = %v", pg.MemoryGB)
+	}
+	if len(pg.BandwidthG) != 2 {
+		t.Errorf("PaperGrid bandwidths = %v", pg.BandwidthG)
+	}
+	qg := QuickGrid()
+	if len(qg.Workers)*len(qg.MemoryGB)*len(qg.BandwidthG) >= len(pg.Workers)*len(pg.MemoryGB)*len(pg.BandwidthG) {
+		t.Errorf("QuickGrid is not smaller than PaperGrid")
+	}
+}
+
+func TestRunInvalidChain(t *testing.T) {
+	r := DefaultRunner()
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	if _, err := r.Run(c, platform.Platform{}); err == nil {
+		// Run validates through the planners; an invalid platform should
+		// surface as infeasible outcomes rather than panic.
+		t.Skip("invalid platform tolerated as infeasible")
+	}
+}
+
+func TestHybridSweepAndTable(t *testing.T) {
+	r := &Runner{SimPeriods: 8, MaxChain: 8}
+	grid := Grid{Workers: []int{2, 4}, MemoryGB: []float64{8}, BandwidthG: []float64{12}}
+	rows, err := r.HybridSweep(testChains()[:1], grid)
+	if err != nil {
+		t.Fatalf("HybridSweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if row.BestD > 0 && row.BestD*row.BestG != row.Workers {
+			t.Errorf("D*G = %d*%d != P=%d", row.BestD, row.BestG, row.Workers)
+		}
+		if row.BestD > 0 && row.PurePipeline < row.Period-1e-9 {
+			t.Errorf("pure pipeline %g beats chosen hybrid %g", row.PurePipeline, row.Period)
+		}
+	}
+	out := HybridTable(rows)
+	for _, want := range []string{"Hybrid extension", "best DxG", "pure-pipeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HybridTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptimalityGapSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search is slow")
+	}
+	r := &Runner{SimPeriods: 8, MaxChain: 10}
+	trials, err := r.OptimalityGap(2, 7, 15*time.Second)
+	if err != nil {
+		t.Fatalf("OptimalityGap: %v", err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("trials = %d, want 2", len(trials))
+	}
+	for _, tr := range trials {
+		if tr.Infeasible {
+			continue
+		}
+		if tr.Gap < 1-1e-6 {
+			t.Errorf("gap %g < 1: globalopt missed a schedule MadPipe found", tr.Gap)
+		}
+	}
+	out := GapTable(trials)
+	if !strings.Contains(out, "Optimality gap") {
+		t.Errorf("GapTable malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,93 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/globalopt"
+	"madpipe/internal/platform"
+)
+
+// GapTrial records MadPipe against the exhaustive optimum on one
+// instance.
+type GapTrial struct {
+	Seed       int64
+	Layers     int
+	Workers    int
+	MadPipe    float64
+	Optimum    float64
+	Gap        float64
+	Explored   int
+	ExactOpt   bool
+	Infeasible bool
+}
+
+// OptimalityGap runs the reference-[1]-style comparison: random small
+// chains solved both by MadPipe and by exhaustive enumeration with exact
+// scheduling (package globalopt).
+func (r *Runner) OptimalityGap(trials int, seed int64, budget time.Duration) ([]GapTrial, error) {
+	if trials < 1 {
+		trials = 4
+	}
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []GapTrial
+	for i := 0; i < trials; i++ {
+		trialSeed := rng.Int63()
+		tr := GapTrial{Seed: trialSeed, Layers: 5, Workers: 3}
+		c := chain.Random(rand.New(rand.NewSource(trialSeed)), tr.Layers, chain.DefaultRandomOptions())
+		plat := platform.Platform{Workers: tr.Workers, Memory: 6e9, Bandwidth: 12e9}
+		opt, err := globalopt.Solve(c, plat, globalopt.Options{
+			Budget: budget, ILPBudget: budget / 20,
+		})
+		if err != nil {
+			tr.Infeasible = true
+			out = append(out, tr)
+			continue
+		}
+		tr.Optimum = opt.Period
+		tr.Explored = opt.Explored
+		tr.ExactOpt = opt.Exact
+		mp, err := core.PlanAndSchedule(c, plat, r.Opts, r.schedOpts())
+		if err != nil {
+			return nil, fmt.Errorf("expt: MadPipe infeasible where the optimum %g exists (seed %d)", opt.Period, trialSeed)
+		}
+		tr.MadPipe = mp.Period
+		tr.Gap = mp.Period / opt.Period
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// GapTable renders the optimality-gap trials.
+func GapTable(trials []GapTrial) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Optimality gap — MadPipe vs exhaustive enumeration + exact scheduling (paper reference [1])")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "seed\tL\tP\tMadPipe(s)\toptimum(s)\tgap\texplored\texact")
+	var logSum float64
+	n := 0
+	for _, tr := range trials {
+		if tr.Infeasible {
+			fmt.Fprintf(w, "%d\t%d\t%d\t-\t-\t-\t-\t-\n", tr.Seed, tr.Layers, tr.Workers)
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.4f\t%.4f\t%.3f\t%d\t%t\n",
+			tr.Seed, tr.Layers, tr.Workers, tr.MadPipe, tr.Optimum, tr.Gap, tr.Explored, tr.ExactOpt)
+		logSum += math.Log(tr.Gap)
+		n++
+	}
+	w.Flush()
+	if n > 0 {
+		fmt.Fprintf(&b, "geometric-mean gap over %d feasible instances: %.3f\n", n, math.Exp(logSum/float64(n)))
+	}
+	return b.String()
+}

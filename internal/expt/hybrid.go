@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/hybrid"
+	"madpipe/internal/platform"
+)
+
+// HybridRow records one hybrid-parallelism configuration: the best
+// replication degree and the period of every degree tried.
+type HybridRow struct {
+	Net     string
+	Workers int
+	MemGB   float64
+	BandGB  float64
+	// BestD and BestG describe the chosen configuration (0 when nothing
+	// is feasible).
+	BestD, BestG int
+	// Period is the best per-batch period (+Inf when infeasible).
+	Period float64
+	// PurePipeline and PureData are the D=1 and D=P periods for
+	// comparison (+Inf when infeasible).
+	PurePipeline, PureData float64
+}
+
+// HybridSweep evaluates the pipeline × data-parallel planner over worker
+// counts and memory limits — the quantitative version of the paper's
+// Section 6 perspective.
+func (r *Runner) HybridSweep(chains []*chain.Chain, g Grid) ([]HybridRow, error) {
+	var rows []HybridRow
+	for _, c := range chains {
+		cc, err := c.Coarsen(r.maxChain())
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range g.Workers {
+			for _, bw := range g.BandwidthG {
+				for _, m := range g.MemoryGB {
+					plat := platform.Platform{Workers: p, Memory: m * platform.GB, Bandwidth: bw * platform.GB}
+					row := HybridRow{Net: c.Name(), Workers: p, MemGB: m, BandGB: bw,
+						Period: math.Inf(1), PurePipeline: math.Inf(1), PureData: math.Inf(1)}
+					res, err := hybrid.Plan(cc, plat, r.Opts, core.ScheduleOptions{})
+					if err == nil {
+						row.BestD, row.BestG = res.Replication, res.Groups
+						row.Period = res.Period
+						for _, d := range res.Degrees {
+							if d.Replication == 1 {
+								row.PurePipeline = d.Period
+							}
+							if d.Replication == p {
+								row.PureData = d.Period
+							}
+						}
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// HybridTable renders the hybrid sweep.
+func HybridTable(rows []HybridRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Hybrid extension — best D x G (data-parallel replicas x pipeline stages) per configuration")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "net\tP\tbeta\tM(GB)\tbest DxG\tperiod\tpure-pipeline\tpure-data")
+	for _, r := range rows {
+		best := "-"
+		if r.BestD > 0 {
+			best = fmt.Sprintf("%dx%d", r.BestD, r.BestG)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%s\t%s\t%s\t%s\n",
+			r.Net, r.Workers, r.BandGB, r.MemGB, best,
+			fmtPeriod(r.Period), fmtPeriod(r.PurePipeline), fmtPeriod(r.PureData))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,177 @@
+// Package globalopt computes (essentially) optimal pipelined schedules
+// for small instances by exhaustive search: it enumerates every
+// partitioning of the chain into contiguous stages and every processor
+// assignment up to symmetry, schedules each allocation with the heuristic
+// list scheduler and then the exact MILP, and returns the best valid
+// pattern found.
+//
+// This plays the role of the paper's reference [1] (Beaumont,
+// Eyraud-Dubois, Shilova: "Pipelined Model Parallelism: Complexity
+// Results and Memory Considerations"): an exact formulation over general
+// non-contiguous allocations that "is not adapted to large neural
+// networks" — here it bounds MadPipe's optimality gap on chains small
+// enough to enumerate (the optimality-gap ablation in EXPERIMENTS.md).
+package globalopt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/ilpsched"
+	"madpipe/internal/listsched"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+// Options bounds the search effort.
+type Options struct {
+	// Budget is the total wall-clock budget (0 = 2 minutes).
+	Budget time.Duration
+	// ILPBudget is the exact-scheduler budget per surviving allocation
+	// (0 = 2 seconds).
+	ILPBudget time.Duration
+	// MaxLayers refuses chains longer than this (0 = 10): the search is
+	// exponential by design.
+	MaxLayers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 2 * time.Minute
+	}
+	if o.ILPBudget == 0 {
+		o.ILPBudget = 2 * time.Second
+	}
+	if o.MaxLayers == 0 {
+		o.MaxLayers = 10
+	}
+	return o
+}
+
+// Result is the outcome of the exhaustive search.
+type Result struct {
+	// Period is the best valid period found.
+	Period float64
+	// Pattern is the corresponding schedule.
+	Pattern *pattern.Pattern
+	// Explored counts allocations whose scheduling was attempted;
+	// Pruned counts allocations skipped by the load-bound test.
+	Explored, Pruned int
+	// Exact reports that the search finished within its budget with the
+	// MILP refinement applied to every surviving allocation.
+	Exact bool
+}
+
+// Solve runs the exhaustive search.
+func Solve(c *chain.Chain, plat platform.Platform, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Len() > opts.MaxLayers {
+		return nil, fmt.Errorf("globalopt: chain has %d layers, limit %d (exhaustive search)", c.Len(), opts.MaxLayers)
+	}
+	deadline := time.Now().Add(opts.Budget)
+	res := &Result{Period: math.Inf(1), Exact: true}
+	milp := ilpsched.New(ilpsched.Options{Budget: opts.ILPBudget, Probes: 4})
+
+	enumerate(c.Len(), plat.Workers, func(spans []chain.Span, procs []int) bool {
+		if time.Now().After(deadline) {
+			res.Exact = false
+			return false
+		}
+		a := &partition.Allocation{Chain: c, Plat: plat,
+			Spans: append([]chain.Span(nil), spans...),
+			Procs: append([]int(nil), procs...)}
+		if a.LoadPeriod() >= res.Period {
+			res.Pruned++
+			return true
+		}
+		res.Explored++
+		T, pat, err := listsched.MinFeasiblePeriod(a)
+		if err != nil {
+			return true
+		}
+		if T < res.Period {
+			res.Period, res.Pattern = T, pat
+		}
+		// Exact refinement below the heuristic (and below the incumbent).
+		incumbent := pat
+		if res.Period < T {
+			// Pretend the incumbent is the global best so the bisection
+			// only searches genuinely improving periods.
+			clone := *pat
+			clone.Period = res.Period
+			incumbent = &clone
+		}
+		if better := milp.Improve(a, incumbent); better != nil {
+			if err := better.Validate(); err == nil && better.Period < res.Period {
+				res.Period, res.Pattern = better.Period, better
+			}
+		}
+		return true
+	})
+	if res.Pattern == nil {
+		return nil, fmt.Errorf("globalopt: %w", platform.ErrInfeasible)
+	}
+	return res, nil
+}
+
+// enumerate yields every partitioning of layers 1..L into contiguous
+// stages together with every processor assignment in restricted-growth
+// (canonical-relabeling) form using at most P processors. The yield
+// callback returns false to stop.
+func enumerate(L, P int, yield func([]chain.Span, []int) bool) {
+	// Iterate cut masks: bit i set = cut after layer i+1.
+	for mask := 0; mask < 1<<(L-1); mask++ {
+		var spans []chain.Span
+		from := 1
+		for l := 1; l <= L; l++ {
+			if l == L || mask&(1<<(l-1)) != 0 {
+				spans = append(spans, chain.Span{From: from, To: l})
+				from = l + 1
+			}
+		}
+		n := len(spans)
+		procs := make([]int, n)
+		if !assign(procs, 0, 0, P, spans, yield) {
+			return
+		}
+	}
+}
+
+// assign recursively fills procs[i:] with restricted-growth labels.
+func assign(procs []int, i, maxUsed, P int, spans []chain.Span, yield func([]chain.Span, []int) bool) bool {
+	if i == len(procs) {
+		return yield(spans, procs)
+	}
+	limit := maxUsed + 1
+	if limit > P {
+		limit = P
+	}
+	for p := 0; p < limit; p++ {
+		procs[i] = p
+		nextMax := maxUsed
+		if p == maxUsed {
+			nextMax++
+		}
+		if !assign(procs, i+1, nextMax, P, spans, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountAllocations returns how many (partition, canonical assignment)
+// pairs the search would enumerate — useful to size experiments.
+func CountAllocations(L, P int) int {
+	count := 0
+	enumerate(L, P, func([]chain.Span, []int) bool {
+		count++
+		return true
+	})
+	return count
+}

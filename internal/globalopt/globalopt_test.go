@@ -1,0 +1,128 @@
+package globalopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+func TestEnumerateCounts(t *testing.T) {
+	// L=3, P=2: 4 cut masks; stage counts 1,2,2,3. Canonical assignments
+	// for n stages on <=2 procs: 2^(n-1) restricted-growth strings
+	// (each position after the first chooses old/new label, capped at 2):
+	// n=1 -> 1, n=2 -> 2, n=3 -> 4. Total 1 + 2 + 2 + 4 = 9.
+	if got := CountAllocations(3, 2); got != 9 {
+		t.Fatalf("CountAllocations(3,2) = %d, want 9", got)
+	}
+	// P=1: every partition gets a single assignment.
+	if got := CountAllocations(4, 1); got != 8 {
+		t.Fatalf("CountAllocations(4,1) = %d, want 8", got)
+	}
+}
+
+func TestEnumerateYieldsValidAllocations(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	plat := platform.Platform{Workers: 2, Memory: 1e9, Bandwidth: 1e9}
+	seen := 0
+	enumerate(c.Len(), plat.Workers, func(spans []chain.Span, procs []int) bool {
+		a := partitionAlloc(c, plat, spans, procs)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("invalid enumerated allocation: %v", err)
+		}
+		if procs[0] != 0 {
+			t.Fatalf("non-canonical assignment: %v", procs)
+		}
+		seen++
+		return true
+	})
+	if seen == 0 {
+		t.Fatal("nothing enumerated")
+	}
+}
+
+func TestSolveTinyOptimal(t *testing.T) {
+	// Two identical layers, two procs, loose memory, negligible comm:
+	// the optimum is the balanced split at period U/2.
+	c := chain.Uniform(2, 1, 1, 1e3, 1e3)
+	plat := platform.Platform{Workers: 2, Memory: 1e12, Bandwidth: 1e12}
+	res, err := Solve(c, plat, Options{Budget: 30 * time.Second, ILPBudget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Period-2.0) > 0.01 {
+		t.Fatalf("period %g, want ~2 (U/2)", res.Period)
+	}
+	if err := res.Pattern.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if res.Explored == 0 {
+		t.Fatal("nothing explored")
+	}
+}
+
+func TestSolveRefusesLargeChains(t *testing.T) {
+	c := chain.Uniform(12, 1, 1, 1, 1)
+	plat := platform.Platform{Workers: 2, Memory: 1e9, Bandwidth: 1e9}
+	if _, err := Solve(c, plat, Options{MaxLayers: 8}); err == nil {
+		t.Fatal("oversized chain accepted")
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	c := chain.Uniform(3, 1, 1, 1e9, 1e9)
+	plat := platform.Platform{Workers: 2, Memory: 1e3, Bandwidth: 1e9}
+	if _, err := Solve(c, plat, Options{Budget: 5 * time.Second}); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+// TestMadPipeOptimalityGap measures MadPipe against the exhaustive
+// optimum on random small instances — the reference-[1] comparison. The
+// gap must stay modest; its geometric mean is logged.
+func TestMadPipeOptimalityGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search is slow")
+	}
+	rng := rand.New(rand.NewSource(77))
+	var logSum float64
+	n := 0
+	for trial := 0; trial < 6; trial++ {
+		c := chain.Random(rng, 5, chain.DefaultRandomOptions())
+		plat := platform.Platform{Workers: 3, Memory: 6e9, Bandwidth: 12e9}
+		opt, err := Solve(c, plat, Options{Budget: 45 * time.Second, ILPBudget: 1500 * time.Millisecond})
+		if err != nil {
+			continue
+		}
+		mp, err := core.PlanAndSchedule(c, plat, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: MadPipe infeasible although optimum %g exists", trial, opt.Period)
+		}
+		gap := mp.Period / opt.Period
+		if gap < 1-1e-6 {
+			t.Fatalf("trial %d: MadPipe %g beats the 'optimum' %g — globalopt bug", trial, mp.Period, opt.Period)
+		}
+		if gap > 1.6 {
+			t.Errorf("trial %d: optimality gap %.3f too large (mp=%g opt=%g)", trial, gap, mp.Period, opt.Period)
+		}
+		logSum += math.Log(gap)
+		n++
+	}
+	if n == 0 {
+		t.Skip("no feasible instances")
+	}
+	t.Logf("geometric-mean optimality gap over %d instances: %.3f", n, math.Exp(logSum/float64(n)))
+}
+
+func partitionAlloc(c *chain.Chain, plat platform.Platform, spans []chain.Span, procs []int) *partition.Allocation {
+	return &partition.Allocation{
+		Chain: c, Plat: plat,
+		Spans: append([]chain.Span(nil), spans...),
+		Procs: append([]int(nil), procs...),
+	}
+}

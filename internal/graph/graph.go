@@ -1,0 +1,256 @@
+// Package graph models a DNN's computational graph as a DAG of profiled
+// operators and implements the linearization step the MadPipe paper
+// inherits from PipeDream (Section 5.1): "a classic linearization
+// approach ... is used to transform the computational graphs of these
+// neural networks into chains, by greedily grouping layers as necessary".
+//
+// A cut through the DAG is *clean* when every edge crossing it leaves the
+// same producer node — then exactly one tensor crosses, which is the
+// chain model's a_l. Linearize sweeps a deterministic topological order,
+// cuts at every clean prefix, and aggregates the segments in between into
+// single chain layers, summing compute and weights and accounting the
+// retained activations (every distinct tensor consumed inside the group,
+// stored once even with multiple consumers).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"madpipe/internal/chain"
+)
+
+// Node is one profiled operator.
+type Node struct {
+	// Name identifies the operator.
+	Name string
+	// UF, UB are the forward and backward durations in seconds.
+	UF, UB float64
+	// W is the parameter weight size in bytes.
+	W float64
+	// Out is the size in bytes of the operator's output tensor.
+	Out float64
+	// NoRetain marks operators whose backward pass needs none of their
+	// inputs (element-wise linear ops: residual additions, concatenations,
+	// splits). Their consumed tensors are not charged to the group's
+	// retained activations unless some other member also consumes them.
+	NoRetain bool
+}
+
+// Graph is a DAG of operators under construction.
+type Graph struct {
+	// Input is the size in bytes of the network input tensor, consumed
+	// by every node without predecessors.
+	Input float64
+
+	nodes []Node
+	succs [][]int
+	preds [][]int
+}
+
+// New returns an empty graph with the given input tensor size.
+func New(input float64) *Graph {
+	return &Graph{Input: input}
+}
+
+// AddNode appends an operator and returns its id.
+func (g *Graph) AddNode(n Node) int {
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("op%d", len(g.nodes))
+	}
+	g.nodes = append(g.nodes, n)
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return len(g.nodes) - 1
+}
+
+// AddEdge records that to consumes from's output tensor.
+func (g *Graph) AddEdge(from, to int) error {
+	if from < 0 || from >= len(g.nodes) || to < 0 || to >= len(g.nodes) {
+		return fmt.Errorf("graph: edge %d->%d out of range (have %d nodes)", from, to, len(g.nodes))
+	}
+	if from == to {
+		return fmt.Errorf("graph: self loop on node %d (%s)", from, g.nodes[from].Name)
+	}
+	for _, s := range g.succs[from] {
+		if s == to {
+			return nil // idempotent
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+	return nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns node id's data.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// TopoOrder returns a deterministic topological order (Kahn's algorithm
+// with smallest-id tie-breaking) or an error when the graph is cyclic.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for _, ps := range g.preds {
+		_ = ps
+	}
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.preds[v])
+	}
+	var ready []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, s := range g.succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Validate checks that the graph is a non-empty DAG with exactly one sink
+// (the loss end of the network).
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("graph: empty")
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	sinks := 0
+	for v := range g.nodes {
+		if len(g.succs[v]) == 0 {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		return fmt.Errorf("graph: %d sinks, want exactly 1", sinks)
+	}
+	return nil
+}
+
+// Linearize transforms the DAG into a chain by cutting at every clean
+// prefix of the topological order and merging the segments in between.
+// The resulting chain preserves total compute, total weights and the
+// total retained-activation bytes; each chain layer's A is the single
+// tensor crossing the corresponding clean cut.
+func (g *Graph) Linearize(name string) (*chain.Chain, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	// cutAfter[i] is true when all edges from order[0..i] to
+	// order[i+1..] share a single producer.
+	cuts := []int{}
+	for i := 0; i < len(order)-1; i++ {
+		producer := -1
+		clean := true
+		for j := 0; j <= i && clean; j++ {
+			v := order[j]
+			for _, s := range g.succs[v] {
+				if pos[s] > i {
+					if producer < 0 {
+						producer = v
+					} else if producer != v {
+						clean = false
+						break
+					}
+				}
+			}
+		}
+		if clean && producer >= 0 {
+			cuts = append(cuts, i)
+		}
+	}
+
+	var layers []chain.Layer
+	start := 0
+	bounds := append(append([]int{}, cuts...), len(order)-1)
+	for _, end := range bounds {
+		group := order[start : end+1]
+		inGroup := make(map[int]bool, len(group))
+		for _, v := range group {
+			inGroup[v] = true
+		}
+		var l chain.Layer
+		// Distinct tensors retained inside the group for backward, stored
+		// once each; NoRetain consumers do not charge their inputs.
+		consumed := make(map[int]bool)
+		inputConsumed := false
+		for _, v := range group {
+			nd := g.nodes[v]
+			l.UF += nd.UF
+			l.UB += nd.UB
+			l.W += nd.W
+			if nd.NoRetain {
+				continue
+			}
+			if len(g.preds[v]) == 0 {
+				inputConsumed = true
+			}
+			for _, p := range g.preds[v] {
+				consumed[p] = true
+			}
+		}
+		for p := range consumed {
+			l.AStore += g.nodes[p].Out
+		}
+		if inputConsumed {
+			l.AStore += g.Input
+		}
+		// The crossing tensor: the clean cut's single producer, or the
+		// sink's output for the last group.
+		producer := order[end]
+		if end < len(order)-1 {
+			for _, v := range group {
+				for _, s := range g.succs[v] {
+					if !inGroup[s] {
+						producer = v
+					}
+				}
+			}
+		}
+		l.A = g.nodes[producer].Out
+		l.Name = g.nodes[group[0]].Name
+		if len(group) > 1 {
+			l.Name = fmt.Sprintf("%s..%s", g.nodes[group[0]].Name, g.nodes[group[len(group)-1]].Name)
+		}
+		layers = append(layers, l)
+		start = end + 1
+	}
+	return chain.New(name, g.Input, layers)
+}
+
+// Totals returns the aggregate compute time and weight bytes of the
+// graph, for conservation checks.
+func (g *Graph) Totals() (u, w float64) {
+	for _, n := range g.nodes {
+		u += n.UF + n.UB
+		w += n.W
+	}
+	return u, w
+}

@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// lineGraph builds a pure chain DAG a -> b -> c -> d.
+func lineGraph() *Graph {
+	g := New(100)
+	ids := make([]int, 4)
+	for i := range ids {
+		ids[i] = g.AddNode(Node{Name: string(rune('a' + i)), UF: float64(i + 1), UB: 2 * float64(i+1), W: 10, Out: float64(50 - 10*i)})
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if err := g.AddEdge(ids[i], ids[i+1]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// diamond builds a residual-style block: in -> {branch, skip} -> join -> out.
+func diamond() *Graph {
+	g := New(100)
+	in := g.AddNode(Node{Name: "in", UF: 1, UB: 2, W: 5, Out: 80})
+	br := g.AddNode(Node{Name: "branch", UF: 2, UB: 4, W: 20, Out: 80})
+	join := g.AddNode(Node{Name: "join", UF: 1, UB: 1, W: 0, Out: 60})
+	out := g.AddNode(Node{Name: "out", UF: 1, UB: 2, W: 10, Out: 20})
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(g.AddEdge(in, br))
+	must(g.AddEdge(in, join)) // skip connection
+	must(g.AddEdge(br, join))
+	must(g.AddEdge(join, out))
+	return g
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := diamond()
+	o1, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := g.TopoOrder()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("non-deterministic topo order")
+		}
+	}
+	pos := make([]int, g.Len())
+	for i, v := range o1 {
+		pos[v] = i
+	}
+	if !(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]) {
+		t.Fatalf("order %v violates dependencies", o1)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New(10)
+	a := g.AddNode(Node{UF: 1})
+	b := g.AddNode(Node{UF: 1})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a cyclic graph")
+	}
+}
+
+func TestEdgeValidation(t *testing.T) {
+	g := New(10)
+	a := g.AddNode(Node{UF: 1})
+	if err := g.AddEdge(a, a); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.AddEdge(a, 7); err == nil {
+		t.Fatal("dangling edge accepted")
+	}
+	b := g.AddNode(Node{UF: 1})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal("duplicate edge should be idempotent")
+	}
+	if got := len(g.succs[a]); got != 1 {
+		t.Fatalf("duplicate edge stored: %d", got)
+	}
+}
+
+func TestValidateSinks(t *testing.T) {
+	g := New(10)
+	a := g.AddNode(Node{UF: 1})
+	b := g.AddNode(Node{UF: 1})
+	c := g.AddNode(Node{UF: 1})
+	_ = g.AddEdge(a, b)
+	_ = g.AddEdge(a, c) // two sinks
+	if err := g.Validate(); err == nil {
+		t.Fatal("two sinks accepted")
+	}
+	if err := New(5).Validate(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestLinearizeLineIsIdentity(t *testing.T) {
+	g := lineGraph()
+	c, err := g.Linearize("line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("chain length %d, want 4 (every cut of a line is clean)", c.Len())
+	}
+	for i := 1; i <= 4; i++ {
+		l := c.Layer(i)
+		n := g.Node(i - 1)
+		if !almost(l.UF, n.UF) || !almost(l.A, n.Out) {
+			t.Fatalf("layer %d does not match node: %+v vs %+v", i, l, n)
+		}
+	}
+	// AStore for atomic layers: the input each node consumes.
+	if got := c.AStore(1, 1); !almost(got, 100) {
+		t.Errorf("layer 1 AStore = %g, want 100 (graph input)", got)
+	}
+	if got := c.AStore(2, 2); !almost(got, 50) {
+		t.Errorf("layer 2 AStore = %g, want 50", got)
+	}
+}
+
+func TestLinearizeDiamondGroups(t *testing.T) {
+	g := diamond()
+	c, err := g.Linearize("res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cut after `in` is clean (a single tensor fans out to both the
+	// branch and the skip), the cut between branch and join is dirty (two
+	// producers cross), and the cut after join is clean again:
+	// [in][branch,join][out].
+	if c.Len() != 3 {
+		t.Fatalf("chain length %d, want 3:\n%v", c.Len(), c)
+	}
+	l1, l2 := c.Layer(1), c.Layer(2)
+	if !almost(l1.A, 80) || !almost(l1.AStore, 100) {
+		t.Fatalf("layer 1 wrong: %+v", l1)
+	}
+	if !almost(l2.UF, 3) || !almost(l2.UB, 5) || !almost(l2.W, 20) {
+		t.Fatalf("group [branch,join] aggregates wrong: %+v", l2)
+	}
+	if !almost(l2.A, 60) {
+		t.Fatalf("group crossing tensor = %g, want join's 60", l2.A)
+	}
+	// Stored inside [branch,join]: in.Out (80, consumed by both members
+	// but stored once) + branch.Out (80).
+	if !almost(l2.AStore, 160) {
+		t.Fatalf("group AStore = %g, want 160", l2.AStore)
+	}
+	if !strings.Contains(l2.Name, "branch") || !strings.Contains(l2.Name, "join") {
+		t.Errorf("group name %q should span branch..join", l2.Name)
+	}
+}
+
+func TestLinearizePreservesTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		g := randomSeriesParallel(rng)
+		c, err := g.Linearize("sp")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		u, w := g.Totals()
+		if !almost(c.TotalU(), u) {
+			t.Fatalf("trial %d: compute changed: %g vs %g", trial, c.TotalU(), u)
+		}
+		if !almost(c.TotalWeights(), w) {
+			t.Fatalf("trial %d: weights changed", trial)
+		}
+	}
+}
+
+// randomSeriesParallel builds a chain of segments, each either a single
+// node or a fan-out/fan-in block, mimicking CNN macro-structure.
+func randomSeriesParallel(rng *rand.Rand) *Graph {
+	g := New(64 + rng.Float64()*100)
+	prev := -1
+	segs := 2 + rng.Intn(5)
+	for s := 0; s < segs; s++ {
+		mk := func() int {
+			return g.AddNode(Node{
+				UF: 0.5 + rng.Float64(), UB: 1 + rng.Float64(),
+				W: rng.Float64() * 100, Out: 10 + rng.Float64()*100,
+			})
+		}
+		if rng.Intn(2) == 0 || prev < 0 {
+			v := mk()
+			if prev >= 0 {
+				_ = g.AddEdge(prev, v)
+			}
+			prev = v
+		} else {
+			// fan-out to 2-3 branches, fan-in to a join node
+			join := -1
+			branches := 2 + rng.Intn(2)
+			join = g.AddNode(Node{UF: 0.2, UB: 0.4, Out: 20 + rng.Float64()*50})
+			for b := 0; b < branches; b++ {
+				v := mk()
+				_ = g.AddEdge(prev, v)
+				_ = g.AddEdge(v, join)
+			}
+			prev = join
+		}
+	}
+	return g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != g.Len() || got.Input != g.Input {
+		t.Fatalf("round trip mismatch: %d/%g vs %d/%g", got.Len(), got.Input, g.Len(), g.Input)
+	}
+	// Linearizations must be identical.
+	c1, err1 := g.Linearize("x")
+	c2, err2 := got.Linearize("x")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if c1.Len() != c2.Len() {
+		t.Fatalf("linearizations differ: %d vs %d", c1.Len(), c2.Len())
+	}
+	for l := 1; l <= c1.Len(); l++ {
+		if c1.Layer(l) != c2.Layer(l) {
+			t.Fatalf("layer %d differs after round trip", l)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"input_bytes":1,"nodes":[{"Name":"a"}],"edges":[[0,5]]}`)); err == nil {
+		t.Fatal("dangling edge accepted")
+	}
+}

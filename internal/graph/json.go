@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// spec is the serialized form of a Graph.
+type spec struct {
+	Input float64  `json:"input_bytes"`
+	Nodes []Node   `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph with explicit node and edge lists.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	s := spec{Input: g.Input, Nodes: append([]Node(nil), g.nodes...)}
+	for v, succs := range g.succs {
+		for _, w := range succs {
+			s.Edges = append(s.Edges, [2]int{v, w})
+		}
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes a graph produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var s spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	ng := New(s.Input)
+	for _, n := range s.Nodes {
+		ng.AddNode(n)
+	}
+	for _, e := range s.Edges {
+		if err := ng.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	*g = *ng
+	return nil
+}
+
+// Write serializes the graph as indented JSON.
+func (g *Graph) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Read parses a graph from JSON.
+func Read(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

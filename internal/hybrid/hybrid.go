@@ -1,0 +1,119 @@
+// Package hybrid implements the perspective sketched in the paper's
+// introduction and conclusion: combining pipelined model parallelism with
+// data parallelism. The P processors are split into G pipeline stages of
+// D = P/G data-parallel replicas each; every mini-batch is sharded D ways
+// inside a stage, and the stage's weight gradients are combined with a
+// ring all-reduce once per batch.
+//
+// The combination is planned by transforming the chain — compute and
+// activations scale by 1/D, each layer's backward picks up its ring
+// all-reduce time 2*W*(D-1)/(D*beta), weights stay replicated — and
+// running the full MadPipe planner on a G-worker platform. The planner
+// then chooses the replication degree D with the best valid period, which
+// reproduces the paper's observation: data parallelism buys scalability
+// when memory is loose, while deeper pipelines win when activations
+// dominate memory.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/platform"
+)
+
+// Degree logs the evaluation of one replication degree.
+type Degree struct {
+	// Replication is D, the number of data-parallel replicas per stage.
+	Replication int
+	// Groups is G = P/D, the processors available to the pipeline.
+	Groups int
+	// Period is the valid per-batch period achieved (Inf if none).
+	Period float64
+	// Scheduler names the phase-2 algorithm used.
+	Scheduler string
+}
+
+// Result is the best hybrid configuration found.
+type Result struct {
+	// Replication and Groups describe the chosen configuration.
+	Replication, Groups int
+	// Plan is the MadPipe plan of the transformed chain on G workers.
+	Plan *core.Plan
+	// Period is the per-batch period of the chosen configuration.
+	Period float64
+	// Degrees logs every replication degree tried.
+	Degrees []Degree
+}
+
+// TransformChain builds the per-shard chain seen by one replica under
+// D-way data parallelism: forward/backward times, activations and stored
+// activations shrink by 1/D (the mini-batch is sharded), weights remain
+// fully replicated, and every layer's backward absorbs the ring
+// all-reduce of its weight gradients, 2*W*(D-1)/(D*beta) seconds.
+func TransformChain(c *chain.Chain, d int, beta float64) (*chain.Chain, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("hybrid: replication must be >= 1, got %d", d)
+	}
+	if d == 1 {
+		return c, nil
+	}
+	df := float64(d)
+	layers := c.Layers()
+	for i := range layers {
+		l := &layers[i]
+		l.UF /= df
+		l.UB = l.UB/df + 2*l.W*(df-1)/(df*beta)
+		l.A /= df
+		l.AStore /= df
+	}
+	return chain.New(fmt.Sprintf("%s/dp%d", c.Name(), d), c.A(0)/df, layers)
+}
+
+// Plan evaluates every replication degree D dividing the worker count and
+// returns the configuration with the smallest valid per-batch period.
+func Plan(c *chain.Chain, plat platform.Platform, opts core.Options, sopts core.ScheduleOptions) (*Result, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Period: math.Inf(1)}
+	for _, d := range divisors(plat.Workers) {
+		g := plat.Workers / d
+		tc, err := TransformChain(c, d, plat.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		sub := platform.Platform{Workers: g, Memory: plat.Memory, Bandwidth: plat.Bandwidth}
+		deg := Degree{Replication: d, Groups: g, Period: math.Inf(1)}
+		if plan, err := core.PlanAndSchedule(tc, sub, opts, sopts); err == nil {
+			deg.Period = plan.Period
+			deg.Scheduler = plan.Scheduler
+			if plan.Period < res.Period {
+				res.Period = plan.Period
+				res.Replication = d
+				res.Groups = g
+				res.Plan = plan
+			}
+		}
+		res.Degrees = append(res.Degrees, deg)
+	}
+	if res.Plan == nil {
+		return nil, fmt.Errorf("hybrid: no replication degree is feasible: %w", platform.ErrInfeasible)
+	}
+	return res, nil
+}
+
+// divisors returns the divisors of n in increasing order.
+func divisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

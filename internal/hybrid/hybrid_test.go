@@ -1,0 +1,155 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/platform"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestTransformIdentity(t *testing.T) {
+	c := chain.Uniform(4, 1, 2, 1e6, 1e6)
+	tc, err := TransformChain(c, 1, 12e9)
+	if err != nil || tc != c {
+		t.Fatalf("D=1 must return the chain unchanged, got %v, %v", tc, err)
+	}
+	if _, err := TransformChain(c, 0, 12e9); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+}
+
+func TestTransformScaling(t *testing.T) {
+	c := chain.MustNew("t", 100, []chain.Layer{
+		{UF: 2, UB: 4, W: 1e9, A: 80},
+		{UF: 2, UB: 4, W: 2e9, A: 40},
+	})
+	beta := 10e9
+	tc, err := TransformChain(c, 4, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tc.Layer(1)
+	if !almost(l.UF, 0.5) {
+		t.Errorf("UF = %g, want 0.5", l.UF)
+	}
+	// UB = 4/4 + 2*1e9*(3/4)/10e9 = 1 + 0.15.
+	if !almost(l.UB, 1.15) {
+		t.Errorf("UB = %g, want 1.15", l.UB)
+	}
+	if l.W != 1e9 {
+		t.Errorf("weights must stay replicated, got %g", l.W)
+	}
+	if !almost(l.A, 20) {
+		t.Errorf("A = %g, want 20", l.A)
+	}
+	if !almost(tc.A(0), 25) {
+		t.Errorf("input = %g, want 25", tc.A(0))
+	}
+	if !almost(l.AStore, 25) {
+		t.Errorf("AStore = %g, want 25", l.AStore)
+	}
+}
+
+func TestPureDataParallelWinsOnUniformLooseMemory(t *testing.T) {
+	// Five identical layers on four GPUs: any pipeline leaves one GPU
+	// with two layers (period 0.6), while sharding every batch four ways
+	// reaches U/4 = 0.375 plus a negligible all-reduce.
+	c := chain.Uniform(5, 0.1, 0.2, 1e6, 500e6)
+	plat := platform.Platform{Workers: 4, Memory: 1e12, Bandwidth: 12e9}
+	res, err := Plan(c, plat, core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replication != 4 || res.Groups != 1 {
+		t.Fatalf("chose D=%d G=%d, want pure data parallelism (4,1): %+v", res.Replication, res.Groups, res.Degrees)
+	}
+	want := c.TotalU() / 4
+	if res.Period > want*1.2 {
+		t.Errorf("period %g, want about %g", res.Period, want)
+	}
+}
+
+func TestPipelineWinsUnderMemoryPressure(t *testing.T) {
+	// Activations fill almost the whole GPU: a replica cannot hold the
+	// full network even once (data parallelism replicates the model), so
+	// the planner must keep G > 1.
+	c := chain.ConvLike(12, 1.2, 2e9, 9e8)
+	total := c.AStore(1, c.Len()) + 3*c.TotalWeights()
+	plat := platform.Platform{Workers: 4, Memory: total / 2.5, Bandwidth: 12e9}
+	res, err := Plan(c, plat, core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups == 1 {
+		t.Fatalf("pure data parallelism chosen although one replica cannot hold the model: %+v", res.Degrees)
+	}
+}
+
+func TestHeavyWeightsPenalizeReplication(t *testing.T) {
+	// Enormous weights on a slow network make the all-reduce prohibitive:
+	// D=1 (pure pipeline) should win.
+	c := chain.Uniform(6, 0.1, 0.2, 5e9, 1e6)
+	plat := platform.Platform{Workers: 2, Memory: 1e12, Bandwidth: 1e9}
+	res, err := Plan(c, plat, core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replication != 1 {
+		t.Fatalf("chose D=%d, want 1 (all-reduce-bound): %+v", res.Replication, res.Degrees)
+	}
+}
+
+func TestDegreesCoverDivisors(t *testing.T) {
+	c := chain.Uniform(6, 0.1, 0.2, 1e6, 1e6)
+	plat := platform.Platform{Workers: 6, Memory: 1e12, Bandwidth: 12e9}
+	res, err := Plan(c, plat, core.Options{}, core.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds []int
+	for _, d := range res.Degrees {
+		ds = append(ds, d.Replication)
+	}
+	want := []int{1, 2, 3, 6}
+	if len(ds) != len(want) {
+		t.Fatalf("degrees = %v, want %v", ds, want)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("degrees = %v, want %v", ds, want)
+		}
+	}
+	// The result must be the argmin over the log.
+	for _, d := range res.Degrees {
+		if d.Period < res.Period-1e-12 {
+			t.Fatalf("result %g not the minimum of %+v", res.Period, res.Degrees)
+		}
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1e9, 1e9)
+	plat := platform.Platform{Workers: 2, Memory: 1e3, Bandwidth: 12e9}
+	if _, err := Plan(c, plat, core.Options{}, core.ScheduleOptions{}); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := divisors(12)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("divisors(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divisors(12) = %v", got)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package ilpsched is MadPipe's exact scheduling phase (Section 4.3): a
+// mixed-integer formulation that decides, for a fixed allocation and a
+// fixed period T, whether a valid periodic pattern exists — including the
+// per-GPU memory peaks, modelled exactly through the retention windows of
+// Figure 5 — and reconstructs the pattern when it does. A bisection over
+// T (feasibility is monotone: any pattern valid at T remains valid at any
+// larger period by uniformly scaling its start times) yields the best
+// period within a wall-clock budget, mirroring the paper's time-limited
+// ILP solve seeded by a heuristic incumbent.
+//
+// Model, in units where the period is 1 and the memory capacity is 1:
+//
+//   - every operation o has a start s_o ∈ [0, 1-d_o] and an integer index
+//     shift h_o ≥ 0; its batch-0 time is σ_o = s_o + h_o (no operation
+//     wraps across the period boundary — a mild restriction compensated
+//     by the bisection);
+//   - chain dependencies: σ_A + d_A <= σ_B for every arc A -> B;
+//   - mutual exclusion: for each pair of ops on one resource, a binary
+//     x chooses their order within the period;
+//   - memory: a compute node v retains g_v = hB_v - hF_v + w_v activation
+//     copies at peak, where the binary w_v says whether the retention
+//     window [sF_v, sB_v+dB_v) is non-empty within one period; the window
+//     length is len_v = sB_v + dB_v - sF_v + (1 - w_v) ∈ [0,1]. At the
+//     instant just after some F_u starts, node v holds g_v - 1 copies
+//     plus one more iff F_u's start lies in v's window — enforced through
+//     binaries z_vu with wrap binaries y_vu. One capacity row per
+//     (GPU, u) pair bounds the exact peak.
+package ilpsched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"madpipe/internal/lp"
+	"madpipe/internal/milp"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+)
+
+// Options configures the solver.
+type Options struct {
+	// Budget is the total wall-clock budget for one Improve call
+	// (0 = one minute, the paper's setting).
+	Budget time.Duration
+	// Probes is the number of bisection probes within the budget (0 = 6).
+	Probes int
+	// MaxNodes caps branch-and-bound nodes per probe (0 = solver default).
+	MaxNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = time.Minute
+	}
+	if o.Probes == 0 {
+		o.Probes = 6
+	}
+	return o
+}
+
+// Scheduler implements core.MILPScheduler.
+type Scheduler struct {
+	Opts Options
+}
+
+// New returns a Scheduler with the given options.
+func New(opts Options) *Scheduler { return &Scheduler{Opts: opts} }
+
+// Improve searches for a pattern with a strictly better period than the
+// incumbent by bisecting T in [LoadPeriod, incumbent period). It returns
+// nil when no improvement was proven within the budget.
+func (s *Scheduler) Improve(a *partition.Allocation, incumbent *pattern.Pattern) *pattern.Pattern {
+	opts := s.Opts.withDefaults()
+	deadline := time.Now().Add(opts.Budget)
+	lo := a.LoadPeriod()
+	hi := incumbent.Period
+	if hi <= lo*(1+1e-6) {
+		return nil // incumbent already sits at the load bound
+	}
+	var best *pattern.Pattern
+	for probe := 0; probe < opts.Probes; probe++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 || hi <= lo*(1+1e-4) {
+			break
+		}
+		mid := lo + (hi-lo)*0.5
+		if probe == 0 {
+			// First probe near the load bound: the biggest possible win,
+			// and when it succeeds the bisection ends immediately.
+			mid = lo * (1 + 1e-6)
+		}
+		slice := remaining / time.Duration(opts.Probes-probe)
+		pat, status := SolveAtPeriod(a, mid, milp.Options{TimeLimit: slice, MaxNodes: opts.MaxNodes})
+		switch status {
+		case milp.Optimal, milp.Feasible:
+			best = pat
+			hi = pat.Period
+		default:
+			// Infeasible or timeout: treat as infeasible at mid and keep
+			// the incumbent bound.
+			lo = mid
+		}
+	}
+	return best
+}
+
+// SolveAtPeriod builds and solves the MILP for period T. On success it
+// returns a validated pattern with period T*(1+1e-6) — the small stretch
+// absorbs LP round-off, which is sound because feasibility is monotone in
+// the period.
+func SolveAtPeriod(a *partition.Allocation, T float64, mopts milp.Options) (*pattern.Pattern, milp.Status) {
+	return SolveAtPeriodCapped(a, T, nil, mopts)
+}
+
+// SolveAtPeriodCapped is SolveAtPeriod with optional per-node caps on the
+// number of retained activation copies g_v = hB_v - hF_v + w_v (indexed
+// like the allocation's virtual chain; 0 entries mean uncapped). It turns
+// the solver into an oracle for questions such as "does any valid pattern
+// of this allocation at this period retain fewer copies than 1F1B*?" —
+// the Proposition 1 cross-check in the test suite.
+func SolveAtPeriodCapped(a *partition.Allocation, T float64, copyCaps []int, mopts milp.Options) (*pattern.Pattern, milp.Status) {
+	m := newModel(a, T, copyCaps)
+	if m == nil {
+		return nil, milp.Infeasible
+	}
+	res := milp.Solve(m.prob, m.integers, mopts)
+	if res.Status != milp.Optimal && res.Status != milp.Feasible {
+		return nil, res.Status
+	}
+	pat, err := m.extract(res.X)
+	if err != nil {
+		return nil, milp.Infeasible
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, milp.Infeasible
+	}
+	return pat, res.Status
+}
+
+// model holds the variable layout of one MILP instance.
+type model struct {
+	a     *partition.Allocation
+	T     float64
+	nodes []pattern.Node
+
+	prob     *lp.Problem
+	integers []int
+
+	sF, sB, hF, hB []int // column ids per node
+	w              []int // per node; -1 when unused
+}
+
+// newModel builds the MILP; returns nil when T is trivially too small.
+func newModel(a *partition.Allocation, T float64, copyCaps []int) *model {
+	nodes := pattern.VirtualChain(a)
+	m := &model{a: a, T: T, nodes: nodes, prob: lp.New()}
+	n := len(nodes)
+	m.sF = make([]int, n)
+	m.sB = make([]int, n)
+	m.hF = make([]int, n)
+	m.hB = make([]int, n)
+	m.w = make([]int, n)
+
+	shiftCap := float64(2*n + 4)
+	dF := make([]float64, n)
+	dB := make([]float64, n)
+	memScale := a.Plat.Memory
+
+	for v, nd := range nodes {
+		dF[v] = nd.UF / T
+		dB[v] = nd.UB / T
+		if dF[v] > 1+1e-9 || dB[v] > 1+1e-9 {
+			return nil
+		}
+		// Small pressure on shifts keeps the relaxation bounded and
+		// prefers shallow pipelines among equal-memory schedules.
+		m.sF[v] = m.prob.AddVar(fmt.Sprintf("sF%d", v), 0)
+		m.sB[v] = m.prob.AddVar(fmt.Sprintf("sB%d", v), 0)
+		m.hF[v] = m.prob.AddVar(fmt.Sprintf("hF%d", v), 1e-3)
+		m.hB[v] = m.prob.AddVar(fmt.Sprintf("hB%d", v), 1e-3)
+		m.integers = append(m.integers, m.hF[v], m.hB[v])
+		m.prob.AddRow(map[int]float64{m.sF[v]: 1}, lp.LE, math.Max(0, 1-dF[v]))
+		m.prob.AddRow(map[int]float64{m.sB[v]: 1}, lp.LE, math.Max(0, 1-dB[v]))
+		m.prob.AddRow(map[int]float64{m.hF[v]: 1}, lp.LE, shiftCap)
+		m.prob.AddRow(map[int]float64{m.hB[v]: 1}, lp.LE, shiftCap)
+		m.w[v] = -1
+		if nd.Kind == pattern.Compute && nd.AStore > 0 {
+			// Window binary, with objective weight equal to the memory it
+			// represents so the solver prefers low-memory schedules.
+			m.w[v] = m.prob.AddVar(fmt.Sprintf("w%d", v), nd.AStore/memScale)
+			m.integers = append(m.integers, m.w[v])
+			m.prob.AddRow(map[int]float64{m.w[v]: 1}, lp.LE, 1)
+		}
+	}
+	// Normalization: the first forward has shift 0.
+	m.prob.AddRow(map[int]float64{m.hF[0]: 1}, lp.EQ, 0)
+
+	// σ helpers: σ = s + h (period-1 units).
+	dep := func(sa, ha int, da float64, sb, hb int) {
+		// sa + ha + da <= sb + hb
+		m.prob.AddRow(map[int]float64{sb: 1, hb: 1, sa: -1, ha: -1}, lp.GE, da)
+	}
+	for v := 0; v < n; v++ {
+		if v+1 < n {
+			dep(m.sF[v], m.hF[v], dF[v], m.sF[v+1], m.hF[v+1])
+			dep(m.sB[v+1], m.hB[v+1], dB[v+1], m.sB[v], m.hB[v])
+		}
+		dep(m.sF[v], m.hF[v], dF[v], m.sB[v], m.hB[v])
+	}
+
+	// Mutual exclusion per resource.
+	type opRef struct {
+		s   int // start column
+		dur float64
+	}
+	byRes := make(map[pattern.Resource][]opRef)
+	for v, nd := range nodes {
+		byRes[nd.Resource] = append(byRes[nd.Resource],
+			opRef{s: m.sF[v], dur: dF[v]}, opRef{s: m.sB[v], dur: dB[v]})
+	}
+	for _, ops := range byRes {
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				if ops[i].dur < 1e-12 || ops[j].dur < 1e-12 {
+					continue
+				}
+				x := m.prob.AddVar("x", 0)
+				m.integers = append(m.integers, x)
+				m.prob.AddRow(map[int]float64{x: 1}, lp.LE, 1)
+				// x=0: i before j; x=1: j before i. Big-M of 2 covers the
+				// worst start separation of 1 plus a duration of 1.
+				m.prob.AddRow(map[int]float64{ops[j].s: 1, ops[i].s: -1, x: 2}, lp.GE, ops[i].dur)
+				m.prob.AddRow(map[int]float64{ops[i].s: 1, ops[j].s: -1, x: -2}, lp.GE, ops[j].dur-2)
+			}
+		}
+	}
+
+	// Window length and memory rows.
+	// len_v = sB_v + dB_v - sF_v + (1 - w_v) ∈ [0, 1]:
+	//   w_v >= sB_v + dB_v - sF_v          (len <= 1)
+	//   w_v <= sB_v + dB_v - sF_v + 1      (len >= 0)
+	// and the peak count is at least one copy: hB - hF + w >= 1.
+	for v := range nodes {
+		if m.w[v] < 0 {
+			continue
+		}
+		m.prob.AddRow(map[int]float64{m.w[v]: 1, m.sB[v]: -1, m.sF[v]: 1}, lp.GE, dB[v])
+		m.prob.AddRow(map[int]float64{m.w[v]: 1, m.sB[v]: -1, m.sF[v]: 1}, lp.LE, dB[v]+1)
+		m.prob.AddRow(map[int]float64{m.hB[v]: 1, m.hF[v]: -1, m.w[v]: 1}, lp.GE, 1)
+		if v < len(copyCaps) && copyCaps[v] > 0 {
+			m.prob.AddRow(map[int]float64{m.hB[v]: 1, m.hF[v]: -1, m.w[v]: 1}, lp.LE, float64(copyCaps[v]))
+		}
+	}
+
+	// Exact per-GPU memory peaks.
+	for gpu := 0; gpu < a.Plat.Workers; gpu++ {
+		var vs []int
+		for v, nd := range nodes {
+			if nd.Kind == pattern.Compute && nd.Resource.GPU == gpu && m.w[v] >= 0 {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		budget := (a.Plat.Memory - a.StaticMemory(gpu)) / memScale
+		// z_vu / y_vu for ordered pairs.
+		zcol := make(map[[2]int]int)
+		for _, v := range vs {
+			for _, u := range vs {
+				if v == u {
+					continue
+				}
+				z := m.prob.AddVar("z", 0)
+				y := m.prob.AddVar("y", 0)
+				m.integers = append(m.integers, z, y)
+				m.prob.AddRow(map[int]float64{z: 1}, lp.LE, 1)
+				m.prob.AddRow(map[int]float64{y: 1}, lp.LE, 1)
+				zcol[[2]int{v, u}] = z
+				// δ_vu = sF_u - sF_v + y_vu ∈ [0, 1].
+				m.prob.AddRow(map[int]float64{m.sF[u]: 1, m.sF[v]: -1, y: 1}, lp.GE, 0)
+				m.prob.AddRow(map[int]float64{m.sF[u]: 1, m.sF[v]: -1, y: 1}, lp.LE, 1)
+				// z_vu >= len_v - δ_vu with len_v = sB_v+dB_v-sF_v+1-w_v
+				// and δ_vu = sF_u-sF_v+y_vu; the sF_v terms cancel:
+				// z + sF_u + y + w_v - sB_v >= dB_v + 1.
+				m.prob.AddRow(map[int]float64{
+					z: 1, m.sF[u]: 1, y: 1, m.w[v]: 1, m.sB[v]: -1,
+				}, lp.GE, dB[v]+1)
+			}
+		}
+		// Capacity at the instant just after each F_u start.
+		for _, u := range vs {
+			coeffs := map[int]float64{}
+			rhs := budget
+			for _, v := range vs {
+				av := nodes[v].AStore / memScale
+				// (hB_v - hF_v + w_v - 1) * a_v
+				coeffs[m.hB[v]] += av
+				coeffs[m.hF[v]] -= av
+				coeffs[m.w[v]] += av
+				rhs += av
+				if v == u {
+					rhs -= av // its own window has just opened
+				} else {
+					coeffs[zcol[[2]int{v, u}]] += av
+				}
+			}
+			m.prob.AddRow(coeffs, lp.LE, rhs)
+		}
+	}
+	return m
+}
+
+// extract converts a MILP solution into a pattern at period T*(1+1e-6).
+func (m *model) extract(x []float64) (*pattern.Pattern, error) {
+	const stretch = 1 + 1e-6
+	T := m.T * stretch
+	p := &pattern.Pattern{Alloc: m.a, Nodes: m.nodes, Period: T}
+	for v, nd := range m.nodes {
+		fs := clamp01(x[m.sF[v]]) * T
+		bs := clamp01(x[m.sB[v]]) * T
+		fh := int(math.Round(x[m.hF[v]]))
+		bh := int(math.Round(x[m.hB[v]]))
+		if fh < 0 || bh < 0 {
+			return nil, fmt.Errorf("ilpsched: negative shift in solution")
+		}
+		// Clamp starts so ops end within the stretched period.
+		fs = math.Min(fs, math.Max(0, T-nd.UF))
+		bs = math.Min(bs, math.Max(0, T-nd.UB))
+		p.Ops = append(p.Ops,
+			pattern.Op{Node: v, Half: pattern.Fwd, Start: fs, Dur: nd.UF, Shift: fh},
+			pattern.Op{Node: v, Half: pattern.Bwd, Start: bs, Dur: nd.UB, Shift: bh},
+		)
+	}
+	return p, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

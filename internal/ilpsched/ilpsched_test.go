@@ -1,0 +1,165 @@
+package ilpsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/listsched"
+	"madpipe/internal/milp"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+func contig(c *chain.Chain, cuts []int, plat platform.Platform) *partition.Allocation {
+	var spans []chain.Span
+	from := 1
+	for _, cut := range cuts {
+		spans = append(spans, chain.Span{From: from, To: cut})
+		from = cut + 1
+	}
+	spans = append(spans, chain.Span{From: from, To: c.Len()})
+	procs := make([]int, len(spans))
+	for i := range procs {
+		procs[i] = i
+	}
+	return &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+}
+
+func TestSolveAtPeriodContiguous(t *testing.T) {
+	// Two balanced stages, generous memory: the MILP must find a valid
+	// pattern at (just above) the load period.
+	c := chain.MustNew("b", 10, []chain.Layer{
+		{UF: 1, UB: 2, W: 5, A: 10},
+		{UF: 1, UB: 2, W: 5, A: 10},
+	})
+	plat := platform.Platform{Workers: 2, Memory: 1e6, Bandwidth: 100}
+	a := contig(c, []int{1}, plat)
+	T := a.LoadPeriod() * 1.01
+	pat, status := SolveAtPeriod(a, T, milp.Options{TimeLimit: 20 * time.Second})
+	if status != milp.Optimal && status != milp.Feasible {
+		t.Fatalf("status = %v", status)
+	}
+	if err := pat.Validate(); err != nil {
+		t.Fatalf("invalid pattern: %v\n%s", err, pat.Gantt(80))
+	}
+	if pat.Period > T*1.001 {
+		t.Fatalf("period %g, want about %g", pat.Period, T)
+	}
+}
+
+func TestSolveAtPeriodTooSmall(t *testing.T) {
+	c := chain.Uniform(2, 1, 1, 1, 1)
+	plat := platform.Platform{Workers: 2, Memory: 1e9, Bandwidth: 1e9}
+	a := contig(c, []int{1}, plat)
+	// Period below a single stage's compute time: structurally infeasible.
+	if _, status := SolveAtPeriod(a, 1.0, milp.Options{TimeLimit: 5 * time.Second}); status == milp.Optimal || status == milp.Feasible {
+		t.Fatalf("expected infeasible, got %v", status)
+	}
+}
+
+func TestMemoryConstraintBites(t *testing.T) {
+	// Two stages whose pipelined schedule at the load period needs two
+	// in-flight activations on stage 1; with memory for only one, the
+	// MILP must declare the tight period infeasible but accept a
+	// sequential-ish period.
+	c := chain.MustNew("m", 100, []chain.Layer{
+		{UF: 1, UB: 1, W: 1, A: 100},
+		{UF: 1, UB: 1, W: 1, A: 1},
+	})
+	plat := platform.Platform{Workers: 2, Memory: 350, Bandwidth: 1e6}
+	// Stage 1 static: 3W + 2*a1 = 3 + 200 = 203; one activation copy =
+	// 100 -> 303 fits, two copies -> 403 > 350.
+	a := contig(c, []int{1}, plat)
+	tight := a.LoadPeriod() * 1.05
+	if _, status := SolveAtPeriod(a, tight, milp.Options{TimeLimit: 10 * time.Second}); status == milp.Optimal || status == milp.Feasible {
+		t.Fatalf("tight period should be memory-infeasible, got %v", status)
+	}
+	seq := c.TotalU() + c.TotalCommTime(plat.Bandwidth)
+	pat, status := SolveAtPeriod(a, seq, milp.Options{TimeLimit: 10 * time.Second})
+	if status != milp.Optimal && status != milp.Feasible {
+		t.Fatalf("sequential period should be feasible, got %v", status)
+	}
+	if err := pat.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestImproveNonContiguous(t *testing.T) {
+	// A non-contiguous allocation where the list scheduler is suboptimal:
+	// the MILP should find a pattern at least as good.
+	c := chain.MustNew("nc", 50, []chain.Layer{
+		{UF: 1, UB: 1.5, W: 10, A: 40},
+		{UF: 2, UB: 3, W: 10, A: 30},
+		{UF: 1, UB: 1.5, W: 10, A: 20},
+		{UF: 2, UB: 3, W: 10, A: 10},
+	})
+	plat := platform.Platform{Workers: 3, Memory: 1e6, Bandwidth: 1e3}
+	a := &partition.Allocation{
+		Chain: c, Plat: plat,
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 2}, {From: 3, To: 3}, {From: 4, To: 4}},
+		Procs: []int{2, 0, 2, 1},
+	}
+	incT, inc, err := listsched.MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatalf("listsched: %v", err)
+	}
+	s := New(Options{Budget: 30 * time.Second, Probes: 5})
+	better := s.Improve(a, inc)
+	if better == nil {
+		// Improvement is not guaranteed, but the incumbent must already
+		// be near the load bound then.
+		if incT > a.LoadPeriod()*1.3 {
+			t.Fatalf("no MILP improvement although incumbent %g >> load %g", incT, a.LoadPeriod())
+		}
+		return
+	}
+	if err := better.Validate(); err != nil {
+		t.Fatalf("milp pattern invalid: %v", err)
+	}
+	if better.Period >= incT {
+		t.Fatalf("Improve returned a worse period: %g >= %g", better.Period, incT)
+	}
+}
+
+func TestMILPMatchesOneFOneBOnRandomContiguous(t *testing.T) {
+	// On contiguous allocations 1F1B* is provably optimal; the MILP at
+	// the 1F1B* period must also be feasible (sanity of the formulation).
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		c := chain.Random(rng, 5, chain.DefaultRandomOptions())
+		plat := platform.Platform{Workers: 2, Memory: 16e9, Bandwidth: 12e9}
+		a := contig(c, []int{2 + rng.Intn(2)}, plat)
+		T, _, err := onefoneb.MinFeasiblePeriod(a)
+		if err != nil {
+			continue
+		}
+		pat, status := SolveAtPeriod(a, T*1.0001, milp.Options{TimeLimit: 15 * time.Second})
+		if status != milp.Optimal && status != milp.Feasible {
+			t.Fatalf("trial %d: MILP infeasible at the 1F1B* period %g: %v", trial, T, status)
+		}
+		if err := pat.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestImproveRespectsLoadBound(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	plat := platform.Platform{Workers: 2, Memory: 1e9, Bandwidth: 1e9}
+	a := contig(c, []int{2}, plat)
+	T, inc, err := listsched.MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatalf("listsched: %v", err)
+	}
+	if math.Abs(T-a.LoadPeriod()) > 1e-9 {
+		t.Fatalf("incumbent not at load bound: %g vs %g", T, a.LoadPeriod())
+	}
+	s := New(Options{Budget: 2 * time.Second})
+	if better := s.Improve(a, inc); better != nil {
+		t.Fatalf("Improve found something below the load bound: %g", better.Period)
+	}
+}

@@ -1,0 +1,243 @@
+// Package listsched schedules arbitrary (possibly non-contiguous)
+// allocations with a periodic list scheduler: operations are placed in
+// dependency order at the earliest start that respects both their
+// predecessors and the circular busy windows of their resource, seeded
+// with the 1F1B* group timing so that contiguous allocations reproduce
+// the optimal 1F1B* pattern exactly.
+//
+// The scheduler serves two roles in MadPipe's second phase: it provides a
+// fast deterministic fallback, and its schedule is the incumbent handed
+// to the exact MILP scheduler (package ilpsched), mirroring the paper's
+// time-limited ILP solve.
+package listsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+// Schedule builds a valid periodic pattern for the allocation at period
+// T, or returns an error when T cannot accommodate it (resource overload
+// or no conflict-free placement). Memory is not checked here; callers
+// decide whether peaks fit (MinFeasiblePeriod does).
+func Schedule(a *partition.Allocation, T float64) (*pattern.Pattern, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := pattern.VirtualChain(a)
+	groups, err := onefoneb.Groups(nodes, T)
+	if err != nil {
+		return nil, err
+	}
+	for _, load := range resourceLoads(nodes) {
+		if load > T+pattern.Eps {
+			return nil, fmt.Errorf("listsched: resource overloaded at period %g", T)
+		}
+	}
+
+	// Target batch-0 times from the 1F1B* unrolled construction: within a
+	// group all forwards then all backwards back-to-back; the next group's
+	// first forward follows the current group's last forward. A backward
+	// in group g processes a batch g-1 periods older, so its batch-0 time
+	// is shifted by (g-1)*T.
+	m := len(nodes)
+	targetF := make([]float64, m)
+	targetB := make([]float64, m)
+	cursor := 0.0
+	v := 0
+	for v < m {
+		w := v
+		for w < m && groups[w] == groups[v] {
+			w++
+		}
+		g := groups[v]
+		t := cursor
+		for i := v; i < w; i++ {
+			targetF[i] = t
+			t += nodes[i].UF
+		}
+		cursor = t
+		for i := w - 1; i >= v; i-- {
+			targetB[i] = t + float64(g-1)*T
+			t += nodes[i].UB
+		}
+		v = w
+	}
+
+	// Place ops in the (unique) topological order of the dependency chain
+	// F_1..F_m, B_m..B_1 at the earliest conflict-free time no earlier
+	// than both their predecessor and their 1F1B* target.
+	busy := make(map[pattern.Resource][]interval)
+	sigmaF := make([]float64, m)
+	sigmaB := make([]float64, m)
+	prevEnd := 0.0
+	for i := 0; i < m; i++ {
+		lo := math.Max(prevEnd, targetF[i])
+		s, err := place(busy, nodes[i].Resource, lo, nodes[i].UF, T)
+		if err != nil {
+			return nil, err
+		}
+		sigmaF[i] = s
+		prevEnd = s + nodes[i].UF
+	}
+	for i := m - 1; i >= 0; i-- {
+		lo := math.Max(prevEnd, math.Max(targetB[i], sigmaF[i]+nodes[i].UF))
+		s, err := place(busy, nodes[i].Resource, lo, nodes[i].UB, T)
+		if err != nil {
+			return nil, err
+		}
+		sigmaB[i] = s
+		prevEnd = s + nodes[i].UB
+	}
+
+	p := &pattern.Pattern{Alloc: a, Nodes: nodes, Period: T}
+	for i, n := range nodes {
+		fs, fh := reduce(sigmaF[i], T)
+		bs, bh := reduce(sigmaB[i], T)
+		p.Ops = append(p.Ops,
+			pattern.Op{Node: i, Half: pattern.Fwd, Start: fs, Dur: n.UF, Shift: fh},
+			pattern.Op{Node: i, Half: pattern.Bwd, Start: bs, Dur: n.UB, Shift: bh},
+		)
+	}
+	return p, nil
+}
+
+type interval struct{ start, end float64 } // within [0,T), end may exceed T (wraps)
+
+func reduce(sigma, T float64) (float64, int) {
+	k := int(math.Floor(sigma/T + pattern.Eps))
+	s := sigma - float64(k)*T
+	if s < 0 {
+		s = 0
+	}
+	return s, k
+}
+
+func resourceLoads(nodes []pattern.Node) map[pattern.Resource]float64 {
+	loads := make(map[pattern.Resource]float64)
+	for _, n := range nodes {
+		loads[n.Resource] += n.UF + n.UB
+	}
+	return loads
+}
+
+// place finds the earliest batch-0 time >= lo at which an operation of
+// the given duration fits on the resource without overlapping any placed
+// interval modulo T, records it, and returns it. Candidate starts are lo
+// itself and the wrap-adjusted ends of existing intervals; since every
+// failed candidate is blocked by an interval whose end is a later
+// candidate, checking each interval end once suffices.
+func place(busy map[pattern.Resource][]interval, r pattern.Resource, lo, dur, T float64) (float64, error) {
+	if dur <= pattern.Eps {
+		// Zero-length ops never conflict; pin them at lo.
+		busy[r] = append(busy[r], interval{mod(lo, T), mod(lo, T)})
+		return lo, nil
+	}
+	ivs := busy[r]
+	cands := []float64{lo}
+	for _, iv := range ivs {
+		// The first occurrence of this interval's end at batch-0 time >= lo.
+		e := iv.end
+		delta := math.Ceil((lo-e)/T) * T
+		cand := e + delta
+		if cand < lo {
+			cand += T
+		}
+		cands = append(cands, cand)
+	}
+	sort.Float64s(cands)
+	for _, cand := range cands {
+		s := mod(cand, T)
+		ok := true
+		for _, iv := range ivs {
+			if circOverlap(s, dur, iv.start, iv.end-iv.start, T) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			busy[r] = append(busy[r], interval{s, s + dur})
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("listsched: no slot of length %g on %s within period %g", dur, r, T)
+}
+
+func circOverlap(s1, d1, s2, d2, t float64) bool {
+	if d1 <= pattern.Eps || d2 <= pattern.Eps {
+		return false
+	}
+	for _, k := range []float64{-t, 0, t} {
+		lo := math.Max(s1, s2+k)
+		hi := math.Min(s1+d1, s2+d2+k)
+		if hi-lo > pattern.Eps {
+			return true
+		}
+	}
+	return false
+}
+
+func mod(x, t float64) float64 {
+	m := math.Mod(x, t)
+	if m < 0 {
+		m += t
+	}
+	return m
+}
+
+// MinFeasiblePeriod scans the allocation's candidate periods in
+// increasing order, accepts the first at which the list scheduler
+// produces a pattern that passes full validation (including memory), and
+// then refines below it by bisection. The initial scan (rather than a
+// global bisection) is deliberate: the memory the heuristic needs is not
+// monotone in T, as the paper observes for 1F1B* as well; the refinement
+// only ever keeps strictly better validated patterns, so it is safe
+// regardless.
+func MinFeasiblePeriod(a *partition.Allocation) (float64, *pattern.Pattern, error) {
+	if err := a.Validate(); err != nil {
+		return 0, nil, err
+	}
+	cands := onefoneb.CandidatePeriods(a)
+	try := func(T float64) *pattern.Pattern {
+		p, err := Schedule(a, T)
+		if err != nil {
+			return nil
+		}
+		if err := p.Validate(); err != nil {
+			return nil
+		}
+		return p
+	}
+	for i, T := range cands {
+		p := try(T)
+		if p == nil {
+			continue
+		}
+		// Refine within (lower, T): the group structure is constant
+		// between consecutive candidates, but conflict resolution on
+		// shared resources can succeed strictly below the next breakpoint.
+		lower := a.LoadPeriod()
+		if i > 0 && cands[i-1] > lower {
+			lower = cands[i-1]
+		}
+		bestT, best := T, p
+		lo, hi := lower, T
+		for step := 0; step < 12 && hi-lo > 1e-6*hi; step++ {
+			mid := (lo + hi) / 2
+			if q := try(mid); q != nil {
+				bestT, best = mid, q
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return bestT, best, nil
+	}
+	return 0, nil, fmt.Errorf("listsched: allocation %v: %w", a, platform.ErrInfeasible)
+}

@@ -1,0 +1,187 @@
+package listsched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+func contiguousAlloc(c *chain.Chain, cuts []int, plat platform.Platform) *partition.Allocation {
+	var spans []chain.Span
+	from := 1
+	for _, cut := range cuts {
+		spans = append(spans, chain.Span{From: from, To: cut})
+		from = cut + 1
+	}
+	spans = append(spans, chain.Span{From: from, To: c.Len()})
+	procs := make([]int, len(spans))
+	for i := range procs {
+		procs[i] = i
+	}
+	return &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+}
+
+func TestContiguousMatchesOneFOneB(t *testing.T) {
+	// For contiguous allocations the list scheduler seeds with 1F1B*
+	// targets and must achieve the same minimal feasible period.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		c := chain.Random(rng, 6+rng.Intn(6), chain.DefaultRandomOptions())
+		plat := platform.Platform{Workers: 3, Memory: 4e9, Bandwidth: 12e9}
+		a := contiguousAlloc(c, []int{c.Len() / 3, 2 * c.Len() / 3}, plat)
+		wantT, _, err1 := onefoneb.MinFeasiblePeriod(a)
+		gotT, pat, err2 := MinFeasiblePeriod(a)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: feasibility mismatch: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if err := pat.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid pattern: %v", trial, err)
+		}
+		if math.Abs(gotT-wantT) > 1e-9*(1+wantT) {
+			t.Errorf("trial %d: period %g, 1F1B* achieves %g", trial, gotT, wantT)
+		}
+	}
+}
+
+func TestNonContiguousValidProperty(t *testing.T) {
+	// Random allocations with one special processor holding several
+	// stages: the scheduler must always emit a dependency- and
+	// exclusivity-valid pattern at any feasible period it accepts.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 4 + rng.Intn(10)
+		c := chain.Random(rng, nl, chain.DefaultRandomOptions())
+		nstages := 3 + rng.Intn(min(nl, 5)-2)
+		plat := platform.Platform{Workers: nstages - 1, Memory: 1e18, Bandwidth: 12e9}
+		// Contiguous spans, but two random stages share the special
+		// processor (id Workers-1).
+		cutset := rng.Perm(nl - 1)[: nstages-1 : nstages-1]
+		var cuts []int
+		for _, x := range cutset {
+			cuts = append(cuts, x+1)
+		}
+		sortInts(cuts)
+		var spans []chain.Span
+		from := 1
+		for _, cut := range cuts {
+			spans = append(spans, chain.Span{From: from, To: cut})
+			from = cut + 1
+		}
+		spans = append(spans, chain.Span{From: from, To: nl})
+		procs := make([]int, nstages)
+		special := plat.Workers - 1
+		s1, s2 := rng.Intn(nstages), rng.Intn(nstages)
+		normal := 0
+		for i := range procs {
+			if i == s1 || i == s2 {
+				procs[i] = special
+			} else {
+				procs[i] = normal % (plat.Workers - 1)
+				normal++
+			}
+		}
+		a := &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+		if err := a.Validate(); err != nil {
+			t.Logf("seed %d: bad allocation: %v", seed, err)
+			return false
+		}
+		T, pat, err := MinFeasiblePeriod(a)
+		if err != nil {
+			t.Logf("seed %d: MinFeasiblePeriod: %v", seed, err)
+			return false
+		}
+		if err := pat.Validate(); err != nil {
+			t.Logf("seed %d: invalid at T=%g: %v\n%s", seed, T, err, pat.Gantt(100))
+			return false
+		}
+		if T < a.LoadPeriod()-1e-9 {
+			t.Logf("seed %d: period %g below load bound %g", seed, T, a.LoadPeriod())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRejectsOverload(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	plat := platform.Platform{Workers: 2, Memory: 1e9, Bandwidth: 1e9}
+	a := &partition.Allocation{
+		Chain: c, Plat: plat,
+		Spans: []chain.Span{{From: 1, To: 2}, {From: 3, To: 4}},
+		Procs: []int{0, 0},
+	}
+	// Total load on proc 0 is 8; period 5 cannot hold it.
+	if _, err := Schedule(a, 5); err == nil {
+		t.Fatalf("expected overload error")
+	}
+	if p, err := Schedule(a, 8); err != nil {
+		t.Fatalf("period 8 should fit: %v", err)
+	} else if err := p.ValidateIgnoringMemory(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestMemoryInfeasible(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1e9, 1e9)
+	plat := platform.Platform{Workers: 2, Memory: 1e3, Bandwidth: 1e9}
+	a := contiguousAlloc(c, []int{2}, plat)
+	_, _, err := MinFeasiblePeriod(a)
+	if !errors.Is(err, platform.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSharedLinkSerialization(t *testing.T) {
+	// Stages 1 and 3 on proc 0, stage 2 on proc 1: both cuts use
+	// link(0,1), so their four transfer ops must be serialized there.
+	c := chain.MustNew("sh", 10, []chain.Layer{
+		{UF: 1, UB: 1, W: 1, A: 10},
+		{UF: 1, UB: 1, W: 1, A: 10},
+		{UF: 1, UB: 1, W: 1, A: 10},
+	})
+	plat := platform.Platform{Workers: 2, Memory: 1e9, Bandwidth: 10}
+	a := &partition.Allocation{
+		Chain: c, Plat: plat,
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 2}, {From: 3, To: 3}},
+		Procs: []int{0, 1, 0},
+	}
+	T, pat, err := MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatalf("MinFeasiblePeriod: %v", err)
+	}
+	if err := pat.Validate(); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, pat.Gantt(100))
+	}
+	// The shared link is busy 2+2 = 4s per period.
+	if T < 4-1e-9 {
+		t.Fatalf("period %g below shared link load 4", T)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,425 @@
+// Package lp provides a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c'x
+//	subject to  a_i'x {<=,=,>=} b_i   for every row i
+//	            x >= 0
+//
+// Upper bounds are expressed as ordinary rows. The solver is the
+// foundation of the branch-and-bound MILP solver (package milp) used by
+// MadPipe's exact scheduling phase; problems are expected to be small
+// (hundreds of variables and rows) and pre-scaled by the caller so that
+// coefficients are O(1).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a row's relation to its right-hand side.
+type Rel int
+
+const (
+	// LE is a_i'x <= b_i.
+	LE Rel = iota
+	// GE is a_i'x >= b_i.
+	GE
+	// EQ is a_i'x == b_i.
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterLimit means the pivot budget was exhausted.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+type row struct {
+	coeffs map[int]float64
+	rel    Rel
+	rhs    float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call New.
+type Problem struct {
+	costs []float64
+	names []string
+	rows  []row
+}
+
+// New returns an empty problem.
+func New() *Problem { return &Problem{} }
+
+// AddVar introduces a variable x >= 0 with the given objective cost and
+// returns its column index.
+func (p *Problem) AddVar(name string, cost float64) int {
+	p.costs = append(p.costs, cost)
+	p.names = append(p.names, name)
+	return len(p.costs) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.costs) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// Name returns the name of column j.
+func (p *Problem) Name(j int) string { return p.names[j] }
+
+// Cost returns the objective coefficient of column j.
+func (p *Problem) Cost(j int) float64 { return p.costs[j] }
+
+// AddRow adds the constraint sum(coeffs[j]*x_j) rel rhs. The coefficient
+// map is copied. Adding a row referencing an unknown column panics.
+func (p *Problem) AddRow(coeffs map[int]float64, rel Rel, rhs float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for j, v := range coeffs {
+		if j < 0 || j >= len(p.costs) {
+			panic(fmt.Sprintf("lp: row references column %d, have %d vars", j, len(p.costs)))
+		}
+		if v != 0 {
+			cp[j] = v
+		}
+	}
+	p.rows = append(p.rows, row{coeffs: cp, rel: rel, rhs: rhs})
+}
+
+// Clone returns an independent copy of the problem; rows added to the
+// clone do not affect the original. Used by branch and bound.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{
+		costs: append([]float64(nil), p.costs...),
+		names: append([]string(nil), p.names...),
+		rows:  make([]row, len(p.rows)),
+	}
+	// Row coefficient maps are immutable after AddRow, so they can be
+	// shared.
+	copy(cp.rows, p.rows)
+	return cp
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X holds the variable values (valid when Status is Optimal).
+	X []float64
+	// Obj is the objective value c'X.
+	Obj float64
+	// Iters is the total number of simplex pivots performed.
+	Iters int
+}
+
+const (
+	eps     = 1e-9
+	feasTol = 1e-7
+)
+
+// Solve minimizes the problem with a dense two-phase primal simplex.
+func (p *Problem) Solve() *Solution {
+	return p.SolveMaxIters(0)
+}
+
+// SolveMaxIters is Solve with an explicit pivot budget (0 = default,
+// proportional to problem size).
+func (p *Problem) SolveMaxIters(maxIters int) *Solution {
+	t := newTableau(p)
+	if maxIters <= 0 {
+		maxIters = 200 * (t.m + t.n + 10)
+	}
+	return t.solve(p, maxIters)
+}
+
+// tableau is the dense equality-form representation:
+// columns 0..n-1 structural, n..n+m-1 slack/surplus or artificial, last
+// column the RHS.
+type tableau struct {
+	m, n  int // constraint rows, structural columns
+	cols  int // total columns excl. RHS
+	a     [][]float64
+	basis []int
+	art   []bool // per column: is artificial
+}
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.rows), len(p.costs)
+	t := &tableau{m: m, n: n, cols: n + m}
+	t.a = make([][]float64, m)
+	t.basis = make([]int, m)
+	t.art = make([]bool, t.cols)
+	for i, r := range p.rows {
+		t.a[i] = make([]float64, t.cols+1)
+		sign := 1.0
+		if r.rhs < 0 {
+			sign = -1
+		}
+		for j, v := range r.coeffs {
+			t.a[i][j] = sign * v
+		}
+		t.a[i][t.cols] = sign * r.rhs
+		// Auxiliary column for this row: slack (basic), surplus
+		// (non-basic, needs artificial handled as the same column being
+		// negative), or artificial for equalities.
+		aux := n + i
+		rel := r.rel
+		if sign < 0 {
+			// Flipping the row turns <= into >= and vice versa.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			t.a[i][aux] = 1 // slack, basic
+		case GE:
+			t.a[i][aux] = -1 // surplus; row needs an artificial
+		case EQ:
+			// no slack; artificial below
+		}
+		t.basis[i] = aux
+		if rel != LE {
+			t.art[aux] = false // surplus col is not artificial; mark row
+		}
+	}
+	return t
+}
+
+// solve runs phase 1 (artificials for rows whose auxiliary column cannot
+// be basic) and phase 2.
+func (t *tableau) solve(p *Problem, maxIters int) *Solution {
+	// Identify rows needing artificials: basis currently points at the
+	// auxiliary column; it is a valid basic column only if its
+	// coefficient is +1 (slack). Otherwise replace with an artificial.
+	needArt := []int{}
+	for i := 0; i < t.m; i++ {
+		if t.a[i][t.basis[i]] != 1 {
+			needArt = append(needArt, i)
+		}
+	}
+	iters := 0
+	if len(needArt) > 0 {
+		// Extend with artificial columns.
+		extra := len(needArt)
+		for i := range t.a {
+			rowv := make([]float64, t.cols+extra+1)
+			copy(rowv, t.a[i][:t.cols])
+			rowv[t.cols+extra] = t.a[i][t.cols]
+			t.a[i] = rowv
+		}
+		artStart := t.cols
+		t.cols += extra
+		t.art = make([]bool, t.cols)
+		for k, i := range needArt {
+			j := artStart + k
+			t.a[i][j] = 1
+			t.art[j] = true
+			t.basis[i] = j
+		}
+		// Phase-1 objective: minimize sum of artificials.
+		obj := make([]float64, t.cols)
+		for j := artStart; j < t.cols; j++ {
+			obj[j] = 1
+		}
+		st, it := t.iterate(obj, maxIters)
+		iters += it
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: iters}
+		}
+		// Check phase-1 optimum.
+		var sum float64
+		for i := 0; i < t.m; i++ {
+			if t.art[t.basis[i]] {
+				sum += t.a[i][t.cols]
+			}
+		}
+		if sum > feasTol {
+			return &Solution{Status: Infeasible, Iters: iters}
+		}
+		// Drive remaining artificials out of the basis.
+		for i := 0; i < t.m; i++ {
+			if !t.art[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.cols; j++ {
+				if !t.art[j] && math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless; zero it.
+				for j := 0; j <= t.cols; j++ {
+					t.a[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: real objective over structural columns; artificials get a
+	// prohibitive cost surrogate by exclusion (never re-enter).
+	obj := make([]float64, t.cols)
+	copy(obj, p.costs)
+	st, it := t.iterate(obj, maxIters-iters)
+	iters += it
+	if st != Optimal {
+		return &Solution{Status: st, Iters: iters}
+	}
+	x := make([]float64, t.n)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			x[t.basis[i]] = t.a[i][t.cols]
+		}
+	}
+	var objv float64
+	for j, c := range p.costs {
+		objv += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: objv, Iters: iters}
+}
+
+// iterate runs primal simplex pivots for the given objective until
+// optimality, unboundedness or the iteration budget.
+func (t *tableau) iterate(obj []float64, maxIters int) (Status, int) {
+	// Reduced costs are computed directly: z_j = obj_j - sum_i y_i a_ij
+	// where y is implied by the basic objective rows; with a dense
+	// tableau we instead keep an explicit price row.
+	price := make([]float64, t.cols+1)
+	copy(price, obj)
+	// Eliminate basic columns from the price row.
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		if c := price[b]; c != 0 {
+			for j := 0; j <= t.cols; j++ {
+				price[j] -= c * t.a[i][j]
+			}
+		}
+	}
+	iters := 0
+	bland := false
+	lastObj := math.Inf(1)
+	stall := 0
+	for {
+		if iters >= maxIters {
+			return IterLimit, iters
+		}
+		// Entering column.
+		enter := -1
+		best := -eps
+		for j := 0; j < t.cols; j++ {
+			if t.art[j] {
+				continue
+			}
+			rc := price[j]
+			if bland {
+				if rc < -eps {
+					enter = j
+					break
+				}
+			} else if rc < best {
+				best = rc
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Optimal, iters
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				ratio := t.a[i][t.cols] / aij
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, iters
+		}
+		t.pivot(leave, enter)
+		// Update price row.
+		if c := price[enter]; c != 0 {
+			for j := 0; j <= t.cols; j++ {
+				price[j] -= c * t.a[leave][j]
+			}
+		}
+		iters++
+		// Anti-cycling: switch to Bland's rule on stalls.
+		cur := -price[t.cols]
+		if cur >= lastObj-1e-12 {
+			stall++
+			if stall > t.m+t.n {
+				bland = true
+			}
+		} else {
+			stall = 0
+		}
+		lastObj = cur
+	}
+}
+
+// pivot makes column j basic in row i.
+func (t *tableau) pivot(i, j int) {
+	piv := t.a[i][j]
+	inv := 1 / piv
+	for k := 0; k <= t.cols; k++ {
+		t.a[i][k] *= inv
+	}
+	t.a[i][j] = 1
+	for r := 0; r < t.m; r++ {
+		if r == i {
+			continue
+		}
+		f := t.a[r][j]
+		if f == 0 {
+			continue
+		}
+		for k := 0; k <= t.cols; k++ {
+			t.a[r][k] -= f * t.a[i][k]
+		}
+		t.a[r][j] = 0
+	}
+	t.basis[i] = j
+}

@@ -1,0 +1,230 @@
+// Package milp implements a branch-and-bound mixed-integer linear
+// programming solver on top of the simplex solver in package lp. It is
+// sized for the small scheduling instances produced by MadPipe's second
+// phase (tens of binaries) and supports a wall-clock time limit with
+// incumbent reporting, mirroring the paper's one-minute-limited ILP
+// solve.
+package milp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"madpipe/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal means the incumbent is provably optimal.
+	Optimal Status = iota
+	// Feasible means an integer solution was found but optimality was
+	// not proven before the deadline.
+	Feasible
+	// Infeasible means no integer solution exists.
+	Infeasible
+	// Timeout means the deadline expired with no integer solution found
+	// (the problem may still be feasible).
+	Timeout
+	// Unbounded means the relaxation is unbounded.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Timeout:
+		return "timeout"
+	default:
+		return "unbounded"
+	}
+}
+
+// Options configures a solve.
+type Options struct {
+	// TimeLimit bounds the wall-clock duration (0 = 1 minute, the
+	// paper's setting).
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of branch-and-bound nodes (0 = 1e6).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 = 1e-6).
+	IntTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeLimit == 0 {
+		o.TimeLimit = time.Minute
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1e6
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status Status
+	// X is the best integer solution found (nil unless Optimal/Feasible).
+	X []float64
+	// Obj is the objective of X.
+	Obj float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Solve minimizes the problem with the listed columns restricted to
+// integer values. The problem must give every integer column a finite
+// range through its rows (binaries: x <= 1 rows), since branching relies
+// on bound rows.
+func Solve(p *lp.Problem, integers []int, opts Options) *Result {
+	opts = opts.withDefaults()
+	deadline := time.Now().Add(opts.TimeLimit)
+	intSet := make(map[int]bool, len(integers))
+	for _, j := range integers {
+		intSet[j] = true
+	}
+	// Objective integrality: when every column with a non-zero cost is an
+	// integer column with an integer cost, any integer solution's
+	// objective is an integer, so relaxation bounds can be rounded up —
+	// a substantial pruning win on symmetric instances.
+	integralObj := true
+	for j := 0; j < p.NumVars(); j++ {
+		c := p.Cost(j)
+		if c == 0 {
+			continue
+		}
+		if !intSet[j] || c != math.Trunc(c) {
+			integralObj = false
+			break
+		}
+	}
+
+	type node struct {
+		extra []bound
+		depth int
+	}
+	res := &Result{Status: Timeout, Obj: math.Inf(1)}
+	// Depth-first stack keeps memory bounded and finds incumbents early.
+	stack := []node{{}}
+	sawInfeasibleOnly := true
+
+	for len(stack) > 0 {
+		if res.Nodes >= opts.MaxNodes || time.Now().After(deadline) {
+			if res.X != nil {
+				res.Status = Feasible
+			}
+			return res
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		q := p.Clone()
+		for _, b := range nd.extra {
+			rel := lp.LE
+			if !b.upper {
+				rel = lp.GE
+			}
+			q.AddRow(map[int]float64{b.col: 1}, rel, b.val)
+		}
+		sol := q.Solve()
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// An unbounded relaxation at the root means the MILP is
+			// unbounded (or needs bounds the model forgot).
+			if nd.depth == 0 {
+				res.Status = Unbounded
+				return res
+			}
+			continue
+		case lp.IterLimit:
+			continue
+		}
+		sawInfeasibleOnly = false
+		lowerBound := sol.Obj
+		if integralObj {
+			lowerBound = math.Ceil(lowerBound - 1e-7)
+		}
+		if lowerBound >= res.Obj-1e-9 && res.X != nil {
+			continue // bound: cannot improve the incumbent
+		}
+		// Pick the most fractional integer column.
+		frac := -1.0
+		fcol := -1
+		for _, j := range integers {
+			f := sol.X[j] - math.Floor(sol.X[j])
+			d := math.Min(f, 1-f)
+			if d > opts.IntTol && d > frac {
+				frac = d
+				fcol = j
+			}
+		}
+		if fcol < 0 {
+			// Integer feasible.
+			if sol.Obj < res.Obj {
+				res.Obj = sol.Obj
+				res.X = append([]float64(nil), sol.X...)
+				res.Status = Feasible
+			}
+			continue
+		}
+		v := sol.X[fcol]
+		down := append(append([]bound(nil), nd.extra...), bound{col: fcol, val: math.Floor(v), upper: true})
+		up := append(append([]bound(nil), nd.extra...), bound{col: fcol, val: math.Ceil(v), upper: false})
+		// Explore the branch nearer the relaxation value first.
+		if v-math.Floor(v) < 0.5 {
+			stack = append(stack, node{up, nd.depth + 1}, node{down, nd.depth + 1})
+		} else {
+			stack = append(stack, node{down, nd.depth + 1}, node{up, nd.depth + 1})
+		}
+	}
+
+	if res.X != nil {
+		res.Status = Optimal
+		return res
+	}
+	if sawInfeasibleOnly {
+		res.Status = Infeasible
+	} else {
+		res.Status = Infeasible // exhausted tree without integer solution
+	}
+	return res
+}
+
+type bound struct {
+	col   int
+	val   float64
+	upper bool
+}
+
+// RoundedFeasible reports whether rounding the given solution to the
+// nearest integers on the integer columns stays within tol of
+// integrality — a convenience for callers validating MILP output.
+func RoundedFeasible(x []float64, integers []int, tol float64) bool {
+	for _, j := range integers {
+		if math.Abs(x[j]-math.Round(x[j])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SortColumns returns the integer columns sorted — deterministic
+// branching order for reproducible solves.
+func SortColumns(cols []int) []int {
+	out := append([]int(nil), cols...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,227 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"madpipe/internal/lp"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 8x1 + 11x2 + 6x3 + 4x4 s.t. 5x1+7x2+4x3+3x4 <= 14, x binary.
+	// Optimum: x1=0,x2=1,x3=1,x4=1 -> 21.
+	p := lp.New()
+	vals := []float64{8, 11, 6, 4}
+	wts := []float64{5, 7, 4, 3}
+	var cols []int
+	coef := map[int]float64{}
+	for i := range vals {
+		j := p.AddVar("x", -vals[i])
+		cols = append(cols, j)
+		coef[j] = wts[i]
+		p.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+	}
+	p.AddRow(coef, lp.LE, 14)
+	r := Solve(p, cols, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !almost(r.Obj, -21) {
+		t.Fatalf("obj = %g, want -21", r.Obj)
+	}
+	want := []float64{0, 1, 1, 1}
+	for i, j := range cols {
+		if !almost(r.X[j], want[i]) {
+			t.Fatalf("x%d = %g, want %g", i, r.X[j], want[i])
+		}
+	}
+}
+
+func TestPureIntegerRounding(t *testing.T) {
+	// max x + y s.t. 2x + y <= 7.3, x + 3y <= 9.7, integer -> try all:
+	// candidates (3,1): 7>7.3? 2*3+1=7<=7.3, 3+3=6<=9.7 -> 4. (2,2): 6<=7.3,
+	// 8<=9.7 -> 4. (3,2)? 8>7.3. (1,2): 3. Optimum 4.
+	p := lp.New()
+	x := p.AddVar("x", -1)
+	y := p.AddVar("y", -1)
+	p.AddRow(map[int]float64{x: 2, y: 1}, lp.LE, 7.3)
+	p.AddRow(map[int]float64{x: 1, y: 3}, lp.LE, 9.7)
+	p.AddRow(map[int]float64{x: 1}, lp.LE, 100)
+	p.AddRow(map[int]float64{y: 1}, lp.LE, 100)
+	r := Solve(p, []int{x, y}, Options{})
+	if r.Status != Optimal || !almost(r.Obj, -4) {
+		t.Fatalf("got %v obj=%g x=%v", r.Status, r.Obj, r.X)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// 0.4 <= x <= 0.6 with x integer: infeasible.
+	p := lp.New()
+	x := p.AddVar("x", 1)
+	p.AddRow(map[int]float64{x: 1}, lp.GE, 0.4)
+	p.AddRow(map[int]float64{x: 1}, lp.LE, 0.6)
+	r := Solve(p, []int{x}, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := lp.New()
+	x := p.AddVar("x", 1)
+	p.AddRow(map[int]float64{x: 1}, lp.GE, 2)
+	p.AddRow(map[int]float64{x: 1}, lp.LE, 1)
+	r := Solve(p, []int{x}, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v", r.Status)
+	}
+}
+
+func TestTimeLimitReturnsIncumbent(t *testing.T) {
+	// A knapsack family big enough to take a few nodes; with a tiny time
+	// limit we should still not crash and report Timeout or a solution.
+	rng := rand.New(rand.NewSource(2))
+	p := lp.New()
+	var cols []int
+	weight := map[int]float64{}
+	for i := 0; i < 25; i++ {
+		j := p.AddVar("x", -(1 + rng.Float64()*9))
+		cols = append(cols, j)
+		weight[j] = 1 + rng.Float64()*9
+		p.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+	}
+	p.AddRow(weight, lp.LE, 40)
+	r := Solve(p, cols, Options{TimeLimit: time.Millisecond})
+	if r.Status != Timeout && r.Status != Feasible && r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	r2 := Solve(p, cols, Options{TimeLimit: 30 * time.Second, MaxNodes: 200000})
+	if r2.Status != Optimal && r2.Status != Feasible {
+		t.Fatalf("full solve status = %v", r2.Status)
+	}
+	// Check the solution respects the knapsack and binariness.
+	var w float64
+	for _, j := range cols {
+		if math.Abs(r2.X[j]-math.Round(r2.X[j])) > 1e-6 {
+			t.Fatalf("non-integer solution component %g", r2.X[j])
+		}
+		w += weight[j] * r2.X[j]
+	}
+	if w > 40+1e-6 {
+		t.Fatalf("knapsack violated: %g > 40", w)
+	}
+}
+
+func TestEqualityMILP(t *testing.T) {
+	// x + y = 5, x,y integer, min 3x + 2y -> x=0, y=5, obj 10.
+	p := lp.New()
+	x := p.AddVar("x", 3)
+	y := p.AddVar("y", 2)
+	p.AddRow(map[int]float64{x: 1, y: 1}, lp.EQ, 5)
+	r := Solve(p, []int{x, y}, Options{})
+	if r.Status != Optimal || !almost(r.Obj, 10) {
+		t.Fatalf("got %v obj=%g", r.Status, r.Obj)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 10y, y binary, x <= 2.5 continuous, x + 4y <= 5.
+	// y=1 -> x <= 1 -> obj -11; y=0 -> x<=2.5 -> obj -2.5. Optimum -11.
+	p := lp.New()
+	x := p.AddVar("x", -1)
+	y := p.AddVar("y", -10)
+	p.AddRow(map[int]float64{x: 1}, lp.LE, 2.5)
+	p.AddRow(map[int]float64{y: 1}, lp.LE, 1)
+	p.AddRow(map[int]float64{x: 1, y: 4}, lp.LE, 5)
+	r := Solve(p, []int{y}, Options{})
+	if r.Status != Optimal || !almost(r.Obj, -11) {
+		t.Fatalf("got %v obj=%g x=%v", r.Status, r.Obj, r.X)
+	}
+	if !almost(r.X[x], 1) || !almost(r.X[y], 1) {
+		t.Fatalf("x=%g y=%g", r.X[x], r.X[y])
+	}
+}
+
+func TestRoundedFeasible(t *testing.T) {
+	if !RoundedFeasible([]float64{1.0000001, 2}, []int{0, 1}, 1e-5) {
+		t.Fatal("should be feasible")
+	}
+	if RoundedFeasible([]float64{1.4}, []int{0}, 1e-5) {
+		t.Fatal("should not be feasible")
+	}
+}
+
+func TestSortColumns(t *testing.T) {
+	got := SortColumns([]int{3, 1, 2})
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Feasible, Infeasible, Timeout, Unbounded} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+func TestDeterministicSolves(t *testing.T) {
+	// The solver must be fully deterministic: identical problems yield
+	// identical node counts and solutions.
+	build := func() (*lp.Problem, []int) {
+		rng := rand.New(rand.NewSource(9))
+		p := lp.New()
+		var cols []int
+		weight := map[int]float64{}
+		for i := 0; i < 12; i++ {
+			j := p.AddVar("x", -(1 + rng.Float64()*5))
+			cols = append(cols, j)
+			weight[j] = 1 + rng.Float64()*5
+			p.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+		}
+		p.AddRow(weight, lp.LE, 20)
+		return p, cols
+	}
+	p1, c1 := build()
+	p2, c2 := build()
+	r1 := Solve(p1, c1, Options{})
+	r2 := Solve(p2, c2, Options{})
+	if r1.Status != r2.Status || r1.Nodes != r2.Nodes || math.Abs(r1.Obj-r2.Obj) > 1e-12 {
+		t.Fatalf("non-deterministic: %v/%d/%g vs %v/%d/%g",
+			r1.Status, r1.Nodes, r1.Obj, r2.Status, r2.Nodes, r2.Obj)
+	}
+	for i := range r1.X {
+		if math.Abs(r1.X[i]-r2.X[i]) > 1e-12 {
+			t.Fatalf("solutions differ at column %d", i)
+		}
+	}
+}
+
+func TestBoundPruning(t *testing.T) {
+	// With an optimal incumbent found early (branch ordering), the node
+	// count must stay well below the full 2^n tree.
+	p := lp.New()
+	var cols []int
+	w := map[int]float64{}
+	for i := 0; i < 16; i++ {
+		j := p.AddVar("x", -1) // all items identical
+		cols = append(cols, j)
+		w[j] = 1
+		p.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+	}
+	p.AddRow(w, lp.LE, 7.5)
+	r := Solve(p, cols, Options{})
+	if r.Status != Optimal || math.Abs(r.Obj+7) > 1e-6 {
+		t.Fatalf("got %v obj=%g", r.Status, r.Obj)
+	}
+	if r.Nodes > 4000 {
+		t.Fatalf("pruning ineffective: %d nodes", r.Nodes)
+	}
+}

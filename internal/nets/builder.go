@@ -1,0 +1,185 @@
+package nets
+
+import (
+	"fmt"
+
+	"madpipe/internal/graph"
+)
+
+// builder walks an architecture and materializes it as an op-level
+// computational graph: convolutions, batch-norms, poolings, fully
+// connected layers and merge points each become a graph node with its
+// FLOP-derived durations, parameters and output-tensor size. Build then
+// linearizes the graph with the clean-cut grouping of package graph —
+// the PipeDream preprocessing the paper relies on — which automatically
+// collapses residual blocks, inception modules and dense layers into
+// single chain nodes while keeping sequential sections fine-grained.
+type builder struct {
+	batch int
+	dev   Device
+	g     *graph.Graph
+
+	cur  tensor
+	node int // graph node producing cur; -1 = network input
+
+	prefix string
+}
+
+// tensor is a feature map shape (channels, height, width); the batch
+// dimension is tracked by the builder.
+type tensor struct{ c, h, w int }
+
+func (t tensor) elems() int { return t.c * t.h * t.w }
+
+const bytesPerElem = 4 // float32
+
+func newBuilder(batch, size int, dev Device) *builder {
+	b := &builder{batch: batch, dev: dev, cur: tensor{3, size, size}, node: -1}
+	b.g = graph.New(b.bytes(b.cur))
+	return b
+}
+
+func (b *builder) bytes(t tensor) float64 {
+	return float64(b.batch) * float64(t.elems()) * bytesPerElem
+}
+
+// block scopes node names: every node emitted inside fn is prefixed.
+func (b *builder) block(name string, fn func()) {
+	old := b.prefix
+	b.prefix = name + "."
+	fn()
+	b.prefix = old
+}
+
+// emit adds a node consuming the current tensor and makes it current.
+func (b *builder) emit(name string, fwdSeconds, params float64, out tensor) int {
+	id := b.g.AddNode(graph.Node{
+		Name: b.prefix + name,
+		UF:   fwdSeconds,
+		UB:   fwdSeconds * b.dev.BackwardRatio,
+		W:    params * bytesPerElem,
+		Out:  b.bytes(out),
+	})
+	if b.node >= 0 {
+		if err := b.g.AddEdge(b.node, id); err != nil {
+			panic(fmt.Sprintf("nets: %v", err))
+		}
+	}
+	b.cur = out
+	b.node = id
+	return id
+}
+
+func outDim(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// conv applies a 2D convolution (kh x kw) followed by a separate folded
+// batch-norm + ReLU node, matching what frameworks retain for backward.
+func (b *builder) conv(cout, kh, kw, stride, padH, padW int) {
+	in := b.cur
+	oh := outDim(in.h, kh, stride, padH)
+	ow := outDim(in.w, kw, stride, padW)
+	out := tensor{cout, oh, ow}
+	flops := 2 * float64(kh*kw*in.c*cout) * float64(oh*ow) * float64(b.batch)
+	params := float64(kh * kw * in.c * cout)
+	b.emit(fmt.Sprintf("conv%dx%d", kh, kw), flops/(b.dev.PeakFLOPS*b.dev.ConvEff), params, out)
+	// Folded BN+ReLU: ~4 memory-bound ops per element, 2C parameters.
+	bnFlops := 4 * float64(out.elems()) * float64(b.batch)
+	b.emit("bn", bnFlops/(b.dev.PeakFLOPS*b.dev.MemBoundEff), 2*float64(cout), out)
+}
+
+// convSquare is conv with a square kernel and symmetric padding.
+func (b *builder) convSquare(cout, k, stride, pad int) { b.conv(cout, k, k, stride, pad, pad) }
+
+// pool applies max/avg pooling.
+func (b *builder) pool(k, stride, pad int) {
+	in := b.cur
+	out := tensor{in.c, outDim(in.h, k, stride, pad), outDim(in.w, k, stride, pad)}
+	flops := float64(k*k) * float64(out.elems()) * float64(b.batch)
+	b.emit(fmt.Sprintf("pool%d", k), flops/(b.dev.PeakFLOPS*b.dev.MemBoundEff), 0, out)
+}
+
+// globalPool reduces spatial dimensions to 1x1.
+func (b *builder) globalPool() {
+	in := b.cur
+	flops := float64(in.elems()) * float64(b.batch)
+	b.emit("gap", flops/(b.dev.PeakFLOPS*b.dev.MemBoundEff), 0, tensor{in.c, 1, 1})
+}
+
+// fc applies a fully connected layer.
+func (b *builder) fc(cout int) {
+	in := b.cur
+	flops := 2 * float64(in.elems()*cout) * float64(b.batch)
+	params := float64(in.elems()*cout + cout)
+	b.emit("fc", flops/(b.dev.PeakFLOPS*b.dev.DenseEff), params, tensor{cout, 1, 1})
+}
+
+// mergeKind selects how parallel branches recombine.
+type mergeKind int
+
+const (
+	mergeConcat mergeKind = iota // channels add (inception, densenet)
+	mergeAdd                     // element-wise sum (residual)
+)
+
+// branches evaluates parallel branches from the current tensor and
+// recombines them through an explicit merge node. A branch function that
+// emits nothing acts as an identity skip connection. All branches must
+// end with matching spatial dimensions (and, for mergeAdd, channels).
+func (b *builder) branches(kind mergeKind, fns ...func()) {
+	inNode, inTensor := b.node, b.cur
+	type end struct {
+		node int
+		t    tensor
+	}
+	var ends []end
+	for _, fn := range fns {
+		b.node, b.cur = inNode, inTensor
+		fn()
+		ends = append(ends, end{b.node, b.cur})
+	}
+	out := ends[0].t
+	for i, e := range ends[1:] {
+		if e.t.h != out.h || e.t.w != out.w {
+			panic(fmt.Sprintf("nets: branch %d spatial mismatch: %v vs %v", i+1, e.t, out))
+		}
+		switch kind {
+		case mergeConcat:
+			out.c += e.t.c
+		case mergeAdd:
+			if e.t.c != out.c {
+				panic(fmt.Sprintf("nets: mergeAdd channel mismatch: %v vs %v", e.t, out))
+			}
+		}
+	}
+	// The merge node: a memory-bound pass over the output.
+	flops := 2 * float64(out.elems()) * float64(b.batch)
+	name := "concat"
+	if kind == mergeAdd {
+		name = "add"
+	}
+	id := b.g.AddNode(graph.Node{
+		Name: b.prefix + name,
+		UF:   flops / (b.dev.PeakFLOPS * b.dev.MemBoundEff),
+		UB:   flops / (b.dev.PeakFLOPS * b.dev.MemBoundEff) * b.dev.BackwardRatio,
+		Out:  b.bytes(out),
+		// Additions and concatenations are element-wise linear: their
+		// backward is a pass-through/split and retains no inputs.
+		NoRetain: true,
+	})
+	for _, e := range ends {
+		src := e.node
+		if src < 0 {
+			panic("nets: branch from the network input cannot merge (no producer node)")
+		}
+		if err := b.g.AddEdge(src, id); err != nil {
+			panic(fmt.Sprintf("nets: %v", err))
+		}
+	}
+	b.cur = out
+	b.node = id
+}
+
+// graphDone returns the finished graph.
+func (b *builder) graph() *graph.Graph { return b.g }

@@ -1,0 +1,54 @@
+package nets
+
+import (
+	"fmt"
+
+	"madpipe/internal/graph"
+)
+
+// densenet121 builds the DenseNet-121 graph: a 7x7 stem, four dense
+// blocks of {6,12,24,16} layers with growth rate 32 (each layer: 1x1
+// bottleneck to 4k channels then 3x3 to k channels, concatenated onto the
+// running feature map), with 1x1+avgpool transitions halving channels and
+// spatial dims between blocks.
+//
+// Dense connectivity keeps the network a chain at dense-layer
+// granularity: the tensor flowing along the chain is the running concat,
+// and the linearizer emits one chain node per dense layer, giving the
+// planners the fine-grained heterogeneity DenseNet is known for.
+func densenet121(s Spec) *graph.Graph {
+	const growth = 32
+	blocks := []int{6, 12, 24, 16}
+
+	b := newBuilder(s.Batch, s.Size, s.Dev)
+	b.block("stem", func() {
+		b.convSquare(64, 7, 2, 3)
+		b.pool(3, 2, 1)
+	})
+
+	for bi, n := range blocks {
+		for li := 0; li < n; li++ {
+			b.block(fmt.Sprintf("dense%d_%d", bi+1, li+1), func() {
+				b.branches(mergeConcat,
+					func() {}, // pass-through of the running concat
+					func() {
+						b.convSquare(4*growth, 1, 1, 0)
+						b.convSquare(growth, 3, 1, 1)
+					},
+				)
+			})
+		}
+		if bi < len(blocks)-1 {
+			b.block(fmt.Sprintf("transition%d", bi+1), func() {
+				b.convSquare(b.cur.c/2, 1, 1, 0)
+				b.pool(2, 2, 0)
+			})
+		}
+	}
+
+	b.block("head", func() {
+		b.globalPool()
+		b.fc(1000)
+	})
+	return b.graph()
+}

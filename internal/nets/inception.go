@@ -1,0 +1,136 @@
+package nets
+
+import (
+	"fmt"
+
+	"madpipe/internal/graph"
+)
+
+// inceptionV3 builds the Inception-v3 graph: convolutional stem, three
+// InceptionA modules, a grid reduction, four InceptionB modules with
+// factorized 7x7 convolutions, a second reduction, two InceptionC
+// modules, and the classification head.
+func inceptionV3(s Spec) *graph.Graph {
+	b := newBuilder(s.Batch, s.Size, s.Dev)
+
+	b.block("stem1", func() {
+		b.convSquare(32, 3, 2, 0)
+		b.convSquare(32, 3, 1, 0)
+		b.convSquare(64, 3, 1, 1)
+		b.pool(3, 2, 0)
+	})
+	b.block("stem2", func() {
+		b.convSquare(80, 1, 1, 0)
+		b.convSquare(192, 3, 1, 0)
+		b.pool(3, 2, 0)
+	})
+
+	// InceptionA: 1x1, 5x5 tower, double-3x3 tower, pool projection.
+	for i, poolProj := range []int{32, 64, 64} {
+		b.block(fmt.Sprintf("inceptA%d", i+1), func() {
+			b.branches(mergeConcat,
+				func() { b.convSquare(64, 1, 1, 0) },
+				func() {
+					b.convSquare(48, 1, 1, 0)
+					b.convSquare(64, 5, 1, 2)
+				},
+				func() {
+					b.convSquare(64, 1, 1, 0)
+					b.convSquare(96, 3, 1, 1)
+					b.convSquare(96, 3, 1, 1)
+				},
+				func() {
+					b.pool(3, 1, 1)
+					b.convSquare(poolProj, 1, 1, 0)
+				},
+			)
+		})
+	}
+
+	b.block("reductionA", func() {
+		b.branches(mergeConcat,
+			func() { b.convSquare(384, 3, 2, 0) },
+			func() {
+				b.convSquare(64, 1, 1, 0)
+				b.convSquare(96, 3, 1, 1)
+				b.convSquare(96, 3, 2, 0)
+			},
+			func() { b.pool(3, 2, 0) },
+		)
+	})
+
+	// InceptionB: factorized 7x7 towers.
+	for i, c7 := range []int{128, 160, 160, 192} {
+		b.block(fmt.Sprintf("inceptB%d", i+1), func() {
+			b.branches(mergeConcat,
+				func() { b.convSquare(192, 1, 1, 0) },
+				func() {
+					b.convSquare(c7, 1, 1, 0)
+					b.conv(c7, 1, 7, 1, 0, 3)
+					b.conv(192, 7, 1, 1, 3, 0)
+				},
+				func() {
+					b.convSquare(c7, 1, 1, 0)
+					b.conv(c7, 7, 1, 1, 3, 0)
+					b.conv(c7, 1, 7, 1, 0, 3)
+					b.conv(c7, 7, 1, 1, 3, 0)
+					b.conv(192, 1, 7, 1, 0, 3)
+				},
+				func() {
+					b.pool(3, 1, 1)
+					b.convSquare(192, 1, 1, 0)
+				},
+			)
+		})
+	}
+
+	b.block("reductionB", func() {
+		b.branches(mergeConcat,
+			func() {
+				b.convSquare(192, 1, 1, 0)
+				b.convSquare(320, 3, 2, 0)
+			},
+			func() {
+				b.convSquare(192, 1, 1, 0)
+				b.conv(192, 1, 7, 1, 0, 3)
+				b.conv(192, 7, 1, 1, 3, 0)
+				b.convSquare(192, 3, 2, 0)
+			},
+			func() { b.pool(3, 2, 0) },
+		)
+	})
+
+	// InceptionC: expanded filter-bank modules.
+	for i := 0; i < 2; i++ {
+		b.block(fmt.Sprintf("inceptC%d", i+1), func() {
+			b.branches(mergeConcat,
+				func() { b.convSquare(320, 1, 1, 0) },
+				func() {
+					b.convSquare(384, 1, 1, 0)
+					b.branches(mergeConcat,
+						func() { b.conv(384, 1, 3, 1, 0, 1) },
+						func() { b.conv(384, 3, 1, 1, 1, 0) },
+					)
+				},
+				func() {
+					b.convSquare(448, 1, 1, 0)
+					b.convSquare(384, 3, 1, 1)
+					b.branches(mergeConcat,
+						func() { b.conv(384, 1, 3, 1, 0, 1) },
+						func() { b.conv(384, 3, 1, 1, 1, 0) },
+					)
+				},
+				func() {
+					b.pool(3, 1, 1)
+					b.convSquare(192, 1, 1, 0)
+				},
+			)
+		})
+	}
+
+	b.block("head", func() {
+		b.globalPool()
+		b.fc(1000)
+	})
+	return b.graph()
+}

@@ -1,0 +1,117 @@
+// Package nets provides analytical profiles of the four networks the
+// MadPipe paper evaluates — ResNet-50, ResNet-101, Inception-v3 and
+// DenseNet-121 — at the paper's setting of 1000x1000 images and
+// mini-batch 8.
+//
+// The paper profiles real GPU executions; this package substitutes an
+// architectural walk: it reconstructs each network operator by operator
+// as a computational graph (package graph), infers tensor shapes, counts
+// FLOPs and parameters, converts FLOPs to durations with a simple
+// effective-throughput device model, and linearizes the graph into the
+// chain the planners consume with the clean-cut grouping the paper
+// inherits from PipeDream. The planners see only the resulting chain of
+// (uF, uB, W, a) tuples, so what matters for reproducing the paper is
+// the relative heterogeneity — early layers with enormous activations
+// and few weights, late layers with the opposite — which the
+// architectural walk preserves by construction.
+package nets
+
+import (
+	"fmt"
+	"strings"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/graph"
+)
+
+// Device converts FLOP counts into durations.
+type Device struct {
+	// PeakFLOPS is the accelerator's peak throughput in FLOP/s.
+	PeakFLOPS float64
+	// ConvEff, DenseEff and MemBoundEff are the fractions of peak
+	// achieved by convolutions, fully-connected layers, and memory-bound
+	// primitives (pooling, batch-norm, activation functions, merges).
+	ConvEff, DenseEff, MemBoundEff float64
+	// BackwardRatio is the backward/forward FLOP ratio (classically ~2:
+	// one pass for data gradients, one for weight gradients).
+	BackwardRatio float64
+}
+
+// DefaultDevice models a 2020-era data-center GPU (V100-class).
+func DefaultDevice() Device {
+	return Device{
+		PeakFLOPS:     15e12,
+		ConvEff:       0.45,
+		DenseEff:      0.25,
+		MemBoundEff:   0.05,
+		BackwardRatio: 2.0,
+	}
+}
+
+// Spec identifies a profiled network configuration.
+type Spec struct {
+	Name  string
+	Batch int
+	Size  int
+	Dev   Device
+}
+
+// PaperSpec returns the paper's evaluation setting for the given network
+// name: batch 8, image size 1000, default device.
+func PaperSpec(name string) Spec {
+	return Spec{Name: name, Batch: 8, Size: 1000, Dev: DefaultDevice()}
+}
+
+// Names lists the available networks in the paper's order.
+func Names() []string {
+	return []string{"resnet50", "resnet101", "inception", "densenet121"}
+}
+
+// BuildGraph constructs the op-level computational graph for a spec.
+func BuildGraph(s Spec) (*graph.Graph, string, error) {
+	if s.Batch < 1 || s.Size < 64 {
+		return nil, "", fmt.Errorf("nets: invalid spec %+v", s)
+	}
+	if s.Dev == (Device{}) {
+		s.Dev = DefaultDevice()
+	}
+	switch strings.ToLower(s.Name) {
+	case "resnet50":
+		return resnet(s, []int{3, 4, 6, 3}), "resnet50", nil
+	case "resnet101":
+		return resnet(s, []int{3, 4, 23, 3}), "resnet101", nil
+	case "inception", "inceptionv3", "inception-v3":
+		return inceptionV3(s), "inception", nil
+	case "densenet121", "densenet":
+		return densenet121(s), "densenet121", nil
+	default:
+		return nil, "", fmt.Errorf("nets: unknown network %q (have %v)", s.Name, Names())
+	}
+}
+
+// Build constructs the linearized chain for a spec.
+func Build(s Spec) (*chain.Chain, error) {
+	g, name, err := BuildGraph(s)
+	if err != nil {
+		return nil, err
+	}
+	return g.Linearize(name)
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(s Spec) *chain.Chain {
+	c, err := Build(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// All builds the paper's four networks at its evaluation setting.
+func All() []*chain.Chain {
+	out := make([]*chain.Chain, 0, len(Names()))
+	for _, n := range Names() {
+		out = append(out, MustBuild(PaperSpec(n)))
+	}
+	return out
+}

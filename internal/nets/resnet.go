@@ -1,0 +1,53 @@
+package nets
+
+import (
+	"fmt"
+
+	"madpipe/internal/graph"
+)
+
+// resnet builds ResNet-50/101/152-style graphs: a 7x7 stem, four stages
+// of bottleneck blocks (output channels 256/512/1024/2048, the middle 3x3
+// at a quarter of that), and a global-pool + fc head. blocks gives the
+// number of bottlenecks per stage (e.g. {3,4,6,3} for ResNet-50).
+func resnet(s Spec, blocks []int) *graph.Graph {
+	b := newBuilder(s.Batch, s.Size, s.Dev)
+
+	b.block("stem", func() {
+		b.convSquare(64, 7, 2, 3)
+		b.pool(3, 2, 1)
+	})
+
+	channels := []int{256, 512, 1024, 2048}
+	for stage, n := range blocks {
+		cout := channels[stage]
+		mid := cout / 4
+		for i := 0; i < n; i++ {
+			stride := 1
+			if stage > 0 && i == 0 {
+				stride = 2
+			}
+			b.block(fmt.Sprintf("res%d_%d", stage+2, i+1), func() {
+				needsProj := b.cur.c != cout || stride != 1
+				b.branches(mergeAdd,
+					func() {
+						b.convSquare(mid, 1, 1, 0)
+						b.convSquare(mid, 3, stride, 1)
+						b.convSquare(cout, 1, 1, 0)
+					},
+					func() {
+						if needsProj {
+							b.convSquare(cout, 1, stride, 0)
+						}
+					},
+				)
+			})
+		}
+	}
+
+	b.block("head", func() {
+		b.globalPool()
+		b.fc(1000)
+	})
+	return b.graph()
+}

@@ -1,0 +1,197 @@
+// Package onefoneb implements the 1F1B* algorithm of Section 4.1: given a
+// contiguous allocation and a feasible period T, it constructs the
+// periodic pattern that retains the provably minimal number of in-flight
+// activations on every processor (Proposition 1).
+//
+// Communications are handled through the paper's transformation: the
+// chain of N stages with communication costs becomes a virtual chain of
+// up to 2N-1 resources (stages interleaved with cut links) without
+// communication costs, on which the group construction runs unchanged.
+package onefoneb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+// Groups runs the 1F1B* group construction on a virtual chain for target
+// period T: starting from the last node, nodes are accumulated into the
+// current group while the group's total compute time stays within T; a
+// node that does not fit opens the next group. The returned slice maps
+// each node (chain order) to its 1-based group index; group 1 holds the
+// last node. Groups requires every node to satisfy UF+UB <= T, otherwise
+// it returns an error.
+func Groups(nodes []pattern.Node, T float64) ([]int, error) {
+	g := make([]int, len(nodes))
+	cur := 1
+	var load float64
+	for v := len(nodes) - 1; v >= 0; v-- {
+		u := nodes[v].UF + nodes[v].UB
+		if u > T+pattern.Eps {
+			return nil, fmt.Errorf("onefoneb: node %s has compute time %g > period %g", nodes[v].Name(), u, T)
+		}
+		if load+u > T+pattern.Eps {
+			cur++
+			load = 0
+		}
+		load += u
+		g[v] = cur
+	}
+	return g, nil
+}
+
+// Schedule builds the 1F1B* pattern for a contiguous allocation at period
+// T. It errors when the allocation is not contiguous or when T is below
+// the allocation's load-based period. The returned pattern always passes
+// pattern.ValidateIgnoringMemory; whether its memory peaks fit the
+// platform is the caller's concern (use MinFeasiblePeriod to enforce it).
+func Schedule(a *partition.Allocation, T float64) (*pattern.Pattern, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if !a.IsContiguous() {
+		return nil, fmt.Errorf("onefoneb: allocation is not contiguous: %v", a)
+	}
+	if lp := a.LoadPeriod(); T < lp-pattern.Eps {
+		return nil, fmt.Errorf("onefoneb: period %g below load bound %g", T, lp)
+	}
+	nodes := pattern.VirtualChain(a)
+	groups, err := Groups(nodes, T)
+	if err != nil {
+		return nil, err
+	}
+
+	// Unrolled timeline: absolute start tau and pre-reduction shift for
+	// every op, following the paper's connection rule — within a group,
+	// all forwards in sequence then all backwards in sequence without
+	// idle time; the next group's first forward starts right after this
+	// group's last forward, with the same (zero) forward shift. Backward
+	// ops of a node in group g carry pre-reduction shift g-1.
+	type abs struct {
+		tau   float64
+		shift int
+	}
+	fAbs := make([]abs, len(nodes))
+	bAbs := make([]abs, len(nodes))
+	cursor := 0.0
+	v := 0
+	for v < len(nodes) {
+		// Members of the current group: maximal run with equal index.
+		w := v
+		for w < len(nodes) && groups[w] == groups[v] {
+			w++
+		}
+		g := groups[v]
+		t := cursor
+		for i := v; i < w; i++ {
+			fAbs[i] = abs{tau: t, shift: 0}
+			t += nodes[i].UF
+		}
+		cursor = t // next group's first forward starts here
+		for i := w - 1; i >= v; i-- {
+			bAbs[i] = abs{tau: t, shift: g - 1}
+			t += nodes[i].UB
+		}
+		v = w
+	}
+
+	// Reduce modulo T: start = tau mod T, shift += floor(tau / T).
+	reduce := func(a abs) (float64, int) {
+		k := int(math.Floor(a.tau/T + pattern.Eps))
+		start := a.tau - float64(k)*T
+		if start < 0 {
+			start = 0
+		}
+		return start, a.shift + k
+	}
+
+	p := &pattern.Pattern{Alloc: a, Nodes: nodes, Period: T}
+	for i, n := range nodes {
+		fs, fh := reduce(fAbs[i])
+		bs, bh := reduce(bAbs[i])
+		p.Ops = append(p.Ops,
+			pattern.Op{Node: i, Half: pattern.Fwd, Start: fs, Dur: n.UF, Shift: fh},
+			pattern.Op{Node: i, Half: pattern.Bwd, Start: bs, Dur: n.UB, Shift: bh},
+		)
+	}
+	return p, nil
+}
+
+// CandidatePeriods returns the sorted set of period values at which the
+// group structure of the allocation's virtual chain can change: the
+// allocation's load-based period and every contiguous-range compute sum
+// of the virtual chain. The memory required by 1F1B* is a non-increasing
+// step function of T whose steps all occur at these values.
+func CandidatePeriods(a *partition.Allocation) []float64 {
+	nodes := pattern.VirtualChain(a)
+	lp := a.LoadPeriod()
+	set := map[float64]bool{lp: true}
+	for i := range nodes {
+		var s float64
+		for j := i; j < len(nodes); j++ {
+			s += nodes[j].UF + nodes[j].UB
+			if s >= lp {
+				set[s] = true
+			}
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MinFeasiblePeriod returns the smallest period at which the 1F1B*
+// schedule of the contiguous allocation fits the platform memory,
+// together with the schedule itself. Since 1F1B* is memory-optimal among
+// all periodic patterns of the partitioning (Proposition 1), this is the
+// optimal achievable period for the allocation. It returns
+// platform.ErrInfeasible (wrapped) when even a fully relaxed pipeline
+// (one in-flight activation everywhere) exceeds memory.
+func MinFeasiblePeriod(a *partition.Allocation) (float64, *pattern.Pattern, error) {
+	if err := a.Validate(); err != nil {
+		return 0, nil, err
+	}
+	cands := CandidatePeriods(a)
+	fits := func(t float64) (*pattern.Pattern, bool) {
+		p, err := Schedule(a, t)
+		if err != nil {
+			return nil, false
+		}
+		peaks := p.MemoryPeaks()
+		for _, m := range peaks {
+			if m > a.Plat.Memory+pattern.Eps {
+				return nil, false
+			}
+		}
+		return p, true
+	}
+	// Memory demand is non-increasing in T, so bisect over candidates.
+	lo, hi := 0, len(cands)-1
+	if _, ok := fits(cands[hi]); !ok {
+		return 0, nil, fmt.Errorf("onefoneb: allocation %v: %w", a, platform.ErrInfeasible)
+	}
+	if p, ok := fits(cands[lo]); ok {
+		return cands[lo], p, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if _, ok := fits(cands[mid]); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	p, ok := fits(cands[hi])
+	if !ok {
+		return 0, nil, fmt.Errorf("onefoneb: internal: bisection landed on infeasible period %g", cands[hi])
+	}
+	return cands[hi], p, nil
+}

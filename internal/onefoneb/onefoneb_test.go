@@ -1,0 +1,335 @@
+package onefoneb
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// evenAlloc splits a chain into n equal-length contiguous stages on n procs.
+func evenAlloc(c *chain.Chain, n int, plat platform.Platform) *partition.Allocation {
+	spans := make([]chain.Span, n)
+	procs := make([]int, n)
+	per := c.Len() / n
+	from := 1
+	for i := 0; i < n; i++ {
+		to := from + per - 1
+		if i == n-1 {
+			to = c.Len()
+		}
+		spans[i] = chain.Span{From: from, To: to}
+		procs[i] = i
+		from = to + 1
+	}
+	return &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+}
+
+func TestGroupsBasic(t *testing.T) {
+	// Three nodes with U = 4, 3, 2 and T = 5: from the end, {2,3}=5 fits,
+	// adding 4 would exceed, so groups are [2][1][1] reading chain order.
+	nodes := []pattern.Node{
+		{Kind: pattern.Compute, Stage: 1, UF: 2, UB: 2, Resource: pattern.GPUResource(0)},
+		{Kind: pattern.Compute, Stage: 2, UF: 1, UB: 2, Resource: pattern.GPUResource(1)},
+		{Kind: pattern.Compute, Stage: 3, UF: 1, UB: 1, Resource: pattern.GPUResource(2)},
+	}
+	g, err := Groups(nodes, 5)
+	if err != nil {
+		t.Fatalf("Groups: %v", err)
+	}
+	want := []int{2, 1, 1}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("Groups = %v, want %v", g, want)
+		}
+	}
+}
+
+func TestGroupsTooSmallPeriod(t *testing.T) {
+	nodes := []pattern.Node{{Kind: pattern.Compute, Stage: 1, UF: 3, UB: 3, Resource: pattern.GPUResource(0)}}
+	if _, err := Groups(nodes, 5); err == nil {
+		t.Fatalf("expected error when a node exceeds the period")
+	}
+}
+
+func TestGroupsMonotoneInT(t *testing.T) {
+	// Larger periods can only coarsen the grouping (group index per node
+	// is non-increasing in T) — the monotonicity MinFeasiblePeriod
+	// bisection relies on.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		nodes := make([]pattern.Node, n)
+		var maxU, total float64
+		for i := range nodes {
+			u := rng.Float64()*9 + 1
+			nodes[i] = pattern.Node{Kind: pattern.Compute, Stage: i + 1, UF: u / 2, UB: u / 2,
+				Resource: pattern.GPUResource(i)}
+			if u > maxU {
+				maxU = u
+			}
+			total += u
+		}
+		t1 := maxU + rng.Float64()*(total-maxU)
+		t2 := t1 + rng.Float64()*total
+		g1, err1 := Groups(nodes, t1)
+		g2, err2 := Groups(nodes, t2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Groups errored: %v %v", err1, err2)
+		}
+		for i := range g1 {
+			if g2[i] > g1[i] {
+				t.Fatalf("group index increased with T: T1=%g g1=%v, T2=%g g2=%v", t1, g1, t2, g2)
+			}
+		}
+	}
+}
+
+func TestScheduleRejectsNonContiguous(t *testing.T) {
+	c := chain.Uniform(4, 1, 2, 10, 10)
+	a := evenAlloc(c, 4, platform.Platform{Workers: 4, Memory: 1e6, Bandwidth: 1e3})
+	a.Procs = []int{0, 1, 0, 2}
+	if _, err := Schedule(a, 100); err == nil {
+		t.Fatalf("expected error for non-contiguous allocation")
+	}
+}
+
+func TestScheduleRejectsLowPeriod(t *testing.T) {
+	c := chain.Uniform(4, 1, 2, 10, 10)
+	a := evenAlloc(c, 2, platform.Platform{Workers: 2, Memory: 1e6, Bandwidth: 1e3})
+	if _, err := Schedule(a, a.LoadPeriod()/2); err == nil {
+		t.Fatalf("expected error below load period")
+	}
+}
+
+func TestScheduleValidAtLoadPeriod(t *testing.T) {
+	c := chain.MustNew("h", 50, []chain.Layer{
+		{UF: 1, UB: 2, W: 5, A: 40},
+		{UF: 2, UB: 3, W: 5, A: 30},
+		{UF: 1.5, UB: 2.5, W: 5, A: 20},
+		{UF: 1, UB: 1, W: 5, A: 10},
+	})
+	plat := platform.Platform{Workers: 4, Memory: 1e6, Bandwidth: 100}
+	a := evenAlloc(c, 4, plat)
+	p, err := Schedule(a, a.LoadPeriod())
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("pattern invalid: %v\n%s", err, p.Gantt(80))
+	}
+}
+
+func TestFirstForwardShiftZero(t *testing.T) {
+	c := chain.Uniform(6, 1, 2, 1, 1)
+	plat := platform.Platform{Workers: 3, Memory: 1e6, Bandwidth: 1e3}
+	a := evenAlloc(c, 3, plat)
+	p, err := Schedule(a, a.LoadPeriod()*1.2)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if f := p.OpOf(0, pattern.Fwd); f.Shift != 0 {
+		t.Fatalf("first forward shift = %d, want 0", f.Shift)
+	}
+}
+
+func TestActiveBatchesMatchGroups(t *testing.T) {
+	// Each virtual node's retained activation count must equal its group
+	// index (Section 4.1's key accounting result).
+	c := chain.MustNew("g", 10, []chain.Layer{
+		{UF: 2, UB: 2, W: 1, A: 10},
+		{UF: 2, UB: 2, W: 1, A: 10},
+		{UF: 2, UB: 2, W: 1, A: 10},
+		{UF: 2, UB: 2, W: 1, A: 10},
+	})
+	plat := platform.Platform{Workers: 4, Memory: 1e6, Bandwidth: 10}
+	a := evenAlloc(c, 4, plat)
+	T := a.LoadPeriod() * 1.1
+	p, err := Schedule(a, T)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := p.ValidateIgnoringMemory(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	groups, err := Groups(p.Nodes, T)
+	if err != nil {
+		t.Fatalf("Groups: %v", err)
+	}
+	for v := range p.Nodes {
+		if got := p.ActiveBatches(v); got != groups[v] {
+			t.Errorf("node %s: ActiveBatches = %d, group = %d\n%s",
+				p.Nodes[v].Name(), got, groups[v], p.Gantt(100))
+		}
+	}
+}
+
+// The central property test: for random heterogeneous chains, random
+// contiguous allocations and a sweep of periods, 1F1B* always produces a
+// pattern satisfying every dependency and exclusivity constraint.
+func TestScheduleAlwaysValidProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 2 + rng.Intn(12)
+		c := chain.Random(rng, nl, chain.DefaultRandomOptions())
+		nstages := 1 + rng.Intn(min(nl, 6))
+		plat := platform.Platform{Workers: nstages, Memory: 1e18, Bandwidth: 1e9 * (1 + rng.Float64()*20)}
+		// Random contiguous partition into nstages spans.
+		cuts := rng.Perm(nl - 1)
+		if nstages-1 > 0 {
+			cuts = cuts[:nstages-1]
+		} else {
+			cuts = nil
+		}
+		spans := spansFromCuts(nl, cuts)
+		procs := make([]int, len(spans))
+		for i := range procs {
+			procs[i] = i
+		}
+		a := &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+		lp := a.LoadPeriod()
+		for _, factor := range []float64{1, 1.05, 1.3, 2, 5} {
+			p, err := Schedule(a, lp*factor)
+			if err != nil {
+				t.Logf("seed %d: Schedule: %v", seed, err)
+				return false
+			}
+			if err := p.ValidateIgnoringMemory(); err != nil {
+				t.Logf("seed %d factor %g: %v\n%s", seed, factor, err, p.Gantt(100))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spansFromCuts(nl int, cuts []int) []chain.Span {
+	used := make([]bool, nl)
+	for _, c := range cuts {
+		used[c] = true // cut after layer c+1
+	}
+	var spans []chain.Span
+	from := 1
+	for l := 1; l <= nl; l++ {
+		if l == nl || used[l-1] {
+			spans = append(spans, chain.Span{From: from, To: l})
+			from = l + 1
+		}
+	}
+	return spans
+}
+
+func TestMinFeasiblePeriodMonotoneInMemory(t *testing.T) {
+	c := chain.ConvLike(12, 1.0, 2e9, 8e8)
+	base := platform.Platform{Workers: 4, Memory: 16e9, Bandwidth: 12e9}
+	a := evenAlloc(c, 4, base)
+	var prev float64
+	for _, m := range []float64{16e9, 12e9, 8e9, 6e9} {
+		a.Plat.Memory = m
+		T, p, err := MinFeasiblePeriod(a)
+		if err != nil {
+			t.Fatalf("M=%g: %v", m, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("M=%g: invalid pattern: %v", m, err)
+		}
+		if prev > 0 && T < prev-1e-9 {
+			t.Errorf("period decreased when memory shrank: M=%g T=%g prev=%g", m, T, prev)
+		}
+		prev = T
+	}
+}
+
+func TestMinFeasiblePeriodInfeasible(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1e9, 1e9)
+	a := evenAlloc(c, 2, platform.Platform{Workers: 2, Memory: 1e6, Bandwidth: 1e9})
+	_, _, err := MinFeasiblePeriod(a)
+	if !errors.Is(err, platform.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMinFeasiblePeriodIsMinimal(t *testing.T) {
+	// Brute-force check on a small instance: no candidate period below
+	// the returned one fits memory.
+	c := chain.MustNew("m", 100e6, []chain.Layer{
+		{UF: 1, UB: 2, W: 1e6, A: 90e6},
+		{UF: 2, UB: 3, W: 2e6, A: 60e6},
+		{UF: 2, UB: 2, W: 4e6, A: 30e6},
+		{UF: 1, UB: 2, W: 8e6, A: 10e6},
+	})
+	plat := platform.Platform{Workers: 4, Memory: 400e6, Bandwidth: 100e6}
+	a := evenAlloc(c, 4, plat)
+	T, _, err := MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatalf("MinFeasiblePeriod: %v", err)
+	}
+	for _, cand := range CandidatePeriods(a) {
+		if cand >= T-1e-9 {
+			continue
+		}
+		p, err := Schedule(a, cand)
+		if err != nil {
+			continue
+		}
+		if p.MaxMemoryPeak() <= plat.Memory {
+			t.Fatalf("candidate %g < T=%g fits memory; T not minimal", cand, T)
+		}
+	}
+}
+
+func TestMemoryNonIncreasingInT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := chain.Random(rng, 10, chain.DefaultRandomOptions())
+	plat := platform.Platform{Workers: 5, Memory: 1e18, Bandwidth: 12e9}
+	a := evenAlloc(c, 5, plat)
+	cands := CandidatePeriods(a)
+	prev := math.Inf(1)
+	for _, T := range cands {
+		p, err := Schedule(a, T)
+		if err != nil {
+			t.Fatalf("Schedule(%g): %v", T, err)
+		}
+		peak := p.MaxMemoryPeak()
+		if peak > prev+1 {
+			t.Fatalf("memory peak increased with T: %g -> %g at T=%g", prev, peak, T)
+		}
+		prev = peak
+	}
+}
+
+func TestCommNodesInVirtualChain(t *testing.T) {
+	c := chain.Uniform(4, 1, 2, 10, 50)
+	plat := platform.Platform{Workers: 2, Memory: 1e6, Bandwidth: 100}
+	a := evenAlloc(c, 2, plat)
+	nodes := pattern.VirtualChain(a)
+	if len(nodes) != 3 {
+		t.Fatalf("virtual chain has %d nodes, want 3 (2 stages + 1 comm)", len(nodes))
+	}
+	if nodes[1].Kind != pattern.Comm {
+		t.Fatalf("middle node should be a comm node")
+	}
+	if !almost(nodes[1].UF+nodes[1].UB, c.CommTime(2, 100)) {
+		t.Fatalf("comm node duration %g, want %g", nodes[1].UF+nodes[1].UB, c.CommTime(2, 100))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

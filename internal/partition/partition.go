@@ -1,0 +1,252 @@
+// Package partition defines the allocation vocabulary of the MadPipe
+// paper (Section 3): a *partitioning* of the layer chain into contiguous
+// *stages*, plus an *allocation* assigning each stage to a processor. An
+// allocation is *contiguous* when every processor hosts at most one
+// stage; MadPipe additionally considers allocations where one *special*
+// processor hosts several stages.
+//
+// The package provides the load-based period of an allocation (the
+// maximum busy time over processors and pairwise links) and exact static
+// memory accounting, shared by every planner and validator in the
+// repository.
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/platform"
+)
+
+// Allocation is a partitioning of a chain into stages together with the
+// processor hosting each stage. Stages are indexed 1..N in chain order in
+// the public API; internally slices are 0-based.
+type Allocation struct {
+	Chain *chain.Chain
+	Plat  platform.Platform
+	// Spans[i] is the layer range of stage i+1.
+	Spans []chain.Span
+	// Procs[i] is the 0-based processor hosting stage i+1.
+	Procs []int
+	// Weights selects the weight-versioning policy; the zero value is
+	// the paper's PipeDream-2BW discipline (3W per stage).
+	Weights chain.WeightPolicy
+}
+
+// Validate checks that the spans partition the chain and that processor
+// ids are within range.
+func (a *Allocation) Validate() error {
+	if a.Chain == nil {
+		return fmt.Errorf("allocation: nil chain")
+	}
+	if err := a.Plat.Validate(); err != nil {
+		return err
+	}
+	if err := a.Chain.CheckPartition(a.Spans); err != nil {
+		return err
+	}
+	if len(a.Procs) != len(a.Spans) {
+		return fmt.Errorf("allocation: %d stages but %d processor assignments", len(a.Spans), len(a.Procs))
+	}
+	for i, p := range a.Procs {
+		if p < 0 || p >= a.Plat.Workers {
+			return fmt.Errorf("allocation: stage %d assigned to processor %d, want [0,%d)", i+1, p, a.Plat.Workers)
+		}
+	}
+	return nil
+}
+
+// NumStages returns the number of stages N.
+func (a *Allocation) NumStages() int { return len(a.Spans) }
+
+// Span returns the layer range of stage s, 1 <= s <= NumStages().
+func (a *Allocation) Span(s int) chain.Span { return a.Spans[s-1] }
+
+// Proc returns the processor hosting stage s, 1 <= s <= NumStages().
+func (a *Allocation) Proc(s int) int { return a.Procs[s-1] }
+
+// StageU returns U(s) = UF(s) + UB(s), the compute load of stage s.
+func (a *Allocation) StageU(s int) float64 {
+	sp := a.Span(s)
+	return a.Chain.U(sp.From, sp.To)
+}
+
+// StageUF returns the forward duration of stage s.
+func (a *Allocation) StageUF(s int) float64 {
+	sp := a.Span(s)
+	return a.Chain.UF(sp.From, sp.To)
+}
+
+// StageUB returns the backward duration of stage s.
+func (a *Allocation) StageUB(s int) float64 {
+	sp := a.Span(s)
+	return a.Chain.UB(sp.From, sp.To)
+}
+
+// StageAStore returns ā(s): the activation bytes retained per in-flight
+// batch by stage s.
+func (a *Allocation) StageAStore(s int) float64 {
+	sp := a.Span(s)
+	return a.Chain.AStore(sp.From, sp.To)
+}
+
+// IsContiguous reports whether every processor hosts at most one stage.
+func (a *Allocation) IsContiguous() bool {
+	seen := make(map[int]bool, len(a.Procs))
+	for _, p := range a.Procs {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// StagesOn returns the (1-based) stage indices hosted by processor p, in
+// chain order.
+func (a *Allocation) StagesOn(p int) []int {
+	var out []int
+	for i, q := range a.Procs {
+		if q == p {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// CutActive reports whether the cut after stage s (1 <= s < NumStages())
+// crosses processors, i.e. actually induces a communication.
+func (a *Allocation) CutActive(s int) bool {
+	return a.Procs[s-1] != a.Procs[s]
+}
+
+// CutCommTime returns the busy time of the cut after stage s — two
+// transfers of a^(l) bytes under the platform's alpha-beta link model —
+// or 0 when both sides live on the same processor.
+func (a *Allocation) CutCommTime(s int) float64 {
+	if !a.CutActive(s) {
+		return 0
+	}
+	return a.Chain.CommTimeAlphaBeta(a.Span(s).To, a.Plat.Latency, a.Plat.Bandwidth)
+}
+
+// GPULoad returns the total compute time per period of processor p.
+func (a *Allocation) GPULoad(p int) float64 {
+	var u float64
+	for _, s := range a.StagesOn(p) {
+		u += a.StageU(s)
+	}
+	return u
+}
+
+// linkKey identifies the undirected link between two processors.
+type linkKey struct{ lo, hi int }
+
+func mkLink(p, q int) linkKey {
+	if p > q {
+		p, q = q, p
+	}
+	return linkKey{p, q}
+}
+
+// LinkLoads returns the busy time per period of every used pairwise link.
+// Cuts between the same pair of processors share a link, so their comm
+// times accumulate — this is the physically exact accounting (the
+// planners use the paper's per-cut approximation, which coincides for
+// contiguous allocations).
+func (a *Allocation) LinkLoads() map[[2]int]float64 {
+	loads := make(map[[2]int]float64)
+	for s := 1; s < a.NumStages(); s++ {
+		if !a.CutActive(s) {
+			continue
+		}
+		k := mkLink(a.Procs[s-1], a.Procs[s])
+		loads[[2]int{k.lo, k.hi}] += a.CutCommTime(s)
+	}
+	return loads
+}
+
+// LoadPeriod returns the smallest period achievable by the allocation if
+// memory were unconstrained: the maximum busy time over all processors
+// and links (Section 4.2 "period of an allocation").
+func (a *Allocation) LoadPeriod() float64 {
+	var t float64
+	for p := 0; p < a.Plat.Workers; p++ {
+		if u := a.GPULoad(p); u > t {
+			t = u
+		}
+	}
+	for _, u := range a.LinkLoads() {
+		if u > t {
+			t = u
+		}
+	}
+	return t
+}
+
+// StaticMemory returns the schedule-independent memory of processor p:
+// the fixed weight buffers of the policy (3W under the paper's
+// PipeDream-2BW discipline) per assigned stage plus 2a communication
+// buffers at every *active* cut adjacent to one of p's stages. The
+// per-in-flight-batch terms — activations and, under weight stashing,
+// extra weight versions — depend on the schedule and are accounted
+// separately (see pattern.MemoryPeaks).
+func (a *Allocation) StaticMemory(p int) float64 {
+	var m float64
+	fixed := a.Weights.Copies(0)
+	for _, s := range a.StagesOn(p) {
+		sp := a.Span(s)
+		m += fixed * a.Chain.SumW(sp.From, sp.To)
+		if s > 1 && a.CutActive(s-1) {
+			m += 2 * a.Chain.A(a.Span(s-1).To)
+		}
+		if s < a.NumStages() && a.CutActive(s) {
+			m += 2 * a.Chain.A(sp.To)
+		}
+	}
+	return m
+}
+
+// PerBatchBytes returns the bytes stage s holds per in-flight mini-batch:
+// its retained activations plus, under weight stashing, one weight
+// version.
+func (a *Allocation) PerBatchBytes(s int) float64 {
+	sp := a.Span(s)
+	return a.StageAStore(s) + (a.Weights.Copies(1)-a.Weights.Copies(0))*a.Chain.SumW(sp.From, sp.To)
+}
+
+// MinMemory returns the memory of processor p when every stage retains a
+// single in-flight batch — the floor of any valid pipelined schedule. If
+// this exceeds the platform memory, the allocation is infeasible at any
+// period.
+func (a *Allocation) MinMemory(p int) float64 {
+	m := a.StaticMemory(p)
+	for _, s := range a.StagesOn(p) {
+		m += a.PerBatchBytes(s)
+	}
+	return m
+}
+
+// Special returns the processor hosting more than one stage, or -1 when
+// the allocation is contiguous. Allocations built by MadPipe have at most
+// one such processor.
+func (a *Allocation) Special() int {
+	count := make(map[int]int)
+	for _, p := range a.Procs {
+		count[p]++
+		if count[p] > 1 {
+			return p
+		}
+	}
+	return -1
+}
+
+func (a *Allocation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "allocation of %q on %s:", a.Chain.Name(), a.Plat)
+	for i, sp := range a.Spans {
+		fmt.Fprintf(&b, " s%d%s@p%d", i+1, sp, a.Procs[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/platform"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func testAlloc(t *testing.T) *Allocation {
+	t.Helper()
+	c := chain.MustNew("t", 100, []chain.Layer{
+		{Name: "a", UF: 1, UB: 2, W: 10, A: 80},
+		{Name: "b", UF: 2, UB: 4, W: 20, A: 60},
+		{Name: "c", UF: 3, UB: 6, W: 30, A: 40},
+		{Name: "d", UF: 4, UB: 8, W: 40, A: 20},
+	})
+	return &Allocation{
+		Chain: c,
+		Plat:  platform.Platform{Workers: 3, Memory: 1e4, Bandwidth: 10},
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 3}, {From: 4, To: 4}},
+		Procs: []int{0, 1, 2},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	a := testAlloc(t)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := *a
+	bad.Procs = []int{0, 1, 3}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("out-of-range proc accepted")
+	}
+	bad = *a
+	bad.Procs = []int{0, 1}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	bad = *a
+	bad.Spans = []chain.Span{{From: 1, To: 2}, {From: 2, To: 3}, {From: 4, To: 4}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("overlapping spans accepted")
+	}
+}
+
+func TestStageAccessors(t *testing.T) {
+	a := testAlloc(t)
+	if got := a.StageU(2); !almost(got, 15) {
+		t.Errorf("StageU(2) = %g, want 15", got)
+	}
+	if got := a.StageUF(2); !almost(got, 5) {
+		t.Errorf("StageUF(2) = %g, want 5", got)
+	}
+	if got := a.StageUB(2); !almost(got, 10) {
+		t.Errorf("StageUB(2) = %g, want 10", got)
+	}
+	if got := a.StageAStore(2); !almost(got, 80+60) {
+		t.Errorf("StageAStore(2) = %g, want 140", got)
+	}
+}
+
+func TestContiguityAndSpecial(t *testing.T) {
+	a := testAlloc(t)
+	if !a.IsContiguous() {
+		t.Errorf("contiguous allocation not recognized")
+	}
+	if got := a.Special(); got != -1 {
+		t.Errorf("Special = %d, want -1", got)
+	}
+	a.Procs = []int{0, 1, 0}
+	if a.IsContiguous() {
+		t.Errorf("non-contiguous allocation reported contiguous")
+	}
+	if got := a.Special(); got != 0 {
+		t.Errorf("Special = %d, want 0", got)
+	}
+	if got := a.StagesOn(0); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("StagesOn(0) = %v, want [1 3]", got)
+	}
+}
+
+func TestCutsAndLoads(t *testing.T) {
+	a := testAlloc(t)
+	if !a.CutActive(1) || !a.CutActive(2) {
+		t.Errorf("cuts between distinct procs should be active")
+	}
+	// Cut after stage 1 transfers a^(1)=80 both ways at bandwidth 10.
+	if got := a.CutCommTime(1); !almost(got, 16) {
+		t.Errorf("CutCommTime(1) = %g, want 16", got)
+	}
+	if got := a.GPULoad(1); !almost(got, 15) {
+		t.Errorf("GPULoad(1) = %g, want 15", got)
+	}
+	// Load period: max(U stages, comm cuts) = max(3, 15, 12, 16, 8) = 16.
+	if got := a.LoadPeriod(); !almost(got, 16) {
+		t.Errorf("LoadPeriod = %g, want 16", got)
+	}
+	// Same-proc cut carries no communication.
+	a.Procs = []int{0, 0, 1}
+	if a.CutActive(1) {
+		t.Errorf("cut within one proc should be inactive")
+	}
+	if got := a.CutCommTime(1); got != 0 {
+		t.Errorf("CutCommTime of inactive cut = %g, want 0", got)
+	}
+}
+
+func TestLinkLoadsShareLink(t *testing.T) {
+	// Stages 1 and 3 on proc 0, stage 2 on proc 1: both cuts use the same
+	// undirected link and must accumulate.
+	a := testAlloc(t)
+	a.Plat.Workers = 2
+	a.Procs = []int{0, 1, 0}
+	loads := a.LinkLoads()
+	if len(loads) != 1 {
+		t.Fatalf("LinkLoads = %v, want a single shared link", loads)
+	}
+	want := a.Chain.CommTime(1, 10) + a.Chain.CommTime(3, 10)
+	if got := loads[[2]int{0, 1}]; !almost(got, want) {
+		t.Errorf("shared link load = %g, want %g", got, want)
+	}
+	if lp := a.LoadPeriod(); !almost(lp, want) {
+		t.Errorf("LoadPeriod = %g, want %g (link-bound)", lp, want)
+	}
+}
+
+func TestStaticMemory(t *testing.T) {
+	a := testAlloc(t)
+	// Proc 1 hosts stage 2 ([2,3]): 3*(20+30) + buffers 2*a1 + 2*a3.
+	want := 3*50.0 + 2*80 + 2*40
+	if got := a.StaticMemory(1); !almost(got, want) {
+		t.Errorf("StaticMemory(1) = %g, want %g", got, want)
+	}
+	// First proc: only right buffer.
+	want = 3*10.0 + 2*80
+	if got := a.StaticMemory(0); !almost(got, want) {
+		t.Errorf("StaticMemory(0) = %g, want %g", got, want)
+	}
+	// Inactive cut suppresses buffers.
+	a.Procs = []int{0, 0, 1}
+	want = 3*10 + 3*50.0 + 2*40 // stages 1+2 merged on proc0, only right buffer
+	if got := a.StaticMemory(0); !almost(got, want) {
+		t.Errorf("StaticMemory(0) with inactive cut = %g, want %g", got, want)
+	}
+}
+
+func TestMinMemory(t *testing.T) {
+	a := testAlloc(t)
+	want := a.StaticMemory(1) + a.StageAStore(2)
+	if got := a.MinMemory(1); !almost(got, want) {
+		t.Errorf("MinMemory(1) = %g, want %g", got, want)
+	}
+}
+
+func TestWeightPolicyAccounting(t *testing.T) {
+	a := testAlloc(t)
+	// Default (zero value) policy is the paper's 3W.
+	base := a.StaticMemory(1)
+	a.Weights = chain.StashedWeights()
+	// Fixed part under stashing is 1W: static drops by 2*sumW.
+	if got, want := a.StaticMemory(1), base-2*a.Chain.SumW(2, 3); !almost(got, want) {
+		t.Errorf("stashed static = %g, want %g", got, want)
+	}
+	// Per-batch bytes include one weight version under stashing.
+	if got, want := a.PerBatchBytes(2), a.StageAStore(2)+a.Chain.SumW(2, 3); !almost(got, want) {
+		t.Errorf("stashed PerBatchBytes = %g, want %g", got, want)
+	}
+	a.Weights = chain.TwoBufferedWeights()
+	if got, want := a.PerBatchBytes(2), a.StageAStore(2); !almost(got, want) {
+		t.Errorf("2BW PerBatchBytes = %g, want %g", got, want)
+	}
+	// MinMemory reflects the policy: at a single in-flight batch stashing
+	// holds 2W (one version + gradient) against 2BW's 3W.
+	stashed := minMemoryWith(a, chain.StashedWeights())
+	if got, want := a.MinMemory(1)-stashed, a.Chain.SumW(2, 3); !almost(got, want) {
+		t.Errorf("2BW - stashed MinMemory = %g, want %g (one weight copy)", got, want)
+	}
+}
+
+func minMemoryWith(a *Allocation, pol chain.WeightPolicy) float64 {
+	b := *a
+	b.Weights = pol
+	return b.MinMemory(1)
+}

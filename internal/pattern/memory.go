@@ -1,0 +1,99 @@
+package pattern
+
+import "math"
+
+// MemoryPeaks returns the exact steady-state memory peak of every GPU
+// under this pattern, in bytes:
+//
+//	peak(gpu) = static(gpu) + max_t sum_{stage s on gpu} count_s(t) * ā_s
+//
+// where static covers 3W weight storage plus active-cut communication
+// buffers (partition.Allocation.StaticMemory), and count_s(t) is the
+// number of in-flight activation sets stage s retains at time t: an
+// activation set is acquired when F_s starts and released when B_s ends.
+//
+// For an op with start t0, shift h and period T, the number of batches it
+// has begun (resp. finished) by absolute time k*T+t differs from k-h by a
+// floor term; subtracting the two yields, independently of k,
+//
+//	count(t) = (hB - hF) + floor((t - startF)/T) - floor((t - endB)/T).
+//
+// The count is piecewise constant, changing only at startF mod T and
+// endB mod T, so sampling just after those events per GPU is exact.
+//
+// Boundary convention: when a backward ends exactly when a forward starts
+// (retention an exact multiple of the period), the release is counted
+// before the acquisition — the transient double-hold has zero measure.
+// The floors therefore carry a relative guard of relTol, and the
+// simulator (package sim) coalesces events within the same tolerance.
+func (p *Pattern) MemoryPeaks() map[int]float64 {
+	type window struct {
+		startF, endB float64 // absolute within-period times; endB may exceed T
+		base         float64 // hB - hF
+		astore       float64
+	}
+	byGPU := make(map[int][]window)
+	for v, n := range p.Nodes {
+		if n.Kind != Compute || n.AStore == 0 {
+			continue
+		}
+		f, b := p.OpOf(v, Fwd), p.OpOf(v, Bwd)
+		if f == nil || b == nil {
+			continue
+		}
+		byGPU[n.Resource.GPU] = append(byGPU[n.Resource.GPU], window{
+			startF: f.Start,
+			endB:   b.End(),
+			base:   float64(b.Shift - f.Shift),
+			astore: n.AStore,
+		})
+	}
+	peaks := make(map[int]float64)
+	for gpu := 0; gpu < p.Alloc.Plat.Workers; gpu++ {
+		peaks[gpu] = p.Alloc.StaticMemory(gpu)
+	}
+	t := p.Period
+	for gpu, ws := range byGPU {
+		// Candidate peak instants: just after each event.
+		var events []float64
+		for _, w := range ws {
+			events = append(events, mod(w.startF, t)+2*Eps, mod(w.endB, t)+2*Eps)
+		}
+		var peak float64
+		for _, at := range events {
+			var m float64
+			for _, w := range ws {
+				count := w.base + math.Floor((at-w.startF)/t+relTol) - math.Floor((at-w.endB)/t+relTol)
+				m += count * w.astore
+			}
+			if m > peak {
+				peak = m
+			}
+		}
+		peaks[gpu] += peak
+	}
+	return peaks
+}
+
+// relTol is the relative (to the period) tolerance for the
+// free-before-alloc boundary convention.
+const relTol = 1e-7
+
+// MaxMemoryPeak returns the largest per-GPU peak.
+func (p *Pattern) MaxMemoryPeak() float64 {
+	var m float64
+	for _, v := range p.MemoryPeaks() {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func mod(x, t float64) float64 {
+	m := math.Mod(x, t)
+	if m < 0 {
+		m += t
+	}
+	return m
+}

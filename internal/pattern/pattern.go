@@ -1,0 +1,204 @@
+// Package pattern represents the periodic schedules of the MadPipe paper
+// (Section 3): a pattern of period T assigns to every forward, backward
+// and communication operation a resource, a starting time t in [0,T) and
+// an integer index shift h; in the k-th period the operation starts at
+// time k*T + t and processes mini-batch k - h.
+//
+// The package builds the "virtual chain" of an allocation — compute
+// stages interleaved with communication pseudo-stages, the 2P-1-resource
+// transformation of Section 4.1 — and provides exact validation
+// (dependencies, circular resource exclusivity, per-GPU memory peaks) so
+// that every schedule produced by any planner in this repository can be
+// checked against the model rather than trusted.
+package pattern
+
+import (
+	"fmt"
+	"math"
+
+	"madpipe/internal/partition"
+)
+
+// NodeKind distinguishes compute stages from communication pseudo-stages
+// in the virtual chain.
+type NodeKind int
+
+const (
+	// Compute is a stage of DNN layers running on a GPU.
+	Compute NodeKind = iota
+	// Comm is a cut communication: its forward half ships an activation,
+	// its backward half ships a gradient, both on the same link.
+	Comm
+)
+
+func (k NodeKind) String() string {
+	if k == Comm {
+		return "comm"
+	}
+	return "compute"
+}
+
+// Resource identifies a GPU or an undirected link between two GPUs.
+type Resource struct {
+	// GPU is the processor id, or -1 for a link.
+	GPU int
+	// Link holds the two endpoint processors (lo < hi) when GPU == -1.
+	Link [2]int
+}
+
+// GPUResource returns the resource of processor p.
+func GPUResource(p int) Resource { return Resource{GPU: p} }
+
+// LinkResource returns the resource of the link between p and q.
+func LinkResource(p, q int) Resource {
+	if p > q {
+		p, q = q, p
+	}
+	return Resource{GPU: -1, Link: [2]int{p, q}}
+}
+
+func (r Resource) IsLink() bool { return r.GPU < 0 }
+
+func (r Resource) String() string {
+	if r.IsLink() {
+		return fmt.Sprintf("link(%d,%d)", r.Link[0], r.Link[1])
+	}
+	return fmt.Sprintf("gpu%d", r.GPU)
+}
+
+// Node is one element of the virtual chain: a compute stage or a cut
+// communication, with its forward and backward durations and resource.
+type Node struct {
+	Kind NodeKind
+	// Stage is the 1-based stage index for compute nodes, or the cut
+	// index (the cut after stage Stage) for comm nodes.
+	Stage    int
+	UF, UB   float64
+	Resource Resource
+	// AStore is the bytes retained per in-flight batch (compute nodes
+	// only; zero for comm nodes): the stage's stored activations plus,
+	// under weight stashing, one weight version.
+	AStore float64
+}
+
+// Name returns a short identifier for the node.
+func (n Node) Name() string {
+	if n.Kind == Comm {
+		return fmt.Sprintf("c%d", n.Stage)
+	}
+	return fmt.Sprintf("s%d", n.Stage)
+}
+
+// VirtualChain expands an allocation into its virtual chain: compute
+// nodes in stage order, with a comm node inserted after every active cut
+// (Section 4.1's transformation of P resources with communications into
+// 2P-1 resources without). Inactive cuts — adjacent stages on the same
+// processor — produce no node.
+func VirtualChain(a *partition.Allocation) []Node {
+	var nodes []Node
+	n := a.NumStages()
+	for s := 1; s <= n; s++ {
+		nodes = append(nodes, Node{
+			Kind:     Compute,
+			Stage:    s,
+			UF:       a.StageUF(s),
+			UB:       a.StageUB(s),
+			Resource: GPUResource(a.Proc(s)),
+			AStore:   a.PerBatchBytes(s),
+		})
+		if s < n && a.CutActive(s) {
+			half := a.CutCommTime(s) / 2 // one direction: a/beta
+			nodes = append(nodes, Node{
+				Kind:     Comm,
+				Stage:    s,
+				UF:       half,
+				UB:       half,
+				Resource: LinkResource(a.Proc(s), a.Proc(s+1)),
+			})
+		}
+	}
+	return nodes
+}
+
+// Half distinguishes the forward and backward operation of a node.
+type Half int
+
+const (
+	// Fwd is the forward half (activation computation or transfer).
+	Fwd Half = iota
+	// Bwd is the backward half (gradient computation or transfer).
+	Bwd
+)
+
+func (h Half) String() string {
+	if h == Bwd {
+		return "B"
+	}
+	return "F"
+}
+
+// Op is one scheduled operation of the periodic pattern.
+type Op struct {
+	// Node indexes Pattern.Nodes.
+	Node int
+	Half Half
+	// Start is the starting time within the period, in [0, Period).
+	Start float64
+	// Dur is the operation duration; an op may spill past the period
+	// boundary (its end wraps into the next repetition).
+	Dur float64
+	// Shift is the index shift h: in period k the op processes batch k-h.
+	Shift int
+}
+
+// End returns Start+Dur (possibly beyond the period; callers handle wrap).
+func (o Op) End() float64 { return o.Start + o.Dur }
+
+// Pattern is a complete periodic schedule for an allocation.
+type Pattern struct {
+	Alloc  *partition.Allocation
+	Nodes  []Node
+	Period float64
+	// Ops contains exactly one Fwd and one Bwd op per node.
+	Ops []Op
+}
+
+// Throughput returns the steady-state rate in mini-batches per second.
+func (p *Pattern) Throughput() float64 {
+	if p.Period <= 0 {
+		return 0
+	}
+	return 1 / p.Period
+}
+
+// OpOf returns the op of the given node and half, or nil.
+func (p *Pattern) OpOf(node int, h Half) *Op {
+	for i := range p.Ops {
+		if p.Ops[i].Node == node && p.Ops[i].Half == h {
+			return &p.Ops[i]
+		}
+	}
+	return nil
+}
+
+// ActiveBatches returns, for node idx, the maximum number of in-flight
+// activation sets its stage retains — the g of Section 4.1. Batch j's
+// activations are acquired when F starts on it, at absolute time
+// (j+hF)*T + startF, and released when B ends on it, at
+// (j+hB)*T + startB + durB; the peak number held concurrently is the
+// ceiling of the retention span divided by the period.
+func (p *Pattern) ActiveBatches(idx int) int {
+	f, b := p.OpOf(idx, Fwd), p.OpOf(idx, Bwd)
+	if f == nil || b == nil {
+		return 0
+	}
+	retention := float64(b.Shift-f.Shift)*p.Period + b.End() - f.Start
+	if retention <= 0 {
+		return 0
+	}
+	return int(math.Ceil(retention/p.Period - 1e-9))
+}
+
+func (p *Pattern) String() string {
+	return fmt.Sprintf("pattern T=%.4fs ops=%d nodes=%d", p.Period, len(p.Ops), len(p.Nodes))
+}

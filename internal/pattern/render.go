@@ -1,0 +1,75 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Gantt renders the pattern as an ASCII chart with one row per resource
+// and width columns spanning one period — the textual analogue of the
+// paper's Figures 2 and 3. Forward ops are drawn with upper-case stage
+// digits, backward ops with lower-case letters for compute stages, and
+// '>'/'<' for communications; index shifts are appended per row.
+func (p *Pattern) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	resources := p.SortedResources()
+	rowOf := make(map[Resource]int, len(resources))
+	for i, r := range resources {
+		rowOf[r] = i
+	}
+	rows := make([][]byte, len(resources))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / p.Period
+
+	glyph := func(op Op) byte {
+		n := p.Nodes[op.Node]
+		if n.Kind == Comm {
+			if op.Half == Fwd {
+				return '>'
+			}
+			return '<'
+		}
+		d := byte('0' + n.Stage%10)
+		if op.Half == Bwd {
+			return 'a' + byte((n.Stage-1)%26)
+		}
+		return d
+	}
+
+	for _, op := range p.Ops {
+		if op.Dur <= 0 {
+			continue
+		}
+		row := rows[rowOf[p.Nodes[op.Node].Resource]]
+		from := int(math.Floor(op.Start * scale))
+		to := int(math.Ceil(op.End() * scale))
+		if to <= from {
+			to = from + 1
+		}
+		g := glyph(op)
+		for c := from; c < to; c++ {
+			row[c%width] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "period %.6gs\n", p.Period)
+	for i, r := range resources {
+		fmt.Fprintf(&b, "%-12s |%s|", r, rows[i])
+		var shifts []string
+		for v, n := range p.Nodes {
+			if n.Resource != r {
+				continue
+			}
+			f, bk := p.OpOf(v, Fwd), p.OpOf(v, Bwd)
+			shifts = append(shifts, fmt.Sprintf("%s[h=%d/%d]", n.Name(), f.Shift, bk.Shift))
+		}
+		fmt.Fprintf(&b, " %s\n", strings.Join(shifts, " "))
+	}
+	return b.String()
+}

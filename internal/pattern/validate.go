@@ -1,0 +1,212 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the absolute tolerance used when comparing schedule times.
+const Eps = 1e-9
+
+// Validate checks the pattern against the full model: structural
+// well-formedness, all data dependencies of Figure 1 under periodic
+// repetition, circular mutual exclusion on every resource, and per-GPU
+// memory peaks within the platform capacity. It returns nil when the
+// pattern is a valid schedule.
+func (p *Pattern) Validate() error {
+	if err := p.checkStructure(); err != nil {
+		return err
+	}
+	if err := p.checkDependencies(); err != nil {
+		return err
+	}
+	if err := p.checkExclusive(); err != nil {
+		return err
+	}
+	return p.checkMemory()
+}
+
+// ValidateIgnoringMemory runs every check except the memory-capacity one;
+// used to measure how much memory a schedule actually needs.
+func (p *Pattern) ValidateIgnoringMemory() error {
+	if err := p.checkStructure(); err != nil {
+		return err
+	}
+	if err := p.checkDependencies(); err != nil {
+		return err
+	}
+	return p.checkExclusive()
+}
+
+func (p *Pattern) checkStructure() error {
+	if p.Period <= 0 || math.IsNaN(p.Period) || math.IsInf(p.Period, 0) {
+		return fmt.Errorf("pattern: invalid period %g", p.Period)
+	}
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("pattern: no nodes")
+	}
+	seen := make(map[[2]int]bool, len(p.Ops))
+	for i, op := range p.Ops {
+		if op.Node < 0 || op.Node >= len(p.Nodes) {
+			return fmt.Errorf("pattern: op %d references node %d, want [0,%d)", i, op.Node, len(p.Nodes))
+		}
+		n := p.Nodes[op.Node]
+		want := n.UF
+		if op.Half == Bwd {
+			want = n.UB
+		}
+		if math.Abs(op.Dur-want) > Eps {
+			return fmt.Errorf("pattern: op %s%s has duration %g, node requires %g", n.Name(), op.Half, op.Dur, want)
+		}
+		if op.Start < -Eps || op.Start >= p.Period+Eps {
+			return fmt.Errorf("pattern: op %s%s starts at %g outside [0,%g)", n.Name(), op.Half, op.Start, p.Period)
+		}
+		if op.Dur > p.Period+Eps {
+			return fmt.Errorf("pattern: op %s%s duration %g exceeds period %g", n.Name(), op.Half, op.Dur, p.Period)
+		}
+		key := [2]int{op.Node, int(op.Half)}
+		if seen[key] {
+			return fmt.Errorf("pattern: duplicate op for node %s half %s", n.Name(), op.Half)
+		}
+		seen[key] = true
+	}
+	for i, n := range p.Nodes {
+		if !seen[[2]int{i, int(Fwd)}] || !seen[[2]int{i, int(Bwd)}] {
+			return fmt.Errorf("pattern: node %s is missing an operation", n.Name())
+		}
+	}
+	return nil
+}
+
+// dependency A -> B (same batch) under periodic repetition: B must start
+// no earlier than A ends in absolute batch time, i.e.
+//
+//	startB + T*shiftB >= startA + T*shiftA + durA.
+func (p *Pattern) depOK(a, b *Op) bool {
+	lhs := b.Start + p.Period*float64(b.Shift)
+	rhs := a.Start + p.Period*float64(a.Shift) + a.Dur
+	return lhs >= rhs-Eps
+}
+
+func (p *Pattern) checkDependencies() error {
+	n := len(p.Nodes)
+	for v := 0; v < n; v++ {
+		f := p.OpOf(v, Fwd)
+		b := p.OpOf(v, Bwd)
+		if v+1 < n {
+			fn := p.OpOf(v+1, Fwd)
+			bn := p.OpOf(v+1, Bwd)
+			if !p.depOK(f, fn) {
+				return fmt.Errorf("pattern: dependency %sF -> %sF violated", p.Nodes[v].Name(), p.Nodes[v+1].Name())
+			}
+			if !p.depOK(bn, b) {
+				return fmt.Errorf("pattern: dependency %sB -> %sB violated", p.Nodes[v+1].Name(), p.Nodes[v].Name())
+			}
+		}
+		// The turnaround at the end of the chain, and (redundantly but
+		// cheaply) F -> B on every node.
+		if !p.depOK(f, b) {
+			return fmt.Errorf("pattern: dependency %sF -> %sB violated", p.Nodes[v].Name(), p.Nodes[v].Name())
+		}
+	}
+	// By convention the shift of F on the first node is 0 (Section 3).
+	if f := p.OpOf(0, Fwd); f.Shift != 0 {
+		return fmt.Errorf("pattern: first forward op has shift %d, want 0", f.Shift)
+	}
+	return nil
+}
+
+// checkExclusive verifies that the operations mapped to each resource are
+// pairwise disjoint as circular intervals modulo the period.
+func (p *Pattern) checkExclusive() error {
+	byRes := make(map[Resource][]*Op)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		byRes[p.Nodes[op.Node].Resource] = append(byRes[p.Nodes[op.Node].Resource], op)
+	}
+	for res, ops := range byRes {
+		var load float64
+		for _, op := range ops {
+			load += op.Dur
+		}
+		if load > p.Period+Eps {
+			return fmt.Errorf("pattern: resource %s overloaded: busy %g > period %g", res, load, p.Period)
+		}
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				if circularOverlap(ops[i].Start, ops[i].Dur, ops[j].Start, ops[j].Dur, p.Period) {
+					return fmt.Errorf("pattern: ops %s%s [%.6g+%.6g) and %s%s [%.6g+%.6g) overlap on %s (T=%g)",
+						p.Nodes[ops[i].Node].Name(), ops[i].Half, ops[i].Start, ops[i].Dur,
+						p.Nodes[ops[j].Node].Name(), ops[j].Half, ops[j].Start, ops[j].Dur,
+						res, p.Period)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// circularOverlap reports whether intervals [s1,s1+d1) and [s2,s2+d2)
+// intersect modulo T, assuming s1, s2 in [0,T) and d1, d2 <= T.
+func circularOverlap(s1, d1, s2, d2, t float64) bool {
+	if d1 <= Eps || d2 <= Eps {
+		return false
+	}
+	for _, k := range []float64{-t, 0, t} {
+		lo := math.Max(s1, s2+k)
+		hi := math.Min(s1+d1, s2+d2+k)
+		if hi-lo > Eps {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pattern) checkMemory() error {
+	peaks := p.MemoryPeaks()
+	for gpu, peak := range peaks {
+		if peak > p.Alloc.Plat.Memory+Eps {
+			return fmt.Errorf("pattern: gpu%d needs %.3f GB, capacity %.3f GB",
+				gpu, peak/1e9, p.Alloc.Plat.Memory/1e9)
+		}
+	}
+	return nil
+}
+
+// ResourceUtilization returns, per resource, the fraction of the period
+// the resource is busy.
+func (p *Pattern) ResourceUtilization() map[Resource]float64 {
+	util := make(map[Resource]float64)
+	for _, op := range p.Ops {
+		util[p.Nodes[op.Node].Resource] += op.Dur / p.Period
+	}
+	return util
+}
+
+// SortedResources returns the pattern's resources, GPUs first then links,
+// in stable order — convenient for reporting.
+func (p *Pattern) SortedResources() []Resource {
+	set := make(map[Resource]bool)
+	for _, n := range p.Nodes {
+		set[n.Resource] = true
+	}
+	out := make([]Resource, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.IsLink() != b.IsLink() {
+			return !a.IsLink()
+		}
+		if !a.IsLink() {
+			return a.GPU < b.GPU
+		}
+		if a.Link[0] != b.Link[0] {
+			return a.Link[0] < b.Link[0]
+		}
+		return a.Link[1] < b.Link[1]
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+// Package pipedream implements the PipeDream partitioning algorithm used
+// as the state-of-the-art baseline in the MadPipe paper (Section 5.1): a
+// dynamic program that splits the layer chain into at most P contiguous
+// stages, one per GPU, minimizing the maximum busy time over stages and
+// cut links.
+//
+// PipeDream's memory model is optimistic: a stage that is q-th from the
+// end of the pipeline is assumed to retain exactly q in-flight
+// activations (so at most P everywhere), ignoring the extra pipeline
+// depth induced by communication stages — the paper shows (Section 4.1)
+// that up to 2P-1 copies may actually be needed. The resulting
+// partitioning must therefore be post-processed with 1F1B*
+// (onefoneb.MinFeasiblePeriod) to obtain a valid schedule, exactly as the
+// paper evaluates the baseline.
+package pipedream
+
+import (
+	"fmt"
+	"math"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
+)
+
+// Result is the outcome of the PipeDream planner.
+type Result struct {
+	// Alloc is the contiguous allocation: stage i on processor i-1.
+	Alloc *partition.Allocation
+	// PredictedPeriod is the period the planner believes its partitioning
+	// achieves (the dashed line of Figure 6). The valid-schedule period
+	// may be larger.
+	PredictedPeriod float64
+	// MemoryConstrained is true when the partitioning satisfied
+	// PipeDream's optimistic memory model; false when no partitioning
+	// did and the planner fell back to pure load balancing.
+	MemoryConstrained bool
+}
+
+// Plan runs the PipeDream dynamic program. When no partitioning fits the
+// optimistic memory model it falls back to the unconstrained load-balance
+// partitioning (MemoryConstrained=false) so that a downstream 1F1B* pass
+// can still try to schedule it.
+func Plan(c *chain.Chain, plat platform.Platform) (*Result, error) {
+	return PlanWithPolicy(c, plat, chain.TwoBufferedWeights())
+}
+
+// PlanWithPolicy is Plan under an explicit weight-versioning policy —
+// chain.StashedWeights() reproduces the original PipeDream's memory
+// behaviour that the paper's Section 2 discusses.
+func PlanWithPolicy(c *chain.Chain, plat platform.Platform, pol chain.WeightPolicy) (*Result, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if r, err := plan(c, plat, true, pol); err == nil {
+		return r, nil
+	}
+	r, err := plan(c, plat, false, pol)
+	if err != nil {
+		return nil, err
+	}
+	r.MemoryConstrained = false
+	return r, nil
+}
+
+// PlanUnconstrained runs the dynamic program with the memory model
+// disabled — pure load balancing over compute and communication.
+func PlanUnconstrained(c *chain.Chain, plat platform.Platform) (*Result, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := plan(c, plat, false, chain.TwoBufferedWeights())
+	if err != nil {
+		return nil, err
+	}
+	r.MemoryConstrained = false
+	return r, nil
+}
+
+// plan computes B(k,q): the minimal period for partitioning layers k..L
+// into exactly q stages, where the first stage of the suffix retains q
+// activation copies under the optimistic model. Transitions choose the
+// first stage [k,l] and pay max(U(k,l), C(l), B(l+1,q-1)).
+func plan(c *chain.Chain, plat platform.Platform, memCheck bool, pol chain.WeightPolicy) (*Result, error) {
+	L := c.Len()
+	P := plat.Workers
+	const inf = math.MaxFloat64
+
+	// b[k][q], 1 <= k <= L+1, 0 <= q <= P; cut[k][q] records the end of
+	// the chosen first stage for reconstruction.
+	b := make([][]float64, L+2)
+	cut := make([][]int, L+2)
+	for k := range b {
+		b[k] = make([]float64, P+1)
+		cut[k] = make([]int, P+1)
+		for q := range b[k] {
+			b[k][q] = inf
+			cut[k][q] = -1
+		}
+	}
+	b[L+1][0] = 0
+	for k := L; k >= 1; k-- {
+		for q := 1; q <= P; q++ {
+			for l := k; l <= L; l++ {
+				if b[l+1][q-1] == inf {
+					continue
+				}
+				if memCheck && c.StageMemoryWith(k, l, q, pol) > plat.Memory {
+					continue
+				}
+				cand := math.Max(c.U(k, l), b[l+1][q-1])
+				if l < L {
+					cand = math.Max(cand, c.CommTimeAlphaBeta(l, plat.Latency, plat.Bandwidth))
+				}
+				if cand < b[k][q] {
+					b[k][q] = cand
+					cut[k][q] = l
+				}
+			}
+		}
+	}
+
+	bestQ, bestT := -1, inf
+	for q := 1; q <= P; q++ {
+		if b[1][q] < bestT {
+			bestT = b[1][q]
+			bestQ = q
+		}
+	}
+	if bestQ < 0 {
+		return nil, fmt.Errorf("pipedream: %w", platform.ErrInfeasible)
+	}
+
+	var spans []chain.Span
+	k, q := 1, bestQ
+	for k <= L {
+		l := cut[k][q]
+		spans = append(spans, chain.Span{From: k, To: l})
+		k, q = l+1, q-1
+	}
+	procs := make([]int, len(spans))
+	for i := range procs {
+		procs[i] = i
+	}
+	alloc := &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs, Weights: pol}
+	if err := alloc.Validate(); err != nil {
+		return nil, fmt.Errorf("pipedream: internal: %w", err)
+	}
+	return &Result{Alloc: alloc, PredictedPeriod: bestT, MemoryConstrained: memCheck}, nil
+}

@@ -1,0 +1,198 @@
+package pipedream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/platform"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func plat(p int, m, bw float64) platform.Platform {
+	return platform.Platform{Workers: p, Memory: m, Bandwidth: bw}
+}
+
+func TestBalancedUniform(t *testing.T) {
+	// Uniform chain, ample memory, fast links: perfect split.
+	c := chain.Uniform(8, 1, 2, 1e3, 1e3)
+	r, err := Plan(c, plat(4, 1e12, 1e12))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if !almost(r.PredictedPeriod, c.TotalU()/4) {
+		t.Errorf("period %g, want %g", r.PredictedPeriod, c.TotalU()/4)
+	}
+	if n := r.Alloc.NumStages(); n != 4 {
+		t.Errorf("stages = %d, want 4", n)
+	}
+	if !r.Alloc.IsContiguous() {
+		t.Errorf("PipeDream must produce contiguous allocations")
+	}
+	if !r.MemoryConstrained {
+		t.Errorf("memory model should have been active")
+	}
+}
+
+func TestUsesFewerStagesWhenCommDominates(t *testing.T) {
+	// Huge activations and a slow network: cutting anywhere costs more
+	// than sequential execution, so the planner should pick one stage.
+	c := chain.Uniform(6, 1, 1, 1e3, 1e9)
+	r, err := Plan(c, plat(4, 1e12, 1)) // 2 GB over 1 B/s per cut
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if n := r.Alloc.NumStages(); n != 1 {
+		t.Errorf("stages = %d, want 1 (comm-bound)", n)
+	}
+	if !almost(r.PredictedPeriod, c.TotalU()) {
+		t.Errorf("period %g, want sequential %g", r.PredictedPeriod, c.TotalU())
+	}
+}
+
+func TestMemoryModelLimitsDepth(t *testing.T) {
+	// Each layer retains 1e9 bytes per in-flight batch while shipping
+	// only small activations between stages. A stage q-th from the end
+	// holds q copies under PipeDream's model, so with M = 3.7e9 a
+	// four-stage split (first stage: 4e9) is out, but a three-stage one
+	// ({1}{2}{3,4}: 3.2e9 / 2.4e9 / 2.2e9) fits.
+	layers := make([]chain.Layer, 4)
+	for i := range layers {
+		layers[i] = chain.Layer{UF: 1, UB: 1, W: 1, A: 1e8, AStore: 1e9}
+	}
+	c := chain.MustNew("m", 1e8, layers)
+	r, err := Plan(c, plat(4, 3.7e9, 1e12))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if !r.MemoryConstrained {
+		t.Fatalf("expected a memory-constrained plan")
+	}
+	n := r.Alloc.NumStages()
+	if n != 3 {
+		t.Errorf("stages = %d, want 3 (memory-limited depth)", n)
+	}
+	if !almost(r.PredictedPeriod, 4) {
+		t.Errorf("period = %g, want 4", r.PredictedPeriod)
+	}
+	// The estimate must be respected at every stage position.
+	for s := 1; s <= n; s++ {
+		q := n - s + 1
+		sp := r.Alloc.Span(s)
+		if got := c.StageMemory(sp.From, sp.To, q); got > 3.7e9 {
+			t.Errorf("stage %d violates PipeDream's own estimate: %g", s, got)
+		}
+	}
+}
+
+func TestFallbackWhenNothingFits(t *testing.T) {
+	// Memory far below any stage's floor: the constrained DP fails and
+	// the planner falls back to pure load balancing.
+	c := chain.Uniform(4, 1, 1, 1e9, 1e9)
+	r, err := Plan(c, plat(2, 1e3, 1e12))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if r.MemoryConstrained {
+		t.Errorf("expected fallback to unconstrained plan")
+	}
+}
+
+func TestPlanUnconstrained(t *testing.T) {
+	c := chain.Uniform(8, 1, 2, 1e9, 1e9)
+	r, err := PlanUnconstrained(c, plat(4, 1, 1e12))
+	if err != nil {
+		t.Fatalf("PlanUnconstrained: %v", err)
+	}
+	if r.MemoryConstrained {
+		t.Errorf("unconstrained plan flagged as constrained")
+	}
+	if !almost(r.PredictedPeriod, c.TotalU()/4) {
+		t.Errorf("period %g, want %g", r.PredictedPeriod, c.TotalU()/4)
+	}
+}
+
+func TestInvalidPlatform(t *testing.T) {
+	c := chain.Uniform(4, 1, 1, 1, 1)
+	if _, err := Plan(c, platform.Platform{}); err == nil {
+		t.Fatalf("invalid platform accepted")
+	}
+}
+
+// Property: the prediction is optimistic — the valid 1F1B* period of the
+// PipeDream allocation is never smaller than the prediction.
+func TestPredictionIsOptimistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		c := chain.Random(rng, 4+rng.Intn(10), chain.DefaultRandomOptions())
+		pl := plat(2+rng.Intn(4), 4e9+rng.Float64()*12e9, 12e9)
+		r, err := Plan(c, pl)
+		if err != nil {
+			continue
+		}
+		validT, _, err := onefoneb.MinFeasiblePeriod(r.Alloc)
+		if err != nil {
+			continue // prediction can even be entirely unschedulable
+		}
+		if validT < r.PredictedPeriod-1e-9 {
+			t.Fatalf("trial %d: valid period %g below prediction %g", trial, validT, r.PredictedPeriod)
+		}
+	}
+}
+
+// The DP must be optimal for its own model: brute-force small instances.
+func TestDPOptimalSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		c := chain.Random(rng, n, chain.DefaultRandomOptions())
+		pl := plat(3, 1e14, 12e9) // memory loose: pure load balance
+		r, err := Plan(c, pl)
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		best := bruteForce(c, pl)
+		if !almost(r.PredictedPeriod, best) {
+			t.Fatalf("trial %d: DP %g, brute force %g", trial, r.PredictedPeriod, best)
+		}
+	}
+}
+
+// bruteForce enumerates all contiguous partitions into at most 3 stages.
+func bruteForce(c *chain.Chain, pl platform.Platform) float64 {
+	L := c.Len()
+	best := c.TotalU()
+	eval := func(cuts []int) float64 {
+		period := 0.0
+		from := 1
+		prev := 0
+		for _, cut := range append(cuts, L) {
+			if cut <= prev {
+				return math.Inf(1)
+			}
+			period = math.Max(period, c.U(from, cut))
+			if cut < L {
+				period = math.Max(period, c.CommTime(cut, pl.Bandwidth))
+			}
+			from = cut + 1
+			prev = cut
+		}
+		return period
+	}
+	for c1 := 1; c1 < L; c1++ {
+		if v := eval([]int{c1}); v < best {
+			best = v
+		}
+		for c2 := c1 + 1; c2 < L; c2++ {
+			if v := eval([]int{c1, c2}); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+// mutate applies one random corruption to a pattern.
+func mutate(rng *rand.Rand, p *pattern.Pattern) string {
+	i := rng.Intn(len(p.Ops))
+	op := &p.Ops[i]
+	switch rng.Intn(5) {
+	case 0:
+		op.Start = rng.Float64() * p.Period
+		return "randomized start"
+	case 1:
+		if op.Shift > 0 && rng.Intn(2) == 0 {
+			op.Shift--
+			return "decremented shift"
+		}
+		op.Shift++
+		return "incremented shift"
+	case 2:
+		op.Dur *= 1 + rng.Float64()
+		return "inflated duration"
+	case 3:
+		p.Period *= 0.5 + rng.Float64()*0.4
+		return "shrunk period"
+	default:
+		p.Ops = append(p.Ops[:i], p.Ops[i+1:]...)
+		return "dropped op"
+	}
+}
+
+// TestValidatorSimulatorAgreement is the golden consistency property: on
+// randomly corrupted schedules, whenever the analytic validator accepts a
+// pattern, the discrete-event simulator must execute it without
+// violations. (The converse need not hold exactly: the validator also
+// checks structural properties like the shift normalization that the
+// simulator does not care about.)
+func TestValidatorSimulatorAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 3 + rng.Intn(6)
+		c := chain.Random(rng, nl, chain.DefaultRandomOptions())
+		nstages := 2 + rng.Intn(min(nl, 4)-1)
+		plat := platform.Platform{Workers: nstages, Memory: 1e18, Bandwidth: 12e9}
+		spans := evenSpans(nl, nstages)
+		procs := make([]int, nstages)
+		for i := range procs {
+			procs[i] = i
+		}
+		a := &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+		base, err := onefoneb.Schedule(a, a.LoadPeriod()*(1+rng.Float64()))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Restrict memory so the memory check is live too.
+		a.Plat.Memory = base.MaxMemoryPeak() * (0.8 + rng.Float64()*0.4)
+
+		for round := 0; round < 6; round++ {
+			p := clonePattern(base)
+			what := mutate(rng, p)
+			verr := p.Validate()
+			res, err := Run(p, 16)
+			if err != nil {
+				continue // structurally unusable; validator must agree
+			}
+			if verr == nil && len(res.Violations) > 0 {
+				t.Logf("seed %d: validator accepted a %s but simulator found: %v",
+					seed, what, res.Violations[0])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutationsAreCaught ensures the checks have teeth: across many
+// corrupted patterns, the validator must reject the overwhelming
+// majority (a random start occasionally lands in a valid slot, which is
+// fine).
+func TestMutationsAreCaught(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	caught, total := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		c := chain.Random(rng, 5, chain.DefaultRandomOptions())
+		plat := platform.Platform{Workers: 3, Memory: 1e18, Bandwidth: 12e9}
+		a := &partition.Allocation{Chain: c, Plat: plat,
+			Spans: evenSpans(5, 3), Procs: []int{0, 1, 2}}
+		base, err := onefoneb.Schedule(a, a.LoadPeriod()*1.05)
+		if err != nil {
+			continue
+		}
+		p := clonePattern(base)
+		mutate(rng, p)
+		total++
+		if p.Validate() != nil {
+			caught++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no trials")
+	}
+	if float64(caught) < 0.7*float64(total) {
+		t.Fatalf("validator caught only %d/%d mutations", caught, total)
+	}
+}
+
+func clonePattern(p *pattern.Pattern) *pattern.Pattern {
+	q := *p
+	q.Ops = append([]pattern.Op(nil), p.Ops...)
+	return &q
+}
+
+func evenSpans(nl, nstages int) []chain.Span {
+	spans := make([]chain.Span, nstages)
+	per := nl / nstages
+	from := 1
+	for i := 0; i < nstages; i++ {
+		to := from + per - 1
+		if i == nstages-1 {
+			to = nl
+		}
+		spans[i] = chain.Span{From: from, To: to}
+		from = to + 1
+	}
+	return spans
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

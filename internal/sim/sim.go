@@ -1,0 +1,254 @@
+// Package sim executes a periodic pattern on a simulated machine: every
+// operation of every period becomes a timed event on its GPU or link, and
+// the simulator independently re-checks what the analytic validator
+// asserts — data availability at each operation start, exclusive resource
+// use, and per-GPU memory occupancy over time — while measuring the
+// realized steady-state throughput. It is the ground truth behind every
+// period reported by the experiment harness: a schedule is only trusted
+// if the simulator executes it without violations.
+//
+// The pipeline fills gradually: in period k an operation with index shift
+// h processes mini-batch k-h, so operations whose batch index is negative
+// simply do not run during warm-up, exactly as a real pipelined training
+// run would behave.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"madpipe/internal/pattern"
+)
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Periods is the number of pattern repetitions simulated.
+	Periods int
+	// Completed is the number of mini-batches whose final backward
+	// operation finished.
+	Completed int
+	// Throughput is the measured steady-state rate (batches/second) over
+	// the second half of the run.
+	Throughput float64
+	// PeakMemory is the simulated per-GPU memory peak in bytes,
+	// including weights, communication buffers and live activations.
+	PeakMemory map[int]float64
+	// Violations lists every dependency, exclusivity or capacity breach
+	// observed; empty for a valid pattern.
+	Violations []string
+}
+
+const eps = 1e-9
+
+// event is one op occurrence on the unrolled timeline.
+type event struct {
+	node  int
+	half  pattern.Half
+	batch int
+	start float64
+	end   float64
+}
+
+// Run simulates the pattern for the given number of periods (at least 4;
+// the default when periods <= 0 is 32).
+func Run(p *pattern.Pattern, periods int) (*Result, error) {
+	if err := p.Alloc.Validate(); err != nil {
+		return nil, err
+	}
+	if periods <= 0 {
+		periods = 32
+	}
+	if periods < 4 {
+		periods = 4
+	}
+	T := p.Period
+	res := &Result{Periods: periods, PeakMemory: make(map[int]float64)}
+
+	var events []event
+	for k := 0; k < periods; k++ {
+		for _, op := range p.Ops {
+			batch := k - op.Shift
+			if batch < 0 {
+				continue
+			}
+			start := float64(k)*T + op.Start
+			events = append(events, event{
+				node: op.Node, half: op.Half, batch: batch,
+				start: start, end: start + op.Dur,
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		return events[i].end < events[j].end
+	})
+
+	res.checkDependencies(p, events)
+	res.checkResources(p, events)
+	res.simulateMemory(p, events)
+	res.measureThroughput(p, events, periods)
+	return res, nil
+}
+
+// violate records a violation, capping the list to keep reports readable.
+func (r *Result) violate(format string, args ...any) {
+	if len(r.Violations) < 64 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkDependencies verifies that every operation's inputs were produced
+// before it starts: F of the previous node (same batch) for forwards, B
+// of the next node plus the node's own F for backwards.
+func (r *Result) checkDependencies(p *pattern.Pattern, events []event) {
+	type key struct {
+		node  int
+		half  pattern.Half
+		batch int
+	}
+	done := make(map[key]float64, len(events))
+	for _, e := range events {
+		done[key{e.node, e.half, e.batch}] = e.end
+	}
+	avail := func(node int, half pattern.Half, batch int) (float64, bool) {
+		t, ok := done[key{node, half, batch}]
+		return t, ok
+	}
+	last := len(p.Nodes) - 1
+	for _, e := range events {
+		if e.half == pattern.Fwd {
+			if e.node == 0 {
+				continue
+			}
+			t, ok := avail(e.node-1, pattern.Fwd, e.batch)
+			if !ok || t > e.start+eps {
+				r.violate("F %s batch %d starts at %.6g before input ready (%.6g)",
+					p.Nodes[e.node].Name(), e.batch, e.start, t)
+			}
+			continue
+		}
+		if tf, ok := avail(e.node, pattern.Fwd, e.batch); !ok || tf > e.start+eps {
+			r.violate("B %s batch %d starts before its own forward", p.Nodes[e.node].Name(), e.batch)
+		}
+		if e.node < last {
+			t, ok := avail(e.node+1, pattern.Bwd, e.batch)
+			if !ok || t > e.start+eps {
+				r.violate("B %s batch %d starts at %.6g before gradient ready (%.6g)",
+					p.Nodes[e.node].Name(), e.batch, e.start, t)
+			}
+		}
+	}
+}
+
+// checkResources verifies exclusive use of every GPU and link.
+func (r *Result) checkResources(p *pattern.Pattern, events []event) {
+	byRes := make(map[pattern.Resource][]event)
+	for _, e := range events {
+		if e.end-e.start <= eps {
+			continue
+		}
+		res := p.Nodes[e.node].Resource
+		byRes[res] = append(byRes[res], e)
+	}
+	for res, evs := range byRes {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].start < evs[i-1].end-eps {
+				r.violate("resource %s: %s batch %d overlaps %s batch %d at t=%.6g",
+					res, p.Nodes[evs[i].node].Name(), evs[i].batch,
+					p.Nodes[evs[i-1].node].Name(), evs[i-1].batch, evs[i].start)
+			}
+		}
+	}
+}
+
+// simulateMemory replays activation lifetimes: a compute node acquires
+// its stored activations when its forward starts on a batch and releases
+// them when its backward on that batch ends. Static weights and
+// communication buffers are charged throughout.
+func (r *Result) simulateMemory(p *pattern.Pattern, events []event) {
+	type memEvent struct {
+		t     float64
+		delta float64
+		gpu   int
+	}
+	var mevs []memEvent
+	for _, e := range events {
+		nd := p.Nodes[e.node]
+		if nd.Kind != pattern.Compute || nd.AStore == 0 {
+			continue
+		}
+		gpu := nd.Resource.GPU
+		if e.half == pattern.Fwd {
+			mevs = append(mevs, memEvent{t: e.start, delta: nd.AStore, gpu: gpu})
+		} else {
+			mevs = append(mevs, memEvent{t: e.end, delta: -nd.AStore, gpu: gpu})
+		}
+	}
+	sort.Slice(mevs, func(i, j int) bool {
+		if mevs[i].t != mevs[j].t {
+			return mevs[i].t < mevs[j].t
+		}
+		return mevs[i].delta < mevs[j].delta // frees before allocs at ties
+	})
+	// Coalesce events within 1e-7 of a period of each other and apply
+	// frees before allocs inside each bundle — the model's
+	// free-before-alloc convention at exact boundaries (see
+	// pattern.MemoryPeaks). Without this, a backward ending precisely
+	// when the next forward starts would transiently double-count.
+	quantum := p.Period * 1e-7
+	for i := 0; i < len(mevs); {
+		j := i + 1
+		for j < len(mevs) && mevs[j].t-mevs[i].t <= quantum {
+			j++
+		}
+		if j > i+1 {
+			group := mevs[i:j]
+			sort.Slice(group, func(a, b int) bool { return group[a].delta < group[b].delta })
+		}
+		i = j
+	}
+	cur := make(map[int]float64)
+	for gpu := 0; gpu < p.Alloc.Plat.Workers; gpu++ {
+		static := p.Alloc.StaticMemory(gpu)
+		cur[gpu] = static
+		r.PeakMemory[gpu] = static
+	}
+	capacity := p.Alloc.Plat.Memory
+	reported := make(map[int]bool)
+	for _, me := range mevs {
+		cur[me.gpu] += me.delta
+		if cur[me.gpu] > r.PeakMemory[me.gpu] {
+			r.PeakMemory[me.gpu] = cur[me.gpu]
+		}
+		if cur[me.gpu] > capacity+1 && !reported[me.gpu] {
+			reported[me.gpu] = true
+			r.violate("gpu%d exceeds memory at t=%.6g: %.3f GB > %.3f GB",
+				me.gpu, me.t, cur[me.gpu]/1e9, capacity/1e9)
+		}
+	}
+}
+
+// measureThroughput counts completions of the chain-final backward (node
+// 0's B closes a batch) over the second half of the horizon.
+func (r *Result) measureThroughput(p *pattern.Pattern, events []event, periods int) {
+	T := p.Period
+	horizon := float64(periods) * T
+	window := horizon / 2
+	count := 0
+	total := 0
+	for _, e := range events {
+		if e.node == 0 && e.half == pattern.Bwd {
+			total++
+			if e.end > horizon-window && e.end <= horizon {
+				count++
+			}
+		}
+	}
+	r.Completed = total
+	if window > 0 {
+		r.Throughput = float64(count) / window
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/listsched"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+func evenAlloc(c *chain.Chain, n int, plat platform.Platform) *partition.Allocation {
+	spans := make([]chain.Span, n)
+	procs := make([]int, n)
+	per := c.Len() / n
+	from := 1
+	for i := 0; i < n; i++ {
+		to := from + per - 1
+		if i == n-1 {
+			to = c.Len()
+		}
+		spans[i] = chain.Span{From: from, To: to}
+		procs[i] = i
+		from = to + 1
+	}
+	return &partition.Allocation{Chain: c, Plat: plat, Spans: spans, Procs: procs}
+}
+
+func validPattern(t *testing.T) *pattern.Pattern {
+	t.Helper()
+	c := chain.MustNew("s", 50, []chain.Layer{
+		{UF: 1, UB: 2, W: 5, A: 40},
+		{UF: 2, UB: 3, W: 5, A: 30},
+		{UF: 1.5, UB: 2.5, W: 5, A: 20},
+		{UF: 1, UB: 1, W: 5, A: 10},
+	})
+	plat := platform.Platform{Workers: 4, Memory: 1e6, Bandwidth: 100}
+	a := evenAlloc(c, 4, plat)
+	T, p, err := onefoneb.MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatalf("MinFeasiblePeriod: %v", err)
+	}
+	_ = T
+	return p
+}
+
+func TestValidPatternNoViolations(t *testing.T) {
+	p := validPattern(t)
+	r, err := Run(p, 40)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+}
+
+func TestThroughputMatchesPeriod(t *testing.T) {
+	p := validPattern(t)
+	r, err := Run(p, 64)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := 1 / p.Period
+	if math.Abs(r.Throughput-want) > 0.05*want {
+		t.Fatalf("measured throughput %g, want ~%g", r.Throughput, want)
+	}
+	if r.Completed == 0 {
+		t.Fatalf("no batches completed")
+	}
+}
+
+func TestSimulatedMemoryMatchesAnalytic(t *testing.T) {
+	p := validPattern(t)
+	r, err := Run(p, 64)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	analytic := p.MemoryPeaks()
+	for gpu, want := range analytic {
+		got := r.PeakMemory[gpu]
+		if got > want+1 {
+			t.Errorf("gpu%d: simulated peak %g exceeds analytic %g", gpu, got, want)
+		}
+		// In steady state the analytic peak must actually be reached.
+		if got < want-1 {
+			t.Errorf("gpu%d: simulated peak %g below analytic %g (peak never realized?)", gpu, got, want)
+		}
+	}
+}
+
+func TestDetectsDependencyViolation(t *testing.T) {
+	p := validPattern(t)
+	// Pull some downstream forward earlier than its input allows.
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Node == 2 && op.Half == pattern.Fwd {
+			op.Start = 0
+			op.Shift = 0
+		}
+	}
+	r, err := Run(p, 16)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "before input ready") || strings.Contains(v, "overlaps") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation not detected: %v", r.Violations)
+	}
+}
+
+func TestDetectsMemoryOverflow(t *testing.T) {
+	p := validPattern(t)
+	p.Alloc.Plat.Memory = p.MaxMemoryPeak() * 0.5
+	r, err := Run(p, 16)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "exceeds memory") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("memory overflow not detected: %v", r.Violations)
+	}
+}
+
+func TestWarmupSkipsNegativeBatches(t *testing.T) {
+	p := validPattern(t)
+	r, err := Run(p, 8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// With shifts up to h, fewer than 8 batches can complete.
+	if r.Completed >= 8 {
+		t.Fatalf("completed %d batches in 8 periods; warm-up should reduce this", r.Completed)
+	}
+	if r.Completed == 0 {
+		t.Fatalf("nothing completed")
+	}
+}
+
+// End-to-end: whatever MadPipe plans, the simulator must execute without
+// violations and at the promised throughput.
+func TestMadPipePlansExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		c := chain.Random(rng, 10, chain.DefaultRandomOptions())
+		pl := platform.Platform{Workers: 4, Memory: 16e9, Bandwidth: 12e9}
+		plan, err := core.PlanAndSchedule(c, pl, core.Options{}, core.ScheduleOptions{})
+		if err != nil {
+			continue
+		}
+		r, err := Run(plan.Pattern, 48)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(r.Violations) != 0 {
+			t.Fatalf("trial %d: violations: %v\n%s", trial, r.Violations[:1], plan.Pattern.Gantt(100))
+		}
+		want := 1 / plan.Period
+		if math.Abs(r.Throughput-want) > 0.1*want {
+			t.Errorf("trial %d: throughput %g, want ~%g", trial, r.Throughput, want)
+		}
+	}
+}
+
+// Non-contiguous schedules from the list scheduler execute cleanly too.
+func TestListSchedulesExecute(t *testing.T) {
+	c := chain.MustNew("nc", 50, []chain.Layer{
+		{UF: 1, UB: 1.5, W: 10, A: 40},
+		{UF: 2, UB: 3, W: 10, A: 30},
+		{UF: 1, UB: 1.5, W: 10, A: 20},
+		{UF: 2, UB: 3, W: 10, A: 10},
+	})
+	plat := platform.Platform{Workers: 3, Memory: 1e6, Bandwidth: 1e3}
+	a := &partition.Allocation{
+		Chain: c, Plat: plat,
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 2}, {From: 3, To: 3}, {From: 4, To: 4}},
+		Procs: []int{2, 0, 2, 1},
+	}
+	_, p, err := listsched.MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatalf("listsched: %v", err)
+	}
+	r, err := Run(p, 40)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	p := validPattern(t)
+	r, err := Run(p, 0)
+	if err != nil || r.Periods != 32 {
+		t.Fatalf("default periods = %d, err %v", r.Periods, err)
+	}
+	r, err = Run(p, 2)
+	if err != nil || r.Periods != 4 {
+		t.Fatalf("minimum periods = %d, err %v", r.Periods, err)
+	}
+}

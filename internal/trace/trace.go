@@ -1,0 +1,125 @@
+// Package trace exports periodic patterns and their simulated executions
+// as Chrome trace-event JSON (the chrome://tracing and Perfetto format),
+// giving users a zoomable timeline of the pipeline: one lane per GPU and
+// link, one slice per operation, annotated with batch indices and index
+// shifts. cmd/madpipe -trace writes these files.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"madpipe/internal/pattern"
+)
+
+// Event is one Chrome trace event (the subset of fields we emit:
+// complete events, phase "X").
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// File is the top-level trace document.
+type File struct {
+	TraceEvents     []Event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+const secToUS = 1e6
+
+// laneIDs assigns stable thread ids: GPUs first, then links.
+func laneIDs(p *pattern.Pattern) (map[pattern.Resource]int, []pattern.Resource) {
+	resources := p.SortedResources()
+	ids := make(map[pattern.Resource]int, len(resources))
+	for i, r := range resources {
+		ids[r] = i + 1
+	}
+	return ids, resources
+}
+
+// FromPattern unrolls the pattern over the given number of periods into
+// trace events. Operations on mini-batches that have not entered the
+// pipeline yet (negative batch index during warm-up) are omitted, exactly
+// as in the simulator.
+func FromPattern(p *pattern.Pattern, periods int) *File {
+	if periods < 1 {
+		periods = 8
+	}
+	ids, resources := laneIDs(p)
+	f := &File{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"period_s":   fmt.Sprintf("%g", p.Period),
+			"throughput": fmt.Sprintf("%g batches/s", p.Throughput()),
+			"workers":    fmt.Sprintf("%d", p.Alloc.Plat.Workers),
+		},
+	}
+	// Metadata events: lane names.
+	for _, r := range resources {
+		f.TraceEvents = append(f.TraceEvents, Event{
+			Name: "thread_name", Ph: "M", PID: 1, TID: ids[r],
+			Args: map[string]string{"name": r.String()},
+		})
+	}
+	for k := 0; k < periods; k++ {
+		for _, op := range p.Ops {
+			batch := k - op.Shift
+			if batch < 0 || op.Dur <= 0 {
+				continue
+			}
+			n := p.Nodes[op.Node]
+			cat := "compute"
+			if n.Kind == pattern.Comm {
+				cat = "comm"
+			}
+			f.TraceEvents = append(f.TraceEvents, Event{
+				Name: fmt.Sprintf("%s%s b%d", n.Name(), op.Half, batch),
+				Cat:  cat,
+				Ph:   "X",
+				TS:   (float64(k)*p.Period + op.Start) * secToUS,
+				Dur:  op.Dur * secToUS,
+				PID:  1,
+				TID:  ids[n.Resource],
+				Args: map[string]string{
+					"batch": fmt.Sprintf("%d", batch),
+					"shift": fmt.Sprintf("%d", op.Shift),
+					"half":  op.Half.String(),
+				},
+			})
+		}
+	}
+	sortEvents(f.TraceEvents)
+	return f
+}
+
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ph != evs[j].Ph {
+			return evs[i].Ph == "M" // metadata first
+		}
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return evs[i].TID < evs[j].TID
+	})
+}
+
+// Write serializes the trace as JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WritePattern is a convenience wrapper: unroll and serialize.
+func WritePattern(w io.Writer, p *pattern.Pattern, periods int) error {
+	return FromPattern(p, periods).Write(w)
+}

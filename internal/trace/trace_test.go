@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/onefoneb"
+	"madpipe/internal/partition"
+	"madpipe/internal/pattern"
+	"madpipe/internal/platform"
+)
+
+func testPattern(t *testing.T) *pattern.Pattern {
+	t.Helper()
+	c := chain.MustNew("tr", 50, []chain.Layer{
+		{UF: 1, UB: 2, W: 5, A: 40},
+		{UF: 2, UB: 3, W: 5, A: 30},
+	})
+	a := &partition.Allocation{
+		Chain: c,
+		Plat:  platform.Platform{Workers: 2, Memory: 1e6, Bandwidth: 100},
+		Spans: []chain.Span{{From: 1, To: 1}, {From: 2, To: 2}},
+		Procs: []int{0, 1},
+	}
+	_, p, err := onefoneb.MinFeasiblePeriod(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromPatternStructure(t *testing.T) {
+	p := testPattern(t)
+	f := FromPattern(p, 4)
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("DisplayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var meta, slices int
+	lanes := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			lanes[e.TID] = true
+			if e.Dur <= 0 {
+				t.Errorf("slice with non-positive duration: %+v", e)
+			}
+			if e.Args["batch"] == "" {
+				t.Errorf("slice missing batch arg")
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	// 3 lanes: gpu0, gpu1, link(0,1).
+	if meta != 3 {
+		t.Errorf("metadata events = %d, want 3", meta)
+	}
+	if len(lanes) != 3 {
+		t.Errorf("lanes used = %d, want 3", len(lanes))
+	}
+	// Warm-up omits negative batches, so fewer than 4 * ops slices.
+	if slices >= 4*len(p.Ops) {
+		t.Errorf("warm-up not applied: %d slices", slices)
+	}
+	if slices == 0 {
+		t.Errorf("no slices emitted")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	p := testPattern(t)
+	f := FromPattern(p, 6)
+	seenSlice := false
+	lastTS := -1.0
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			if seenSlice {
+				t.Fatalf("metadata after slices")
+			}
+			continue
+		}
+		seenSlice = true
+		if e.TS < lastTS {
+			t.Fatalf("events not time-sorted: %g after %g", e.TS, lastTS)
+		}
+		lastTS = e.TS
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	p := testPattern(t)
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("round trip lost events")
+	}
+	s := buf.String()
+	for _, want := range []string{"traceEvents", "gpu0", "link(0,1)", "period_s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+func TestDefaultPeriods(t *testing.T) {
+	p := testPattern(t)
+	f := FromPattern(p, 0)
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("default periods produced no events")
+	}
+}
