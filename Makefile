@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test verify race bench bench-quick vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate (see ROADMAP.md): build, vet, full tests,
+# a -race smoke over the concurrent probe and sweep paths, and a one-shot
+# benchmark sanity run.
+verify: build vet test race
+	$(GO) test -run '^$$' -bench 'BenchmarkFig6ResNet50' -benchtime 1x .
+
+race:
+	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestSweepParallelDeterministic' ./internal/core/ ./internal/expt/
+
+# bench runs the regression suite, writes BENCH_<date>.json and fails on
+# ns/op or allocs/op regressions against the previous snapshot.
+bench:
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler' -benchtime 3x
+
+# bench-quick compares without recording a snapshot.
+bench-quick:
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP' -benchtime 3x -write=false

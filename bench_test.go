@@ -8,6 +8,11 @@
 // the headline metric of the corresponding figure through ReportMetric
 // (periods in milliseconds, ratios, speedups); cmd/experiments prints the
 // full tables on the paper's grid.
+//
+// Every benchmark is deterministic: all math/rand generators use fixed
+// seeds and the planners contain no randomness, so the metrics recorded
+// in BENCH_*.json by cmd/benchdiff are reproducible across runs and
+// comparable across commits.
 package madpipe
 
 import (
@@ -143,16 +148,23 @@ func BenchmarkAblationSpecialProcessor(b *testing.B) {
 }
 
 // BenchmarkMadPipeDP measures one MadPipe-DP invocation at the paper's
-// discretization (Section 5.1 reports seconds to minutes).
+// discretization (Section 5.1 reports seconds to minutes) and reports the
+// DP state throughput.
 func BenchmarkMadPipeDP(b *testing.B) {
 	c := benchChain(b, "resnet50")
 	plat := benchPlat(8, 12, 12)
 	that := c.TotalU() / 8
 	b.ResetTimer()
+	var states int64
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DP(c, plat, that, core.Options{}); err != nil {
+		res, err := core.DP(c, plat, that, core.Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		states += int64(res.States)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)/secs, "DPstates/s")
 	}
 }
 

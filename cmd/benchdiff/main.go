@@ -1,0 +1,231 @@
+// Command benchdiff is the repository's benchmark-regression harness. It
+// runs the root benchmark suite, records every metric (ns/op, B/op,
+// allocs/op and the custom ReportMetric values such as DPstates/s) in a
+// BENCH_<date>.json snapshot, and compares the run against the most
+// recent previous snapshot so a PR can prove it did not regress the
+// planner's hot paths.
+//
+//	go run ./cmd/benchdiff                  # run, compare, write snapshot
+//	go run ./cmd/benchdiff -write=false     # compare only
+//	go run ./cmd/benchdiff -old BENCH_2026-08-01.json
+//	go run ./cmd/benchdiff -bench 'Fig6|MadPipeDP' -benchtime 5x
+//
+// Exit status is 1 when any benchmark regresses more than -threshold on
+// ns/op or allocs/op (lower is better for both); custom metrics are
+// informational. The benchmarks are deterministic (fixed seeds), so
+// allocs/op comparisons are exact; ns/op carries machine noise — pick a
+// threshold accordingly or pin -benchtime.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the on-disk BENCH_<date>.json format.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	Go        string   `json:"go"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// Result holds every metric of one benchmark, keyed by unit.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "Benchmark", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "3x", "value passed to go test -benchtime")
+		dir       = flag.String("dir", ".", "directory holding the BENCH_*.json snapshots")
+		old       = flag.String("old", "", "previous snapshot to compare against (default: newest BENCH_*.json in -dir)")
+		write     = flag.Bool("write", true, "write BENCH_<date>.json after the run")
+		threshold = flag.Float64("threshold", 0.10, "relative regression tolerated on ns/op and allocs/op")
+	)
+	flag.Parse()
+
+	out, err := runBenchmarks(*bench, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	results := parseBench(out)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed; output was:\n%s", out))
+	}
+	cur := &Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		Go:        runtime.Version(),
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		Results:   results,
+	}
+
+	prevPath := *old
+	if prevPath == "" {
+		prevPath = latestSnapshot(*dir)
+	}
+	regressed := false
+	if prevPath == "" {
+		fmt.Println("benchdiff: no previous BENCH_*.json snapshot; nothing to compare")
+	} else {
+		prev, err := readSnapshot(prevPath)
+		if err != nil {
+			fatal(err)
+		}
+		regressed = compare(prev, cur, prevPath, *threshold)
+	}
+
+	if *write {
+		path := filepath.Join(*dir, "BENCH_"+cur.Date+".json")
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: snapshot written to %s\n", path)
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func runBenchmarks(bench, benchtime string) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, "."}
+	fmt.Fprintf(os.Stderr, "benchdiff: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("benchdiff: go test failed: %w\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// parseBench extracts results from `go test -bench` output lines of the
+// form:
+//
+//	BenchmarkName-8  5  60568631 ns/op  353.7 custom-unit  276681 B/op  2024 allocs/op
+func parseBench(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the GOMAXPROCS suffix so snapshots from machines with
+			// different core counts stay comparable.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[f[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func latestSnapshot(dir string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches) // dates are ISO: lexical order is chronological
+	return matches[len(matches)-1]
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare prints a delta table and reports whether any benchmark
+// regressed beyond the threshold on a lower-is-better metric.
+func compare(prev, cur *Snapshot, prevPath string, threshold float64) bool {
+	prevBy := map[string]Result{}
+	for _, r := range prev.Results {
+		prevBy[r.Name] = r
+	}
+	fmt.Printf("benchdiff: comparing against %s (%s)\n", prevPath, prev.Date)
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark/metric", "old", "new", "delta")
+	regressed := false
+	for _, r := range cur.Results {
+		p, ok := prevBy[r.Name]
+		if !ok {
+			fmt.Printf("%-28s %14s %14s %8s\n", r.Name, "-", "-", "new")
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			nv := r.Metrics[u]
+			ov, had := p.Metrics[u]
+			label := r.Name + " " + u
+			if !had {
+				fmt.Printf("%-28s %14s %14.4g %8s\n", label, "-", nv, "new")
+				continue
+			}
+			delta := "0%"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			flag := ""
+			if lowerIsBetter(u) && ov > 0 && nv > ov*(1+threshold) {
+				flag = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Printf("%-28s %14.4g %14.4g %8s%s\n", label, ov, nv, delta, flag)
+		}
+	}
+	return regressed
+}
+
+// lowerIsBetter gates which metrics can fail the run: time and
+// allocations. B/op and custom ReportMetric values are informational
+// (ratios and throughputs have no universal direction).
+func lowerIsBetter(unit string) bool {
+	return unit == "ns/op" || unit == "allocs/op"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: madpipe
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig6ResNet50 	       5	  60568631 ns/op	       353.7 madpipe-ms	       495.3 pipedream-ms	         1.400 ratio	  276681 B/op	    2024 allocs/op
+BenchmarkMadPipeDP-8  	       3	   5932725 ns/op	    2440 B/op	      11 allocs/op
+PASS
+ok  	madpipe	0.944s
+`
+
+func TestParseBench(t *testing.T) {
+	results := parseBench(sample)
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	fig6 := results[0]
+	if fig6.Name != "Fig6ResNet50" || fig6.Iterations != 5 {
+		t.Fatalf("bad first result: %+v", fig6)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 60568631, "B/op": 276681, "allocs/op": 2024,
+		"madpipe-ms": 353.7, "pipedream-ms": 495.3, "ratio": 1.4,
+	} {
+		if got := fig6.Metrics[unit]; got != want {
+			t.Errorf("Fig6 %s = %g, want %g", unit, got, want)
+		}
+	}
+	// The -8 GOMAXPROCS suffix must be stripped for cross-machine diffs.
+	if results[1].Name != "MadPipeDP" {
+		t.Errorf("suffix not stripped: %q", results[1].Name)
+	}
+	if results[1].Metrics["ns/op"] != 5932725 {
+		t.Errorf("MadPipeDP ns/op = %g", results[1].Metrics["ns/op"])
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	prev := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}}}}
+	same := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 105, "allocs/op": 10}}}}
+	if compare(prev, same, "prev.json", 0.10) {
+		t.Errorf("5%% slowdown flagged at 10%% threshold")
+	}
+	worse := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 150, "allocs/op": 10}}}}
+	if !compare(prev, worse, "prev.json", 0.10) {
+		t.Errorf("50%% slowdown not flagged")
+	}
+	moreAllocs := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 20}}}}
+	if !compare(prev, moreAllocs, "prev.json", 0.10) {
+		t.Errorf("2x allocs not flagged")
+	}
+}

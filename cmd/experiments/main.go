@@ -29,6 +29,7 @@ func main() {
 		csvFile  = flag.String("csv", "", "also write the raw sweep to this CSV file")
 		ilp      = flag.Duration("ilp", 500*time.Millisecond, "exact-scheduler budget per allocation (0 disables)")
 		maxChain = flag.Int("maxchain", 24, "coarsen profiles to at most this many nodes")
+		jobs     = flag.Int("j", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		verbose  = flag.Bool("v", false, "print each configuration as it completes")
 	)
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 	runner := expt.DefaultRunner()
 	runner.ILPBudget = *ilp
 	runner.MaxChain = *maxChain
+	runner.Parallel = *jobs
 
 	if *fig == "gap" { // standalone: exhaustive search on small instances
 		trials, err := runner.OptimalityGap(6, 7, 45*time.Second)

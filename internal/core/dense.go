@@ -1,0 +1,119 @@
+package core
+
+import "sync"
+
+// The dense DP table replaces the hash-map memo of the original
+// implementation: one flat preallocated array indexed by the packed state
+// (l, p, t_P index, m_P index, V index). Presence is tracked with an
+// epoch stamp folded into the per-state metadata word, so re-probing the
+// same planner at a new target period T̂ only bumps the stamp instead of
+// clearing or reallocating hundreds of megabytes. Tables are recycled
+// through a sync.Pool so a full Algorithm 1 run — and a whole sweep —
+// performs O(1) table allocations.
+
+// denseMaxStates bounds the dense table size (states, not bytes; each
+// state costs 12 bytes). Shapes beyond the cap — very long uncoarsened
+// chains — fall back to the legacy map-based DP, which only pays for
+// reachable states.
+const denseMaxStates = 1 << 25
+
+// metaStampShift packs the epoch stamp in the high 16 bits of the meta
+// word; the low bits hold the reconstruction decision: (k+1) in bits
+// 2..15 and the special-processor flag in bit 1. A state is present iff
+// its stamp matches the table's current stamp.
+const (
+	metaStampShift = 16
+	metaKShift     = 2
+	metaKMask      = 0x3FFF
+	metaSpecialBit = 1 << 1
+)
+
+// denseMaxL is the largest chain length representable in the meta word's
+// k field (k+1 must fit in 14 bits).
+const denseMaxL = metaKMask - 1
+
+type dpTable struct {
+	period []float64
+	meta   []uint32
+	stamp  uint32
+	states int // entries stored under the current stamp
+
+	nL, nP, nT, nM, nV int
+	size               int
+}
+
+// fits reports whether the dense table can represent the given shape.
+func denseFits(l, normals, nT, nM, nV int) bool {
+	if l > denseMaxL {
+		return false
+	}
+	size := (l + 1) * (normals + 1) * nT * nM * nV
+	return size <= denseMaxStates
+}
+
+// reset prepares the table for one DP run over the given shape, reusing
+// the backing arrays whenever they are large enough.
+func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
+	t.nL, t.nP, t.nT, t.nM, t.nV = nL, nP, nT, nM, nV
+	t.size = nL * nP * nT * nM * nV
+	t.states = 0
+	if cap(t.period) < t.size {
+		t.period = make([]float64, t.size)
+		t.meta = make([]uint32, t.size)
+		t.stamp = 1
+		return
+	}
+	t.period = t.period[:t.size]
+	t.meta = t.meta[:t.size]
+	t.stamp++
+	if t.stamp >= 1<<metaStampShift {
+		// Stamp space exhausted: clear and restart. This happens once
+		// every 65535 probes per pooled table, so the wipe is amortized
+		// to nothing.
+		clear(t.meta)
+		t.stamp = 1
+	}
+}
+
+func (t *dpTable) idx(l, p, itP, imP, iV int) int {
+	return (((l*t.nP+p)*t.nT+itP)*t.nM+imP)*t.nV + iV
+}
+
+func (t *dpTable) get(idx int) (dpEntry, bool) {
+	m := t.meta[idx]
+	if m>>metaStampShift != t.stamp {
+		return dpEntry{}, false
+	}
+	return dpEntry{
+		period:  t.period[idx],
+		k:       int16(int32(m>>metaKShift&metaKMask) - 1),
+		special: m&metaSpecialBit != 0,
+	}, true
+}
+
+// getPeriod is the hot-path lookup: it avoids materializing a dpEntry.
+func (t *dpTable) getPeriod(idx int) (float64, bool) {
+	if t.meta[idx]>>metaStampShift != t.stamp {
+		return 0, false
+	}
+	return t.period[idx], true
+}
+
+func (t *dpTable) put(idx int, e dpEntry) {
+	m := t.stamp<<metaStampShift | uint32(int32(e.k)+1)<<metaKShift
+	if e.special {
+		m |= metaSpecialBit
+	}
+	t.meta[idx] = m
+	t.period[idx] = e.period
+	t.states++
+}
+
+var tablePool = sync.Pool{New: func() any { return new(dpTable) }}
+
+// acquireTable leases a dense table from the arena; pair with
+// releaseTable. Each table serves exactly one goroutine at a time (see
+// the package comment for the concurrency invariants).
+func acquireTable() *dpTable { return tablePool.Get().(*dpTable) }
+
+func releaseTable(t *dpTable) { tablePool.Put(t) }

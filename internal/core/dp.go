@@ -5,6 +5,34 @@
 // followed by a target-period binary search (Algorithm 1) and a
 // scheduling phase that turns the allocation into a valid periodic
 // pattern.
+//
+// # Performance
+//
+// The DP T(l, p, t_P, m_P, V) is the planner's hot path: Algorithm 1
+// re-runs it at every binary-search probe and the experiment sweeps
+// re-run Algorithm 1 across dozens of configurations. The implementation
+// therefore evaluates the recurrence with an explicit work stack over a
+// dense preallocated table (see dense.go) instead of recursing through a
+// hash-map memo, and hoists every per-(k,l) invariant — prefix compute
+// times, link busy times, the components of the stage-memory formula —
+// into flat slices built once per dpRun. Chains too long for the dense
+// table fall back to the legacy map-based DP (dp_map.go), which computes
+// bit-identical results.
+//
+// # Concurrency invariants
+//
+// The planner is safe for concurrent use under the following rules,
+// relied upon by the speculative parallel probes of PlanAllocation and
+// by the parallel sweeps in internal/expt:
+//
+//   - chain.Chain and platform.Platform are immutable; any number of
+//     goroutines may plan over the same chain concurrently.
+//   - A dpRun (and the dense table it leases from the arena) belongs to
+//     exactly one goroutine from acquire to release. Tables are never
+//     shared; cross-probe reuse happens only sequentially on the same
+//     goroutine via the epoch stamp.
+//   - Reconstructed allocations are fresh per run and carry no pointers
+//     into pooled state.
 package core
 
 import (
@@ -41,7 +69,7 @@ func (d Discretization) validate() error {
 const inf = math.MaxFloat64
 
 // dpRun holds the state of one MadPipe-DP invocation for a fixed target
-// period T̂.
+// period T̂. A dpRun (and its table) is used by a single goroutine.
 type dpRun struct {
 	c    *chain.Chain
 	plat platform.Platform
@@ -53,7 +81,21 @@ type dpRun struct {
 	stepT, stepM, stepV float64
 	nT, nM, nV          int
 
-	memo map[uint64]dpEntry
+	// Hoisted invariants, all indexed like the chain's prefix sums so
+	// that the hot loop never leaves this struct:
+	//
+	//	uTo[i]    = U(1,i)             (uTo[0] = 0)
+	//	sumWTo[i] = sum of W over 1..i
+	//	asTo[i]   = sum of AStore over 1..i
+	//	twoA[i]   = 2 * A(i)
+	//	cLeft[k]  = C(k-1), the link busy time left of layer k
+	uTo, sumWTo, asTo, twoA, cLeft []float64
+	wFixed, wPerBatch              float64
+	mem                            float64
+	L                              int
+
+	tab   *dpTable
+	stack []dpFrame
 }
 
 type dpEntry struct {
@@ -62,8 +104,15 @@ type dpEntry struct {
 	special bool  // chosen branch
 }
 
-func key(l, p, itP, imP, iV int) uint64 {
-	return uint64(l) | uint64(p)<<8 | uint64(itP)<<16 | uint64(imP)<<24 | uint64(iV)<<32
+// dpFrame is one suspended evaluation of the DP recurrence on the
+// explicit work stack: the state indices, the current cut position k,
+// the branch being awaited (stage 0 = normal processor, stage 1 =
+// special processor) and the best entry found so far.
+type dpFrame struct {
+	l, p, itP, imP, iV int32
+	k                  int32
+	stage              int8
+	best               dpEntry
 }
 
 // roundUp maps a continuous value onto its grid index, rounding up
@@ -102,100 +151,196 @@ func (r *dpRun) oplus(x, y float64) float64 {
 // activation copies a stage [k,l] must retain when the downstream delay
 // is V.
 func (r *dpRun) groups(k, l int, v float64) int {
-	g := int(r.ceilT(v + r.c.U(k, l)))
+	return r.groupsU(v, r.c.U(k, l))
+}
+
+// groupsU is groups with U(k,l) already in hand (the hot loop has it).
+func (r *dpRun) groupsU(v, u float64) int {
+	g := int(r.ceilT(v + u))
 	if g < 1 {
 		g = 1
 	}
 	return g
 }
 
-// commLeft returns C(k-1), the busy time of the link crossing the cut to
-// the left of a stage starting at layer k (zero at the chain head).
-func (r *dpRun) commLeft(k int) float64 {
-	if k <= 1 {
-		return 0
+// stageMem evaluates the stage memory M(k,l,g) from the hoisted prefix
+// slices, operation-for-operation identical to chain.StageMemoryWith so
+// that the dense DP and the legacy map DP take bit-identical decisions.
+func (r *dpRun) stageMem(k, l, g int) float64 {
+	m := (r.wFixed+r.wPerBatch*float64(g))*(r.sumWTo[l]-r.sumWTo[k-1]) + float64(g)*(r.asTo[l]-r.asTo[k-1])
+	if k > 1 {
+		m += r.twoA[k-1]
 	}
-	return r.c.CommTimeAlphaBeta(k-1, r.plat.Latency, r.plat.Bandwidth)
+	if l < r.L {
+		m += r.twoA[l]
+	}
+	return m
 }
 
-// solve computes T(l, p, t_P, m_P, V): the smallest achievable period of
-// an allocation of the first l layers on p normal processors, with the
-// special processor already loaded with compute time t_P and memory m_P,
-// such that the delay between the end of F_l and the start of B_l on the
-// same batch is at least V. State variables are grid indices.
-func (r *dpRun) solve(l, p, itP, imP, iV int) float64 {
-	tP := float64(itP) * r.stepT
+// init populates the hoisted slices for one (chain, platform) pair.
+func (r *dpRun) init() {
+	c := r.c
+	L := c.Len()
+	r.L = L
+	r.mem = r.plat.Memory
+	r.uTo = grow(r.uTo, L+1)
+	r.sumWTo = grow(r.sumWTo, L+1)
+	r.asTo = grow(r.asTo, L+1)
+	r.twoA = grow(r.twoA, L+1)
+	r.cLeft = grow(r.cLeft, L+1)
+	r.uTo[0], r.sumWTo[0], r.asTo[0] = 0, 0, 0
+	r.twoA[0] = 2 * c.A(0)
+	r.cLeft[0], r.cLeft[1] = 0, 0
+	for i := 1; i <= L; i++ {
+		r.uTo[i] = c.U(1, i)
+		r.sumWTo[i] = c.SumW(1, i)
+		r.asTo[i] = c.AStore(1, i)
+		r.twoA[i] = 2 * c.A(i)
+		if i > 1 {
+			r.cLeft[i] = c.CommTimeAlphaBeta(i-1, r.plat.Latency, r.plat.Bandwidth)
+		}
+	}
+	w := r.weights
+	if w == (chain.WeightPolicy{}) {
+		w = chain.TwoBufferedWeights()
+	}
+	r.wFixed, r.wPerBatch = w.Fixed, w.PerBatch
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// baseCase is the p == 0 case of the recurrence: the remaining prefix
+// becomes a single stage on the special processor.
+func (r *dpRun) baseCase(l int, tP, mP, v float64) dpEntry {
+	if r.disableSpecial {
+		return dpEntry{period: inf, k: -1}
+	}
+	g := r.groupsU(v, r.uTo[l])
+	if mP+r.stageMem(1, l, g-1) > r.mem {
+		return dpEntry{period: inf, k: -1}
+	}
+	return dpEntry{period: r.uTo[l] + tP, k: -1, special: true}
+}
+
+// childValue returns the value of a sub-state if it is already resolved:
+// l == 0 states are closed-form, everything else comes from the table.
+func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, bool) {
 	if l == 0 {
-		return tP
+		return float64(itP) * r.stepT, true
 	}
-	k := key(l, p, itP, imP, iV)
-	if e, ok := r.memo[k]; ok {
-		return e.period
-	}
-	e := r.compute(l, p, itP, imP, iV)
-	r.memo[k] = e
-	return e.period
+	return r.tab.getPeriod(r.tab.idx(l, p, itP, imP, iV))
 }
 
-func (r *dpRun) compute(l, p, itP, imP, iV int) dpEntry {
-	tP := float64(itP) * r.stepT
-	mP := float64(imP) * r.stepM
-	v := float64(iV) * r.stepV
-	mem := r.plat.Memory
-
-	if p == 0 {
-		// No normal processor left: the remaining prefix becomes a single
-		// stage on the special processor (paper base case).
-		if r.disableSpecial {
-			return dpEntry{period: inf, k: -1}
-		}
-		g := r.groups(1, l, v)
-		if mP+r.c.StageMemoryWith(1, l, g-1, r.weights) > mem {
-			return dpEntry{period: inf, k: -1}
-		}
-		return dpEntry{period: r.c.U(1, l) + tP, k: -1, special: true}
+// solve evaluates T(l, p, t_P, m_P, V) with an explicit work stack: a
+// frame suspends at the branch whose sub-state is not yet tabulated,
+// pushes the child, and resumes — recomputing only the cheap per-k
+// scalars — once the child's entry lands in the dense table. The
+// traversal order, pruning and floating-point operations replicate the
+// recursive formulation exactly (see TestDenseMatchesMapDP).
+func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
+	if l0 == 0 {
+		return float64(itP0) * r.stepT
 	}
+	if v, ok := r.tab.getPeriod(r.tab.idx(l0, p0, itP0, imP0, iV0)); ok {
+		return v
+	}
+	st := r.stack[:0]
+	st = append(st, dpFrame{
+		l: int32(l0), p: int32(p0), itP: int32(itP0), imP: int32(imP0), iV: int32(iV0),
+		k: int32(l0), best: dpEntry{period: inf, k: -1},
+	})
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		l, p := int(f.l), int(f.p)
+		tP := float64(f.itP) * r.stepT
+		mP := float64(f.imP) * r.stepM
+		v := float64(f.iV) * r.stepV
 
-	best := dpEntry{period: inf, k: -1}
-	for k := l; k >= 1; k-- {
-		u := r.c.U(k, l)
-		if u >= best.period {
-			// Both branches cost at least U(k,l), which only grows as k
-			// decreases.
-			break
+		if p == 0 {
+			r.tab.put(r.tab.idx(l, 0, int(f.itP), int(f.imP), int(f.iV)), r.baseCase(l, tP, mP, v))
+			st = st[:len(st)-1]
+			continue
 		}
-		g := r.groups(k, l, v)
-		cLeft := r.commLeft(k)
-		vNext := r.oplus(r.oplus(v, u), cLeft)
-		iVN := roundUp(vNext, r.stepV, r.nV)
 
-		// Assign stage [k,l] to a normal processor.
-		if r.c.StageMemoryWith(k, l, g, r.weights) <= mem {
-			sub := r.solve(k-1, p-1, itP, imP, iVN)
-			cand := math.Max(u, math.Max(cLeft, sub))
-			if cand < best.period {
-				best = dpEntry{period: cand, k: int16(k), special: false}
+		pushed := false
+		for k := int(f.k); k >= 1; k-- {
+			u := r.uTo[l] - r.uTo[k-1]
+			if f.stage == 0 && u >= f.best.period {
+				// Both branches cost at least U(k,l), which only grows as
+				// k decreases. (Checked only on a fresh k: a resumed
+				// special branch must still run even if the normal branch
+				// just tightened best to exactly u.)
+				break
 			}
-		}
+			g := r.groupsU(v, u)
+			cl := r.cLeft[k]
+			vNext := r.oplus(r.oplus(v, u), cl)
+			iVN := roundUp(vNext, r.stepV, r.nV)
 
-		// Assign stage [k,l] to the special processor. Its memory is
-		// under-estimated with g-1 copies (Section 4.2.1); the scheduling
-		// phase repairs the difference.
-		if !r.disableSpecial {
-			mNext := mP + r.c.StageMemoryWith(k, l, g-1, r.weights)
-			if mNext <= mem {
-				itPN := roundUp(tP+u, r.stepT, r.nT)
-				tNext := float64(itPN) * r.stepT
-				imPN := roundUp(mNext, r.stepM, r.nM)
-				sub := r.solve(k-1, p, itPN, imPN, iVN)
-				cand := math.Max(tNext, math.Max(cLeft, sub))
-				if cand < best.period {
-					best = dpEntry{period: cand, k: int16(k), special: true}
+			if f.stage == 0 {
+				// Assign stage [k,l] to a normal processor.
+				if r.stageMem(k, l, g) <= r.mem {
+					sub, ok := r.childValue(k-1, p-1, int(f.itP), int(f.imP), iVN)
+					if !ok {
+						f.k = int32(k)
+						st = append(st, dpFrame{
+							l: int32(k - 1), p: int32(p - 1), itP: f.itP, imP: f.imP, iV: int32(iVN),
+							k: int32(k - 1), best: dpEntry{period: inf, k: -1},
+						})
+						pushed = true
+						break
+					}
+					cand := math.Max(u, math.Max(cl, sub))
+					if cand < f.best.period {
+						f.best = dpEntry{period: cand, k: int16(k)}
+					}
+				}
+				f.stage = 1
+			}
+
+			// Assign stage [k,l] to the special processor. Its memory is
+			// under-estimated with g-1 copies (Section 4.2.1); the
+			// scheduling phase repairs the difference.
+			if !r.disableSpecial {
+				mNext := mP + r.stageMem(k, l, g-1)
+				if mNext <= r.mem {
+					itPN := roundUp(tP+u, r.stepT, r.nT)
+					tNext := float64(itPN) * r.stepT
+					imPN := roundUp(mNext, r.stepM, r.nM)
+					sub, ok := r.childValue(k-1, p, itPN, imPN, iVN)
+					if !ok {
+						f.k = int32(k)
+						st = append(st, dpFrame{
+							l: int32(k - 1), p: f.p, itP: int32(itPN), imP: int32(imPN), iV: int32(iVN),
+							k: int32(k - 1), best: dpEntry{period: inf, k: -1},
+						})
+						pushed = true
+						break
+					}
+					cand := math.Max(tNext, math.Max(cl, sub))
+					if cand < f.best.period {
+						f.best = dpEntry{period: cand, k: int16(k), special: true}
+					}
 				}
 			}
+			f.stage = 0
 		}
+		if pushed {
+			// The append above may have moved the backing array; keep the
+			// grown stack for reuse and re-enter the loop on the child.
+			continue
+		}
+		r.tab.put(r.tab.idx(l, p, int(f.itP), int(f.imP), int(f.iV)), f.best)
+		st = st[:len(st)-1]
 	}
-	return best
+	r.stack = st[:0]
+	v, _ := r.tab.getPeriod(r.tab.idx(l0, p0, itP0, imP0, iV0))
+	return v
 }
 
 // DPResult is the outcome of one MadPipe-DP call.
@@ -205,20 +350,43 @@ type DPResult struct {
 	Period float64
 	// Alloc is the reconstructed allocation; nil when infeasible.
 	Alloc *partition.Allocation
-	// States is the number of memoized DP states, for diagnostics.
+	// States is the number of tabulated DP states, for diagnostics.
 	States int
 }
 
 // runDP executes MadPipe-DP for a fixed target period T̂ and reconstructs
-// the allocation. normals is the number of normal processors (P-1 with
-// the special processor enabled, P for the contiguous ablation).
+// the allocation, leasing a dense table from the arena for the duration
+// of the call. normals is the number of normal processors (P-1 with the
+// special processor enabled, P for the contiguous ablation).
 func runDP(c *chain.Chain, plat platform.Platform, that float64, disc Discretization, disableSpecial bool, weights chain.WeightPolicy) (*DPResult, error) {
+	tab := acquireTable()
+	defer releaseTable(tab)
+	return runDPWith(tab, c, plat, that, disc, disableSpecial, weights)
+}
+
+// runDPWith is runDP on a caller-provided table, so Algorithm 1 can
+// reuse one arena lease across all its probes.
+func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float64, disc Discretization, disableSpecial bool, weights chain.WeightPolicy) (*DPResult, error) {
 	if that <= 0 {
 		return nil, fmt.Errorf("core: target period must be positive, got %g", that)
 	}
 	if err := disc.validate(); err != nil {
 		return nil, err
 	}
+	normals := plat.Workers - 1
+	if disableSpecial {
+		normals = plat.Workers
+	}
+	// t_P and m_P stay zero without the special processor, so the table
+	// collapses those axes to a single cell.
+	nT, nM := disc.TP, disc.MP
+	if disableSpecial {
+		nT, nM = 1, 1
+	}
+	if !denseFits(c.Len(), normals, nT, nM, disc.V) {
+		return runDPMap(c, plat, that, disc, disableSpecial, weights)
+	}
+
 	totalU := c.TotalU()
 	r := &dpRun{
 		c: c, plat: plat, that: that,
@@ -228,14 +396,12 @@ func runDP(c *chain.Chain, plat platform.Platform, that float64, disc Discretiza
 		stepT: totalU / float64(disc.TP-1),
 		stepM: plat.Memory / float64(disc.MP-1),
 		stepV: (totalU + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)) / float64(disc.V-1),
-		memo:  make(map[uint64]dpEntry),
+		tab:   tab,
 	}
-	normals := plat.Workers - 1
-	if disableSpecial {
-		normals = plat.Workers
-	}
+	r.init()
+	tab.reset(c.Len()+1, normals+1, nT, nM, disc.V)
 	period := r.solve(c.Len(), normals, 0, 0, 0)
-	res := &DPResult{Period: period, States: len(r.memo)}
+	res := &DPResult{Period: period, States: tab.states}
 	if period == inf {
 		return res, nil
 	}
@@ -247,7 +413,7 @@ func runDP(c *chain.Chain, plat platform.Platform, that float64, disc Discretiza
 	return res, nil
 }
 
-// reconstruct replays the memoized decisions from the root state and
+// reconstruct replays the tabulated decisions from the root state and
 // builds the allocation. Normal stages are mapped to processors
 // 0..normals-1 in chain order; special stages to processor P-1.
 func (r *dpRun) reconstruct(normals int) (*partition.Allocation, error) {
@@ -263,7 +429,7 @@ func (r *dpRun) reconstruct(normals int) (*partition.Allocation, error) {
 			stages = append(stages, rev{span: chain.Span{From: 1, To: l}, special: true})
 			break
 		}
-		e, ok := r.memo[key(l, p, itP, imP, iV)]
+		e, ok := r.tab.get(r.tab.idx(l, p, itP, imP, iV))
 		if !ok || e.period == inf {
 			return nil, fmt.Errorf("core: reconstruction reached unexplored state (l=%d p=%d)", l, p)
 		}
@@ -276,14 +442,14 @@ func (r *dpRun) reconstruct(normals int) (*partition.Allocation, error) {
 		tP := float64(itP) * r.stepT
 		mP := float64(imP) * r.stepM
 		v := float64(iV) * r.stepV
-		u := r.c.U(k, l)
-		g := r.groups(k, l, v)
-		vNext := r.oplus(r.oplus(v, u), r.commLeft(k))
+		u := r.uTo[l] - r.uTo[k-1]
+		g := r.groupsU(v, u)
+		vNext := r.oplus(r.oplus(v, u), r.cLeft[k])
 		iV = roundUp(vNext, r.stepV, r.nV)
 		stages = append(stages, rev{span: chain.Span{From: k, To: l}, special: e.special})
 		if e.special {
 			itP = roundUp(tP+u, r.stepT, r.nT)
-			imP = roundUp(mP+r.c.StageMemoryWith(k, l, g-1, r.weights), r.stepM, r.nM)
+			imP = roundUp(mP+r.stageMem(k, l, g-1), r.stepM, r.nM)
 		} else {
 			p--
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"madpipe/internal/chain"
 	"madpipe/internal/partition"
@@ -14,7 +15,8 @@ type Options struct {
 	// Disc sets the DP grids; zero value means the paper's defaults.
 	Disc Discretization
 	// Iterations is K, the number of binary-search rounds of Algorithm 1
-	// (paper: 10). Zero means the default.
+	// (paper: 10). Zero means the default. With Parallel > 1 it is the
+	// total probe budget, so the amount of DP work is unchanged.
 	Iterations int
 	// DisableSpecial removes the special processor, restricting the DP to
 	// contiguous allocations on all P processors — the memory-aware
@@ -27,6 +29,13 @@ type Options struct {
 	// Weights selects the weight-versioning policy; the zero value is
 	// the paper's PipeDream-2BW discipline (3W per stage).
 	Weights chain.WeightPolicy
+	// Parallel is the number of target periods T̂ probed concurrently per
+	// round of Algorithm 1, each on its own dpRun and dense table.
+	// 0 or 1 runs the classic sequential bisection. Larger values probe
+	// several bracket points per round (capped at 4) and fold the
+	// results in ascending-T̂ order, so the outcome is deterministic for
+	// a given option set regardless of goroutine scheduling.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +44,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Iterations == 0 {
 		o.Iterations = 10
+	}
+	if o.Parallel > 4 {
+		o.Parallel = 4
 	}
 	return o
 }
@@ -67,7 +79,7 @@ type PhaseOneResult struct {
 	// TargetPeriod is the T̂ that produced the best allocation; it is the
 	// period at which the memory estimates of the allocation hold.
 	TargetPeriod float64
-	// Evals logs every binary-search iteration.
+	// Evals logs every probe, in the deterministic fold order.
 	Evals []Eval
 }
 
@@ -94,7 +106,9 @@ func prepared(c *chain.Chain, opts Options) (*chain.Chain, error) {
 
 // PlanAllocation runs the first phase of MadPipe: Algorithm 1's modified
 // binary search over the target period T̂, keeping the allocation with
-// the best effective period max(MadPipe-DP(T̂), T̂).
+// the best effective period max(MadPipe-DP(T̂), T̂). With Options.Parallel
+// > 1 each round probes several bracket points concurrently; the probe
+// budget and the deterministic fold keep results reproducible.
 func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*PhaseOneResult, error) {
 	opts = opts.withDefaults()
 	if err := plat.Validate(); err != nil {
@@ -107,14 +121,11 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 
 	lb := c.TotalU() / float64(plat.Workers)
 	ub := c.TotalU() + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)
-	that := lb
 
 	res := &PhaseOneResult{PredictedPeriod: math.Inf(1)}
-	for i := 0; i < opts.Iterations; i++ {
-		dp, err := runDP(c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
-		if err != nil {
-			return nil, err
-		}
+	// fold applies one probe result to the search state exactly as the
+	// sequential Algorithm 1 does.
+	fold := func(that float64, dp *DPResult) {
 		ev := Eval{That: that, Raw: dp.Period, Effective: math.Max(dp.Period, that), States: dp.States, Alloc: dp.Alloc}
 		if dp.Alloc == nil {
 			// Infeasible: every solution needs a larger target period.
@@ -131,14 +142,95 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 			ub = math.Min(ub, ev.Effective)
 		}
 		res.Evals = append(res.Evals, ev)
-		if ub <= lb {
-			break
+	}
+
+	if opts.Parallel > 1 {
+		if err := planParallel(c, plat, opts, &lb, &ub, fold); err != nil {
+			return nil, err
 		}
-		that = (lb + ub) / 2
+	} else {
+		// Sequential bisection, reusing a single pooled table across all
+		// probes: each probe only bumps the table's epoch stamp.
+		tab := acquireTable()
+		defer releaseTable(tab)
+		that := lb
+		for i := 0; i < opts.Iterations; i++ {
+			dp, err := runDPWith(tab, c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
+			if err != nil {
+				return nil, err
+			}
+			fold(that, dp)
+			if ub <= lb {
+				break
+			}
+			that = (lb + ub) / 2
+		}
 	}
 	if res.Alloc == nil {
 		return nil, fmt.Errorf("core: no feasible allocation in %d iterations: %w",
 			opts.Iterations, platform.ErrInfeasible)
 	}
 	return res, nil
+}
+
+// planParallel probes several bracket points per round on concurrent
+// dpRuns. Candidates are derived only from the bracket (deterministic),
+// every probe runs on its own goroutine with its own pooled table, and
+// results are folded in ascending-T̂ order, so the outcome is identical
+// across runs for a fixed option set. The total probe budget is
+// opts.Iterations, matching the sequential search's DP work.
+func planParallel(c *chain.Chain, plat platform.Platform, opts Options, lb, ub *float64, fold func(float64, *DPResult)) error {
+	budget := opts.Iterations
+	first := true
+	for budget > 0 && (first || *ub > *lb) {
+		k := opts.Parallel
+		if k > budget {
+			k = budget
+		}
+		cands := bracketCandidates(*lb, *ub, k, first)
+		first = false
+		budget -= len(cands)
+
+		results := make([]*DPResult, len(cands))
+		errs := make([]error, len(cands))
+		var wg sync.WaitGroup
+		for i, that := range cands {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i], errs[i] = runDP(c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
+			}()
+		}
+		wg.Wait()
+		for i := range cands {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			fold(cands[i], results[i])
+		}
+	}
+	return nil
+}
+
+// bracketCandidates spreads k probe targets over the bracket. The first
+// round anchors at the lower bound — the sequential search's first probe
+// — and later rounds sample interior points, degenerating to the exact
+// bisection midpoint for k == 1.
+func bracketCandidates(lb, ub float64, k int, first bool) []float64 {
+	if ub < lb {
+		ub = lb
+	}
+	out := make([]float64, 0, k)
+	if first {
+		out = append(out, lb)
+		k--
+		for i := 1; i <= k; i++ {
+			out = append(out, lb+(ub-lb)*float64(i)/float64(k+1))
+		}
+		return out
+	}
+	for i := 1; i <= k; i++ {
+		out = append(out, lb+(ub-lb)*float64(i)/float64(k+1))
+	}
+	return out
 }

@@ -10,6 +10,8 @@ package expt
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"madpipe/internal/chain"
@@ -88,6 +90,13 @@ type Runner struct {
 	SimPeriods int
 	// MaxChain coarsens profiles before planning (0 = 24 nodes).
 	MaxChain int
+	// Parallel bounds the worker goroutines used by Sweep and
+	// HybridSweep: 0 means GOMAXPROCS, 1 forces sequential execution.
+	// Every configuration is independent (the planners share nothing but
+	// immutable chains — see the concurrency notes in internal/core), and
+	// results are collected and reported in grid order, so the output is
+	// identical at any parallelism level.
+	Parallel int
 }
 
 // DefaultRunner returns the settings used by cmd/experiments: paper
@@ -184,30 +193,94 @@ func (r *Runner) verify(plan *core.Plan) bool {
 	return math.Abs(res.Throughput-want) <= 0.25*want
 }
 
-// Sweep runs a grid over the given chains. Progress is reported through
-// onRow when non-nil.
+// Sweep runs a grid over the given chains on the runner's worker pool.
+// Rows come back in grid order regardless of parallelism; onRow, when
+// non-nil, is likewise invoked in grid order (from the worker that
+// completes the frontier row, serialized).
 func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, error) {
-	var rows []Row
+	type job struct {
+		c    *chain.Chain
+		plat platform.Platform
+	}
+	var jobs []job
 	for _, c := range chains {
 		for _, p := range g.Workers {
 			for _, bw := range g.BandwidthG {
 				for _, m := range g.MemoryGB {
-					plat := platform.Platform{
+					jobs = append(jobs, job{c, platform.Platform{
 						Workers:   p,
 						Memory:    m * platform.GB,
 						Bandwidth: bw * platform.GB,
-					}
-					row, err := r.Run(c, plat)
-					if err != nil {
-						return nil, fmt.Errorf("expt: %s on %v: %w", c.Name(), plat, err)
-					}
-					rows = append(rows, row)
-					if onRow != nil {
-						onRow(row)
-					}
+					}})
 				}
 			}
 		}
 	}
+	rows := make([]Row, len(jobs))
+	errs := make([]error, len(jobs))
+	r.runJobs(len(jobs), func(i int) {
+		rows[i], errs[i] = r.Run(jobs[i].c, jobs[i].plat)
+	}, func(i int) {
+		if onRow != nil && errs[i] == nil {
+			onRow(rows[i])
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s on %v: %w", jobs[i].c.Name(), jobs[i].plat, err)
+		}
+	}
 	return rows, nil
+}
+
+func (r *Runner) workerCount() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes run(0..n-1) on the runner's bounded worker pool and
+// calls emit(i) exactly once per job, in index order, as soon as every
+// job up to i has completed.
+func (r *Runner) runJobs(n int, run func(int), emit func(int)) {
+	w := r.workerCount()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+			emit(i)
+		}
+		return
+	}
+	var (
+		mu   sync.Mutex
+		done = make([]bool, n)
+		next int
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run(i)
+				mu.Lock()
+				done[i] = true
+				for next < n && done[next] {
+					emit(next)
+					next++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }

@@ -228,3 +228,45 @@ func TestOptimalityGapSmall(t *testing.T) {
 		t.Errorf("GapTable malformed:\n%s", out)
 	}
 }
+
+// TestSweepParallelDeterministic: running the same grid sequentially and
+// at several parallelism levels must yield identical rows in identical
+// order, with onRow fired once per row in grid order. Run with -race to
+// exercise the worker pool.
+func TestSweepParallelDeterministic(t *testing.T) {
+	base := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: 1}
+	want, err := base.Sweep(testChains(), testGrid(), nil)
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	for _, par := range []int{0, 2, 4} {
+		r := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: par}
+		var seen []Row
+		rows, err := r.Sweep(testChains(), testGrid(), func(row Row) { seen = append(seen, row) })
+		if err != nil {
+			t.Fatalf("parallel=%d sweep: %v", par, err)
+		}
+		if len(rows) != len(want) || len(seen) != len(want) {
+			t.Fatalf("parallel=%d: got %d rows, %d callbacks, want %d", par, len(rows), len(seen), len(want))
+		}
+		for i := range rows {
+			if !rowsEqual(rows[i], want[i]) {
+				t.Errorf("parallel=%d row %d differs:\n got %+v\nwant %+v", par, i, rows[i], want[i])
+			}
+			if !rowsEqual(seen[i], rows[i]) {
+				t.Errorf("parallel=%d: onRow order broken at %d", par, i)
+			}
+		}
+	}
+}
+
+// rowsEqual compares everything except wall-clock timings.
+func rowsEqual(a, b Row) bool {
+	norm := func(r Row) Row {
+		r.PipeDream.Elapsed = 0
+		r.MadPipe.Elapsed = 0
+		r.MadPipeContig.Elapsed = 0
+		return r
+	}
+	return norm(a) == norm(b)
+}

@@ -31,9 +31,15 @@ type HybridRow struct {
 
 // HybridSweep evaluates the pipeline × data-parallel planner over worker
 // counts and memory limits — the quantitative version of the paper's
-// Section 6 perspective.
+// Section 6 perspective. Configurations run on the runner's worker pool
+// (see Runner.Parallel); rows come back in grid order.
 func (r *Runner) HybridSweep(chains []*chain.Chain, g Grid) ([]HybridRow, error) {
-	var rows []HybridRow
+	type job struct {
+		cc   *chain.Chain
+		plat platform.Platform
+		row  HybridRow
+	}
+	var jobs []job
 	for _, c := range chains {
 		cc, err := c.Coarsen(r.maxChain())
 		if err != nil {
@@ -42,27 +48,32 @@ func (r *Runner) HybridSweep(chains []*chain.Chain, g Grid) ([]HybridRow, error)
 		for _, p := range g.Workers {
 			for _, bw := range g.BandwidthG {
 				for _, m := range g.MemoryGB {
-					plat := platform.Platform{Workers: p, Memory: m * platform.GB, Bandwidth: bw * platform.GB}
-					row := HybridRow{Net: c.Name(), Workers: p, MemGB: m, BandGB: bw,
-						Period: math.Inf(1), PurePipeline: math.Inf(1), PureData: math.Inf(1)}
-					res, err := hybrid.Plan(cc, plat, r.Opts, core.ScheduleOptions{})
-					if err == nil {
-						row.BestD, row.BestG = res.Replication, res.Groups
-						row.Period = res.Period
-						for _, d := range res.Degrees {
-							if d.Replication == 1 {
-								row.PurePipeline = d.Period
-							}
-							if d.Replication == p {
-								row.PureData = d.Period
-							}
-						}
-					}
-					rows = append(rows, row)
+					jobs = append(jobs, job{cc: cc,
+						plat: platform.Platform{Workers: p, Memory: m * platform.GB, Bandwidth: bw * platform.GB},
+						row: HybridRow{Net: c.Name(), Workers: p, MemGB: m, BandGB: bw,
+							Period: math.Inf(1), PurePipeline: math.Inf(1), PureData: math.Inf(1)}})
 				}
 			}
 		}
 	}
+	rows := make([]HybridRow, len(jobs))
+	r.runJobs(len(jobs), func(i int) {
+		j := jobs[i]
+		row := j.row
+		if res, err := hybrid.Plan(j.cc, j.plat, r.Opts, core.ScheduleOptions{}); err == nil {
+			row.BestD, row.BestG = res.Replication, res.Groups
+			row.Period = res.Period
+			for _, d := range res.Degrees {
+				if d.Replication == 1 {
+					row.PurePipeline = d.Period
+				}
+				if d.Replication == j.plat.Workers {
+					row.PureData = d.Period
+				}
+			}
+		}
+		rows[i] = row
+	}, func(int) {})
 	return rows, nil
 }
 

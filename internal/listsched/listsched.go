@@ -9,6 +9,13 @@
 // fast deterministic fallback, and its schedule is the incumbent handed
 // to the exact MILP scheduler (package ilpsched), mirroring the paper's
 // time-limited ILP solve.
+//
+// MinFeasiblePeriod probes dozens of candidate periods per allocation, so
+// the per-period work is funneled through a Scheduler that owns every
+// scratch buffer (virtual chain, group indices, target and start times,
+// per-resource busy windows): one Scheduler allocates at construction and
+// then schedules any number of periods without touching the heap beyond
+// the returned pattern.
 package listsched
 
 import (
@@ -27,15 +34,77 @@ import (
 // or no conflict-free placement). Memory is not checked here; callers
 // decide whether peaks fit (MinFeasiblePeriod does).
 func Schedule(a *partition.Allocation, T float64) (*pattern.Pattern, error) {
+	s, err := NewScheduler(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.Schedule(T)
+}
+
+// Scheduler carries the period-independent derived state of one
+// allocation plus all placement scratch. It is not safe for concurrent
+// use; each goroutine builds its own.
+type Scheduler struct {
+	a     *partition.Allocation
+	nodes []pattern.Node
+
+	nodeRes []int              // resource index of each node
+	resKey  []pattern.Resource // resource per index, for diagnostics
+	resLoad []float64          // total busy time per resource index
+
+	groups                           []int
+	targetF, targetB, sigmaF, sigmaB []float64
+	busy                             [][]interval // per resource index
+	cands                            []float64
+}
+
+// NewScheduler validates the allocation once and precomputes its virtual
+// chain and resource layout.
+func NewScheduler(a *partition.Allocation) (*Scheduler, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	nodes := pattern.VirtualChain(a)
-	groups, err := onefoneb.Groups(nodes, T)
+	m := len(nodes)
+	s := &Scheduler{
+		a: a, nodes: nodes,
+		nodeRes: make([]int, m),
+		groups:  make([]int, m),
+		targetF: make([]float64, m), targetB: make([]float64, m),
+		sigmaF: make([]float64, m), sigmaB: make([]float64, m),
+		cands: make([]float64, 0, 2*m+1),
+	}
+	for i, n := range nodes {
+		idx := -1
+		for j := 0; j < i; j++ {
+			if nodes[j].Resource == n.Resource {
+				idx = s.nodeRes[j]
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(s.resLoad)
+			s.resKey = append(s.resKey, n.Resource)
+			s.resLoad = append(s.resLoad, 0)
+			s.busy = append(s.busy, make([]interval, 0, 2*m))
+		}
+		s.nodeRes[i] = idx
+		s.resLoad[idx] += n.UF + n.UB
+	}
+	return s, nil
+}
+
+// Schedule builds the pattern for one period. Only the returned pattern
+// and its op list are freshly allocated; they share the scheduler's node
+// slice, which is immutable after construction.
+func (s *Scheduler) Schedule(T float64) (*pattern.Pattern, error) {
+	nodes := s.nodes
+	groups, err := onefoneb.GroupsInto(s.groups, nodes, T)
 	if err != nil {
 		return nil, err
 	}
-	for _, load := range resourceLoads(nodes) {
+	s.groups = groups
+	for _, load := range s.resLoad {
 		if load > T+pattern.Eps {
 			return nil, fmt.Errorf("listsched: resource overloaded at period %g", T)
 		}
@@ -47,8 +116,7 @@ func Schedule(a *partition.Allocation, T float64) (*pattern.Pattern, error) {
 	// in group g processes a batch g-1 periods older, so its batch-0 time
 	// is shifted by (g-1)*T.
 	m := len(nodes)
-	targetF := make([]float64, m)
-	targetB := make([]float64, m)
+	targetF, targetB := s.targetF, s.targetB
 	cursor := 0.0
 	v := 0
 	for v < m {
@@ -73,30 +141,31 @@ func Schedule(a *partition.Allocation, T float64) (*pattern.Pattern, error) {
 	// Place ops in the (unique) topological order of the dependency chain
 	// F_1..F_m, B_m..B_1 at the earliest conflict-free time no earlier
 	// than both their predecessor and their 1F1B* target.
-	busy := make(map[pattern.Resource][]interval)
-	sigmaF := make([]float64, m)
-	sigmaB := make([]float64, m)
+	for i := range s.busy {
+		s.busy[i] = s.busy[i][:0]
+	}
+	sigmaF, sigmaB := s.sigmaF, s.sigmaB
 	prevEnd := 0.0
 	for i := 0; i < m; i++ {
 		lo := math.Max(prevEnd, targetF[i])
-		s, err := place(busy, nodes[i].Resource, lo, nodes[i].UF, T)
+		start, err := s.place(s.nodeRes[i], lo, nodes[i].UF, T)
 		if err != nil {
 			return nil, err
 		}
-		sigmaF[i] = s
-		prevEnd = s + nodes[i].UF
+		sigmaF[i] = start
+		prevEnd = start + nodes[i].UF
 	}
 	for i := m - 1; i >= 0; i-- {
 		lo := math.Max(prevEnd, math.Max(targetB[i], sigmaF[i]+nodes[i].UF))
-		s, err := place(busy, nodes[i].Resource, lo, nodes[i].UB, T)
+		start, err := s.place(s.nodeRes[i], lo, nodes[i].UB, T)
 		if err != nil {
 			return nil, err
 		}
-		sigmaB[i] = s
-		prevEnd = s + nodes[i].UB
+		sigmaB[i] = start
+		prevEnd = start + nodes[i].UB
 	}
 
-	p := &pattern.Pattern{Alloc: a, Nodes: nodes, Period: T}
+	p := &pattern.Pattern{Alloc: s.a, Nodes: nodes, Period: T, Ops: make([]pattern.Op, 0, 2*m)}
 	for i, n := range nodes {
 		fs, fh := reduce(sigmaF[i], T)
 		bs, bh := reduce(sigmaB[i], T)
@@ -119,28 +188,20 @@ func reduce(sigma, T float64) (float64, int) {
 	return s, k
 }
 
-func resourceLoads(nodes []pattern.Node) map[pattern.Resource]float64 {
-	loads := make(map[pattern.Resource]float64)
-	for _, n := range nodes {
-		loads[n.Resource] += n.UF + n.UB
-	}
-	return loads
-}
-
 // place finds the earliest batch-0 time >= lo at which an operation of
-// the given duration fits on the resource without overlapping any placed
+// the given duration fits on resource res without overlapping any placed
 // interval modulo T, records it, and returns it. Candidate starts are lo
 // itself and the wrap-adjusted ends of existing intervals; since every
 // failed candidate is blocked by an interval whose end is a later
 // candidate, checking each interval end once suffices.
-func place(busy map[pattern.Resource][]interval, r pattern.Resource, lo, dur, T float64) (float64, error) {
+func (s *Scheduler) place(res int, lo, dur, T float64) (float64, error) {
 	if dur <= pattern.Eps {
 		// Zero-length ops never conflict; pin them at lo.
-		busy[r] = append(busy[r], interval{mod(lo, T), mod(lo, T)})
+		s.busy[res] = append(s.busy[res], interval{mod(lo, T), mod(lo, T)})
 		return lo, nil
 	}
-	ivs := busy[r]
-	cands := []float64{lo}
+	ivs := s.busy[res]
+	cands := append(s.cands[:0], lo)
 	for _, iv := range ivs {
 		// The first occurrence of this interval's end at batch-0 time >= lo.
 		e := iv.end
@@ -151,22 +212,23 @@ func place(busy map[pattern.Resource][]interval, r pattern.Resource, lo, dur, T 
 		}
 		cands = append(cands, cand)
 	}
+	s.cands = cands
 	sort.Float64s(cands)
 	for _, cand := range cands {
-		s := mod(cand, T)
+		start := mod(cand, T)
 		ok := true
 		for _, iv := range ivs {
-			if circOverlap(s, dur, iv.start, iv.end-iv.start, T) {
+			if circOverlap(start, dur, iv.start, iv.end-iv.start, T) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			busy[r] = append(busy[r], interval{s, s + dur})
+			s.busy[res] = append(s.busy[res], interval{start, start + dur})
 			return cand, nil
 		}
 	}
-	return 0, fmt.Errorf("listsched: no slot of length %g on %s within period %g", dur, r, T)
+	return 0, fmt.Errorf("listsched: no slot of length %g on %s within period %g", dur, s.resKey[res], T)
 }
 
 func circOverlap(s1, d1, s2, d2, t float64) bool {
@@ -200,12 +262,13 @@ func mod(x, t float64) float64 {
 // only ever keeps strictly better validated patterns, so it is safe
 // regardless.
 func MinFeasiblePeriod(a *partition.Allocation) (float64, *pattern.Pattern, error) {
-	if err := a.Validate(); err != nil {
+	s, err := NewScheduler(a)
+	if err != nil {
 		return 0, nil, err
 	}
 	cands := onefoneb.CandidatePeriods(a)
 	try := func(T float64) *pattern.Pattern {
-		p, err := Schedule(a, T)
+		p, err := s.Schedule(T)
 		if err != nil {
 			return nil
 		}

@@ -27,7 +27,17 @@ import (
 // last node. Groups requires every node to satisfy UF+UB <= T, otherwise
 // it returns an error.
 func Groups(nodes []pattern.Node, T float64) ([]int, error) {
-	g := make([]int, len(nodes))
+	return GroupsInto(nil, nodes, T)
+}
+
+// GroupsInto is Groups appending into dst (truncated), letting callers
+// that probe many periods — the list scheduler's bisection — reuse one
+// backing array instead of allocating per probe.
+func GroupsInto(dst []int, nodes []pattern.Node, T float64) ([]int, error) {
+	if cap(dst) < len(nodes) {
+		dst = make([]int, len(nodes))
+	}
+	g := dst[:len(nodes)]
 	cur := 1
 	var load float64
 	for v := len(nodes) - 1; v >= 0; v-- {

@@ -92,13 +92,14 @@ func (a *Allocation) StageAStore(s int) float64 {
 }
 
 // IsContiguous reports whether every processor hosts at most one stage.
+// Stage counts are small, so the pairwise scan avoids allocating a set.
 func (a *Allocation) IsContiguous() bool {
-	seen := make(map[int]bool, len(a.Procs))
-	for _, p := range a.Procs {
-		if seen[p] {
-			return false
+	for i, p := range a.Procs {
+		for _, q := range a.Procs[:i] {
+			if p == q {
+				return false
+			}
 		}
-		seen[p] = true
 	}
 	return true
 }
@@ -134,8 +135,10 @@ func (a *Allocation) CutCommTime(s int) float64 {
 // GPULoad returns the total compute time per period of processor p.
 func (a *Allocation) GPULoad(p int) float64 {
 	var u float64
-	for _, s := range a.StagesOn(p) {
-		u += a.StageU(s)
+	for i, q := range a.Procs {
+		if q == p {
+			u += a.StageU(i + 1)
+		}
 	}
 	return u
 }
@@ -169,7 +172,9 @@ func (a *Allocation) LinkLoads() map[[2]int]float64 {
 
 // LoadPeriod returns the smallest period achievable by the allocation if
 // memory were unconstrained: the maximum busy time over all processors
-// and links (Section 4.2 "period of an allocation").
+// and links (Section 4.2 "period of an allocation"). It is called for
+// every candidate allocation of the planning portfolio, so the link
+// accumulation scans cut pairs instead of building the LinkLoads map.
 func (a *Allocation) LoadPeriod() float64 {
 	var t float64
 	for p := 0; p < a.Plat.Workers; p++ {
@@ -177,7 +182,28 @@ func (a *Allocation) LoadPeriod() float64 {
 			t = u
 		}
 	}
-	for _, u := range a.LinkLoads() {
+	n := a.NumStages()
+	for s := 1; s < n; s++ {
+		if !a.CutActive(s) {
+			continue
+		}
+		k := mkLink(a.Procs[s-1], a.Procs[s])
+		owned := true
+		for r := 1; r < s; r++ {
+			if a.CutActive(r) && mkLink(a.Procs[r-1], a.Procs[r]) == k {
+				owned = false
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		u := a.CutCommTime(s)
+		for r := s + 1; r < n; r++ {
+			if a.CutActive(r) && mkLink(a.Procs[r-1], a.Procs[r]) == k {
+				u += a.CutCommTime(r)
+			}
+		}
 		if u > t {
 			t = u
 		}
@@ -195,7 +221,11 @@ func (a *Allocation) LoadPeriod() float64 {
 func (a *Allocation) StaticMemory(p int) float64 {
 	var m float64
 	fixed := a.Weights.Copies(0)
-	for _, s := range a.StagesOn(p) {
+	for i, q := range a.Procs {
+		if q != p {
+			continue
+		}
+		s := i + 1
 		sp := a.Span(s)
 		m += fixed * a.Chain.SumW(sp.From, sp.To)
 		if s > 1 && a.CutActive(s-1) {
@@ -222,8 +252,10 @@ func (a *Allocation) PerBatchBytes(s int) float64 {
 // period.
 func (a *Allocation) MinMemory(p int) float64 {
 	m := a.StaticMemory(p)
-	for _, s := range a.StagesOn(p) {
-		m += a.PerBatchBytes(s)
+	for i, q := range a.Procs {
+		if q == p {
+			m += a.PerBatchBytes(i + 1)
+		}
 	}
 	return m
 }
@@ -232,11 +264,11 @@ func (a *Allocation) MinMemory(p int) float64 {
 // the allocation is contiguous. Allocations built by MadPipe have at most
 // one such processor.
 func (a *Allocation) Special() int {
-	count := make(map[int]int)
-	for _, p := range a.Procs {
-		count[p]++
-		if count[p] > 1 {
-			return p
+	for i, p := range a.Procs {
+		for _, q := range a.Procs[:i] {
+			if p == q {
+				return p
+			}
 		}
 	}
 	return -1

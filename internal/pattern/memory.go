@@ -27,52 +27,50 @@ import "math"
 // The floors therefore carry a relative guard of relTol, and the
 // simulator (package sim) coalesces events within the same tolerance.
 func (p *Pattern) MemoryPeaks() map[int]float64 {
-	type window struct {
-		startF, endB float64 // absolute within-period times; endB may exceed T
-		base         float64 // hB - hF
-		astore       float64
+	peaks := make(map[int]float64, p.Alloc.Plat.Workers)
+	for gpu := 0; gpu < p.Alloc.Plat.Workers; gpu++ {
+		peaks[gpu] = p.MemoryPeakOn(gpu)
 	}
-	byGPU := make(map[int][]window)
+	return peaks
+}
+
+// MemoryPeakOn computes the steady-state peak of a single GPU. It is the
+// allocation-free core of MemoryPeaks, used directly by the schedule
+// validators that run once per candidate period: the window count per
+// GPU is tiny, so re-deriving the windows from the ops on the fly is
+// cheaper than materializing them.
+func (p *Pattern) MemoryPeakOn(gpu int) float64 {
+	t := p.Period
+	var peak float64
 	for v, n := range p.Nodes {
-		if n.Kind != Compute || n.AStore == 0 {
+		if n.Kind != Compute || n.AStore == 0 || n.Resource.GPU != gpu {
 			continue
 		}
 		f, b := p.OpOf(v, Fwd), p.OpOf(v, Bwd)
 		if f == nil || b == nil {
 			continue
 		}
-		byGPU[n.Resource.GPU] = append(byGPU[n.Resource.GPU], window{
-			startF: f.Start,
-			endB:   b.End(),
-			base:   float64(b.Shift - f.Shift),
-			astore: n.AStore,
-		})
-	}
-	peaks := make(map[int]float64)
-	for gpu := 0; gpu < p.Alloc.Plat.Workers; gpu++ {
-		peaks[gpu] = p.Alloc.StaticMemory(gpu)
-	}
-	t := p.Period
-	for gpu, ws := range byGPU {
-		// Candidate peak instants: just after each event.
-		var events []float64
-		for _, w := range ws {
-			events = append(events, mod(w.startF, t)+2*Eps, mod(w.endB, t)+2*Eps)
-		}
-		var peak float64
-		for _, at := range events {
+		// Candidate peak instants: just after this window's two events.
+		for _, at := range [2]float64{mod(f.Start, t) + 2*Eps, mod(b.End(), t) + 2*Eps} {
 			var m float64
-			for _, w := range ws {
-				count := w.base + math.Floor((at-w.startF)/t+relTol) - math.Floor((at-w.endB)/t+relTol)
-				m += count * w.astore
+			for w, nw := range p.Nodes {
+				if nw.Kind != Compute || nw.AStore == 0 || nw.Resource.GPU != gpu {
+					continue
+				}
+				fw, bw := p.OpOf(w, Fwd), p.OpOf(w, Bwd)
+				if fw == nil || bw == nil {
+					continue
+				}
+				count := float64(bw.Shift-fw.Shift) +
+					math.Floor((at-fw.Start)/t+relTol) - math.Floor((at-bw.End())/t+relTol)
+				m += count * nw.AStore
 			}
 			if m > peak {
 				peak = m
 			}
 		}
-		peaks[gpu] += peak
 	}
-	return peaks
+	return p.Alloc.StaticMemory(gpu) + peak
 }
 
 // relTol is the relative (to the period) tolerance for the

@@ -95,8 +95,8 @@ func (n Node) Name() string {
 // 2P-1 resources without). Inactive cuts — adjacent stages on the same
 // processor — produce no node.
 func VirtualChain(a *partition.Allocation) []Node {
-	var nodes []Node
 	n := a.NumStages()
+	nodes := make([]Node, 0, 2*n-1)
 	for s := 1; s <= n; s++ {
 		nodes = append(nodes, Node{
 			Kind:     Compute,

@@ -46,7 +46,13 @@ func (p *Pattern) checkStructure() error {
 	if len(p.Nodes) == 0 {
 		return fmt.Errorf("pattern: no nodes")
 	}
-	seen := make(map[[2]int]bool, len(p.Ops))
+	// One presence bit per (node, half); a stack buffer covers all
+	// realistic virtual chains so the hot path does not allocate.
+	var seenBuf [128]bool
+	seen := seenBuf[:]
+	if 2*len(p.Nodes) > len(seen) {
+		seen = make([]bool, 2*len(p.Nodes))
+	}
 	for i, op := range p.Ops {
 		if op.Node < 0 || op.Node >= len(p.Nodes) {
 			return fmt.Errorf("pattern: op %d references node %d, want [0,%d)", i, op.Node, len(p.Nodes))
@@ -65,14 +71,14 @@ func (p *Pattern) checkStructure() error {
 		if op.Dur > p.Period+Eps {
 			return fmt.Errorf("pattern: op %s%s duration %g exceeds period %g", n.Name(), op.Half, op.Dur, p.Period)
 		}
-		key := [2]int{op.Node, int(op.Half)}
+		key := 2*op.Node + int(op.Half)
 		if seen[key] {
 			return fmt.Errorf("pattern: duplicate op for node %s half %s", n.Name(), op.Half)
 		}
 		seen[key] = true
 	}
 	for i, n := range p.Nodes {
-		if !seen[[2]int{i, int(Fwd)}] || !seen[[2]int{i, int(Bwd)}] {
+		if !seen[2*i+int(Fwd)] || !seen[2*i+int(Bwd)] {
 			return fmt.Errorf("pattern: node %s is missing an operation", n.Name())
 		}
 	}
@@ -118,29 +124,47 @@ func (p *Pattern) checkDependencies() error {
 }
 
 // checkExclusive verifies that the operations mapped to each resource are
-// pairwise disjoint as circular intervals modulo the period.
+// pairwise disjoint as circular intervals modulo the period. The op count
+// is at most 2(2P-1), so the pairwise scan is cheaper than grouping the
+// ops into a map — this runs on the scheduling hot path, once per
+// candidate period of every bisection probe, and must not allocate.
 func (p *Pattern) checkExclusive() error {
-	byRes := make(map[Resource][]*Op)
-	for i := range p.Ops {
-		op := &p.Ops[i]
-		byRes[p.Nodes[op.Node].Resource] = append(byRes[p.Nodes[op.Node].Resource], op)
-	}
-	for res, ops := range byRes {
-		var load float64
-		for _, op := range ops {
-			load += op.Dur
+	n := len(p.Ops)
+	for i := 0; i < n; i++ {
+		res := p.Nodes[p.Ops[i].Node].Resource
+		first := true
+		for j := 0; j < i; j++ {
+			if p.Nodes[p.Ops[j].Node].Resource == res {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		load := p.Ops[i].Dur
+		for j := i + 1; j < n; j++ {
+			if p.Nodes[p.Ops[j].Node].Resource == res {
+				load += p.Ops[j].Dur
+			}
 		}
 		if load > p.Period+Eps {
 			return fmt.Errorf("pattern: resource %s overloaded: busy %g > period %g", res, load, p.Period)
 		}
-		for i := 0; i < len(ops); i++ {
-			for j := i + 1; j < len(ops); j++ {
-				if circularOverlap(ops[i].Start, ops[i].Dur, ops[j].Start, ops[j].Dur, p.Period) {
-					return fmt.Errorf("pattern: ops %s%s [%.6g+%.6g) and %s%s [%.6g+%.6g) overlap on %s (T=%g)",
-						p.Nodes[ops[i].Node].Name(), ops[i].Half, ops[i].Start, ops[i].Dur,
-						p.Nodes[ops[j].Node].Name(), ops[j].Half, ops[j].Start, ops[j].Dur,
-						res, p.Period)
-				}
+	}
+	for i := 0; i < n; i++ {
+		a := &p.Ops[i]
+		res := p.Nodes[a.Node].Resource
+		for j := i + 1; j < n; j++ {
+			b := &p.Ops[j]
+			if p.Nodes[b.Node].Resource != res {
+				continue
+			}
+			if circularOverlap(a.Start, a.Dur, b.Start, b.Dur, p.Period) {
+				return fmt.Errorf("pattern: ops %s%s [%.6g+%.6g) and %s%s [%.6g+%.6g) overlap on %s (T=%g)",
+					p.Nodes[a.Node].Name(), a.Half, a.Start, a.Dur,
+					p.Nodes[b.Node].Name(), b.Half, b.Start, b.Dur,
+					res, p.Period)
 			}
 		}
 	}
@@ -164,9 +188,8 @@ func circularOverlap(s1, d1, s2, d2, t float64) bool {
 }
 
 func (p *Pattern) checkMemory() error {
-	peaks := p.MemoryPeaks()
-	for gpu, peak := range peaks {
-		if peak > p.Alloc.Plat.Memory+Eps {
+	for gpu := 0; gpu < p.Alloc.Plat.Workers; gpu++ {
+		if peak := p.MemoryPeakOn(gpu); peak > p.Alloc.Plat.Memory+Eps {
 			return fmt.Errorf("pattern: gpu%d needs %.3f GB, capacity %.3f GB",
 				gpu, peak/1e9, p.Alloc.Plat.Memory/1e9)
 		}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification gate (ROADMAP.md): build, vet, full test suite,
+# a -race smoke over the concurrent planner and sweep paths, and a
+# one-iteration benchmark sanity run. Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== race smoke (concurrent probes + parallel sweep)"
+go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestSweepParallelDeterministic' \
+	./internal/core/ ./internal/expt/
+
+echo "== benchmark sanity (1 iteration)"
+go test -run '^$' -bench 'BenchmarkFig6ResNet50' -benchtime 1x .
+
+echo "verify: OK"
