@@ -14,13 +14,17 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate (see ROADMAP.md): build, vet, full tests,
-# a -race smoke over the concurrent probe and sweep paths, and a one-shot
-# benchmark sanity run.
+# a -race smoke over the concurrent probe, wavefront and sweep paths, a
+# one-shot benchmark sanity run, and a regression check against the
+# committed BENCH_*.json snapshot. The check gates on allocs/op only
+# (deterministic; fixed seeds) because shared-machine timing noise
+# swings by integer factors — ns/op deltas still print for review.
 verify: build vet test race
-	$(GO) test -run '^$$' -bench 'BenchmarkFig6ResNet50' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP$$' -benchtime 1x .
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP|BenchmarkAlgorithm1' -benchtime 5x -write=false -gate allocs -threshold 0.5
 
 race:
-	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestSweepParallelDeterministic' ./internal/core/ ./internal/expt/
+	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic' ./internal/core/ ./internal/expt/
 
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
 # ns/op or allocs/op regressions against the previous snapshot.

@@ -149,7 +149,9 @@ func BenchmarkAblationSpecialProcessor(b *testing.B) {
 
 // BenchmarkMadPipeDP measures one MadPipe-DP invocation at the paper's
 // discretization (Section 5.1 reports seconds to minutes) and reports the
-// DP state throughput.
+// DP state throughput. Parallel is pinned to the sequential reference
+// path so the numbers stay comparable across machines; the wavefront
+// variant is benchmarked separately below.
 func BenchmarkMadPipeDP(b *testing.B) {
 	c := benchChain(b, "resnet50")
 	plat := benchPlat(8, 12, 12)
@@ -157,7 +159,7 @@ func BenchmarkMadPipeDP(b *testing.B) {
 	b.ResetTimer()
 	var states int64
 	for i := 0; i < b.N; i++ {
-		res, err := core.DP(c, plat, that, core.Options{})
+		res, err := core.DP(c, plat, that, core.Options{Parallel: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,13 +170,35 @@ func BenchmarkMadPipeDP(b *testing.B) {
 	}
 }
 
-// BenchmarkAlgorithm1 measures the full phase-1 binary search.
+// BenchmarkMadPipeDPWave is the same invocation on the parallel
+// wavefront evaluator with a fixed 4-worker budget.
+func BenchmarkMadPipeDPWave(b *testing.B) {
+	c := benchChain(b, "resnet50")
+	plat := benchPlat(8, 12, 12)
+	that := c.TotalU() / 8
+	b.ResetTimer()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.DP(c, plat, that, core.Options{Parallel: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states += int64(res.States)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)/secs, "DPstates/s")
+	}
+}
+
+// BenchmarkAlgorithm1 measures the full phase-1 binary search on the
+// sequential reference path (probe-level parallelism is covered by
+// TestPlanAllocationParallel and the sweep benchmarks).
 func BenchmarkAlgorithm1(b *testing.B) {
 	c := benchChain(b, "inception")
 	plat := benchPlat(6, 10, 12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.PlanAllocation(c, plat, core.Options{}); err != nil {
+		if _, err := core.PlanAllocation(c, plat, core.Options{Parallel: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,8 +11,17 @@
 //	go run ./cmd/benchdiff -bench 'Fig6|MadPipeDP' -benchtime 5x
 //
 // Exit status is 1 when any benchmark regresses more than -threshold on
-// ns/op or allocs/op (lower is better for both); custom metrics are
-// informational. The benchmarks are deterministic (fixed seeds), so
+// a gated metric — by default ns/op and allocs/op (lower is better for
+// both); -gate narrows the set, e.g. -gate allocs on shared machines
+// whose timing noise would make a ns/op gate flaky. B/op and custom
+// metrics are always informational. Benchmarks or metrics that exist only in the current
+// run print as "new" and ones that exist only in the baseline print as
+// "gone" — neither fails the comparison, since both usually mean a
+// rename or a narrower -bench regexp rather than a regression.
+// Snapshots never overwrite an existing file: a second run on the same
+// day writes BENCH_<date>b.json (then c, d, ...), which still sorts
+// lexically after the original so the newest run stays the default
+// baseline. The benchmarks are deterministic (fixed seeds), so
 // allocs/op comparisons are exact; ns/op carries machine noise — pick a
 // threshold accordingly or pin -benchtime.
 package main
@@ -54,9 +63,22 @@ func main() {
 		dir       = flag.String("dir", ".", "directory holding the BENCH_*.json snapshots")
 		old       = flag.String("old", "", "previous snapshot to compare against (default: newest BENCH_*.json in -dir)")
 		write     = flag.Bool("write", true, "write BENCH_<date>.json after the run")
-		threshold = flag.Float64("threshold", 0.10, "relative regression tolerated on ns/op and allocs/op")
+		threshold = flag.Float64("threshold", 0.10, "relative regression tolerated on gated metrics")
+		gate      = flag.String("gate", "time,allocs", "comma list of metrics whose regressions fail the run: time, allocs")
 	)
 	flag.Parse()
+	gated := map[string]bool{}
+	for _, g := range strings.Split(*gate, ",") {
+		switch strings.TrimSpace(g) {
+		case "time":
+			gated["ns/op"] = true
+		case "allocs":
+			gated["allocs/op"] = true
+		case "":
+		default:
+			fatal(fmt.Errorf("unknown -gate metric %q (want time, allocs)", g))
+		}
+	}
 
 	out, err := runBenchmarks(*bench, *benchtime)
 	if err != nil {
@@ -86,11 +108,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		regressed = compare(prev, cur, prevPath, *threshold)
+		regressed = compare(prev, cur, prevPath, *threshold, gated)
 	}
 
 	if *write {
-		path := filepath.Join(*dir, "BENCH_"+cur.Date+".json")
+		path, err := snapshotPath(*dir, cur.Date)
+		if err != nil {
+			fatal(err)
+		}
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -153,6 +178,28 @@ func parseBench(out string) []Result {
 	return results
 }
 
+// snapshotPath returns a snapshot filename that does not clobber an
+// existing one: BENCH_<date>.json, then BENCH_<date>b.json, c, ... —
+// letter suffixes sort lexically after the bare date ('b' > '.'), so
+// latestSnapshot keeps picking the newest run of the day.
+func snapshotPath(dir, date string) (string, error) {
+	base := filepath.Join(dir, "BENCH_"+date)
+	if p := base + ".json"; !fileExists(p) {
+		return p, nil
+	}
+	for s := 'b'; s <= 'z'; s++ {
+		if p := base + string(s) + ".json"; !fileExists(p) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("more than 25 snapshots dated %s; clean up %s", date, dir)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
 func latestSnapshot(dir string) string {
 	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if len(matches) == 0 {
@@ -175,8 +222,8 @@ func readSnapshot(path string) (*Snapshot, error) {
 }
 
 // compare prints a delta table and reports whether any benchmark
-// regressed beyond the threshold on a lower-is-better metric.
-func compare(prev, cur *Snapshot, prevPath string, threshold float64) bool {
+// regressed beyond the threshold on a gated lower-is-better metric.
+func compare(prev, cur *Snapshot, prevPath string, threshold float64, gated map[string]bool) bool {
 	prevBy := map[string]Result{}
 	for _, r := range prev.Results {
 		prevBy[r.Name] = r
@@ -184,7 +231,9 @@ func compare(prev, cur *Snapshot, prevPath string, threshold float64) bool {
 	fmt.Printf("benchdiff: comparing against %s (%s)\n", prevPath, prev.Date)
 	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark/metric", "old", "new", "delta")
 	regressed := false
+	curNames := map[string]bool{}
 	for _, r := range cur.Results {
+		curNames[r.Name] = true
 		p, ok := prevBy[r.Name]
 		if !ok {
 			fmt.Printf("%-28s %14s %14s %8s\n", r.Name, "-", "-", "new")
@@ -208,21 +257,28 @@ func compare(prev, cur *Snapshot, prevPath string, threshold float64) bool {
 				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
 			}
 			flag := ""
-			if lowerIsBetter(u) && ov > 0 && nv > ov*(1+threshold) {
+			if gated[u] && ov > 0 && nv > ov*(1+threshold) {
 				flag = "  REGRESSION"
 				regressed = true
 			}
 			fmt.Printf("%-28s %14.4g %14.4g %8s%s\n", label, ov, nv, delta, flag)
 		}
+		for u := range p.Metrics {
+			if _, still := r.Metrics[u]; !still {
+				fmt.Printf("%-28s %14.4g %14s %8s\n", r.Name+" "+u, p.Metrics[u], "-", "gone")
+			}
+		}
+	}
+	// Benchmarks present in the baseline but absent from this run are
+	// reported, not failed: the run may have used a narrower -bench
+	// regexp, or the benchmark may have been renamed — both are the
+	// reviewer's call, not a mechanical regression.
+	for _, p := range prev.Results {
+		if !curNames[p.Name] {
+			fmt.Printf("%-28s %14s %14s %8s\n", p.Name, "-", "-", "gone")
+		}
 	}
 	return regressed
-}
-
-// lowerIsBetter gates which metrics can fail the run: time and
-// allocations. B/op and custom ReportMetric values are informational
-// (ratios and throughputs have no universal direction).
-func lowerIsBetter(unit string) bool {
-	return unit == "ns/op" || unit == "allocs/op"
 }
 
 func fatal(err error) {

@@ -39,17 +39,27 @@ func TestParseBench(t *testing.T) {
 }
 
 func TestCompareRegression(t *testing.T) {
+	gateAll := map[string]bool{"ns/op": true, "allocs/op": true}
 	prev := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}}}}
 	same := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 105, "allocs/op": 10}}}}
-	if compare(prev, same, "prev.json", 0.10) {
+	if compare(prev, same, "prev.json", 0.10, gateAll) {
 		t.Errorf("5%% slowdown flagged at 10%% threshold")
 	}
 	worse := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 150, "allocs/op": 10}}}}
-	if !compare(prev, worse, "prev.json", 0.10) {
+	if !compare(prev, worse, "prev.json", 0.10, gateAll) {
 		t.Errorf("50%% slowdown not flagged")
 	}
 	moreAllocs := &Snapshot{Results: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 20}}}}
-	if !compare(prev, moreAllocs, "prev.json", 0.10) {
+	if !compare(prev, moreAllocs, "prev.json", 0.10, gateAll) {
 		t.Errorf("2x allocs not flagged")
+	}
+	// -gate allocs: timing regressions report but do not fail.
+	if compare(prev, worse, "prev.json", 0.10, map[string]bool{"allocs/op": true}) {
+		t.Errorf("ns/op regression flagged despite allocs-only gate")
+	}
+	// A benchmark present only in the baseline reports as gone, not a failure.
+	gone := &Snapshot{Results: []Result{{Name: "Y", Metrics: map[string]float64{"ns/op": 1}}}}
+	if compare(prev, gone, "prev.json", 0.10, gateAll) {
+		t.Errorf("baseline-only benchmark treated as a regression")
 	}
 }

@@ -5,6 +5,15 @@
 //	profilegen -net resnet50 > resnet50.json
 //	profilegen -net inception -batch 16 -size 500 -o inception.json
 //	profilegen -all -dir profiles/
+//
+// With -cpuprofile it instead runs a representative planning workload
+// (repeated Algorithm 1 invocations on the chosen network) and writes a
+// CPU profile. The planner tags its phases with pprof labels, so the
+// profile decomposes by phase:
+//
+//	profilegen -cpuprofile cpu.out -net resnet50 -iters 20
+//	go tool pprof -tags cpu.out                       # phase breakdown
+//	go tool pprof -tagfocus madpipe-phase=plane-fill cpu.out
 package main
 
 import (
@@ -12,8 +21,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
+	"madpipe/internal/core"
 	"madpipe/internal/nets"
+	"madpipe/internal/platform"
 )
 
 func main() {
@@ -25,8 +37,18 @@ func main() {
 		all     = flag.Bool("all", false, "emit every network")
 		dir     = flag.String("dir", ".", "output directory with -all")
 		asGraph = flag.Bool("graph", false, "emit the op-level computational graph instead of the linearized chain")
+		cpuProf = flag.String("cpuprofile", "", "profile a planning workload into this file instead of emitting chains")
+		iters   = flag.Int("iters", 20, "planning invocations under -cpuprofile")
+		par     = flag.Int("j", 0, "planner parallelism under -cpuprofile (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		if err := profilePlanning(*cpuProf, *netName, *batch, *size, *iters, *par); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *all {
 		for _, n := range nets.Names() {
@@ -77,6 +99,42 @@ func main() {
 	if err := c.Write(w); err != nil {
 		fatal(err)
 	}
+}
+
+// profilePlanning runs Algorithm 1 repeatedly under the CPU profiler.
+// The workload mirrors the repository benchmarks: a 24-node coarsened
+// chain planned onto an 8-worker platform with a memory limit tight
+// enough to exercise the memory checks. The planner's own pprof labels
+// (madpipe-phase: probe, frontier, plane-fill, reconstruct) survive into
+// the profile; inspect them with `go tool pprof -tags`.
+func profilePlanning(path, netName string, batch, size, iters, par int) error {
+	c, err := nets.Build(nets.Spec{Name: netName, Batch: batch, Size: size})
+	if err != nil {
+		return err
+	}
+	cc, err := c.Coarsen(24)
+	if err != nil {
+		return err
+	}
+	plat := platform.Platform{Workers: 8, Memory: 6 * platform.GB, Bandwidth: 12 * platform.GB}
+	opts := core.Options{Parallel: par}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	for i := 0; i < iters; i++ {
+		if _, err := core.PlanAllocation(cc, plat, opts); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "profilegen: %d plans of %s profiled into %s\n", iters, netName, path)
+	return nil
 }
 
 func fatal(err error) {

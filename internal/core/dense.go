@@ -12,7 +12,7 @@ import "sync"
 // performs O(1) table allocations.
 
 // denseMaxStates bounds the dense table size (states, not bytes; each
-// state costs 12 bytes). Shapes beyond the cap — very long uncoarsened
+// state costs 16 bytes). Shapes beyond the cap — very long uncoarsened
 // chains — fall back to the legacy map-based DP, which only pays for
 // reachable states.
 const denseMaxStates = 1 << 25
@@ -32,14 +32,43 @@ const (
 // k field (k+1 must fit in 14 bits).
 const denseMaxL = metaKMask - 1
 
+// dpSlot is one dense-table state: the DP value and the packed
+// stamp/decision word, colocated so a lookup costs one cache access.
+type dpSlot struct {
+	period float64
+	meta   uint32
+}
+
 type dpTable struct {
-	period []float64
-	meta   []uint32
+	slots  []dpSlot
 	stamp  uint32
 	states int // entries stored under the current stamp
 
 	nL, nP, nT, nM, nV int
 	size               int
+
+	// Cross-probe infeasibility certificates (Algorithm 1 only; see
+	// certBegin). certThat[idx] is the largest target period at which the
+	// state idx was proven memory-dead: every cut k failed its memory
+	// check outright, with no recourse to child values. Group counts
+	// g = ceil((V+U)/T̂) only grow as T̂ shrinks while the stage-memory
+	// formula is T̂-independent, so memory-death at T̂ implies
+	// memory-death — an infinite DP value — at every T̂' <= T̂. (General
+	// value-infeasibility is NOT monotone in T̂, because the ⊕ snapping
+	// changes which delay a child sees; certificates therefore record
+	// memory-death only.) Entries are validated against certEpoch so a
+	// pooled table never leaks certificates across leases.
+	certOn    bool
+	certEpoch uint32
+	// certMax is the largest target period recorded by any certificate
+	// this lease — a probe at that > certMax cannot match any per-state
+	// certificate, so the hot path skips the array loads entirely.
+	certMax  float64
+	certThat []float64
+	certSeen []uint32
+
+	cols colCache
+	wave waveScratch
 }
 
 // fits reports whether the dense table can represent the given shape.
@@ -57,22 +86,65 @@ func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
 	t.nL, t.nP, t.nT, t.nM, t.nV = nL, nP, nT, nM, nV
 	t.size = nL * nP * nT * nM * nV
 	t.states = 0
-	if cap(t.period) < t.size {
-		t.period = make([]float64, t.size)
-		t.meta = make([]uint32, t.size)
+	if cap(t.slots) < t.size {
+		t.slots = make([]dpSlot, t.size)
 		t.stamp = 1
+	} else {
+		t.slots = t.slots[:t.size]
+		t.stamp++
+		if t.stamp >= 1<<metaStampShift {
+			// Stamp space exhausted: clear and restart. This happens once
+			// every 65535 probes per pooled table, so the wipe is amortized
+			// to nothing.
+			clear(t.slots)
+			t.stamp = 1
+		}
+	}
+	if t.certOn {
+		if cap(t.certThat) < t.size {
+			t.certThat = make([]float64, t.size)
+			t.certSeen = make([]uint32, t.size)
+		} else {
+			t.certThat = t.certThat[:t.size]
+			t.certSeen = t.certSeen[:t.size]
+		}
+	}
+}
+
+// certBegin arms the certificate store for the current table lease.
+// Certificates are only sound while every probe on the lease shares the
+// same chain, platform, discretization and weight policy — exactly the
+// shape of one Algorithm 1 run — so only PlanAllocation calls this;
+// one-shot DP() runs leave certificates off. Bumping the epoch
+// invalidates whatever a previous lease recorded.
+func (t *dpTable) certBegin() {
+	t.certOn = true
+	t.certMax = 0
+	t.certEpoch++
+}
+
+// certDead reports whether idx was proven memory-dead at a target period
+// >= that, which makes its DP value infinite at the current probe too.
+func (t *dpTable) certDead(idx int, that float64) bool {
+	return that <= t.certMax && t.certSeen[idx] == t.certEpoch && that <= t.certThat[idx]
+}
+
+// certMark records that idx is memory-dead at target period that.
+func (t *dpTable) certMark(idx int, that float64) {
+	if !t.certOn {
 		return
 	}
-	t.period = t.period[:t.size]
-	t.meta = t.meta[:t.size]
-	t.stamp++
-	if t.stamp >= 1<<metaStampShift {
-		// Stamp space exhausted: clear and restart. This happens once
-		// every 65535 probes per pooled table, so the wipe is amortized
-		// to nothing.
-		clear(t.meta)
-		t.stamp = 1
+	if that > t.certMax {
+		t.certMax = that
 	}
+	if t.certSeen[idx] == t.certEpoch {
+		if that > t.certThat[idx] {
+			t.certThat[idx] = that
+		}
+		return
+	}
+	t.certSeen[idx] = t.certEpoch
+	t.certThat[idx] = that
 }
 
 func (t *dpTable) idx(l, p, itP, imP, iV int) int {
@@ -80,40 +152,54 @@ func (t *dpTable) idx(l, p, itP, imP, iV int) int {
 }
 
 func (t *dpTable) get(idx int) (dpEntry, bool) {
-	m := t.meta[idx]
-	if m>>metaStampShift != t.stamp {
+	s := t.slots[idx]
+	if s.meta>>metaStampShift != t.stamp {
 		return dpEntry{}, false
 	}
 	return dpEntry{
-		period:  t.period[idx],
-		k:       int16(int32(m>>metaKShift&metaKMask) - 1),
-		special: m&metaSpecialBit != 0,
+		period:  s.period,
+		k:       int16(int32(s.meta>>metaKShift&metaKMask) - 1),
+		special: s.meta&metaSpecialBit != 0,
 	}, true
 }
 
 // getPeriod is the hot-path lookup: it avoids materializing a dpEntry.
 func (t *dpTable) getPeriod(idx int) (float64, bool) {
-	if t.meta[idx]>>metaStampShift != t.stamp {
+	s := &t.slots[idx]
+	if s.meta>>metaStampShift != t.stamp {
 		return 0, false
 	}
-	return t.period[idx], true
+	return s.period, true
 }
 
 func (t *dpTable) put(idx int, e dpEntry) {
+	t.putNC(idx, e)
+	t.states++
+}
+
+// putNC stores an entry without touching the shared states counter. The
+// wavefront's plane-fill workers use it — each worker owns a disjoint
+// cell set, counts its stores locally and the counts are summed behind
+// the level barrier, keeping the counter exact without atomics.
+func (t *dpTable) putNC(idx int, e dpEntry) {
 	m := t.stamp<<metaStampShift | uint32(int32(e.k)+1)<<metaKShift
 	if e.special {
 		m |= metaSpecialBit
 	}
-	t.meta[idx] = m
-	t.period[idx] = e.period
-	t.states++
+	t.slots[idx] = dpSlot{period: e.period, meta: m}
 }
 
 var tablePool = sync.Pool{New: func() any { return new(dpTable) }}
 
 // acquireTable leases a dense table from the arena; pair with
-// releaseTable. Each table serves exactly one goroutine at a time (see
-// the package comment for the concurrency invariants).
-func acquireTable() *dpTable { return tablePool.Get().(*dpTable) }
+// releaseTable. Each table serves exactly one planner invocation at a
+// time (see the package comment for the concurrency invariants).
+// Certificates start disarmed on every lease.
+func acquireTable() *dpTable {
+	t := tablePool.Get().(*dpTable)
+	t.certOn = false
+	t.certMax = 0 // certDead short-circuits on this before any array load
+	return t
+}
 
 func releaseTable(t *dpTable) { tablePool.Put(t) }

@@ -22,17 +22,38 @@
 // # Concurrency invariants
 //
 // The planner is safe for concurrent use under the following rules,
-// relied upon by the speculative parallel probes of PlanAllocation and
-// by the parallel sweeps in internal/expt:
+// relied upon by the speculative parallel probes of PlanAllocation, the
+// wavefront evaluator (wavefront.go) and the parallel sweeps in
+// internal/expt:
 //
 //   - chain.Chain and platform.Platform are immutable; any number of
 //     goroutines may plan over the same chain concurrently.
 //   - A dpRun (and the dense table it leases from the arena) belongs to
-//     exactly one goroutine from acquire to release. Tables are never
-//     shared; cross-probe reuse happens only sequentially on the same
-//     goroutine via the epoch stamp.
+//     exactly one planner invocation from acquire to release. Tables are
+//     never shared between invocations; cross-probe reuse happens only
+//     sequentially on the same lease via the epoch stamp.
+//   - Within one invocation the wavefront's plane-fill workers share the
+//     table, but each worker owns a disjoint cell set, all of a cell's
+//     children live on strictly lower planes, and planes are separated
+//     by barriers — so every read happens-after the write it observes
+//     and no two goroutines touch the same state.
+//   - Column caches and certificate stores are mutated only by the
+//     owning invocation's sequential phases (lazy solve, frontier pass);
+//     plane-fill workers read them frozen.
 //   - Reconstructed allocations are fresh per run and carry no pointers
 //     into pooled state.
+//
+// Options.Parallel picks the execution mode: 0 means auto (clamped to
+// [1, GOMAXPROCS]), 1 is the sequential reference path (lazy
+// explicit-stack solver, sequential bisection), and >= 2 enables both
+// speculative Algorithm 1 probes and the wavefront evaluator, splitting
+// the worker budget between them. Every mode computes each DP probe
+// bit-identically — same period, allocation and reconstruction choices;
+// only the visited state counts may differ (the wavefront's frontier is
+// a superset of the lazy solver's value-pruned traversal). Algorithm 1's
+// probe schedule depends on the probe fan, so planner-level outputs are
+// pinned per setting, and across settings sharing a fan (see
+// Options.Parallel).
 package core
 
 import (
@@ -67,6 +88,20 @@ func (d Discretization) validate() error {
 }
 
 const inf = math.MaxFloat64
+
+// max3 is max(a, max(b, c)) by direct comparison. Periods are positive
+// and never NaN, so this returns the same float as the math.Max chain
+// the map solver uses, without the archMax call the compiler won't
+// inline.
+func max3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
 
 // dpRun holds the state of one MadPipe-DP invocation for a fixed target
 // period T̂. A dpRun (and its table) is used by a single goroutine.
@@ -107,11 +142,15 @@ type dpEntry struct {
 // dpFrame is one suspended evaluation of the DP recurrence on the
 // explicit work stack: the state indices, the current cut position k,
 // the branch being awaited (stage 0 = normal processor, stage 1 =
-// special processor) and the best entry found so far.
+// special processor) and the best entry found so far. memOK records
+// whether any cut passed a memory check: a state that ends infeasible
+// with memOK still false died on memory alone, which is monotone in T̂
+// and therefore certifiable across probes (see dpTable.certMark).
 type dpFrame struct {
 	l, p, itP, imP, iV int32
 	k                  int32
 	stage              int8
+	memOK              bool
 	best               dpEntry
 }
 
@@ -228,12 +267,22 @@ func (r *dpRun) baseCase(l int, tP, mP, v float64) dpEntry {
 }
 
 // childValue returns the value of a sub-state if it is already resolved:
-// l == 0 states are closed-form, everything else comes from the table.
+// l == 0 states are closed-form, everything else comes from the table —
+// or from a cross-probe memory-death certificate, which settles the
+// child at infinity without descending into it.
 func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, bool) {
 	if l == 0 {
 		return float64(itP) * r.stepT, true
 	}
-	return r.tab.getPeriod(r.tab.idx(l, p, itP, imP, iV))
+	idx := r.tab.idx(l, p, itP, imP, iV)
+	if v, ok := r.tab.getPeriod(idx); ok {
+		return v, true
+	}
+	if r.tab.certDead(idx, r.that) {
+		r.tab.put(idx, dpEntry{period: inf, k: -1})
+		return inf, true
+	}
+	return 0, false
 }
 
 // solve evaluates T(l, p, t_P, m_P, V) with an explicit work stack: a
@@ -246,9 +295,15 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 	if l0 == 0 {
 		return float64(itP0) * r.stepT
 	}
-	if v, ok := r.tab.getPeriod(r.tab.idx(l0, p0, itP0, imP0, iV0)); ok {
+	idx0 := r.tab.idx(l0, p0, itP0, imP0, iV0)
+	if v, ok := r.tab.getPeriod(idx0); ok {
 		return v
 	}
+	if r.tab.certDead(idx0, r.that) {
+		r.tab.put(idx0, dpEntry{period: inf, k: -1})
+		return inf
+	}
+	cc := &r.tab.cols
 	st := r.stack[:0]
 	st = append(st, dpFrame{
 		l: int32(l0), p: int32(p0), itP: int32(itP0), imP: int32(imP0), iV: int32(iV0),
@@ -262,7 +317,14 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 		v := float64(f.iV) * r.stepV
 
 		if p == 0 {
-			r.tab.put(r.tab.idx(l, 0, int(f.itP), int(f.imP), int(f.iV)), r.baseCase(l, tP, mP, v))
+			e := r.baseCase(l, tP, mP, v)
+			idx := r.tab.idx(l, 0, int(f.itP), int(f.imP), int(f.iV))
+			r.tab.put(idx, e)
+			if e.period == inf {
+				// Base cases fail only on memory (or a disabled special
+				// processor), both monotone in T̂: certifiable.
+				r.tab.certMark(idx, r.that)
+			}
 			st = st[:len(st)-1]
 			continue
 		}
@@ -277,14 +339,37 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				// just tightened best to exactly u.)
 				break
 			}
-			g := r.groupsU(v, u)
 			cl := r.cLeft[k]
-			vNext := r.oplus(r.oplus(v, u), cl)
-			iVN := roundUp(vNext, r.stepV, r.nV)
+			// Per-cut scalars: from the monotone cut-point columns when
+			// the cache fits, recomputed inline otherwise. Both arms run
+			// the identical reference expressions (see columns.go), so the
+			// decision stream is the same either way.
+			var g, iVN int
+			var smem float64
+			var normOK bool
+			if cc.on {
+				base, gmax := r.col(l, k)
+				e := &cc.ent[base+int(f.iV)]
+				if e.g == 0 {
+					r.fillEnt(l, k, int(f.iV), e)
+				}
+				iVN = int(e.ivn)
+				normOK = e.g <= gmax
+				smem = e.smem
+			} else {
+				g = r.groupsU(v, u)
+				vNext := r.oplus(r.oplus(v, u), cl)
+				iVN = roundUp(vNext, r.stepV, r.nV)
+				normOK = r.stageMem(k, l, g) <= r.mem
+				if !r.disableSpecial {
+					smem = r.stageMem(k, l, g-1)
+				}
+			}
 
 			if f.stage == 0 {
 				// Assign stage [k,l] to a normal processor.
-				if r.stageMem(k, l, g) <= r.mem {
+				if normOK {
+					f.memOK = true
 					sub, ok := r.childValue(k-1, p-1, int(f.itP), int(f.imP), iVN)
 					if !ok {
 						f.k = int32(k)
@@ -295,7 +380,7 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 						pushed = true
 						break
 					}
-					cand := math.Max(u, math.Max(cl, sub))
+					cand := max3(u, cl, sub)
 					if cand < f.best.period {
 						f.best = dpEntry{period: cand, k: int16(k)}
 					}
@@ -307,8 +392,9 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 			// under-estimated with g-1 copies (Section 4.2.1); the
 			// scheduling phase repairs the difference.
 			if !r.disableSpecial {
-				mNext := mP + r.stageMem(k, l, g-1)
+				mNext := mP + smem
 				if mNext <= r.mem {
+					f.memOK = true
 					itPN := roundUp(tP+u, r.stepT, r.nT)
 					tNext := float64(itPN) * r.stepT
 					imPN := roundUp(mNext, r.stepM, r.nM)
@@ -322,7 +408,7 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 						pushed = true
 						break
 					}
-					cand := math.Max(tNext, math.Max(cl, sub))
+					cand := max3(tNext, cl, sub)
 					if cand < f.best.period {
 						f.best = dpEntry{period: cand, k: int16(k), special: true}
 					}
@@ -335,7 +421,14 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 			// grown stack for reuse and re-enter the loop on the child.
 			continue
 		}
-		r.tab.put(r.tab.idx(l, p, int(f.itP), int(f.imP), int(f.iV)), f.best)
+		idx := r.tab.idx(l, p, int(f.itP), int(f.imP), int(f.iV))
+		if f.best.period == inf && !f.memOK {
+			// Every cut of every branch failed its memory check — no break
+			// can have fired (u >= inf never holds), so the whole k range
+			// was examined and the death is certifiable for smaller T̂.
+			r.tab.certMark(idx, r.that)
+		}
+		r.tab.put(idx, f.best)
 		st = st[:len(st)-1]
 	}
 	r.stack = st[:0]
@@ -354,44 +447,56 @@ type DPResult struct {
 	States int
 }
 
+// dpConfig bundles the per-invocation knobs of the DP driver.
+type dpConfig struct {
+	disc           Discretization
+	disableSpecial bool
+	weights        chain.WeightPolicy
+	// workers >= 2 selects the parallel wavefront evaluator on the dense
+	// path; <= 1 runs the sequential explicit-stack reference solver.
+	workers int
+}
+
 // runDP executes MadPipe-DP for a fixed target period T̂ and reconstructs
 // the allocation, leasing a dense table from the arena for the duration
 // of the call. normals is the number of normal processors (P-1 with the
 // special processor enabled, P for the contiguous ablation).
-func runDP(c *chain.Chain, plat platform.Platform, that float64, disc Discretization, disableSpecial bool, weights chain.WeightPolicy) (*DPResult, error) {
+func runDP(c *chain.Chain, plat platform.Platform, that float64, cfg dpConfig) (*DPResult, error) {
 	tab := acquireTable()
 	defer releaseTable(tab)
-	return runDPWith(tab, c, plat, that, disc, disableSpecial, weights)
+	return runDPWith(tab, c, plat, that, cfg)
 }
 
 // runDPWith is runDP on a caller-provided table, so Algorithm 1 can
-// reuse one arena lease across all its probes.
-func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float64, disc Discretization, disableSpecial bool, weights chain.WeightPolicy) (*DPResult, error) {
+// reuse one arena lease — and its cut columns, g thresholds and
+// infeasibility certificates — across all its probes.
+func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float64, cfg dpConfig) (*DPResult, error) {
 	if that <= 0 {
 		return nil, fmt.Errorf("core: target period must be positive, got %g", that)
 	}
+	disc := cfg.disc
 	if err := disc.validate(); err != nil {
 		return nil, err
 	}
 	normals := plat.Workers - 1
-	if disableSpecial {
+	if cfg.disableSpecial {
 		normals = plat.Workers
 	}
 	// t_P and m_P stay zero without the special processor, so the table
 	// collapses those axes to a single cell.
 	nT, nM := disc.TP, disc.MP
-	if disableSpecial {
+	if cfg.disableSpecial {
 		nT, nM = 1, 1
 	}
 	if !denseFits(c.Len(), normals, nT, nM, disc.V) {
-		return runDPMap(c, plat, that, disc, disableSpecial, weights)
+		return runDPMap(c, plat, that, disc, cfg.disableSpecial, cfg.weights)
 	}
 
 	totalU := c.TotalU()
 	r := &dpRun{
 		c: c, plat: plat, that: that,
-		disableSpecial: disableSpecial,
-		weights:        weights,
+		disableSpecial: cfg.disableSpecial,
+		weights:        cfg.weights,
 		nT:             disc.TP, nM: disc.MP, nV: disc.V,
 		stepT: totalU / float64(disc.TP-1),
 		stepM: plat.Memory / float64(disc.MP-1),
@@ -400,12 +505,32 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 	}
 	r.init()
 	tab.reset(c.Len()+1, normals+1, nT, nM, disc.V)
-	period := r.solve(c.Len(), normals, 0, 0, 0)
+	tab.cols.reset(c.Len(), disc.V, gmaxKey{
+		c: c, mem: plat.Memory,
+		weights: chain.WeightPolicy{Fixed: r.wFixed, PerBatch: r.wPerBatch},
+	})
+	var period float64
+	// The wavefront needs the column cache (its frontier builds columns,
+	// its workers only read them); for chains too long for the quadratic
+	// column directory the lazy solver runs instead, computing cut
+	// scalars inline.
+	wave := cfg.workers >= 2 && tab.cols.on
+	if wave {
+		period = r.waveSolve(c.Len(), normals, cfg.workers)
+	} else {
+		period = r.solve(c.Len(), normals, 0, 0, 0)
+	}
 	res := &DPResult{Period: period, States: tab.states}
 	if period == inf {
 		return res, nil
 	}
-	alloc, err := r.reconstruct(normals)
+	var alloc *partition.Allocation
+	var err error
+	if wave {
+		labelPhase("reconstruct", func() { alloc, err = r.reconstruct(normals) })
+	} else {
+		alloc, err = r.reconstruct(normals)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"madpipe/internal/chain"
@@ -29,12 +30,20 @@ type Options struct {
 	// Weights selects the weight-versioning policy; the zero value is
 	// the paper's PipeDream-2BW discipline (3W per stage).
 	Weights chain.WeightPolicy
-	// Parallel is the number of target periods T̂ probed concurrently per
-	// round of Algorithm 1, each on its own dpRun and dense table.
-	// 0 or 1 runs the classic sequential bisection. Larger values probe
-	// several bracket points per round (capped at 4) and fold the
-	// results in ascending-T̂ order, so the outcome is deterministic for
-	// a given option set regardless of goroutine scheduling.
+	// Parallel is the planner's total worker budget. 0 means auto: use
+	// GOMAXPROCS (clamped to at least 1). 1 runs the fully sequential
+	// reference planner. Values >= 2 are split between speculative
+	// Algorithm 1 probes (at most 4 bracket points per round, each on its
+	// own dpRun and dense table) and the wavefront workers evaluating
+	// each probe's DP; a single DP invocation (core.DP) spends the whole
+	// budget on the wavefront. Each individual DP probe is bit-identical
+	// to the sequential solver — same period, allocation and
+	// reconstruction choices (only the States counter can grow: the
+	// eager frontier visits a superset of the lazy value-pruned
+	// traversal). Algorithm 1's outputs are deterministic for a given
+	// setting and identical across settings with the same probe fan;
+	// settings with different fans probe different bracket points, so
+	// they can settle on a different (equally valid) target period.
 	Parallel int
 }
 
@@ -45,10 +54,34 @@ func (o Options) withDefaults() Options {
 	if o.Iterations == 0 {
 		o.Iterations = 10
 	}
-	if o.Parallel > 4 {
-		o.Parallel = 4
-	}
 	return o
+}
+
+// resolveParallel maps Options.Parallel to a concrete worker count:
+// 0 selects GOMAXPROCS, anything else is clamped to at least 1.
+func resolveParallel(p int) int {
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// probeFan splits a worker budget W >= 2 between concurrent Algorithm 1
+// probes and per-probe wavefront workers: at most 4 probes in flight,
+// the rest of the budget inside each probe's DP.
+func probeFan(w int) (fan, waveWorkers int) {
+	fan = w
+	if fan > 4 {
+		fan = 4
+	}
+	waveWorkers = w / fan
+	if waveWorkers < 1 {
+		waveWorkers = 1
+	}
+	return fan, waveWorkers
 }
 
 // Eval records one iteration of Algorithm 1.
@@ -94,7 +127,12 @@ func DP(c *chain.Chain, plat platform.Platform, that float64, opts Options) (*DP
 	if err != nil {
 		return nil, err
 	}
-	return runDP(c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
+	return runDP(c, plat, that, dpConfig{
+		disc:           opts.Disc,
+		disableSpecial: opts.DisableSpecial,
+		weights:        opts.Weights,
+		workers:        resolveParallel(opts.Parallel),
+	})
 }
 
 func prepared(c *chain.Chain, opts Options) (*chain.Chain, error) {
@@ -144,26 +182,37 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		res.Evals = append(res.Evals, ev)
 	}
 
-	if opts.Parallel > 1 {
-		if err := planParallel(c, plat, opts, &lb, &ub, fold); err != nil {
+	if w := resolveParallel(opts.Parallel); w > 1 {
+		if err := planParallel(c, plat, opts, w, &lb, &ub, fold); err != nil {
 			return nil, err
 		}
 	} else {
 		// Sequential bisection, reusing a single pooled table across all
-		// probes: each probe only bumps the table's epoch stamp.
+		// probes: each probe only bumps the table's epoch stamp, and the
+		// armed certificate store lets a failed probe's memory-death
+		// proofs prune every smaller-T̂ probe after it.
 		tab := acquireTable()
 		defer releaseTable(tab)
-		that := lb
-		for i := 0; i < opts.Iterations; i++ {
-			dp, err := runDPWith(tab, c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
-			if err != nil {
-				return nil, err
+		tab.certBegin()
+		cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: 1}
+		var probeErr error
+		labelPhase("probe", func() {
+			that := lb
+			for i := 0; i < opts.Iterations; i++ {
+				dp, err := runDPWith(tab, c, plat, that, cfg)
+				if err != nil {
+					probeErr = err
+					return
+				}
+				fold(that, dp)
+				if ub <= lb {
+					break
+				}
+				that = (lb + ub) / 2
 			}
-			fold(that, dp)
-			if ub <= lb {
-				break
-			}
-			that = (lb + ub) / 2
+		})
+		if probeErr != nil {
+			return nil, probeErr
 		}
 	}
 	if res.Alloc == nil {
@@ -174,16 +223,28 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 }
 
 // planParallel probes several bracket points per round on concurrent
-// dpRuns. Candidates are derived only from the bracket (deterministic),
-// every probe runs on its own goroutine with its own pooled table, and
-// results are folded in ascending-T̂ order, so the outcome is identical
-// across runs for a fixed option set. The total probe budget is
-// opts.Iterations, matching the sequential search's DP work.
-func planParallel(c *chain.Chain, plat platform.Platform, opts Options, lb, ub *float64, fold func(float64, *DPResult)) error {
+// dpRuns. Candidates are derived only from the bracket (deterministic)
+// and results are folded in ascending-T̂ order, so the outcome is
+// identical across runs for a fixed option set. Probe slot i leases
+// table i for the whole search: across rounds the slot's probes reuse
+// the table's columns, gmax memo and armed certificate store, so later
+// rounds start warm. The total probe budget is opts.Iterations,
+// matching the sequential search's DP work; budget beyond the probe fan
+// goes to each probe's wavefront workers.
+func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, lb, ub *float64, fold func(float64, *DPResult)) error {
+	fan, waveW := probeFan(w)
+	tabs := make([]*dpTable, fan)
+	for i := range tabs {
+		tabs[i] = acquireTable()
+		tabs[i].certBegin()
+		defer releaseTable(tabs[i])
+	}
+	cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: waveW}
+
 	budget := opts.Iterations
 	first := true
 	for budget > 0 && (first || *ub > *lb) {
-		k := opts.Parallel
+		k := fan
 		if k > budget {
 			k = budget
 		}
@@ -198,7 +259,9 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, lb, ub *
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				results[i], errs[i] = runDP(c, plat, that, opts.Disc, opts.DisableSpecial, opts.Weights)
+				labelPhase("probe", func() {
+					results[i], errs[i] = runDPWith(tabs[i], c, plat, that, cfg)
+				})
 			}()
 		}
 		wg.Wait()

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel wavefront evaluation of the MadPipe DP. The recurrence's
+// children of a state (l, p, ...) all live at strictly smaller prefix
+// lengths, so the dense table can be filled eagerly plane-by-plane in
+// ascending l, with every cell of a plane independent of its siblings —
+// the ideal shape for a bounded worker pool. Filling all planes densely
+// would visit orders of magnitude more states than the lazy solver's
+// value-pruned traversal, so a sequential reachability frontier pass
+// runs first (descending l, from the root): it marks exactly the cells
+// the evaluation can touch, bounding each cell's cut range [kmin, l]
+// with two upper bounds on the cell's DP value that are free of child
+// values —
+//
+//   - the min-bottleneck normal-only completion (an O(L²P) DP over
+//     (l, p) alone, memory-checked at the pessimal grid delay, so it is
+//     feasible from any reachable state), and
+//   - the whole-prefix special-processor completion, memory-checked the
+//     same way —
+//
+// both assembled from the exact floats the real recurrence compares, so
+// ub >= value holds as a genuine inequality with no epsilon. Cuts with
+// U(k,l) > ub can never strictly improve the cell's best entry (every
+// candidate is >= U(k,l) and updates require a strict improvement), so
+// skipping them preserves the stored entry bit-for-bit; the proof that
+// the plane-fill loop then reproduces the lazy solver's entry exactly is
+// spelled out in TestWavefrontMatchesSequential's comment. The frontier
+// also consults the cross-probe memory-death certificates (dense.go) and
+// settles certified cells without expanding them.
+//
+// The frontier is where the monotone cut-point columns (columns.go) are
+// built; the parallel plane-fill only ever reads them, together with the
+// strictly-lower planes its children live on, so the worker pool needs
+// no locks — just a barrier between planes.
+
+// waveCell is one frontier-marked cell: its packed table index and the
+// lower end of its cut range.
+type waveCell struct {
+	idx  int32
+	kmin int32
+}
+
+// waveScratch is the pooled per-table scratch of the wavefront.
+type waveScratch struct {
+	levels [][]waveCell
+	np     []float64 // min-bottleneck normal-only completion value per (l, p)
+	spec   []float64 // pessimal special-branch stage memory per prefix l
+	hasNP  bool
+}
+
+// npMaxWork caps the O(L²·P) bound-table build; beyond it the frontier
+// falls back to the special-completion bound alone.
+const npMaxWork = 1 << 22
+
+// waveParThreshold is the plane size below which the plane is evaluated
+// inline instead of being fanned across the worker pool.
+const waveParThreshold = 32
+
+var phaseCtx = context.Background()
+
+// labelPhase runs f under a pprof label so CPU profiles attribute DP
+// time to planner phases by name (madpipe-phase = probe, frontier,
+// plane-fill, reconstruct). Goroutines started inside f inherit the
+// label.
+func labelPhase(name string, f func()) {
+	pprof.Do(phaseCtx, pprof.Labels("madpipe-phase", name), func(context.Context) { f() })
+}
+
+// waveSolve fills the table for the root state (L, P, 0, 0, 0) with the
+// two-pass wavefront and returns the root value. Requires the column
+// cache (the caller checked cols.on) and workers >= 2.
+func (r *dpRun) waveSolve(L, P, workers int) float64 {
+	t := r.tab
+	rootIdx := t.idx(L, P, 0, 0, 0)
+	if P == 0 {
+		e := r.baseCase(L, 0, 0, 0)
+		t.put(rootIdx, e)
+		if e.period == inf {
+			t.certMark(rootIdx, r.that)
+		}
+		return e.period
+	}
+	if t.certDead(rootIdx, r.that) {
+		t.put(rootIdx, dpEntry{period: inf, k: -1})
+		return inf
+	}
+
+	w := &t.wave
+	if cap(w.levels) >= L+1 {
+		w.levels = w.levels[:L+1]
+	} else {
+		nl := make([][]waveCell, L+1)
+		copy(nl, w.levels)
+		w.levels = nl
+	}
+	for i := range w.levels {
+		w.levels[i] = w.levels[i][:0]
+	}
+
+	labelPhase("frontier", func() {
+		r.buildBounds(L, P)
+		t.slots[rootIdx].meta = t.stamp << metaStampShift // mark pending
+		w.levels[L] = append(w.levels[L], waveCell{idx: int32(rootIdx)})
+		for l := L; l >= 1; l-- {
+			r.frontierLevel(l)
+		}
+	})
+	labelPhase("plane-fill", func() {
+		r.planeFill(L, workers)
+	})
+	v, _ := t.getPeriod(rootIdx)
+	return v
+}
+
+// buildBounds prepares the value-free upper-bound tables consulted by
+// the frontier. np[l*nP+p] is the bottleneck cost of the cheapest
+// normal-only completion of prefix l on p normal processors whose every
+// stage fits memory at the pessimal (grid-top) delay — feasible from any
+// reachable state, since table delays are grid-clamped and both the
+// group count and the stage memory are monotone in the delay. spec[l] is
+// the matching pessimal special-branch memory for the whole prefix.
+func (r *dpRun) buildBounds(L, P int) {
+	w := &r.tab.wave
+	nP := r.tab.nP
+	vmax := float64(r.nV-1) * r.stepV
+	w.hasNP = L*L*nP <= npMaxWork
+	if w.hasNP {
+		n := (L + 1) * nP
+		if cap(w.np) < n {
+			w.np = make([]float64, n)
+		}
+		w.np = w.np[:n]
+		for p := 0; p < nP; p++ {
+			w.np[p] = 0
+		}
+		for l := 1; l <= L; l++ {
+			w.np[l*nP] = inf
+			for p := 1; p < nP; p++ {
+				best := inf
+				for k := l; k >= 1; k-- {
+					u := r.uTo[l] - r.uTo[k-1]
+					if u >= best {
+						break // bottlenecks only grow as k decreases
+					}
+					sub := w.np[(k-1)*nP+(p-1)]
+					if sub == inf {
+						continue
+					}
+					g := r.groupsU(vmax, u)
+					if r.stageMem(k, l, g) > r.mem {
+						continue
+					}
+					cand := u
+					if cl := r.cLeft[k]; cl > cand {
+						cand = cl
+					}
+					if sub > cand {
+						cand = sub
+					}
+					if cand < best {
+						best = cand
+					}
+				}
+				w.np[l*nP+p] = best
+			}
+		}
+	}
+	if !r.disableSpecial {
+		if cap(w.spec) < L+1 {
+			w.spec = make([]float64, L+1)
+		}
+		w.spec = w.spec[:L+1]
+		w.spec[0] = 0
+		for l := 1; l <= L; l++ {
+			g := r.groupsU(vmax, r.uTo[l])
+			w.spec[l] = r.stageMem(1, l, g-1)
+		}
+	}
+}
+
+// cellBound returns an upper bound on the DP value of the cell, or inf
+// when neither completion is memory-feasible (which implies nothing —
+// the bound is only ever used to skip cuts).
+func (r *dpRun) cellBound(l, p int, tP, mP float64) float64 {
+	w := &r.tab.wave
+	ub := inf
+	if w.hasNP {
+		if npv := w.np[l*r.tab.nP+p]; npv < inf {
+			ub = math.Max(tP, npv)
+		}
+	}
+	if !r.disableSpecial && mP+w.spec[l] <= r.mem {
+		itPN := roundUp(tP+r.uTo[l], r.stepT, r.nT)
+		if tn := float64(itPN) * r.stepT; tn < ub {
+			ub = tn
+		}
+	}
+	return ub
+}
+
+// frontierLevel expands every marked cell of level l, rewriting the
+// level's list in place to the evaluation work list: p == 0 cells are
+// settled immediately (they are leaves), the rest get their cut floor
+// attached. Children are marked on their own levels.
+func (r *dpRun) frontierLevel(l int) {
+	t := r.tab
+	w := &t.wave
+	cells := w.levels[l]
+	wi := 0
+	for _, cell := range cells {
+		idx := int(cell.idx)
+		rem := idx
+		iV := rem % t.nV
+		rem /= t.nV
+		imP := rem % t.nM
+		rem /= t.nM
+		itP := rem % t.nT
+		rem /= t.nT
+		p := rem % t.nP
+		tP := float64(itP) * r.stepT
+		mP := float64(imP) * r.stepM
+
+		if p == 0 {
+			v := float64(iV) * r.stepV
+			e := r.baseCase(l, tP, mP, v)
+			t.put(idx, e)
+			if e.period == inf {
+				t.certMark(idx, r.that)
+			}
+			continue
+		}
+
+		ub := r.cellBound(l, p, tP, mP)
+		kmin := 1
+		if ub < inf {
+			// First k whose stage load U(k,l) does not exceed the bound;
+			// the predicate uses the exact float the evaluation compares,
+			// and U only grows as k decreases, so the range [kmin, l] is
+			// precisely the unskippable cuts. k = l always qualifies
+			// (every candidate is >= U(l,l), so ub >= value >= U(l,l)).
+			lo, hi := 1, l
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if r.uTo[l]-r.uTo[mid-1] > ub {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			kmin = lo
+		}
+
+		for k := l; k >= kmin; k-- {
+			base, gmax := r.col(l, k)
+			e := &t.cols.ent[base+iV]
+			if e.g == 0 {
+				r.fillEnt(l, k, iV, e)
+			}
+			iVN := int(e.ivn)
+			if e.g <= gmax && k > 1 {
+				r.mark(k-1, t.idx(k-1, p-1, itP, imP, iVN))
+			}
+			if !r.disableSpecial {
+				mNext := mP + e.smem
+				if mNext <= r.mem && k > 1 {
+					u := r.uTo[l] - r.uTo[k-1]
+					itPN := roundUp(tP+u, r.stepT, r.nT)
+					imPN := roundUp(mNext, r.stepM, r.nM)
+					r.mark(k-1, t.idx(k-1, p, itPN, imPN, iVN))
+				}
+			}
+		}
+		cells[wi] = waveCell{idx: cell.idx, kmin: int32(kmin)}
+		wi++
+	}
+	w.levels[l] = cells[:wi]
+}
+
+// mark queues an unvisited cell for evaluation on its level, unless a
+// cross-probe certificate already proves it memory-dead, in which case
+// its infinite entry is stored outright.
+func (r *dpRun) mark(lv, idx int) {
+	t := r.tab
+	if t.slots[idx].meta>>metaStampShift == t.stamp {
+		return // already marked (or settled by a certificate)
+	}
+	if t.certDead(idx, r.that) {
+		t.put(idx, dpEntry{period: inf, k: -1})
+		return
+	}
+	t.slots[idx].meta = t.stamp << metaStampShift
+	w := &t.wave
+	w.levels[lv] = append(w.levels[lv], waveCell{idx: int32(idx)})
+}
+
+// planeFill evaluates the frontier's work lists in ascending level
+// order, fanning each plane across the worker pool. Workers own disjoint
+// cell chunks, read only frozen columns and strictly lower planes, and
+// are separated by a barrier per plane, so no synchronization beyond the
+// WaitGroup is needed. Store counts are accumulated per chunk and folded
+// into the table's state counter at the end.
+func (r *dpRun) planeFill(L, workers int) {
+	t := r.tab
+	w := &t.wave
+	type waveTask struct {
+		l     int
+		cells []waveCell
+	}
+	var (
+		tasks   chan waveTask
+		wg      sync.WaitGroup
+		pooled  int64
+		started bool
+	)
+	for l := 1; l <= L; l++ {
+		cells := w.levels[l]
+		n := len(cells)
+		if n == 0 {
+			continue
+		}
+		if n < waveParThreshold || workers < 2 {
+			for _, cell := range cells {
+				r.evalCell(l, cell)
+			}
+			t.states += n
+			continue
+		}
+		if !started {
+			started = true
+			tasks = make(chan waveTask, workers)
+			for i := 0; i < workers; i++ {
+				go func() {
+					for task := range tasks {
+						for _, cell := range task.cells {
+							r.evalCell(task.l, cell)
+						}
+						atomic.AddInt64(&pooled, int64(len(task.cells)))
+						wg.Done()
+					}
+				}()
+			}
+		}
+		chunk := (n + workers - 1) / workers
+		nch := (n + chunk - 1) / chunk
+		wg.Add(nch)
+		for i := 0; i < n; i += chunk {
+			end := i + chunk
+			if end > n {
+				end = n
+			}
+			tasks <- waveTask{l: l, cells: cells[i:end]}
+		}
+		wg.Wait()
+	}
+	if started {
+		close(tasks)
+	}
+	t.states += int(pooled)
+}
+
+// evalCell computes one cell's entry, operation-for-operation identical
+// to the reference solver restricted to the unskippable cut range the
+// frontier attached (see the package comment for why the restriction
+// cannot change the stored entry).
+func (r *dpRun) evalCell(l int, cell waveCell) {
+	t := r.tab
+	cc := &t.cols
+	idx := int(cell.idx)
+	rem := idx
+	iV := rem % t.nV
+	rem /= t.nV
+	imP := rem % t.nM
+	rem /= t.nM
+	itP := rem % t.nT
+	rem /= t.nT
+	p := rem % t.nP
+	tP := float64(itP) * r.stepT
+	mP := float64(imP) * r.stepM
+
+	best := dpEntry{period: inf, k: -1}
+	memOK := false
+	kmin := int(cell.kmin)
+	for k := l; k >= kmin; k-- {
+		u := r.uTo[l] - r.uTo[k-1]
+		if u >= best.period {
+			break
+		}
+		cl := r.cLeft[k]
+		base, gmax := r.colBuilt(l, k)
+		e := &cc.ent[base+iV]
+		if e.g == 0 {
+			panic("core: wavefront evaluation touched a column entry the frontier never filled")
+		}
+		iVN := int(e.ivn)
+
+		if e.g <= gmax {
+			memOK = true
+			sub := r.waveChild(k-1, p-1, itP, imP, iVN)
+			cand := max3(u, cl, sub)
+			if cand < best.period {
+				best = dpEntry{period: cand, k: int16(k)}
+			}
+		}
+		if !r.disableSpecial {
+			mNext := mP + e.smem
+			if mNext <= r.mem {
+				memOK = true
+				itPN := roundUp(tP+u, r.stepT, r.nT)
+				tNext := float64(itPN) * r.stepT
+				imPN := roundUp(mNext, r.stepM, r.nM)
+				sub := r.waveChild(k-1, p, itPN, imPN, iVN)
+				cand := max3(tNext, cl, sub)
+				if cand < best.period {
+					best = dpEntry{period: cand, k: int16(k), special: true}
+				}
+			}
+		}
+	}
+	if best.period == inf && !memOK && kmin == 1 {
+		// The full cut range was examined (no break fires against an
+		// infinite best) and every cut failed on memory alone: the death
+		// is monotone in T̂ and certifiable. Workers write disjoint idx
+		// slots, so the store is race-free.
+		t.certMark(idx, r.that)
+	}
+	t.putNC(idx, best)
+}
+
+// waveChild reads a child settled on a lower plane (l == 0 children are
+// closed-form). A missing child would mean the frontier under-covered
+// the evaluation — a planner bug, not an input condition.
+func (r *dpRun) waveChild(l, p, itP, imP, iV int) float64 {
+	if l == 0 {
+		return float64(itP) * r.stepT
+	}
+	v, ok := r.tab.getPeriod(r.tab.idx(l, p, itP, imP, iV))
+	if !ok {
+		panic("core: wavefront evaluation read a cell outside the frontier")
+	}
+	return v
+}

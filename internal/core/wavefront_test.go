@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"madpipe/internal/chain"
+)
+
+// TestCertReuseMatchesColdProbes checks the cross-probe certificate
+// store against the ground truth: every probe Algorithm 1 logs — warm,
+// certificate-assisted, column-cached — must report the exact Raw
+// period and allocation that a cold, certificate-free DP invocation at
+// the same T̂ computes. Memory is squeezed so the bisection's low probes
+// genuinely fail and record memory-death certificates that later,
+// smaller-T̂ probes consult.
+func TestCertReuseMatchesColdProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		c := chain.Random(rng, 4+rng.Intn(8), chain.DefaultRandomOptions())
+		pl := plat(3+rng.Intn(3), 2e9+rng.Float64()*6e9, 12e9)
+		pl.Latency = rng.Float64() * 1e-4
+		for _, par := range []int{1, 8} {
+			opts := Options{Iterations: 12, Parallel: par}
+			res, err := PlanAllocation(c, pl, opts)
+			if err != nil {
+				continue // infeasible everywhere: nothing to cross-check
+			}
+			for _, ev := range res.Evals {
+				cold, err := DP(c, pl, ev.That, Options{Parallel: 1})
+				if err != nil {
+					t.Fatalf("trial %d: cold DP at T̂=%g: %v", trial, ev.That, err)
+				}
+				coldRaw := cold.Period
+				if cold.Alloc == nil {
+					coldRaw = math.Inf(1)
+				}
+				if ev.Raw != coldRaw {
+					t.Fatalf("trial %d parallel %d: warm probe at T̂=%g returned %g, cold solver %g",
+						trial, par, ev.That, ev.Raw, coldRaw)
+				}
+				if (ev.Alloc == nil) != (cold.Alloc == nil) {
+					t.Fatalf("trial %d parallel %d: feasibility mismatch at T̂=%g", trial, par, ev.That)
+				}
+				if ev.Alloc == nil {
+					continue
+				}
+				for i := range ev.Alloc.Spans {
+					if ev.Alloc.Spans[i] != cold.Alloc.Spans[i] || ev.Alloc.Procs[i] != cold.Alloc.Procs[i] {
+						t.Fatalf("trial %d parallel %d: allocation differs at T̂=%g stage %d",
+							trial, par, ev.That, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanParallelMatchesSequentialWavefront pins the planner outputs
+// across worker budgets with the same probe fan: the bracket candidates
+// depend only on the fan (at most 4 probes per round), so budgets 6 and
+// 16 probe the identical T̂ schedule as budget 4 — only with 1, 2 and 4
+// wavefront workers inside each probe. Wavefront parallelism must never
+// change a single output bit.
+func TestPlanParallelMatchesSequentialWavefront(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(10), chain.DefaultRandomOptions())
+		pl := plat(4, 6e9+rng.Float64()*10e9, 12e9)
+		base, err := PlanAllocation(c, pl, Options{Parallel: 4})
+		if err != nil {
+			continue
+		}
+		for _, par := range []int{6, 16} {
+			got, err := PlanAllocation(c, pl, Options{Parallel: par})
+			if err != nil {
+				t.Fatalf("trial %d parallel %d: %v", trial, par, err)
+			}
+			if got.PredictedPeriod != base.PredictedPeriod || got.TargetPeriod != base.TargetPeriod {
+				t.Fatalf("trial %d parallel %d: (predicted %g, target %g) != parallel 4's (%g, %g)",
+					trial, par, got.PredictedPeriod, got.TargetPeriod, base.PredictedPeriod, base.TargetPeriod)
+			}
+			if len(got.Evals) != len(base.Evals) {
+				t.Fatalf("trial %d parallel %d: %d probes != %d", trial, par, len(got.Evals), len(base.Evals))
+			}
+			for i := range got.Evals {
+				if got.Evals[i].That != base.Evals[i].That || got.Evals[i].Raw != base.Evals[i].Raw {
+					t.Fatalf("trial %d parallel %d: probe %d (T̂=%g raw %g) != (T̂=%g raw %g)",
+						trial, par, i, got.Evals[i].That, got.Evals[i].Raw, base.Evals[i].That, base.Evals[i].Raw)
+				}
+			}
+			for i := range got.Alloc.Spans {
+				if got.Alloc.Spans[i] != base.Alloc.Spans[i] || got.Alloc.Procs[i] != base.Alloc.Procs[i] {
+					t.Fatalf("trial %d parallel %d: allocation differs at stage %d", trial, par, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontLongChainFallback: chains beyond the column directory's
+// reach must silently take the lazy path even when workers are
+// requested, with identical results.
+func TestWavefrontLongChainFallback(t *testing.T) {
+	c := chain.Uniform(colMaxL+76, 1e-3, 2e-3, 1e6, 1e6)
+	pl := plat(4, 1e12, 1e12)
+	disc := Discretization{TP: 3, MP: 3, V: 5}
+	that := c.TotalU() / 4
+
+	seq, err := runDP(c, pl, that, dpConfig{disc: disc, workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := runDP(c, pl, that, dpConfig{disc: disc, workers: 4})
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	if seq.Period != par.Period || seq.States != par.States {
+		t.Fatalf("fallback diverged: (%g, %d) vs (%g, %d)", seq.Period, seq.States, par.Period, par.States)
+	}
+}
+
+func TestResolveParallel(t *testing.T) {
+	if got := resolveParallel(0); got != runtime.GOMAXPROCS(0) || got < 1 {
+		t.Fatalf("resolveParallel(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := resolveParallel(-3); got != 1 {
+		t.Fatalf("resolveParallel(-3) = %d, want 1", got)
+	}
+	if got := resolveParallel(7); got != 7 {
+		t.Fatalf("resolveParallel(7) = %d, want 7", got)
+	}
+	for _, tc := range []struct{ w, fan, wave int }{
+		{2, 2, 1}, {4, 4, 1}, {8, 4, 2}, {16, 4, 4},
+	} {
+		fan, wave := probeFan(tc.w)
+		if fan != tc.fan || wave != tc.wave {
+			t.Fatalf("probeFan(%d) = (%d, %d), want (%d, %d)", tc.w, fan, wave, tc.fan, tc.wave)
+		}
+	}
+}

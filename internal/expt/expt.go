@@ -81,7 +81,10 @@ type Row struct {
 
 // Runner executes configurations with shared settings.
 type Runner struct {
-	// Opts configures MadPipe's phase 1.
+	// Opts configures MadPipe's phase 1. Opts.Parallel == 0 is pinned to
+	// 1 (the sequential reference solver) rather than auto, so sweep
+	// tables do not depend on the host's core count; set it explicitly to
+	// parallelize inside a single configuration.
 	Opts core.Options
 	// ILPBudget is the per-allocation budget for the exact scheduler in
 	// phase 2; zero disables the MILP and uses the list scheduler alone.
@@ -167,6 +170,15 @@ func (r *Runner) runMadPipe(c *chain.Chain, plat platform.Platform, contig bool)
 	defer func() { out.Elapsed = time.Since(start) }()
 	opts := r.Opts
 	opts.DisableSpecial = contig
+	if opts.Parallel == 0 {
+		// Sweeps parallelize across configurations, so the planner inside
+		// each configuration runs its sequential reference path unless the
+		// caller opts in explicitly. Auto here would resolve to the host's
+		// core count, and Algorithm 1's probe schedule depends on the probe
+		// fan (see core.Options.Parallel) — fan 1 is the only choice that
+		// keeps sweep tables machine-independent.
+		opts.Parallel = 1
+	}
 	if p1, err := core.PlanAllocation(c, plat, opts); err == nil {
 		out.Predicted = p1.PredictedPeriod
 	}
