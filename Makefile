@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race bench bench-quick vet
+.PHONY: all build test verify race bench bench-quick vet obs-demo
 
 all: build
 
@@ -24,7 +24,7 @@ verify: build vet test race
 	$(GO) run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP|BenchmarkAlgorithm1' -benchtime 5x -write=false -gate allocs -threshold 0.5
 
 race:
-	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic' ./internal/core/ ./internal/expt/
+	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact' ./internal/core/ ./internal/expt/ ./internal/obs/
 
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
 # ns/op or allocs/op regressions against the previous snapshot.
@@ -34,3 +34,9 @@ bench:
 # bench-quick compares without recording a snapshot.
 bench-quick:
 	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP' -benchtime 3x -write=false
+
+# obs-demo plans ResNet-50 with full observability: the PlanReport prints
+# to stdout, and /metrics, /debug/vars and /debug/pprof serve on an
+# ephemeral port while the planner runs (the URL prints first).
+obs-demo:
+	$(GO) run ./cmd/madpipe -net resnet50 -p 4 -mem 10 -bw 12 -ilp 0 -gantt 0 -sim 0 -listen 127.0.0.1:0 -stats -

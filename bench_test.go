@@ -29,6 +29,7 @@ import (
 	"madpipe/internal/lp"
 	"madpipe/internal/milp"
 	"madpipe/internal/nets"
+	"madpipe/internal/obs"
 	"madpipe/internal/onefoneb"
 	"madpipe/internal/partition"
 	"madpipe/internal/pipedream"
@@ -188,6 +189,32 @@ func BenchmarkMadPipeDPWave(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(states)/secs, "DPstates/s")
 	}
+}
+
+// BenchmarkMadPipeDPObs is BenchmarkMadPipeDP with observability
+// attached: it measures the instrumented path's cost (compare ns/op and
+// allocs/op against BenchmarkMadPipeDP to price the registry) and
+// reports the planner's deterministic counters through ReportMetric.
+// states/op and cutskip/op are exact for a fixed input — machine- and
+// noise-independent — so cmd/benchdiff can gate on them at a zero
+// threshold (-gate states) to catch unintended search-space growth.
+func BenchmarkMadPipeDPObs(b *testing.B) {
+	c := benchChain(b, "resnet50")
+	plat := benchPlat(8, 12, 12)
+	that := c.TotalU() / 8
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	var stats core.DPStats
+	for i := 0; i < b.N; i++ {
+		res, err := core.DP(c, plat, that, core.Options{Parallel: 1, Obs: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = res.Stats
+	}
+	b.ReportMetric(float64(stats.StatesEvaluated), "states/op")
+	b.ReportMetric(float64(stats.CutsSkippedMonotone), "cutskip/op")
+	b.ReportMetric(float64(stats.CutsEvaluated), "cuts/op")
 }
 
 // BenchmarkAlgorithm1 measures the full phase-1 binary search on the

@@ -12,9 +12,13 @@
 //
 // Exit status is 1 when any benchmark regresses more than -threshold on
 // a gated metric — by default ns/op and allocs/op (lower is better for
-// both); -gate narrows the set, e.g. -gate allocs on shared machines
-// whose timing noise would make a ns/op gate flaky. B/op and custom
-// metrics are always informational. Benchmarks or metrics that exist only in the current
+// both); -gate narrows or widens the set, e.g. -gate allocs on shared
+// machines whose timing noise would make a ns/op gate flaky, or
+// -gate allocs,states to additionally gate the planner's deterministic
+// states/op counter (exact across machines, so any drift is a real
+// search-space change). Unrecognised gate names containing a slash are
+// treated as literal units, so any custom ReportMetric counter can be
+// gated. Ungated metrics are informational. Benchmarks or metrics that exist only in the current
 // run print as "new" and ones that exist only in the baseline print as
 // "gone" — neither fails the comparison, since both usually mean a
 // rename or a narrower -bench regexp rather than a regression.
@@ -64,20 +68,12 @@ func main() {
 		old       = flag.String("old", "", "previous snapshot to compare against (default: newest BENCH_*.json in -dir)")
 		write     = flag.Bool("write", true, "write BENCH_<date>.json after the run")
 		threshold = flag.Float64("threshold", 0.10, "relative regression tolerated on gated metrics")
-		gate      = flag.String("gate", "time,allocs", "comma list of metrics whose regressions fail the run: time, allocs")
+		gate      = flag.String("gate", "time,allocs", "comma list of metrics whose regressions fail the run: time, allocs, states, bytes, or a literal unit such as states/op")
 	)
 	flag.Parse()
-	gated := map[string]bool{}
-	for _, g := range strings.Split(*gate, ",") {
-		switch strings.TrimSpace(g) {
-		case "time":
-			gated["ns/op"] = true
-		case "allocs":
-			gated["allocs/op"] = true
-		case "":
-		default:
-			fatal(fmt.Errorf("unknown -gate metric %q (want time, allocs)", g))
-		}
+	gated, err := parseGate(*gate)
+	if err != nil {
+		fatal(err)
 	}
 
 	out, err := runBenchmarks(*bench, *benchtime)
@@ -128,6 +124,33 @@ func main() {
 	if regressed {
 		os.Exit(1)
 	}
+}
+
+// parseGate maps the -gate flag to the set of gated metric units. Named
+// aliases cover the common metrics; any token containing a slash is
+// taken as a literal unit so custom deterministic ReportMetric counters
+// (states/op, certs/op, ...) can be gated without code changes.
+func parseGate(spec string) (map[string]bool, error) {
+	gated := map[string]bool{}
+	for _, g := range strings.Split(spec, ",") {
+		switch u := strings.TrimSpace(g); u {
+		case "time":
+			gated["ns/op"] = true
+		case "allocs":
+			gated["allocs/op"] = true
+		case "states":
+			gated["states/op"] = true
+		case "bytes":
+			gated["B/op"] = true
+		case "":
+		default:
+			if !strings.Contains(u, "/") {
+				return nil, fmt.Errorf("unknown -gate metric %q (want time, allocs, states, bytes, or a unit like states/op)", g)
+			}
+			gated[u] = true
+		}
+	}
+	return gated, nil
 }
 
 func runBenchmarks(bench, benchtime string) (string, error) {

@@ -63,3 +63,44 @@ func TestCompareRegression(t *testing.T) {
 		t.Errorf("baseline-only benchmark treated as a regression")
 	}
 }
+
+func TestParseGate(t *testing.T) {
+	got, err := parseGate("time,allocs,states,bytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"ns/op", "allocs/op", "states/op", "B/op"} {
+		if !got[u] {
+			t.Errorf("gate missing %s: %v", u, got)
+		}
+	}
+	// Literal units pass through for custom deterministic counters.
+	got, err = parseGate("certs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["certs/op"] {
+		t.Errorf("literal unit not gated: %v", got)
+	}
+	if _, err := parseGate("bogus"); err == nil {
+		t.Error("unknown alias without a slash accepted")
+	}
+	if got, err := parseGate(""); err != nil || len(got) != 0 {
+		t.Errorf("empty gate: %v, %v", got, err)
+	}
+}
+
+func TestCompareGatesStatesCounter(t *testing.T) {
+	// The planner's states/op counter is deterministic, so the gate can
+	// run at threshold 0: any growth in the explored search space fails.
+	gate := map[string]bool{"states/op": true}
+	prev := &Snapshot{Results: []Result{{Name: "DP", Metrics: map[string]float64{"ns/op": 100, "states/op": 5000}}}}
+	same := &Snapshot{Results: []Result{{Name: "DP", Metrics: map[string]float64{"ns/op": 900, "states/op": 5000}}}}
+	if compare(prev, same, "prev.json", 0, gate) {
+		t.Error("unchanged states/op flagged (ns/op is ungated)")
+	}
+	worse := &Snapshot{Results: []Result{{Name: "DP", Metrics: map[string]float64{"ns/op": 100, "states/op": 5001}}}}
+	if !compare(prev, worse, "prev.json", 0, gate) {
+		t.Error("states/op growth not flagged at zero threshold")
+	}
+}

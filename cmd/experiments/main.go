@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +18,10 @@ import (
 	"time"
 
 	"madpipe/internal/chain"
+	"madpipe/internal/core"
 	"madpipe/internal/expt"
 	"madpipe/internal/nets"
+	"madpipe/internal/obs"
 )
 
 func main() {
@@ -31,6 +34,8 @@ func main() {
 		maxChain = flag.Int("maxchain", 24, "coarsen profiles to at most this many nodes")
 		jobs     = flag.Int("j", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		verbose  = flag.Bool("v", false, "print each configuration as it completes")
+		stats    = flag.String("stats", "", "append one PlanReport JSON line per configuration (MadPipe planner) to this file")
+		listen   = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the sweep, e.g. :8080")
 	)
 	flag.Parse()
 
@@ -61,6 +66,29 @@ func main() {
 	runner.ILPBudget = *ilp
 	runner.MaxChain = *maxChain
 	runner.Parallel = *jobs
+	// Observability: one shared registry receives planner counters from
+	// every sweep worker plus the sweep's own progress; -listen exposes
+	// it live, -stats additionally records a per-row PlanReport stream.
+	var statsOut *os.File
+	if *stats != "" || *listen != "" {
+		runner.Obs = obs.NewRegistry()
+	}
+	if *listen != "" {
+		srv, addr, err := runner.Obs.ListenAndServe(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics /debug/vars /debug/pprof (until exit)\n", addr)
+	}
+	if *stats != "" {
+		f, err := os.Create(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		statsOut = f
+	}
 
 	if *fig == "gap" { // standalone: exhaustive search on small instances
 		trials, err := runner.OptimalityGap(6, 7, 45*time.Second)
@@ -86,6 +114,20 @@ func main() {
 	done := 0
 	rows, err := runner.Sweep(chains, grid, func(r expt.Row) {
 		done++
+		if statsOut != nil && r.MadPipe.Report != nil {
+			// One JSON object per line (JSONL), in deterministic grid
+			// order: the row's identity plus the MadPipe planner's report.
+			line, err := json.Marshal(struct {
+				Net     string           `json:"net"`
+				Workers int              `json:"workers"`
+				MemGB   float64          `json:"mem_gb"`
+				BandGB  float64          `json:"bw_gbs"`
+				Report  *core.PlanReport `json:"report"`
+			}{r.Net, r.Workers, r.MemGB, r.BandGB, r.MadPipe.Report})
+			if err == nil {
+				statsOut.Write(append(line, '\n'))
+			}
+		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "[%3d/%d] %-12s P=%d M=%2.0f beta=%2.0f pd=%s mp=%s (%s)\n",
 				done, total, r.Net, r.Workers, r.MemGB, r.BandGB,

@@ -21,6 +21,7 @@ import (
 	"madpipe/internal/core"
 	"madpipe/internal/ilpsched"
 	"madpipe/internal/nets"
+	"madpipe/internal/obs"
 	"madpipe/internal/pipedream"
 	"madpipe/internal/platform"
 	"madpipe/internal/sim"
@@ -41,8 +42,11 @@ func main() {
 		maxChain  = flag.Int("maxchain", 24, "coarsen the chain to at most this many nodes before planning")
 		width     = flag.Int("gantt", 100, "Gantt chart width in columns (0 disables)")
 		simP      = flag.Int("sim", 24, "simulation horizon in periods for verification (0 disables)")
-		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the schedule to this file")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the schedule (and, with -stats/-listen, the planning process) to this file")
 		weights   = flag.String("weights", "2bw", "weight-versioning policy: 2bw (paper) or stash (original PipeDream)")
+		statsFile = flag.String("stats", "", "write a structured PlanReport JSON to this file (\"-\" for stdout)")
+		listen    = flag.String("listen", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address while planning, e.g. :8080")
+		parallel  = flag.Int("parallel", 0, "planner worker budget (0 auto, 1 sequential reference; see core.Options.Parallel)")
 	)
 	flag.Parse()
 
@@ -60,7 +64,7 @@ func main() {
 	}
 	fmt.Printf("network: %v\nplatform: %v\n", cc, plat)
 
-	opts := core.Options{DisableSpecial: *contig}
+	opts := core.Options{DisableSpecial: *contig, Parallel: *parallel}
 	switch *weights {
 	case "2bw":
 		opts.Weights = chain.TwoBufferedWeights()
@@ -68,6 +72,22 @@ func main() {
 		opts.Weights = chain.StashedWeights()
 	default:
 		fatal(fmt.Errorf("unknown -weights %q (want 2bw or stash)", *weights))
+	}
+	// Observability: one registry feeds the HTTP endpoints, the PlanReport
+	// and the planner-phase trace lanes. It stays nil when unused so the
+	// planner runs its uninstrumented hot path.
+	var reg *obs.Registry
+	if *statsFile != "" || *listen != "" {
+		reg = obs.NewRegistry()
+		opts.Obs = reg
+	}
+	if *listen != "" {
+		srv, addr, err := reg.ListenAndServe(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics /debug/vars /debug/pprof (until exit)\n", addr)
 	}
 	sched := core.ScheduleOptions{}
 	if *ilp > 0 {
@@ -94,12 +114,32 @@ func main() {
 		fmt.Println("\nschedule pattern:")
 		fmt.Print(plan.Pattern.Gantt(*width))
 	}
+	// The run report drives -stats and the planner lanes of -trace.
+	var report *core.PlanReport
+	if reg != nil {
+		report = core.NewPlanReport(cc, plat, opts, plan.PhaseOne)
+		report.AttachSchedule(plan)
+		report.AttachObs(reg)
+	}
+	if *statsFile != "" {
+		if err := writeReport(*statsFile, report); err != nil {
+			fatal(err)
+		}
+		if *statsFile != "-" {
+			fmt.Printf("\nplan report written to %s\n", *statsFile)
+		}
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.WritePattern(f, plan.Pattern, 12); err != nil {
+		tf := trace.FromPattern(plan.Pattern, 12)
+		if report != nil {
+			trace.StampPlanner(tf, report)
+			trace.AppendPlanner(tf, report)
+		}
+		if err := tf.Write(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -154,6 +194,21 @@ func loadChain(file, net string, batch, size int) (*chain.Chain, error) {
 		return chain.Read(f)
 	}
 	return nets.Build(nets.Spec{Name: net, Batch: batch, Size: size})
+}
+
+func writeReport(path string, report *core.PlanReport) error {
+	if path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

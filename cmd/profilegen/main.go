@@ -8,8 +8,11 @@
 //
 // With -cpuprofile it instead runs a representative planning workload
 // (repeated Algorithm 1 invocations on the chosen network) and writes a
-// CPU profile. The planner tags its phases with pprof labels, so the
-// profile decomposes by phase:
+// CPU profile. The planner wraps each phase in core's phaseTimed helper,
+// which simultaneously tags the goroutine with a pprof label and feeds
+// an obs phase timer — so the sample-based breakdown in the profile and
+// the wall-clock breakdown printed after the run come from the same
+// instrumentation points:
 //
 //	profilegen -cpuprofile cpu.out -net resnet50 -iters 20
 //	go tool pprof -tags cpu.out                       # phase breakdown
@@ -22,9 +25,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"sort"
+	"time"
 
 	"madpipe/internal/core"
 	"madpipe/internal/nets"
+	"madpipe/internal/obs"
 	"madpipe/internal/platform"
 )
 
@@ -106,7 +112,10 @@ func main() {
 // chain planned onto an 8-worker platform with a memory limit tight
 // enough to exercise the memory checks. The planner's own pprof labels
 // (madpipe-phase: probe, frontier, plane-fill, reconstruct) survive into
-// the profile; inspect them with `go tool pprof -tags`.
+// the profile; inspect them with `go tool pprof -tags`. The same
+// phaseTimed call sites also feed the obs registry attached here, whose
+// wall-clock totals print after the run as a sanity check against the
+// profile's sampled breakdown.
 func profilePlanning(path, netName string, batch, size, iters, par int) error {
 	c, err := nets.Build(nets.Spec{Name: netName, Batch: batch, Size: size})
 	if err != nil {
@@ -117,7 +126,8 @@ func profilePlanning(path, netName string, batch, size, iters, par int) error {
 		return err
 	}
 	plat := platform.Platform{Workers: 8, Memory: 6 * platform.GB, Bandwidth: 12 * platform.GB}
-	opts := core.Options{Parallel: par}
+	reg := obs.NewRegistry()
+	opts := core.Options{Parallel: par, Obs: reg}
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -128,13 +138,34 @@ func profilePlanning(path, netName string, batch, size, iters, par int) error {
 		return err
 	}
 	defer pprof.StopCPUProfile()
+	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := core.PlanAllocation(cc, plat, opts); err != nil {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "profilegen: %d plans of %s profiled into %s\n", iters, netName, path)
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "profilegen: %d plans of %s in %s profiled into %s\n",
+		iters, netName, elapsed.Round(time.Millisecond), path)
+	// Wall-clock phase totals from the very call sites that label the
+	// profile. Parallel phases (probe, plane-fill) sum per-goroutine time
+	// and can exceed the elapsed wall clock.
+	snap := reg.Snapshot()
+	for _, name := range sortedPhases(snap.Phases) {
+		ph := snap.Phases[name]
+		fmt.Fprintf(os.Stderr, "  phase %-12s %10s across %d calls (madpipe-phase=%s)\n",
+			name, time.Duration(ph.TotalNS).Round(time.Microsecond), ph.Count, name)
+	}
 	return nil
+}
+
+func sortedPhases(m map[string]obs.PhaseSnapshot) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func fatal(err error) {

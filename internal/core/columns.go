@@ -136,6 +136,9 @@ func (r *dpRun) col(l, k int) (int, int32) {
 // not-yet-filled sentinel; real group counts are >= 1). Kept out of the
 // callers' hot loops so the filled-entry fast path stays inlineable.
 func (r *dpRun) fillEnt(l, k, iV int, e *colEnt) {
+	if st := r.stats; st != nil {
+		st.ColumnEntryFills++
+	}
 	u := r.uTo[l] - r.uTo[k-1]
 	v := float64(iV) * r.stepV
 	g := r.groupsU(v, u)
@@ -160,6 +163,9 @@ func (r *dpRun) colBuilt(l, k int) (int, int32) {
 }
 
 func (r *dpRun) openCol(l, k, ci int) (int, int32) {
+	if st := r.stats; st != nil {
+		st.ColumnsOpened++
+	}
 	cc := &r.tab.cols
 	o := cc.n
 	cc.n++
@@ -201,10 +207,19 @@ func (cc *colCache) gmaxFor(r *dpRun, l, k, ci, gHi int) int32 {
 		// search was capped there by an earlier probe's smaller g range,
 		// so it only resolves this probe if gHi stays within the cap.
 		if v := cc.gmaxCached[ci]; v >= 0 {
+			if st := r.stats; st != nil {
+				st.GmaxMemoHits++
+			}
 			return v
 		} else if c := ^v; int(c) >= gHi {
+			if st := r.stats; st != nil {
+				st.GmaxMemoHits++
+			}
 			return c
 		}
+	}
+	if st := r.stats; st != nil {
+		st.GmaxComputed++
 	}
 	var memo, gm int32
 	switch {

@@ -43,6 +43,7 @@ type dpTable struct {
 	slots  []dpSlot
 	stamp  uint32
 	states int // entries stored under the current stamp
+	grew   bool // last reset reallocated the slot array (vs epoch reuse)
 
 	nL, nP, nT, nM, nV int
 	size               int
@@ -89,7 +90,9 @@ func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
 	if cap(t.slots) < t.size {
 		t.slots = make([]dpSlot, t.size)
 		t.stamp = 1
+		t.grew = true
 	} else {
+		t.grew = false
 		t.slots = t.slots[:t.size]
 		t.stamp++
 		if t.stamp >= 1<<metaStampShift {
@@ -137,6 +140,15 @@ func (t *dpTable) certMark(idx int, that float64) {
 	if that > t.certMax {
 		t.certMax = that
 	}
+	t.certMarkIdx(idx, that)
+}
+
+// certMarkIdx writes the per-state certificate body without touching the
+// shared certMax watermark. The wavefront's plane-fill workers use it
+// directly — their idx slots are disjoint, so the per-state writes are
+// race-free, and the coordinator raises certMax once behind the final
+// barrier (nothing reads certMax during the plane fill).
+func (t *dpTable) certMarkIdx(idx int, that float64) {
 	if t.certSeen[idx] == t.certEpoch {
 		if that > t.certThat[idx] {
 			t.certThat[idx] = that

@@ -59,8 +59,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"madpipe/internal/chain"
+	"madpipe/internal/obs"
 	"madpipe/internal/partition"
 	"madpipe/internal/platform"
 )
@@ -131,6 +134,20 @@ type dpRun struct {
 
 	tab   *dpTable
 	stack []dpFrame
+
+	// Observability. stats points at statsBuf when Options.Obs is set
+	// and is nil otherwise, so every instrumented site costs exactly one
+	// pointer check when disabled; t0 anchors the plane-fill timeline.
+	stats    *DPStats
+	obs      *obs.Registry
+	t0       time.Time
+	statsBuf DPStats
+
+	// certAny is set (atomically — plane-fill workers share it) when any
+	// wavefront cell recorded a memory-death certificate this run. It
+	// lives here rather than as a planeFill local so the worker closures
+	// capture only r and the run stays allocation-free.
+	certAny atomic.Bool
 }
 
 type dpEntry struct {
@@ -279,6 +296,9 @@ func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, bool) {
 		return v, true
 	}
 	if r.tab.certDead(idx, r.that) {
+		if st := r.stats; st != nil {
+			st.StatesCertPruned++
+		}
 		r.tab.put(idx, dpEntry{period: inf, k: -1})
 		return inf, true
 	}
@@ -300,9 +320,13 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 		return v
 	}
 	if r.tab.certDead(idx0, r.that) {
+		if st := r.stats; st != nil {
+			st.StatesCertPruned++
+		}
 		r.tab.put(idx0, dpEntry{period: inf, k: -1})
 		return inf
 	}
+	stats := r.stats
 	cc := &r.tab.cols
 	st := r.stack[:0]
 	st = append(st, dpFrame{
@@ -324,6 +348,9 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				// Base cases fail only on memory (or a disabled special
 				// processor), both monotone in T̂: certifiable.
 				r.tab.certMark(idx, r.that)
+				if stats != nil && r.tab.certOn {
+					stats.CertsRecorded++
+				}
 			}
 			st = st[:len(st)-1]
 			continue
@@ -337,7 +364,16 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				// k decreases. (Checked only on a fresh k: a resumed
 				// special branch must still run even if the normal branch
 				// just tightened best to exactly u.)
+				if stats != nil {
+					stats.CutsSkippedMonotone += uint64(k)
+				}
 				break
+			}
+			if stats != nil {
+				// Cut visits: a cut counts again when its frame resumes
+				// after a child suspension (the wavefront never resumes,
+				// so its count is the plain cut total).
+				stats.CutsEvaluated++
 			}
 			cl := r.cLeft[k]
 			// Per-cut scalars: from the monotone cut-point columns when
@@ -427,6 +463,9 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 			// can have fired (u >= inf never holds), so the whole k range
 			// was examined and the death is certifiable for smaller T̂.
 			r.tab.certMark(idx, r.that)
+			if stats != nil && r.tab.certOn {
+				stats.CertsRecorded++
+			}
 		}
 		r.tab.put(idx, f.best)
 		st = st[:len(st)-1]
@@ -445,6 +484,11 @@ type DPResult struct {
 	Alloc *partition.Allocation
 	// States is the number of tabulated DP states, for diagnostics.
 	States int
+	// Stats is the run's full counter set, populated only when the
+	// planner's observability is enabled (Options.Obs != nil); the zero
+	// value otherwise. The legacy map fallback is uninstrumented beyond
+	// States.
+	Stats DPStats
 }
 
 // dpConfig bundles the per-invocation knobs of the DP driver.
@@ -455,6 +499,9 @@ type dpConfig struct {
 	// workers >= 2 selects the parallel wavefront evaluator on the dense
 	// path; <= 1 runs the sequential explicit-stack reference solver.
 	workers int
+	// obs enables stats collection and receives cumulative counters and
+	// phase timings; nil disables all instrumentation.
+	obs *obs.Registry
 }
 
 // runDP executes MadPipe-DP for a fixed target period T̂ and reconstructs
@@ -504,7 +551,19 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		tab:   tab,
 	}
 	r.init()
+	if cfg.obs != nil {
+		r.stats = &r.statsBuf
+		r.obs = cfg.obs
+		r.t0 = time.Now()
+	}
 	tab.reset(c.Len()+1, normals+1, nT, nM, disc.V)
+	if st := r.stats; st != nil {
+		if tab.grew {
+			st.TableGrows++
+		} else {
+			st.TableEpochReuses++
+		}
+	}
 	tab.cols.reset(c.Len(), disc.V, gmaxKey{
 		c: c, mem: plat.Memory,
 		weights: chain.WeightPolicy{Fixed: r.wFixed, PerBatch: r.wPerBatch},
@@ -521,13 +580,18 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		period = r.solve(c.Len(), normals, 0, 0, 0)
 	}
 	res := &DPResult{Period: period, States: tab.states}
+	if st := r.stats; st != nil {
+		st.StatesEvaluated = uint64(tab.states)
+		res.Stats = *st
+		st.flush(cfg.obs)
+	}
 	if period == inf {
 		return res, nil
 	}
 	var alloc *partition.Allocation
 	var err error
 	if wave {
-		labelPhase("reconstruct", func() { alloc, err = r.reconstruct(normals) })
+		phaseTimed(cfg.obs, "reconstruct", func() { alloc, err = r.reconstruct(normals) })
 	} else {
 		alloc, err = r.reconstruct(normals)
 	}

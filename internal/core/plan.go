@@ -5,8 +5,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"madpipe/internal/chain"
+	"madpipe/internal/obs"
 	"madpipe/internal/partition"
 	"madpipe/internal/platform"
 )
@@ -45,6 +47,15 @@ type Options struct {
 	// settings with different fans probe different bracket points, so
 	// they can settle on a different (equally valid) target period.
 	Parallel int
+	// Obs attaches an observability registry. When set, every DP run
+	// collects a DPStats counter set (states evaluated vs pruned per
+	// pruner, wavefront plane timeline, pool reuse), Algorithm 1 records
+	// a probe timeline with bracket convergence on each Eval, and phase
+	// durations (probe, frontier, plane-fill, reconstruct) accumulate in
+	// the registry. nil — the default — disables all instrumentation: the
+	// hot paths then pay one predicted-not-taken branch and zero extra
+	// allocations, and all planner outputs are bit-identical either way.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +105,19 @@ type Eval struct {
 	Effective float64
 	// States is the number of DP states explored.
 	States int
+	// LB and UB are the search bracket immediately after this probe
+	// folded — the lb/ub convergence trace of Algorithm 1.
+	LB, UB float64
+	// Slot is the probe slot (table lease) that ran this probe; always 0
+	// in the sequential search.
+	Slot int
+	// StartNS and DurNS position the probe on the planning wall clock,
+	// relative to PlanAllocation entry. Recorded only when Options.Obs is
+	// set; zero otherwise.
+	StartNS, DurNS int64
+	// Stats is the probe's DP counter set (populated only when
+	// Options.Obs is set).
+	Stats DPStats
 	// Alloc is the allocation this iteration produced (nil when
 	// infeasible). The scheduling phase evaluates every distinct
 	// candidate, since the special processor's memory under-estimate can
@@ -132,6 +156,7 @@ func DP(c *chain.Chain, plat platform.Platform, that float64, opts Options) (*DP
 		disableSpecial: opts.DisableSpecial,
 		weights:        opts.Weights,
 		workers:        resolveParallel(opts.Parallel),
+		obs:            opts.Obs,
 	})
 }
 
@@ -160,11 +185,20 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 	lb := c.TotalU() / float64(plat.Workers)
 	ub := c.TotalU() + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)
 
+	// planStart anchors the probe timeline (Eval.StartNS); the clock is
+	// only consulted per probe when observability is on.
+	planStart := time.Now()
+
 	res := &PhaseOneResult{PredictedPeriod: math.Inf(1)}
 	// fold applies one probe result to the search state exactly as the
-	// sequential Algorithm 1 does.
-	fold := func(that float64, dp *DPResult) {
-		ev := Eval{That: that, Raw: dp.Period, Effective: math.Max(dp.Period, that), States: dp.States, Alloc: dp.Alloc}
+	// sequential Algorithm 1 does, then snapshots the bracket into the
+	// Eval so the lb/ub convergence can be replayed from the log.
+	fold := func(that float64, dp *DPResult, slot int, startNS, durNS int64) {
+		ev := Eval{
+			That: that, Raw: dp.Period, Effective: math.Max(dp.Period, that),
+			States: dp.States, Slot: slot, StartNS: startNS, DurNS: durNS,
+			Stats: dp.Stats, Alloc: dp.Alloc,
+		}
 		if dp.Alloc == nil {
 			// Infeasible: every solution needs a larger target period.
 			ev.Raw = math.Inf(1)
@@ -179,11 +213,12 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 			lb = math.Max(lb, math.Min(dp.Period, that))
 			ub = math.Min(ub, ev.Effective)
 		}
+		ev.LB, ev.UB = lb, ub
 		res.Evals = append(res.Evals, ev)
 	}
 
 	if w := resolveParallel(opts.Parallel); w > 1 {
-		if err := planParallel(c, plat, opts, w, &lb, &ub, fold); err != nil {
+		if err := planParallel(c, plat, opts, w, planStart, &lb, &ub, fold); err != nil {
 			return nil, err
 		}
 	} else {
@@ -194,17 +229,28 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		tab := acquireTable()
 		defer releaseTable(tab)
 		tab.certBegin()
-		cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: 1}
+		cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: 1, obs: opts.Obs}
 		var probeErr error
 		labelPhase("probe", func() {
 			that := lb
 			for i := 0; i < opts.Iterations; i++ {
+				var pStart time.Time
+				if opts.Obs != nil {
+					pStart = time.Now()
+				}
 				dp, err := runDPWith(tab, c, plat, that, cfg)
 				if err != nil {
 					probeErr = err
 					return
 				}
-				fold(that, dp)
+				var startNS, durNS int64
+				if opts.Obs != nil {
+					d := time.Since(pStart)
+					opts.Obs.Phase("probe").Add(d)
+					startNS = pStart.Sub(planStart).Nanoseconds()
+					durNS = d.Nanoseconds()
+				}
+				fold(that, dp, 0, startNS, durNS)
 				if ub <= lb {
 					break
 				}
@@ -231,7 +277,7 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 // rounds start warm. The total probe budget is opts.Iterations,
 // matching the sequential search's DP work; budget beyond the probe fan
 // goes to each probe's wavefront workers.
-func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, lb, ub *float64, fold func(float64, *DPResult)) error {
+func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, planStart time.Time, lb, ub *float64, fold func(float64, *DPResult, int, int64, int64)) error {
 	fan, waveW := probeFan(w)
 	tabs := make([]*dpTable, fan)
 	for i := range tabs {
@@ -239,7 +285,7 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, l
 		tabs[i].certBegin()
 		defer releaseTable(tabs[i])
 	}
-	cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: waveW}
+	cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: waveW, obs: opts.Obs}
 
 	budget := opts.Iterations
 	first := true
@@ -254,13 +300,25 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, l
 
 		results := make([]*DPResult, len(cands))
 		errs := make([]error, len(cands))
+		starts := make([]int64, len(cands))
+		durs := make([]int64, len(cands))
 		var wg sync.WaitGroup
 		for i, that := range cands {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				labelPhase("probe", func() {
+					var pStart time.Time
+					if cfg.obs != nil {
+						pStart = time.Now()
+					}
 					results[i], errs[i] = runDPWith(tabs[i], c, plat, that, cfg)
+					if cfg.obs != nil {
+						d := time.Since(pStart)
+						cfg.obs.Phase("probe").Add(d)
+						starts[i] = pStart.Sub(planStart).Nanoseconds()
+						durs[i] = d.Nanoseconds()
+					}
 				})
 			}()
 		}
@@ -269,7 +327,7 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, l
 			if errs[i] != nil {
 				return errs[i]
 			}
-			fold(cands[i], results[i])
+			fold(cands[i], results[i], i, starts[i], durs[i])
 		}
 	}
 	return nil

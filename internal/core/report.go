@@ -1,0 +1,212 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+// PlannerVersion identifies the planner generation stamped into
+// PlanReports and exported traces, so archived artifacts are
+// self-describing. Bump it when a change alters planner outputs or the
+// meaning of a reported counter.
+const PlannerVersion = "madpipe-planner/3"
+
+// ChainSummary condenses the planned chain for reports and trace
+// metadata.
+type ChainSummary struct {
+	Layers    int     `json:"layers"`
+	TotalU    float64 `json:"total_u"`
+	TotalComm float64 `json:"total_comm"`
+}
+
+// PlatformSummary condenses the target platform.
+type PlatformSummary struct {
+	Workers   int     `json:"workers"`
+	Memory    float64 `json:"memory"`
+	Latency   float64 `json:"latency"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// OptionsSummary records the planner options a run used, with the
+// parallelism already resolved to concrete worker counts (Parallel is
+// the raw option; Workers/ProbeFan/WaveWorkers the resolved split).
+type OptionsSummary struct {
+	Disc           Discretization `json:"disc"`
+	Iterations     int            `json:"iterations"`
+	DisableSpecial bool           `json:"disable_special,omitempty"`
+	MaxChainLength int            `json:"max_chain_length,omitempty"`
+	Parallel       int            `json:"parallel"`
+	Workers        int            `json:"workers"`
+	ProbeFan       int            `json:"probe_fan"`
+	WaveWorkers    int            `json:"wave_workers"`
+	Observed       bool           `json:"observed"`
+}
+
+// ProbeReport is one Algorithm 1 probe in a PlanReport. JSON cannot
+// encode +Inf, so infeasible probes carry Feasible=false with Raw and
+// Effective zeroed instead of infinite.
+type ProbeReport struct {
+	That      float64 `json:"that"`
+	Feasible  bool    `json:"feasible"`
+	Raw       float64 `json:"raw,omitempty"`
+	Effective float64 `json:"effective,omitempty"`
+	States    int     `json:"states"`
+	// LB/UB are the bisection bracket after this probe folded.
+	LB float64 `json:"lb"`
+	UB float64 `json:"ub"`
+	// Slot is the probe slot (parallel search) that ran the probe.
+	Slot int `json:"slot"`
+	// StartNS/DurNS position the probe on the planning wall clock
+	// (zero when observability was off).
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	// Stats is the probe's DP counter set (zero when observability was
+	// off).
+	Stats DPStats `json:"stats"`
+}
+
+// StageReport is one stage of the chosen allocation.
+type StageReport struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Proc int `json:"proc"`
+}
+
+// ScheduleReport summarizes the phase-2 outcome.
+type ScheduleReport struct {
+	Scheduler string  `json:"scheduler"`
+	Period    float64 `json:"period"`
+}
+
+// PlanReport is the structured run report of one planner invocation:
+// what was planned, with which options, how the bisection converged,
+// what each probe cost, and — when observability was enabled — the full
+// pruning breakdown. It is emitted by `cmd/madpipe -stats`, appended
+// per row by `cmd/experiments -stats`, and convertible to a Perfetto
+// planning trace by internal/trace.
+type PlanReport struct {
+	Version  string          `json:"version"`
+	Chain    ChainSummary    `json:"chain"`
+	Platform PlatformSummary `json:"platform"`
+	Options  OptionsSummary  `json:"options"`
+
+	// PredictedPeriod/TargetPeriod mirror PhaseOneResult.
+	PredictedPeriod float64 `json:"predicted_period"`
+	TargetPeriod    float64 `json:"target_period"`
+
+	Probes []ProbeReport `json:"probes"`
+	Stages []StageReport `json:"stages,omitempty"`
+
+	// Schedule is present when phase 2 ran (PlanAndSchedule).
+	Schedule *ScheduleReport `json:"schedule,omitempty"`
+
+	// Obs is a snapshot of the run's registry (cumulative counters,
+	// high-water gauges and phase timers), when one was attached.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// NewPlanReport builds a report from a phase-1 result. c and plat must
+// be the same inputs PlanAllocation received; opts is normalized the
+// same way the planner normalizes it.
+func NewPlanReport(c *chain.Chain, plat platform.Platform, opts Options, p1 *PhaseOneResult) *PlanReport {
+	opts = opts.withDefaults()
+	w := resolveParallel(opts.Parallel)
+	fan, waveW := 1, 1
+	if w > 1 {
+		fan, waveW = probeFan(w)
+	}
+	r := &PlanReport{
+		Version: PlannerVersion,
+		Chain: ChainSummary{
+			Layers:    c.Len(),
+			TotalU:    c.TotalU(),
+			TotalComm: c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth),
+		},
+		Platform: PlatformSummary{
+			Workers: plat.Workers, Memory: plat.Memory,
+			Latency: plat.Latency, Bandwidth: plat.Bandwidth,
+		},
+		Options: OptionsSummary{
+			Disc:           opts.Disc,
+			Iterations:     opts.Iterations,
+			DisableSpecial: opts.DisableSpecial,
+			MaxChainLength: opts.MaxChainLength,
+			Parallel:       opts.Parallel,
+			Workers:        w,
+			ProbeFan:       fan,
+			WaveWorkers:    waveW,
+			Observed:       opts.Obs != nil,
+		},
+		PredictedPeriod: p1.PredictedPeriod,
+		TargetPeriod:    p1.TargetPeriod,
+	}
+	r.Probes = make([]ProbeReport, 0, len(p1.Evals))
+	for _, ev := range p1.Evals {
+		pr := ProbeReport{
+			That: ev.That, States: ev.States,
+			LB: ev.LB, UB: ev.UB, Slot: ev.Slot,
+			StartNS: ev.StartNS, DurNS: ev.DurNS,
+			Stats: ev.Stats,
+		}
+		if !math.IsInf(ev.Raw, 1) {
+			pr.Feasible = true
+			pr.Raw, pr.Effective = ev.Raw, ev.Effective
+		}
+		r.Probes = append(r.Probes, pr)
+	}
+	if a := p1.Alloc; a != nil {
+		r.Stages = make([]StageReport, len(a.Spans))
+		for i, sp := range a.Spans {
+			r.Stages[i] = StageReport{From: sp.From, To: sp.To, Proc: a.Procs[i]}
+		}
+	}
+	return r
+}
+
+// AttachSchedule records the phase-2 outcome (and switches Stages to the
+// scheduled plan's allocation when phase 2 picked a different portfolio
+// member than phase 1's nominal best).
+func (r *PlanReport) AttachSchedule(plan *Plan) {
+	if plan == nil {
+		return
+	}
+	r.Schedule = &ScheduleReport{Scheduler: plan.Scheduler, Period: plan.Period}
+	if pat := plan.Pattern; pat != nil && pat.Alloc != nil {
+		a := pat.Alloc
+		r.Stages = make([]StageReport, len(a.Spans))
+		for i, sp := range a.Spans {
+			r.Stages[i] = StageReport{From: sp.From, To: sp.To, Proc: a.Procs[i]}
+		}
+	}
+}
+
+// AttachObs embeds a snapshot of the registry the run recorded into.
+func (r *PlanReport) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := reg.Snapshot()
+	r.Obs = &s
+}
+
+// TotalStats sums the per-probe DP counter sets — the whole-run pruning
+// breakdown (zero when the run had no observability attached).
+func (r *PlanReport) TotalStats() DPStats {
+	var t DPStats
+	for i := range r.Probes {
+		t.add(&r.Probes[i].Stats)
+	}
+	return t
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *PlanReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"madpipe/internal/obs"
+)
+
+// DPStats is the per-invocation counter set of one MadPipe-DP run,
+// collected only when Options.Obs is non-nil (the planner's
+// observability switch). Every field is deterministic for a fixed
+// (chain, platform, T̂, options) input: the wavefront's counts are
+// independent of the worker count (each parallel worker accumulates
+// chunk-locally and folds atomically, see planeFill), and the sequential
+// solver's counts are a pure function of its traversal. Wall-clock
+// fields (PlaneSamples timings) are the only nondeterministic content.
+//
+// The counters decompose the planner's pruning by mechanism:
+//
+//   - CutsSkippedKmin: cut positions below the frontier's kmin floor —
+//     excluded by the value-free upper bounds (wavefront only).
+//   - CutsSkippedMonotone: cut positions abandoned by the monotone
+//     U(k,l) >= best break in the cut loop.
+//   - GmaxMemoHits: normal-branch memory thresholds answered by the
+//     cross-probe T̂-independent gmax memo instead of bisection.
+//   - StatesCertPruned: states settled at +Inf by a cross-probe
+//     memory-death certificate without being expanded.
+type DPStats struct {
+	// StatesEvaluated is the number of states tabulated by this run
+	// (the dense table's store count; includes certificate-settled
+	// states).
+	StatesEvaluated uint64 `json:"states_evaluated"`
+	// StatesCertPruned counts states settled directly by a cross-probe
+	// memory-death certificate.
+	StatesCertPruned uint64 `json:"states_cert_pruned"`
+	// CertsRecorded counts memory-death certificates written this run.
+	CertsRecorded uint64 `json:"certs_recorded"`
+	// CutsEvaluated counts visits of the DP's inner cut loop (the lazy
+	// solver revisits a cut when it resumes after a child suspension;
+	// the wavefront visits each cut at most once).
+	CutsEvaluated uint64 `json:"cuts_evaluated"`
+	// CutsSkippedKmin counts cut positions excluded by the wavefront
+	// frontier's kmin floor.
+	CutsSkippedKmin uint64 `json:"cuts_skipped_kmin"`
+	// CutsSkippedMonotone counts cut positions abandoned by the
+	// monotone bottleneck break (U only grows as k decreases).
+	CutsSkippedMonotone uint64 `json:"cuts_skipped_monotone"`
+	// GmaxMemoHits / GmaxComputed split column-threshold lookups into
+	// cross-probe memo answers and fresh bisections.
+	GmaxMemoHits uint64 `json:"gmax_memo_hits"`
+	GmaxComputed uint64 `json:"gmax_computed"`
+	// ColumnsOpened / ColumnEntryFills count monotone cut-column
+	// directory opens and lazy per-delay entry fills.
+	ColumnsOpened    uint64 `json:"columns_opened"`
+	ColumnEntryFills uint64 `json:"column_entry_fills"`
+	// FrontierCells counts cells marked reachable by the wavefront's
+	// sequential frontier pass.
+	FrontierCells uint64 `json:"frontier_cells"`
+	// PlanesFilled / PlanesParallel count wavefront planes evaluated,
+	// and how many of them were fanned across the worker pool (the rest
+	// ran inline below the parallel threshold). ChunksDispatched is the
+	// number of work chunks handed to the pool — the occupancy measure:
+	// chunks per parallel plane ~ worker count when planes are wide.
+	PlanesFilled     uint64 `json:"planes_filled"`
+	PlanesParallel   uint64 `json:"planes_parallel"`
+	PlaneCellsMax    uint64 `json:"plane_cells_max"`
+	ChunksDispatched uint64 `json:"chunks_dispatched"`
+	// TableEpochReuses / TableGrows record whether the pooled dense
+	// table served this run by bumping its epoch stamp or had to grow
+	// its backing array.
+	TableEpochReuses uint64 `json:"table_epoch_reuses"`
+	TableGrows       uint64 `json:"table_grows"`
+
+	// PlaneSamples is the wavefront plane-fill timeline: one sample per
+	// plane, offsets relative to the DP run's start. Sizes and chunk
+	// counts are deterministic; timings are wall-clock.
+	PlaneSamples []PlaneSample `json:"plane_samples,omitempty"`
+}
+
+// PlaneSample is one wavefront plane in the plane-fill timeline.
+type PlaneSample struct {
+	// Level is the plane's prefix length l.
+	Level int `json:"level"`
+	// Cells is the number of frontier-marked cells evaluated.
+	Cells int `json:"cells"`
+	// Chunks is the number of pool chunks (0 = evaluated inline).
+	Chunks int `json:"chunks"`
+	// StartNS/DurNS position the plane on the run's wall clock,
+	// relative to the start of the DP invocation.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// add folds o into s: counters sum, high-water marks take the maximum,
+// plane samples concatenate. Used to aggregate per-probe stats into
+// Algorithm 1 totals.
+func (s *DPStats) add(o *DPStats) {
+	s.StatesEvaluated += o.StatesEvaluated
+	s.StatesCertPruned += o.StatesCertPruned
+	s.CertsRecorded += o.CertsRecorded
+	s.CutsEvaluated += o.CutsEvaluated
+	s.CutsSkippedKmin += o.CutsSkippedKmin
+	s.CutsSkippedMonotone += o.CutsSkippedMonotone
+	s.GmaxMemoHits += o.GmaxMemoHits
+	s.GmaxComputed += o.GmaxComputed
+	s.ColumnsOpened += o.ColumnsOpened
+	s.ColumnEntryFills += o.ColumnEntryFills
+	s.FrontierCells += o.FrontierCells
+	s.PlanesFilled += o.PlanesFilled
+	s.PlanesParallel += o.PlanesParallel
+	if o.PlaneCellsMax > s.PlaneCellsMax {
+		s.PlaneCellsMax = o.PlaneCellsMax
+	}
+	s.ChunksDispatched += o.ChunksDispatched
+	s.TableEpochReuses += o.TableEpochReuses
+	s.TableGrows += o.TableGrows
+}
+
+// atomicAdd folds the counter fields of o into s with atomic adds. The
+// wavefront's plane-fill workers use it to publish chunk-local counts;
+// only the fields a worker can touch are folded (plane bookkeeping and
+// table counters belong to the coordinating goroutine).
+func (s *DPStats) atomicAdd(o *DPStats) {
+	atomic.AddUint64(&s.CutsEvaluated, o.CutsEvaluated)
+	atomic.AddUint64(&s.CutsSkippedMonotone, o.CutsSkippedMonotone)
+	atomic.AddUint64(&s.CertsRecorded, o.CertsRecorded)
+}
+
+// flush publishes the run's totals into the registry's cumulative
+// counters and gauges. One atomic add per field per DP invocation —
+// nothing on the per-state path.
+func (s *DPStats) flush(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("dp_runs").Inc()
+	reg.Counter("dp_states_evaluated").Add(s.StatesEvaluated)
+	reg.Counter("dp_states_cert_pruned").Add(s.StatesCertPruned)
+	reg.Counter("dp_certs_recorded").Add(s.CertsRecorded)
+	reg.Counter("dp_cuts_evaluated").Add(s.CutsEvaluated)
+	reg.Counter("dp_cuts_skipped_kmin").Add(s.CutsSkippedKmin)
+	reg.Counter("dp_cuts_skipped_monotone").Add(s.CutsSkippedMonotone)
+	reg.Counter("dp_gmax_memo_hits").Add(s.GmaxMemoHits)
+	reg.Counter("dp_gmax_computed").Add(s.GmaxComputed)
+	reg.Counter("dp_columns_opened").Add(s.ColumnsOpened)
+	reg.Counter("dp_column_entry_fills").Add(s.ColumnEntryFills)
+	reg.Counter("dp_frontier_cells").Add(s.FrontierCells)
+	reg.Counter("dp_planes_filled").Add(s.PlanesFilled)
+	reg.Counter("dp_planes_parallel").Add(s.PlanesParallel)
+	reg.Counter("dp_chunks_dispatched").Add(s.ChunksDispatched)
+	reg.Counter("dp_table_epoch_reuses").Add(s.TableEpochReuses)
+	reg.Counter("dp_table_grows").Add(s.TableGrows)
+	reg.Gauge("dp_plane_cells_max").Observe(s.PlaneCellsMax)
+	reg.Gauge("dp_states_max").Observe(s.StatesEvaluated)
+}
+
+// counterEqual reports whether the deterministic counter fields of two
+// stats agree (plane sample timings are wall-clock and excluded, but
+// sample sizes and chunk counts must match).
+func (s *DPStats) counterEqual(o *DPStats) bool {
+	if s.StatesEvaluated != o.StatesEvaluated ||
+		s.StatesCertPruned != o.StatesCertPruned ||
+		s.CertsRecorded != o.CertsRecorded ||
+		s.CutsEvaluated != o.CutsEvaluated ||
+		s.CutsSkippedKmin != o.CutsSkippedKmin ||
+		s.CutsSkippedMonotone != o.CutsSkippedMonotone ||
+		s.GmaxMemoHits != o.GmaxMemoHits ||
+		s.GmaxComputed != o.GmaxComputed ||
+		s.ColumnsOpened != o.ColumnsOpened ||
+		s.ColumnEntryFills != o.ColumnEntryFills ||
+		s.FrontierCells != o.FrontierCells ||
+		s.PlanesFilled != o.PlanesFilled ||
+		s.PlaneCellsMax != o.PlaneCellsMax {
+		return false
+	}
+	if len(s.PlaneSamples) != len(o.PlaneSamples) {
+		return false
+	}
+	for i := range s.PlaneSamples {
+		if s.PlaneSamples[i].Level != o.PlaneSamples[i].Level ||
+			s.PlaneSamples[i].Cells != o.PlaneSamples[i].Cells {
+			return false
+		}
+	}
+	return true
+}
+
+// phaseTimed runs f under the planner-phase pprof label and, when a
+// registry is attached, records the phase's wall-clock duration into it.
+// This is the single source of truth for phase attribution: CPU-profile
+// tags (go tool pprof -tags) and the obs registry's phase table come
+// from the same call.
+func phaseTimed(reg *obs.Registry, name string, f func()) {
+	if reg == nil {
+		labelPhase(name, f)
+		return
+	}
+	start := time.Now()
+	labelPhase(name, f)
+	reg.Phase(name).Add(time.Since(start))
+}

@@ -6,6 +6,7 @@ import (
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Parallel wavefront evaluation of the MadPipe DP. The recurrence's
@@ -61,8 +62,10 @@ type waveScratch struct {
 const npMaxWork = 1 << 22
 
 // waveParThreshold is the plane size below which the plane is evaluated
-// inline instead of being fanned across the worker pool.
-const waveParThreshold = 32
+// inline instead of being fanned across the worker pool. It is a
+// variable only so the counting-exactness tests can force every plane
+// through the pool; production code treats it as a constant.
+var waveParThreshold = 32
 
 var phaseCtx = context.Background()
 
@@ -85,10 +88,16 @@ func (r *dpRun) waveSolve(L, P, workers int) float64 {
 		t.put(rootIdx, e)
 		if e.period == inf {
 			t.certMark(rootIdx, r.that)
+			if st := r.stats; st != nil && t.certOn {
+				st.CertsRecorded++
+			}
 		}
 		return e.period
 	}
 	if t.certDead(rootIdx, r.that) {
+		if st := r.stats; st != nil {
+			st.StatesCertPruned++
+		}
 		t.put(rootIdx, dpEntry{period: inf, k: -1})
 		return inf
 	}
@@ -105,7 +114,7 @@ func (r *dpRun) waveSolve(L, P, workers int) float64 {
 		w.levels[i] = w.levels[i][:0]
 	}
 
-	labelPhase("frontier", func() {
+	phaseTimed(r.obs, "frontier", func() {
 		r.buildBounds(L, P)
 		t.slots[rootIdx].meta = t.stamp << metaStampShift // mark pending
 		w.levels[L] = append(w.levels[L], waveCell{idx: int32(rootIdx)})
@@ -113,7 +122,7 @@ func (r *dpRun) waveSolve(L, P, workers int) float64 {
 			r.frontierLevel(l)
 		}
 	})
-	labelPhase("plane-fill", func() {
+	phaseTimed(r.obs, "plane-fill", func() {
 		r.planeFill(L, workers)
 	})
 	v, _ := t.getPeriod(rootIdx)
@@ -213,6 +222,7 @@ func (r *dpRun) cellBound(l, p int, tP, mP float64) float64 {
 func (r *dpRun) frontierLevel(l int) {
 	t := r.tab
 	w := &t.wave
+	stats := r.stats
 	cells := w.levels[l]
 	wi := 0
 	for _, cell := range cells {
@@ -227,6 +237,9 @@ func (r *dpRun) frontierLevel(l int) {
 		p := rem % t.nP
 		tP := float64(itP) * r.stepT
 		mP := float64(imP) * r.stepM
+		if stats != nil {
+			stats.FrontierCells++
+		}
 
 		if p == 0 {
 			v := float64(iV) * r.stepV
@@ -234,6 +247,9 @@ func (r *dpRun) frontierLevel(l int) {
 			t.put(idx, e)
 			if e.period == inf {
 				t.certMark(idx, r.that)
+				if stats != nil && t.certOn {
+					stats.CertsRecorded++
+				}
 			}
 			continue
 		}
@@ -256,6 +272,9 @@ func (r *dpRun) frontierLevel(l int) {
 				}
 			}
 			kmin = lo
+		}
+		if stats != nil {
+			stats.CutsSkippedKmin += uint64(kmin - 1)
 		}
 
 		for k := l; k >= kmin; k-- {
@@ -293,6 +312,9 @@ func (r *dpRun) mark(lv, idx int) {
 		return // already marked (or settled by a certificate)
 	}
 	if t.certDead(idx, r.that) {
+		if st := r.stats; st != nil {
+			st.StatesCertPruned++
+		}
 		t.put(idx, dpEntry{period: inf, k: -1})
 		return
 	}
@@ -320,57 +342,105 @@ func (r *dpRun) planeFill(L, workers int) {
 		pooled  int64
 		started bool
 	)
+	stats := r.stats
 	for l := 1; l <= L; l++ {
 		cells := w.levels[l]
 		n := len(cells)
 		if n == 0 {
 			continue
 		}
+		var planeStart time.Time
+		if stats != nil {
+			planeStart = time.Now()
+		}
+		nch := 0
 		if n < waveParThreshold || workers < 2 {
 			for _, cell := range cells {
-				r.evalCell(l, cell)
+				if r.evalCell(l, cell, stats) {
+					r.certAny.Store(true)
+				}
 			}
 			t.states += n
-			continue
-		}
-		if !started {
-			started = true
-			tasks = make(chan waveTask, workers)
-			for i := 0; i < workers; i++ {
-				go func() {
-					for task := range tasks {
-						for _, cell := range task.cells {
-							r.evalCell(task.l, cell)
+		} else {
+			if !started {
+				started = true
+				tasks = make(chan waveTask, workers)
+				for i := 0; i < workers; i++ {
+					go func() {
+						for task := range tasks {
+							// Chunk-local counters, folded atomically once
+							// per chunk: the counts stay exact under any
+							// worker count with no per-cut contention.
+							var local *DPStats
+							if stats != nil {
+								local = new(DPStats)
+							}
+							certed := false
+							for _, cell := range task.cells {
+								if r.evalCell(task.l, cell, local) {
+									certed = true
+								}
+							}
+							if certed {
+								r.certAny.Store(true)
+							}
+							if stats != nil {
+								stats.atomicAdd(local)
+							}
+							atomic.AddInt64(&pooled, int64(len(task.cells)))
+							wg.Done()
 						}
-						atomic.AddInt64(&pooled, int64(len(task.cells)))
-						wg.Done()
-					}
-				}()
+					}()
+				}
 			}
-		}
-		chunk := (n + workers - 1) / workers
-		nch := (n + chunk - 1) / chunk
-		wg.Add(nch)
-		for i := 0; i < n; i += chunk {
-			end := i + chunk
-			if end > n {
-				end = n
+			chunk := (n + workers - 1) / workers
+			nch = (n + chunk - 1) / chunk
+			wg.Add(nch)
+			for i := 0; i < n; i += chunk {
+				end := i + chunk
+				if end > n {
+					end = n
+				}
+				tasks <- waveTask{l: l, cells: cells[i:end]}
 			}
-			tasks <- waveTask{l: l, cells: cells[i:end]}
+			wg.Wait()
 		}
-		wg.Wait()
+		if stats != nil {
+			stats.PlanesFilled++
+			if nch > 0 {
+				stats.PlanesParallel++
+				stats.ChunksDispatched += uint64(nch)
+			}
+			if uint64(n) > stats.PlaneCellsMax {
+				stats.PlaneCellsMax = uint64(n)
+			}
+			stats.PlaneSamples = append(stats.PlaneSamples, PlaneSample{
+				Level:   l,
+				Cells:   n,
+				Chunks:  nch,
+				StartNS: planeStart.Sub(r.t0).Nanoseconds(),
+				DurNS:   time.Since(planeStart).Nanoseconds(),
+			})
+		}
 	}
 	if started {
 		close(tasks)
 	}
 	t.states += int(pooled)
+	if r.certAny.Load() && r.that > t.certMax {
+		t.certMax = r.that
+	}
 }
 
 // evalCell computes one cell's entry, operation-for-operation identical
 // to the reference solver restricted to the unskippable cut range the
 // frontier attached (see the package comment for why the restriction
-// cannot change the stored entry).
-func (r *dpRun) evalCell(l int, cell waveCell) {
+// cannot change the stored entry). cs receives this cell's counter
+// increments (chunk-local when called from a pool worker; nil when
+// observability is off); the return value reports whether the cell
+// recorded a memory-death certificate, so the coordinator can raise the
+// shared watermark behind the barrier.
+func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 	t := r.tab
 	cc := &t.cols
 	idx := int(cell.idx)
@@ -391,7 +461,13 @@ func (r *dpRun) evalCell(l int, cell waveCell) {
 	for k := l; k >= kmin; k-- {
 		u := r.uTo[l] - r.uTo[k-1]
 		if u >= best.period {
+			if cs != nil {
+				cs.CutsSkippedMonotone += uint64(k - kmin + 1)
+			}
 			break
+		}
+		if cs != nil {
+			cs.CutsEvaluated++
 		}
 		cl := r.cLeft[k]
 		base, gmax := r.colBuilt(l, k)
@@ -424,14 +500,21 @@ func (r *dpRun) evalCell(l int, cell waveCell) {
 			}
 		}
 	}
-	if best.period == inf && !memOK && kmin == 1 {
+	certed := false
+	if best.period == inf && !memOK && kmin == 1 && t.certOn {
 		// The full cut range was examined (no break fires against an
 		// infinite best) and every cut failed on memory alone: the death
 		// is monotone in T̂ and certifiable. Workers write disjoint idx
-		// slots, so the store is race-free.
-		t.certMark(idx, r.that)
+		// slots, so the per-state store is race-free; the shared certMax
+		// watermark is raised by the coordinator (see planeFill).
+		t.certMarkIdx(idx, r.that)
+		certed = true
+		if cs != nil {
+			cs.CertsRecorded++
+		}
 	}
 	t.putNC(idx, best)
+	return certed
 }
 
 // waveChild reads a child settled on a lower plane (l == 0 children are

@@ -17,6 +17,7 @@ import (
 	"madpipe/internal/chain"
 	"madpipe/internal/core"
 	"madpipe/internal/ilpsched"
+	"madpipe/internal/obs"
 	"madpipe/internal/pipedream"
 	"madpipe/internal/platform"
 	"madpipe/internal/sim"
@@ -63,6 +64,11 @@ type Outcome struct {
 	SimOK bool
 	// Elapsed is the planning wall-clock time.
 	Elapsed time.Duration
+	// Report is the planner's structured run report, populated for the
+	// MadPipe variants when the Runner has an observability registry
+	// attached; nil otherwise (a pointer so Rows stay comparable and the
+	// sweep's default path allocates nothing extra).
+	Report *core.PlanReport
 }
 
 // Feasible reports whether a valid schedule exists.
@@ -100,6 +106,13 @@ type Runner struct {
 	// results are collected and reported in grid order, so the output is
 	// identical at any parallelism level.
 	Parallel int
+	// Obs attaches an observability registry shared by every
+	// configuration the runner executes: planner counters and phase
+	// timers accumulate into it, Sweep publishes live progress
+	// (expt_rows_done counter, expt_rows_total gauge), and MadPipe
+	// outcomes carry a structured PlanReport. nil disables all of it;
+	// the registry is safe for the concurrent sweep workers.
+	Obs *obs.Registry
 }
 
 // DefaultRunner returns the settings used by cmd/experiments: paper
@@ -179,8 +192,12 @@ func (r *Runner) runMadPipe(c *chain.Chain, plat platform.Platform, contig bool)
 		// keeps sweep tables machine-independent.
 		opts.Parallel = 1
 	}
+	opts.Obs = r.Obs
 	if p1, err := core.PlanAllocation(c, plat, opts); err == nil {
 		out.Predicted = p1.PredictedPeriod
+		if r.Obs != nil {
+			out.Report = core.NewPlanReport(c, plat, opts, p1)
+		}
 	}
 	plan, err := core.PlanAndSchedule(c, plat, opts, r.schedOpts())
 	if err != nil {
@@ -189,6 +206,9 @@ func (r *Runner) runMadPipe(c *chain.Chain, plat platform.Platform, contig bool)
 	out.Valid = plan.Period
 	out.Scheduler = plan.Scheduler
 	out.SimOK = r.verify(plan)
+	if out.Report != nil {
+		out.Report.AttachSchedule(plan)
+	}
 	return out
 }
 
@@ -230,8 +250,14 @@ func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, e
 	}
 	rows := make([]Row, len(jobs))
 	errs := make([]error, len(jobs))
+	// Progress handles are nil-safe no-ops without a registry; workers
+	// bump the counter as configurations finish, so a scrape mid-sweep
+	// shows live progress.
+	r.Obs.Gauge("expt_rows_total").Observe(uint64(len(jobs)))
+	rowsDone := r.Obs.Counter("expt_rows_done")
 	r.runJobs(len(jobs), func(i int) {
 		rows[i], errs[i] = r.Run(jobs[i].c, jobs[i].plat)
+		rowsDone.Inc()
 	}, func(i int) {
 		if onRow != nil && errs[i] == nil {
 			onRow(rows[i])

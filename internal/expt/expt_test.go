@@ -260,12 +260,17 @@ func TestSweepParallelDeterministic(t *testing.T) {
 	}
 }
 
-// rowsEqual compares everything except wall-clock timings.
+// rowsEqual compares everything except wall-clock timings and report
+// pointers (reports carry timings of their own; counter equality has its
+// own tests in internal/core).
 func rowsEqual(a, b Row) bool {
 	norm := func(r Row) Row {
 		r.PipeDream.Elapsed = 0
 		r.MadPipe.Elapsed = 0
 		r.MadPipeContig.Elapsed = 0
+		r.PipeDream.Report = nil
+		r.MadPipe.Report = nil
+		r.MadPipeContig.Report = nil
 		return r
 	}
 	return norm(a) == norm(b)

@@ -168,10 +168,15 @@ func AblationTable(rows []Row) string {
 	return b.String()
 }
 
-// CSV renders the raw sweep, one line per configuration.
+// CSV renders the raw sweep, one line per configuration. The last three
+// columns are the MadPipe planner's pruning-rate breakdown (states
+// evaluated, states settled by death certificates, fraction of cut
+// positions skipped by the kmin floor and the monotone break); they are
+// empty unless the sweep ran with an observability registry attached
+// (see Runner.Obs and EXPERIMENTS.md).
 func CSV(rows []Row) string {
 	var b strings.Builder
-	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid\n")
+	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct\n")
 	csvf := func(v float64) string {
 		if math.IsInf(v, 1) {
 			return "inf"
@@ -179,11 +184,21 @@ func CSV(rows []Row) string {
 		return fmt.Sprintf("%.6f", v)
 	}
 	for _, r := range sorted(rows) {
-		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s\n",
+		var states, pruned, skipPct string
+		if rep := r.MadPipe.Report; rep != nil {
+			st := rep.TotalStats()
+			states = fmt.Sprintf("%d", st.StatesEvaluated)
+			pruned = fmt.Sprintf("%d", st.StatesCertPruned)
+			skipped := st.CutsSkippedKmin + st.CutsSkippedMonotone
+			if total := st.CutsEvaluated + skipped; total > 0 {
+				skipPct = fmt.Sprintf("%.2f", 100*float64(skipped)/float64(total))
+			}
+		}
+		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s\n",
 			r.Net, r.Workers, r.MemGB, r.BandGB, r.SeqTime,
 			csvf(r.PipeDream.Predicted), csvf(r.PipeDream.Valid), r.PipeDream.Scheduler, r.PipeDream.SimOK,
 			csvf(r.MadPipe.Predicted), csvf(r.MadPipe.Valid), r.MadPipe.Scheduler, r.MadPipe.SimOK,
-			csvf(r.MadPipeContig.Valid))
+			csvf(r.MadPipeContig.Valid), states, pruned, skipPct)
 	}
 	return b.String()
 }

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// metricNamespace prefixes every exposed metric so the planner's series
+// never collide with other exporters scraped into the same Prometheus.
+const metricNamespace = "madpipe"
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric
+// name charset [a-zA-Z0-9_]: every other rune becomes '_', and a leading
+// digit is prefixed with '_'. Deterministic, so the same registry always
+// exposes the same series.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), with no dependency beyond the standard
+// library. Counters expose as <ns>_<name>, gauges as <ns>_<name>
+// (TYPE gauge), phases as a <ns>_phase_<name>_seconds_total counter plus
+// a <ns>_phase_<name>_count counter. Output is sorted by name, so a
+// scrape is deterministic for a quiescent registry. Safe on a nil
+// registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		m := metricNamespace + "_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := metricNamespace + "_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Phases) {
+		ph := s.Phases[name]
+		m := metricNamespace + "_phase_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_seconds_total counter\n%s_seconds_total %g\n# TYPE %s_count counter\n%s_count %d\n",
+			m, m, float64(ph.TotalNS)/1e9, m, m, ph.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler serves the registry as a Prometheus scrape target.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Publish registers the registry under the given expvar name so
+// /debug/vars carries a live JSON snapshot alongside the standard
+// memstats/cmdline vars. expvar registration is global and permanent;
+// publishing a second registry under a name that is already taken is a
+// silent no-op (the first registration wins), which keeps Publish safe
+// to call from tests and repeated CLI helpers.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// NewMux returns the observability endpoint set served by the -listen
+// mode of cmd/madpipe and cmd/experiments:
+//
+//	/metrics       Prometheus text exposition of this registry
+//	/debug/vars    expvar JSON (includes this registry once Published)
+//	/debug/pprof/  the standard pprof index, profiles and traces
+func (r *Registry) NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe publishes the registry under the expvar name "madpipe",
+// binds addr and serves NewMux in a background goroutine. It returns the
+// server (Close it to stop) and the bound address — useful when addr
+// requests an ephemeral port (":0").
+func (r *Registry) ListenAndServe(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	r.Publish("madpipe")
+	srv := &http.Server{Handler: r.NewMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryNoOps pins the package's central contract: every method
+// on a nil registry and on the nil handles it returns is a safe no-op,
+// so instrumented code can call through unconditionally.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	p := r.Phase("x")
+	if c != nil || g != nil || p != nil {
+		t.Fatalf("nil registry handed out non-nil handles: %v %v %v", c, g, p)
+	}
+	c.Inc()
+	c.Add(7)
+	g.Observe(9)
+	p.Add(time.Second)
+	ran := false
+	p.Time(func() { ran = true })
+	if !ran {
+		t.Error("nil Phase.Time did not run f")
+	}
+	if c.Value() != 0 || g.Value() != 0 || p.Total() != 0 || p.Count() != 0 {
+		t.Error("nil handles reported non-zero values")
+	}
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Phases != nil {
+		t.Errorf("nil registry snapshot not zero: %+v", s)
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	r.Publish("obs-test-nil") // must not register anything
+}
+
+func TestCounterGaugePhase(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	c.Add(0)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("g")
+	for _, v := range []uint64{3, 9, 5} {
+		g.Observe(v)
+	}
+	if g.Value() != 9 {
+		t.Errorf("gauge high-water = %d, want 9", g.Value())
+	}
+	p := r.Phase("p")
+	p.Add(3 * time.Millisecond)
+	p.Time(func() {})
+	if p.Count() != 2 || p.Total() < 3*time.Millisecond {
+		t.Errorf("phase count %d total %v", p.Count(), p.Total())
+	}
+	s := r.Snapshot()
+	if s.Counters["c"] != 42 || s.Gauges["g"] != 9 || s.Phases["p"].Count != 2 {
+		t.Errorf("snapshot mismatch: %+v", s)
+	}
+	// Snapshots are copies: mutating one must not touch the registry.
+	s.Counters["c"] = 0
+	if c.Value() != 42 {
+		t.Error("snapshot aliased the registry")
+	}
+}
+
+// TestConcurrentCountingExact checks that concurrent recording loses no
+// increments and that the high-water gauge settles on the true maximum.
+// Run under -race this doubles as the package's data-race smoke test.
+func TestConcurrentCountingExact(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("high")
+			p := r.Phase("work")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Observe(uint64(id*perG + j))
+				p.Add(time.Nanosecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != goroutines*perG {
+		t.Errorf("counter lost increments: %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("high").Value(); got != goroutines*perG-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, goroutines*perG-1)
+	}
+	if got := r.Phase("work").Count(); got != goroutines*perG {
+		t.Errorf("phase count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"dp_states_evaluated": "dp_states_evaluated",
+		"plane-fill":          "plane_fill",
+		"9lives":              "_9lives",
+		"a.b/c":               "a_b_c",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dp_states_evaluated").Add(123)
+	r.Counter("dp_runs").Inc()
+	r.Gauge("dp_plane_cells_max").Observe(77)
+	r.Phase("plane-fill").Add(1500 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE madpipe_dp_states_evaluated counter",
+		"madpipe_dp_states_evaluated 123",
+		"madpipe_dp_runs 1",
+		"# TYPE madpipe_dp_plane_cells_max gauge",
+		"madpipe_dp_plane_cells_max 77",
+		"madpipe_phase_plane_fill_seconds_total 1.5",
+		"madpipe_phase_plane_fill_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Counters expose in sorted order for deterministic scrapes.
+	if strings.Index(out, "dp_runs") > strings.Index(out, "dp_states_evaluated") {
+		t.Error("counters not sorted by name")
+	}
+}
+
+// TestMuxServesLiveValues drives the full -listen endpoint set through
+// httptest: /metrics must reflect values recorded after the mux was
+// built (a scrape mid-sweep sees live counters), and /debug/vars must
+// carry the published registry snapshot.
+func TestMuxServesLiveValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dp_runs").Inc()
+	srv := httptest.NewServer(r.NewMux())
+	defer srv.Close()
+	r.Publish("madpipe-obs-test")
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "madpipe_dp_runs 1") {
+		t.Errorf("/metrics missing initial counter:\n%s", out)
+	}
+	// Values recorded after the server started must appear on the next
+	// scrape: the handler snapshots at request time.
+	r.Counter("dp_runs").Add(4)
+	r.Counter("dp_states_evaluated").Add(1000)
+	if out := get("/metrics"); !strings.Contains(out, "madpipe_dp_runs 5") ||
+		!strings.Contains(out, "madpipe_dp_states_evaluated 1000") {
+		t.Errorf("/metrics not live:\n%s", out)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	raw, ok := vars["madpipe-obs-test"]
+	if !ok {
+		t.Fatal("/debug/vars missing the published registry")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("published snapshot is not a Snapshot: %v", err)
+	}
+	if snap.Counters["dp_runs"] != 5 {
+		t.Errorf("expvar snapshot dp_runs = %d, want 5", snap.Counters["dp_runs"])
+	}
+
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestListenAndServeEphemeral binds :0 and checks the returned bound
+// address serves a scrape, mirroring cmd/madpipe -listen :0.
+func TestListenAndServeEphemeral(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dp_runs").Inc()
+	srv, addr, err := r.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address not resolved: %q", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "madpipe_dp_runs 1") {
+		t.Errorf("scrape over the wire missing counter:\n%s", body)
+	}
+}

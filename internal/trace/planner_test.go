@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+func testReport(t *testing.T, reg *obs.Registry) *core.PlanReport {
+	t.Helper()
+	c := chain.MustNew("tr", 50, []chain.Layer{
+		{UF: 1, UB: 2, W: 5, A: 40},
+		{UF: 2, UB: 3, W: 5, A: 30},
+		{UF: 1, UB: 1, W: 5, A: 20},
+	})
+	plat := platform.Platform{Workers: 2, Memory: 1e6, Bandwidth: 100}
+	opts := core.Options{Parallel: 1, Obs: reg}
+	p1, err := core.PlanAllocation(c, plat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewPlanReport(c, plat, opts, p1)
+}
+
+func TestPlannerLanes(t *testing.T) {
+	rep := testReport(t, obs.NewRegistry())
+	f := FromPlanReport(rep)
+
+	if got := f.OtherData["planner_version"]; got != core.PlannerVersion {
+		t.Errorf("planner_version = %q, want %q", got, core.PlannerVersion)
+	}
+	for _, key := range []string{"planner_options", "chain", "platform"} {
+		if f.OtherData[key] == "" {
+			t.Errorf("OtherData missing %q", key)
+		}
+	}
+
+	var probes, brackets, procName int
+	for _, e := range f.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procName++
+			if e.PID != plannerPID {
+				t.Errorf("planner process_name on pid %d", e.PID)
+			}
+		case e.Ph == "X":
+			probes++
+			if e.Cat != "planner" || e.PID != plannerPID {
+				t.Errorf("probe slice misfiled: %+v", e)
+			}
+			if e.Dur <= 0 {
+				t.Errorf("probe slice without duration (obs was on): %+v", e)
+			}
+		case e.Ph == "C" && e.Name == "bracket":
+			brackets++
+			if _, ok := e.Args["lb"].(float64); !ok {
+				t.Errorf("bracket counter lb is not numeric: %+v", e.Args)
+			}
+		}
+	}
+	if procName != 1 {
+		t.Errorf("process_name events = %d, want 1", procName)
+	}
+	if probes != len(rep.Probes) || probes == 0 {
+		t.Errorf("probe slices = %d, want %d (nonzero)", probes, len(rep.Probes))
+	}
+	if brackets != len(rep.Probes) {
+		t.Errorf("bracket samples = %d, want %d", brackets, len(rep.Probes))
+	}
+}
+
+func TestPlannerTraceDeterministic(t *testing.T) {
+	rep := testReport(t, obs.NewRegistry())
+	var a, b bytes.Buffer
+	if err := FromPlanReport(rep).Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := FromPlanReport(rep).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same report differ byte-wise")
+	}
+	if !strings.Contains(a.String(), "madpipe planner") {
+		t.Error("trace missing planner process name")
+	}
+}
+
+func TestAppendPlannerOntoPattern(t *testing.T) {
+	rep := testReport(t, obs.NewRegistry())
+	p := testPattern(t)
+	f := FromPattern(p, 4)
+	before := len(f.TraceEvents)
+	StampPlanner(f, rep)
+	AppendPlanner(f, rep)
+	if len(f.TraceEvents) <= before {
+		t.Fatal("AppendPlanner added no events")
+	}
+	// Metadata must still lead the stream after the re-sort.
+	seenSlice := false
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" && seenSlice {
+			t.Fatal("metadata after slices post-append")
+		}
+		if e.Ph != "M" {
+			seenSlice = true
+		}
+	}
+	if f.OtherData["planner_options"] == "" {
+		t.Error("stamp lost on combined trace")
+	}
+}

@@ -11,20 +11,23 @@ import (
 	"io"
 	"sort"
 
+	"madpipe/internal/core"
 	"madpipe/internal/pattern"
 )
 
 // Event is one Chrome trace event (the subset of fields we emit:
-// complete events, phase "X").
+// complete events "X", metadata "M" and counter series "C"). Args values
+// are strings for slice annotations and numbers for counter samples —
+// Perfetto plots each numeric arg of a "C" event as one counter track.
 type Event struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // File is the top-level trace document.
@@ -55,19 +58,28 @@ func FromPattern(p *pattern.Pattern, periods int) *File {
 		periods = 8
 	}
 	ids, resources := laneIDs(p)
+	plat := p.Alloc.Plat
 	f := &File{
 		DisplayTimeUnit: "ms",
 		OtherData: map[string]string{
-			"period_s":   fmt.Sprintf("%g", p.Period),
-			"throughput": fmt.Sprintf("%g batches/s", p.Throughput()),
-			"workers":    fmt.Sprintf("%d", p.Alloc.Plat.Workers),
+			"planner_version": core.PlannerVersion,
+			"period_s":        fmt.Sprintf("%g", p.Period),
+			"throughput":      fmt.Sprintf("%g batches/s", p.Throughput()),
+			"workers":         fmt.Sprintf("%d", plat.Workers),
+			"platform": fmt.Sprintf("workers=%d memory=%g latency=%g bandwidth=%g",
+				plat.Workers, plat.Memory, plat.Latency, plat.Bandwidth),
+			"chain": fmt.Sprintf("name=%s layers=%d", p.Alloc.Chain.Name(), p.Alloc.Chain.Len()),
 		},
 	}
 	// Metadata events: lane names.
+	f.TraceEvents = append(f.TraceEvents, Event{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "pipeline"},
+	})
 	for _, r := range resources {
 		f.TraceEvents = append(f.TraceEvents, Event{
 			Name: "thread_name", Ph: "M", PID: 1, TID: ids[r],
-			Args: map[string]string{"name": r.String()},
+			Args: map[string]any{"name": r.String()},
 		})
 	}
 	for k := 0; k < periods; k++ {
@@ -89,7 +101,7 @@ func FromPattern(p *pattern.Pattern, periods int) *File {
 				Dur:  op.Dur * secToUS,
 				PID:  1,
 				TID:  ids[n.Resource],
-				Args: map[string]string{
+				Args: map[string]any{
 					"batch": fmt.Sprintf("%d", batch),
 					"shift": fmt.Sprintf("%d", op.Shift),
 					"half":  op.Half.String(),
@@ -101,15 +113,28 @@ func FromPattern(p *pattern.Pattern, periods int) *File {
 	return f
 }
 
+// sortEvents orders metadata first, then by time, process, lane and
+// name — a total order over every field that distinguishes our events,
+// so an exported trace is byte-deterministic for a fixed input.
 func sortEvents(evs []Event) {
 	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].Ph != evs[j].Ph {
-			return evs[i].Ph == "M" // metadata first
+		a, b := evs[i], evs[j]
+		if a.Ph != b.Ph && (a.Ph == "M" || b.Ph == "M") {
+			return a.Ph == "M" // metadata first
 		}
-		if evs[i].TS != evs[j].TS {
-			return evs[i].TS < evs[j].TS
+		if a.TS != b.TS {
+			return a.TS < b.TS
 		}
-		return evs[i].TID < evs[j].TID
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Ph < b.Ph
 	})
 }
 

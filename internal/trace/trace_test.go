@@ -50,16 +50,17 @@ func TestFromPatternStructure(t *testing.T) {
 			if e.Dur <= 0 {
 				t.Errorf("slice with non-positive duration: %+v", e)
 			}
-			if e.Args["batch"] == "" {
+			if e.Args["batch"] == nil {
 				t.Errorf("slice missing batch arg")
 			}
 		default:
 			t.Errorf("unexpected phase %q", e.Ph)
 		}
 	}
-	// 3 lanes: gpu0, gpu1, link(0,1).
-	if meta != 3 {
-		t.Errorf("metadata events = %d, want 3", meta)
+	// 4 metadata events: process_name plus 3 lanes (gpu0, gpu1,
+	// link(0,1)).
+	if meta != 4 {
+		t.Errorf("metadata events = %d, want 4", meta)
 	}
 	if len(lanes) != 3 {
 		t.Errorf("lanes used = %d, want 3", len(lanes))

@@ -16,9 +16,9 @@ go vet ./...
 echo "== go test"
 go test ./...
 
-echo "== race smoke (wavefront + concurrent probes + parallel sweep)"
-go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic' \
-	./internal/core/ ./internal/expt/
+echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting)"
+go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact' \
+	./internal/core/ ./internal/expt/ ./internal/obs/
 
 echo "== benchmark sanity (1 iteration)"
 go test -run '^$' -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP$' -benchtime 1x .
