@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race bench bench-quick vet obs-demo
+.PHONY: all build test verify race bench bench-quick bench-warm vet obs-demo
 
 all: build
 
@@ -21,10 +21,10 @@ test:
 # swings by integer factors — ns/op deltas still print for review.
 verify: build vet test race
 	$(GO) test -run '^$$' -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP$$' -benchtime 1x .
-	$(GO) run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP|BenchmarkAlgorithm1' -benchtime 5x -write=false -gate allocs -threshold 0.5
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP$$|BenchmarkAlgorithm1$$|BenchmarkAlgorithm1Sweep' -benchtime 5x -write=false -gate allocs -threshold 0.5 -warm
 
 race:
-	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact' ./internal/core/ ./internal/expt/ ./internal/obs/
+	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold' ./internal/core/ ./internal/expt/ ./internal/obs/
 
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
 # ns/op or allocs/op regressions against the previous snapshot.
@@ -34,6 +34,14 @@ bench:
 # bench-quick compares without recording a snapshot.
 bench-quick:
 	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP' -benchtime 3x -write=false
+
+# bench-warm runs the interleaved cold/warm reuse A/B (go test -count
+# alternates the Cold and Warm sweep benchmarks, so both sides see the
+# same thermal and cache conditions), prints the cold/warm column pairs
+# and snapshots a BENCH_<date>.json. Fails if the warm side reports no
+# live value-certificate reuse.
+bench-warm:
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkAlgorithm1Sweep' -benchtime 3x -count 3 -warm
 
 # obs-demo plans ResNet-50 with full observability: the PlanReport prints
 # to stdout, and /metrics, /debug/vars and /debug/pprof serve on an

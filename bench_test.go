@@ -231,6 +231,52 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	}
 }
 
+// algorithm1Sweep runs one sweep-shaped workload: three full Algorithm 1
+// searches over neighbouring processor counts on the same chain — the
+// access pattern of a Fig. 7/8 grid row. With warm=true the cells share
+// a PlannerCache (fresh per iteration, so b.N does not compound reuse),
+// letting later cells adopt the earlier cells' value and death
+// certificates across P via the p-outermost table layout; cold runs
+// plan each cell from scratch. Reported metrics are deterministic:
+// states/op counts fresh DP evaluations, valreuse/op counts states
+// adopted from value certificates — the warm/cold gap is the reuse
+// layer's measured effect, and cmd/benchdiff gates on both (a change
+// that silently disables reuse zeroes valreuse/op and fails the gate).
+func algorithm1Sweep(b *testing.B, warm bool) {
+	c := benchChain(b, "inception")
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	var states, reused uint64
+	for i := 0; i < b.N; i++ {
+		states, reused = 0, 0
+		opts := core.Options{Parallel: 1, Obs: reg}
+		if warm {
+			opts.Cache = core.NewPlannerCache()
+		}
+		for _, p := range []int{4, 5, 6} {
+			res, err := core.PlanAllocation(c, benchPlat(p, 10, 12), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range res.Evals {
+				states += res.Evals[j].Stats.StatesEvaluated
+				reused += res.Evals[j].Stats.StatesValReused
+			}
+		}
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(reused), "valreuse/op")
+}
+
+// BenchmarkAlgorithm1SweepCold is the reuse A/B baseline: every cell
+// planned from scratch.
+func BenchmarkAlgorithm1SweepCold(b *testing.B) { algorithm1Sweep(b, false) }
+
+// BenchmarkAlgorithm1SweepWarm is the same workload with a shared
+// PlannerCache; compare against BenchmarkAlgorithm1SweepCold (or run
+// `make bench-warm`) for the cross-cell reuse effect.
+func BenchmarkAlgorithm1SweepWarm(b *testing.B) { algorithm1Sweep(b, true) }
+
 // BenchmarkPipeDreamPlan measures the baseline partitioner.
 func BenchmarkPipeDreamPlan(b *testing.B) {
 	c := benchChain(b, "resnet101")

@@ -69,6 +69,8 @@ func main() {
 		write     = flag.Bool("write", true, "write BENCH_<date>.json after the run")
 		threshold = flag.Float64("threshold", 0.10, "relative regression tolerated on gated metrics")
 		gate      = flag.String("gate", "time,allocs", "comma list of metrics whose regressions fail the run: time, allocs, states, bytes, or a literal unit such as states/op")
+		warm      = flag.Bool("warm", false, "print a Cold/Warm column pair for every <Name>Cold/<Name>Warm benchmark pair in this run, and fail unless each Warm side shows live reuse (valreuse/op > 0)")
+		count     = flag.Int("count", 1, "value passed to go test -count; runs above 1 interleave the whole benchmark set (A/B pairs see the same machine conditions) and report per-metric means")
 	)
 	flag.Parse()
 	gated, err := parseGate(*gate)
@@ -76,11 +78,11 @@ func main() {
 		fatal(err)
 	}
 
-	out, err := runBenchmarks(*bench, *benchtime)
+	out, err := runBenchmarks(*bench, *benchtime, *count)
 	if err != nil {
 		fatal(err)
 	}
-	results := parseBench(out)
+	results := mergeRuns(parseBench(out))
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark results parsed; output was:\n%s", out))
 	}
@@ -105,6 +107,12 @@ func main() {
 			fatal(err)
 		}
 		regressed = compare(prev, cur, prevPath, *threshold, gated)
+	}
+
+	if *warm {
+		if !warmReport(cur) {
+			regressed = true
+		}
 	}
 
 	if *write {
@@ -153,8 +161,8 @@ func parseGate(spec string) (map[string]bool, error) {
 	return gated, nil
 }
 
-func runBenchmarks(bench, benchtime string) (string, error) {
-	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, "."}
+func runBenchmarks(bench, benchtime string, count int) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, "-count", strconv.Itoa(count), "."}
 	fmt.Fprintf(os.Stderr, "benchdiff: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -199,6 +207,34 @@ func parseBench(out string) []Result {
 		results = append(results, r)
 	}
 	return results
+}
+
+// mergeRuns folds repeated results of the same benchmark (go test
+// -count above 1) into one entry per name: iterations sum, every metric
+// becomes the mean across runs. Order of first appearance is kept so
+// snapshots stay diffable.
+func mergeRuns(results []Result) []Result {
+	type acc struct {
+		idx, runs int
+	}
+	seen := map[string]*acc{}
+	var merged []Result
+	for _, r := range results {
+		a, ok := seen[r.Name]
+		if !ok {
+			seen[r.Name] = &acc{idx: len(merged), runs: 1}
+			merged = append(merged, r)
+			continue
+		}
+		m := &merged[a.idx]
+		m.Iterations += r.Iterations
+		n := float64(a.runs)
+		for u, v := range r.Metrics {
+			m.Metrics[u] = (m.Metrics[u]*n + v) / (n + 1)
+		}
+		a.runs++
+	}
+	return merged
 }
 
 // snapshotPath returns a snapshot filename that does not clobber an
@@ -302,6 +338,61 @@ func compare(prev, cur *Snapshot, prevPath string, threshold float64, gated map[
 		}
 	}
 	return regressed
+}
+
+// warmReport prints, for every <Name>Cold/<Name>Warm benchmark pair in
+// the current run, the cold and warm-start ns/op and states/op side by
+// side with the warm/cold ratio. It returns false — failing the run —
+// when a Warm benchmark reports no value-certificate adoptions
+// (valreuse/op missing or zero): the reuse layer being silently disabled
+// must fail `make verify`, not just look slow in a timing eyeball.
+func warmReport(cur *Snapshot) bool {
+	byName := map[string]Result{}
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	ok := true
+	printed := false
+	for _, r := range cur.Results {
+		base, isCold := strings.CutSuffix(r.Name, "Cold")
+		if !isCold {
+			continue
+		}
+		w, has := byName[base+"Warm"]
+		if !has {
+			continue
+		}
+		if !printed {
+			fmt.Printf("benchdiff: cold/warm pairs\n")
+			fmt.Printf("%-28s %14s %14s %10s\n", "pair/metric", "cold", "warm", "warm/cold")
+			printed = true
+		}
+		for _, u := range []string{"ns/op", "states/op"} {
+			cv, cok := r.Metrics[u]
+			wv, wok := w.Metrics[u]
+			if !cok || !wok {
+				continue
+			}
+			ratio := "-"
+			if cv > 0 {
+				ratio = fmt.Sprintf("%.3f", wv/cv)
+			}
+			fmt.Printf("%-28s %14.4g %14.4g %10s\n", base+" "+u, cv, wv, ratio)
+		}
+		if w.Metrics["valreuse/op"] <= 0 {
+			fmt.Printf("%-28s %14s %14.4g %10s  REGRESSION (reuse disabled)\n",
+				base+" valreuse/op", "-", w.Metrics["valreuse/op"], "-")
+			ok = false
+		} else {
+			fmt.Printf("%-28s %14.4g %14.4g %10s\n",
+				base+" valreuse/op", r.Metrics["valreuse/op"], w.Metrics["valreuse/op"], "-")
+		}
+	}
+	if !printed {
+		fmt.Println("benchdiff: -warm set but no <Name>Cold/<Name>Warm pairs in this run")
+		return false
+	}
+	return ok
 }
 
 func fatal(err error) {

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+// PlannerCache carries planner state across PlanAllocation calls so that
+// repeated and related searches stop paying for work that is provably
+// unchanged. It holds two stores:
+//
+//   - a result memo, keyed by the full planner input (chain identity,
+//     platform, discretization, iterations, special-processor mode,
+//     weight policy, resolved worker count, observability). A memo hit
+//     returns the recorded PhaseOneResult outright — this is what
+//     collapses PlanAndSchedule's repeated phase-1 searches (the
+//     portfolio fallback re-plans the same inputs) and a sweep harness's
+//     per-cell MadPipe/contiguous double-planning to one DP search per
+//     distinct input.
+//
+//   - warm dense tables, keyed by everything a table's certificate
+//     stores depend on EXCEPT the processor count and the memory limit:
+//     a DP state (l, p, t_P, m_P, V) never mentions the total worker
+//     count, and the p-outermost index layout keeps packed indices
+//     stable when nP changes, so death and value certificates recorded
+//     while planning one sweep cell remain sound for cells at any other
+//     P. The memory limit DOES change what the certificates assert;
+//     certArm compares it on lease and re-arms (epoch bump) on mismatch,
+//     which still preserves the T̂-independent hoists and the gmax memo
+//     (both self-keyed by their own inputs, including memory).
+//
+// Chains are keyed by pointer identity: callers must present the same
+// *chain.Chain for hits, which is the natural shape for a sweep harness
+// that coarsens each network once and re-plans it across a grid.
+//
+// The cache is safe for concurrent use. Warm-table leasing can be
+// disabled (SetWarmTables) while keeping the result memo: concurrent
+// sweep workers otherwise make per-probe stats depend on which cell
+// happened to warm the table first — planner outputs are bit-identical
+// either way, but deterministic probe timelines are part of the
+// harness's contract.
+type PlannerCache struct {
+	mu     sync.Mutex
+	cold   bool // disables warm-table leasing only; the memo stays on
+	plans  map[planKey]*PhaseOneResult
+	tables map[tableKey][]*dpTable
+}
+
+// planKey identifies one PlanAllocation computation completely: two
+// calls with equal keys return bit-identical results (the planner is
+// deterministic for a fixed input, including the probe schedule at a
+// fixed resolved worker count).
+type planKey struct {
+	c              *chain.Chain
+	plat           platform.Platform
+	disc           Discretization
+	iterations     int
+	disableSpecial bool
+	weights        chain.WeightPolicy
+	workers        int
+	observed       bool
+}
+
+// tableKey identifies the inputs a dense table's certificate stores are
+// conditioned on. The processor count is deliberately absent (state
+// semantics are P-independent; see dpTable.idx) and so is the memory
+// limit (guarded dynamically by certArm, so that cells at a new M still
+// inherit the table's T̂-independent caches).
+type tableKey struct {
+	c              *chain.Chain
+	latency        float64
+	bandwidth      float64
+	disc           Discretization
+	disableSpecial bool
+	weights        chain.WeightPolicy
+}
+
+const (
+	// planMemoCap bounds the memo; on overflow the whole memo is dropped
+	// (recomputation is always sound) rather than tracking recency.
+	planMemoCap = 512
+	// tableStackCap bounds warm tables retained per key; overflow goes
+	// back to the shared pool through the trim policy.
+	tableStackCap = 16
+)
+
+// NewPlannerCache returns an empty cache with warm-table leasing on.
+func NewPlannerCache() *PlannerCache {
+	return &PlannerCache{
+		plans:  make(map[planKey]*PhaseOneResult),
+		tables: make(map[tableKey][]*dpTable),
+	}
+}
+
+// SetWarmTables toggles warm-table leasing. Turning it off releases
+// nothing already pooled; it only makes future leases cold. The result
+// memo is unaffected (memo hits are deterministic at any concurrency).
+func (pc *PlannerCache) SetWarmTables(on bool) {
+	pc.mu.Lock()
+	pc.cold = !on
+	pc.mu.Unlock()
+}
+
+// getPlan returns the memoized result for k, as a shallow copy whose
+// Evals slice is capacity-clipped: callers may append to it (the
+// portfolio fold does) without aliasing the memo's backing array.
+func (pc *PlannerCache) getPlan(k planKey) (*PhaseOneResult, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	res, ok := pc.plans[k]
+	if !ok {
+		return nil, false
+	}
+	cp := *res
+	cp.Evals = cp.Evals[:len(cp.Evals):len(cp.Evals)]
+	return &cp, true
+}
+
+func (pc *PlannerCache) putPlan(k planKey, res *PhaseOneResult) {
+	cp := *res
+	cp.Evals = cp.Evals[:len(cp.Evals):len(cp.Evals)]
+	pc.mu.Lock()
+	if len(pc.plans) >= planMemoCap {
+		clear(pc.plans)
+	}
+	pc.plans[k] = &cp
+	pc.mu.Unlock()
+}
+
+// leaseTable hands out a table for key k: a warm one (certificate
+// stores alive from a previous lease on the same key) when available,
+// otherwise a cold table from the shared pool. The caller must pair it
+// with returnTable and arm certificates via certArm, never certBegin —
+// certBegin would discard exactly the state a warm lease preserves.
+func (pc *PlannerCache) leaseTable(k tableKey) *dpTable {
+	pc.mu.Lock()
+	if !pc.cold {
+		if s := pc.tables[k]; len(s) > 0 {
+			t := s[len(s)-1]
+			s[len(s)-1] = nil
+			pc.tables[k] = s[:len(s)-1]
+			pc.mu.Unlock()
+			return t
+		}
+	}
+	pc.mu.Unlock()
+	return acquireTable()
+}
+
+// returnTable retains t for future leases on k, or sends it back to the
+// shared pool when the per-key stack is full or warm leasing is off.
+func (pc *PlannerCache) returnTable(k tableKey, t *dpTable, reg *obs.Registry) {
+	pc.mu.Lock()
+	if !pc.cold && len(pc.tables[k]) < tableStackCap {
+		pc.tables[k] = append(pc.tables[k], t)
+		pc.mu.Unlock()
+		return
+	}
+	pc.mu.Unlock()
+	releaseTable(t, reg)
+}
+
+// Release drains every pooled table back to the shared pool (applying
+// the trim policy) and drops the memo. Call it when a sweep is done
+// with a chain; using the cache afterwards is still valid, just cold.
+func (pc *PlannerCache) Release(reg *obs.Registry) {
+	pc.mu.Lock()
+	tables := pc.tables
+	pc.tables = make(map[tableKey][]*dpTable)
+	clear(pc.plans)
+	pc.mu.Unlock()
+	for _, s := range tables {
+		for _, t := range s {
+			releaseTable(t, reg)
+		}
+	}
+}
+
+// tableKeyFor derives the table-compatibility key for one planner call.
+func tableKeyFor(c *chain.Chain, plat platform.Platform, opts Options) tableKey {
+	return tableKey{
+		c:              c,
+		latency:        plat.Latency,
+		bandwidth:      plat.Bandwidth,
+		disc:           opts.Disc,
+		disableSpecial: opts.DisableSpecial,
+		weights:        opts.Weights,
+	}
+}
+
+// planKeyFor derives the memo key for one planner call; opts must
+// already be normalized (withDefaults).
+func planKeyFor(c *chain.Chain, plat platform.Platform, opts Options) planKey {
+	return planKey{
+		c:              c,
+		plat:           plat,
+		disc:           opts.Disc,
+		iterations:     opts.Iterations,
+		disableSpecial: opts.DisableSpecial,
+		weights:        opts.Weights,
+		workers:        resolveParallel(opts.Parallel),
+		observed:       opts.Obs != nil,
+	}
+}

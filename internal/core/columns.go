@@ -33,12 +33,17 @@ import "madpipe/internal/chain"
 const colMaxL = 1024
 
 // colEnt is one filled column entry: the group count (0 = not filled
-// yet; real counts are >= 1), the child delay index and the
-// special-branch stage memory.
+// yet; real counts are >= 1), the child delay index, the special-branch
+// stage memory and — when value certificates are armed — the cut's
+// target-period validity interval [lo, hi): the widest T̂ range on which
+// g and the ⊕-snapped child delay provably keep their current values
+// (see cutInterval). Computing the interval here amortizes it across
+// every state that visits the cut; the DP's hot loop pays two compares.
 type colEnt struct {
-	smem float64
-	g    int32
-	ivn  int32
+	smem   float64
+	lo, hi float64
+	g      int32
+	ivn    int32
 }
 
 type gmaxKey struct {
@@ -92,23 +97,25 @@ func (cc *colCache) reset(L, nV int, key gmaxKey) {
 	cc.gmaxCached = cc.gmaxCached[:dirN]
 	if cc.lplus != L+1 || cc.nV != nV {
 		// Directory indices changed meaning: invalidate both generations.
+		// Clears cover the full capacity — stale stamps beyond the
+		// current len would alias if a later lease regrows the slice.
 		cc.stamp = 0
 		cc.gmaxEpoch = 0
-		clear(cc.dir)
-		clear(cc.gmaxSeen)
+		clear(cc.dir[:cap(cc.dir)])
+		clear(cc.gmaxSeen[:cap(cc.gmaxSeen)])
 	}
 	cc.lplus, cc.nV = L+1, nV
 	cc.n = 0
 	cc.stamp++
 	if cc.stamp == 0 { // wrapped: stale entries could alias
-		clear(cc.dir)
+		clear(cc.dir[:cap(cc.dir)])
 		cc.stamp = 1
 	}
 	if key != cc.key {
 		cc.key = key
 		cc.gmaxEpoch++
 		if cc.gmaxEpoch == 0 {
-			clear(cc.gmaxSeen)
+			clear(cc.gmaxSeen[:cap(cc.gmaxSeen)])
 			cc.gmaxEpoch = 1
 		}
 	}
@@ -147,6 +154,9 @@ func (r *dpRun) fillEnt(l, k, iV int, e *colEnt) {
 	e.ivn = int32(roundUp(vNext, r.stepV, r.nV))
 	if !r.disableSpecial {
 		e.smem = r.stageMem(k, l, g-1)
+	}
+	if r.tab.certOn {
+		e.lo, e.hi = r.cutInterval(v, u, r.cLeft[k], int(e.ivn))
 	}
 }
 

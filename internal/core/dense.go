@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"math"
+	"sync"
+
+	"madpipe/internal/obs"
+)
 
 // The dense DP table replaces the hash-map memo of the original
 // implementation: one flat preallocated array indexed by the packed state
@@ -12,9 +17,10 @@ import "sync"
 // performs O(1) table allocations.
 
 // denseMaxStates bounds the dense table size (states, not bytes; each
-// state costs 16 bytes). Shapes beyond the cap — very long uncoarsened
-// chains — fall back to the legacy map-based DP, which only pays for
-// reachable states.
+// state costs 64 bytes — one cache line holding the DP slot and both
+// certificate records, see dpState). Shapes beyond the cap — very long
+// uncoarsened chains — fall back to the legacy map-based DP, which only
+// pays for reachable states.
 const denseMaxStates = 1 << 25
 
 // metaStampShift packs the epoch stamp in the high 16 bits of the meta
@@ -32,21 +38,58 @@ const (
 // k field (k+1 must fit in 14 bits).
 const denseMaxL = metaKMask - 1
 
-// dpSlot is one dense-table state: the DP value and the packed
-// stamp/decision word, colocated so a lookup costs one cache access.
-type dpSlot struct {
-	period float64
-	meta   uint32
+// dpState is one dense-table state, padded to exactly one cache line so
+// every lookup a cut performs — current value, death certificate, value
+// certificate — lands on a single 64-byte load (large slice allocations
+// are page-aligned, so the padding guarantees line alignment too). The
+// DP's inner loop touches millions of child states per probe; before the
+// records were colocated those touches cost up to four separate array
+// loads and dominated the whole planner's profile.
+//
+// Fields:
+//   - period/meta: the current DP value and the packed stamp/decision
+//     word ((k+1) in bits 2..15, special flag in bit 1, stamp above).
+//   - certThat/certSeen: the death certificate — the largest target
+//     period at which the state was proven memory-dead, validated by
+//     certSeen against certEpoch.
+//   - vlo/vhi/vperiod/vmeta/vepoch: the value certificate — the state's
+//     full DP entry together with the target-period interval [vlo, vhi)
+//     on which it is proven valid. The interval is built while the state
+//     is evaluated (see cutInterval): it is the intersection, over every
+//     visited cut, of the widest T̂ ranges keeping the cut's group count
+//     and child grid index at their current values, further intersected
+//     with the children's own recorded intervals — so for any probe with
+//     T̂' inside the interval the whole evaluation replays move-for-move
+//     and the entry can be adopted wholesale, value and reconstruction
+//     decision included. vmeta reuses the decision packing (no stamp
+//     half); vepoch follows the same generation scheme as certSeen.
+type dpState struct {
+	period   float64
+	meta     uint32
+	certSeen uint32
+	certThat float64
+	vlo, vhi float64
+	vperiod  float64
+	vmeta    uint32
+	vepoch   uint32
+	_        [8]byte // pad 56 -> 64: one state, one cache line
 }
 
 type dpTable struct {
-	slots  []dpSlot
+	slots  []dpState
 	stamp  uint32
-	states int // entries stored under the current stamp
+	states int  // fresh entries evaluated under the current stamp
 	grew   bool // last reset reallocated the slot array (vs epoch reuse)
 
 	nL, nP, nT, nM, nV int
 	size               int
+
+	// trimHWM is the geometrically decayed high-water demand used by
+	// releaseTable's trim policy (see tableTrimFactor). It persists
+	// across pool round-trips so alternating big/small leases — the
+	// PlanAndSchedule special/contiguous pattern — never thrash the
+	// backing arrays.
+	trimHWM int
 
 	// Cross-probe infeasibility certificates (Algorithm 1 only; see
 	// certBegin). certThat[idx] is the largest target period at which the
@@ -61,15 +104,20 @@ type dpTable struct {
 	// pooled table never leaks certificates across leases.
 	certOn    bool
 	certEpoch uint32
-	// certMax is the largest target period recorded by any certificate
-	// this lease — a probe at that > certMax cannot match any per-state
-	// certificate, so the hot path skips the array loads entirely.
-	certMax  float64
-	certThat []float64
-	certSeen []uint32
+	// certMem is the memory limit the live certificate generation was
+	// recorded under. Death and value certificates are statements about
+	// the DP at a specific memory limit; certArm re-arms (invalidating
+	// both stores) when a warm lease arrives with a different limit.
+	certMem float64
+	// certMax is the largest target period recorded by any death
+	// certificate this lease — a probe at that > certMax cannot match
+	// any, so the hot path skips the per-state load entirely. Both
+	// certificate records live inside the dpState slots themselves.
+	certMax float64
 
-	cols colCache
-	wave waveScratch
+	cols  colCache
+	wave  waveScratch
+	hoist hoistCache
 }
 
 // fits reports whether the dense table can represent the given shape.
@@ -82,35 +130,51 @@ func denseFits(l, normals, nT, nM, nV int) bool {
 }
 
 // reset prepares the table for one DP run over the given shape, reusing
-// the backing arrays whenever they are large enough.
+// the backing arrays whenever they are large enough. Certificate and
+// value-record arrays are preserved across resets (copy on grow,
+// reslice on shrink): with the p-outermost index layout their contents
+// stay addressable when only nP changes, which is what lets sweep cells
+// at a different worker count inherit a warm table.
 func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
+	if nL != t.nL || nT != t.nT || nM != t.nM || nV != t.nV {
+		// The per-p stride changed: every packed index changes meaning,
+		// so no certificate recorded under the old layout may be read
+		// under the new one. (nP is deliberately absent from the stride —
+		// see idx — so worker-count changes do NOT invalidate.)
+		t.certEpoch++
+	}
 	t.nL, t.nP, t.nT, t.nM, t.nV = nL, nP, nT, nM, nV
 	t.size = nL * nP * nT * nM * nV
 	t.states = 0
 	if cap(t.slots) < t.size {
-		t.slots = make([]dpSlot, t.size)
-		t.stamp = 1
+		// A reallocating grow copies the full old capacity so the
+		// certificate fields survive losslessly: reslicing keeps tail
+		// data live in capacity, so a shrink-then-grow sequence (sweep
+		// cells at varying worker counts) round-trips every record.
+		// Fresh elements are zero, which never aliases a valid record
+		// (epochs start at 1) nor a present slot (the stamp advances
+		// below, and stale copied stamps are all older).
+		old := t.slots
+		t.slots = make([]dpState, t.size)
+		copy(t.slots, old[:cap(old)])
 		t.grew = true
 	} else {
 		t.grew = false
 		t.slots = t.slots[:t.size]
-		t.stamp++
-		if t.stamp >= 1<<metaStampShift {
-			// Stamp space exhausted: clear and restart. This happens once
-			// every 65535 probes per pooled table, so the wipe is amortized
-			// to nothing.
-			clear(t.slots)
-			t.stamp = 1
-		}
 	}
-	if t.certOn {
-		if cap(t.certThat) < t.size {
-			t.certThat = make([]float64, t.size)
-			t.certSeen = make([]uint32, t.size)
-		} else {
-			t.certThat = t.certThat[:t.size]
-			t.certSeen = t.certSeen[:t.size]
+	t.stamp++
+	if t.stamp >= 1<<metaStampShift {
+		// Stamp space exhausted: clear the decision words and restart.
+		// The clear must cover the full capacity — a shrunken lease
+		// leaves stale stamps beyond len that a later regrow would
+		// re-expose. Certificate fields are untouched: their validity is
+		// tracked by epochs, not stamps. Amortized to nothing (once
+		// every 65534 probes per table).
+		s := t.slots[:cap(t.slots)]
+		for i := range s {
+			s[i].meta = 0
 		}
+		t.stamp = 1
 	}
 }
 
@@ -119,17 +183,38 @@ func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
 // same chain, platform, discretization and weight policy — exactly the
 // shape of one Algorithm 1 run — so only PlanAllocation calls this;
 // one-shot DP() runs leave certificates off. Bumping the epoch
-// invalidates whatever a previous lease recorded.
+// invalidates whatever a previous lease recorded (death and value
+// certificates share the generation). A PlannerCache lease that revives
+// a warm table skips certBegin precisely to keep both stores alive.
 func (t *dpTable) certBegin() {
 	t.certOn = true
 	t.certMax = 0
 	t.certEpoch++
 }
 
+// certArm arms the certificate store for a lease at the given memory
+// limit. A warm table (PlannerCache lease) whose live generation was
+// recorded at the same limit resumes — both certificate stores stay
+// valid, which is the whole point of warm leasing; any other case is a
+// fresh generation. Chain, platform communication terms, discretization,
+// special mode and weight policy are guaranteed equal by the lease key
+// (tableKey); the memory limit is the one input the key leaves out.
+func (t *dpTable) certArm(mem float64) {
+	if t.certOn && t.certMem == mem {
+		return
+	}
+	t.certMem = mem
+	t.certBegin()
+}
+
 // certDead reports whether idx was proven memory-dead at a target period
 // >= that, which makes its DP value infinite at the current probe too.
 func (t *dpTable) certDead(idx int, that float64) bool {
-	return that <= t.certMax && t.certSeen[idx] == t.certEpoch && that <= t.certThat[idx]
+	if that > t.certMax {
+		return false
+	}
+	s := &t.slots[idx]
+	return s.certSeen == t.certEpoch && that <= s.certThat
 }
 
 // certMark records that idx is memory-dead at target period that.
@@ -149,22 +234,102 @@ func (t *dpTable) certMark(idx int, that float64) {
 // race-free, and the coordinator raises certMax once behind the final
 // barrier (nothing reads certMax during the plane fill).
 func (t *dpTable) certMarkIdx(idx int, that float64) {
-	if t.certSeen[idx] == t.certEpoch {
-		if that > t.certThat[idx] {
-			t.certThat[idx] = that
+	s := &t.slots[idx]
+	if s.certSeen == t.certEpoch {
+		if that > s.certThat {
+			s.certThat = that
 		}
 		return
 	}
-	t.certSeen[idx] = t.certEpoch
-	t.certThat[idx] = that
+	s.certSeen = t.certEpoch
+	s.certThat = that
 }
 
+// valGet returns the recorded entry for idx when a value certificate
+// covers the probe target that, i.e. that lies inside the record's
+// proven validity interval. Callers must have certOn checked.
+func (t *dpTable) valGet(idx int, that float64) (dpEntry, bool) {
+	rec := &t.slots[idx]
+	if rec.vepoch != t.certEpoch || that < rec.vlo || that >= rec.vhi {
+		return dpEntry{}, false
+	}
+	return dpEntry{
+		period:  rec.vperiod,
+		k:       int16(int32(rec.vmeta>>metaKShift&metaKMask) - 1),
+		special: rec.vmeta&metaSpecialBit != 0,
+	}, true
+}
+
+// valRange returns the validity interval of idx's value certificate,
+// provided it covers that — the containment check matters because the
+// record may be stale relative to the table's current entry (written by
+// an earlier probe whose interval excludes the current target), in which
+// case its interval says nothing about the value now stored. Parents
+// intersect the returned range into their own intervals.
+func (t *dpTable) valRange(idx int, that float64) (float64, float64, bool) {
+	rec := &t.slots[idx]
+	if rec.vepoch != t.certEpoch || that < rec.vlo || that >= rec.vhi {
+		return 0, 0, false
+	}
+	return rec.vlo, rec.vhi, true
+}
+
+// valPut records a value certificate for idx, returning whether a record
+// was written. Empty intervals (the evaluation crossed a ⊕ snap, pinning
+// the entry to this exact T̂) are not stored: a previous probe's record —
+// which cannot cover the current target, else the state would have been
+// adopted instead of evaluated — stays live for the targets it does
+// cover. Plane-fill workers call this on disjoint idx slots, so the
+// writes need no synchronization (same discipline as certMarkIdx).
+func (t *dpTable) valPut(idx int, lo, hi float64, e dpEntry) bool {
+	if !(lo < hi) {
+		return false
+	}
+	m := uint32(int32(e.k)+1) << metaKShift
+	if e.special {
+		m |= metaSpecialBit
+	}
+	s := &t.slots[idx]
+	s.vlo, s.vhi = lo, hi
+	s.vperiod = e.period
+	s.vmeta = m
+	s.vepoch = t.certEpoch
+	return true
+}
+
+// valPutDead records the value certificate implied by a death
+// certificate: the value is +Inf for every target up to and including
+// certThat[idx] (half-open representation via Nextafter). An existing
+// record covering that is kept — it already says +Inf there and may be
+// wider.
+func (t *dpTable) valPutDead(idx int, that float64) {
+	rec := &t.slots[idx]
+	if rec.vepoch == t.certEpoch && that >= rec.vlo && that < rec.vhi {
+		return
+	}
+	rec.vlo, rec.vhi = 0, math.Nextafter(rec.certThat, inf)
+	rec.vperiod = inf
+	rec.vmeta = 0
+	rec.vepoch = t.certEpoch
+}
+
+// idx packs a state with p as the outermost axis and l innermost. The
+// outermost p keeps the packed index independent of nP: a state's
+// meaning — prefix l with a remaining budget of p normal processors on
+// fixed grids — does not involve the total worker count, so indices stay
+// stable across nP and death/value certificates recorded in one sweep
+// cell can be adopted by cells with a different P (the p-range they
+// share is exactly the array prefix). The innermost l serves locality:
+// a state's cut loop looks up children at l' = k-1 with the same itP and
+// imP (normal branch), so the whole child range of one state spans at
+// most nV*nL consecutive slots — a few cache lines instead of one DRAM
+// miss per cut under an l-major order.
 func (t *dpTable) idx(l, p, itP, imP, iV int) int {
-	return (((l*t.nP+p)*t.nT+itP)*t.nM+imP)*t.nV + iV
+	return (((p*t.nT+itP)*t.nM+imP)*t.nV+iV)*t.nL + l
 }
 
 func (t *dpTable) get(idx int) (dpEntry, bool) {
-	s := t.slots[idx]
+	s := &t.slots[idx]
 	if s.meta>>metaStampShift != t.stamp {
 		return dpEntry{}, false
 	}
@@ -198,8 +363,34 @@ func (t *dpTable) putNC(idx int, e dpEntry) {
 	if e.special {
 		m |= metaSpecialBit
 	}
-	t.slots[idx] = dpSlot{period: e.period, meta: m}
+	s := &t.slots[idx]
+	s.period = e.period
+	s.meta = m
 }
+
+// putAdopted settles a state from a certificate — death or value —
+// without counting it as newly evaluated work: tab.states (and with it
+// DPStats.StatesEvaluated and the probe timeline's States) count fresh
+// evaluations only, so warm probes report the work they actually did.
+// Certificate hits are tracked separately (StatesCertPruned,
+// StatesValReused).
+func (t *dpTable) putAdopted(idx int, e dpEntry) {
+	t.putNC(idx, e)
+}
+
+// tableTrimFactor bounds a pooled table's retained capacity: when the
+// backing arrays exceed this multiple of the table's recent demand,
+// they are dropped so a sweep that once planned a huge configuration
+// does not pin peak memory for its remaining lifetime. Demand is a
+// geometrically decayed high-water mark rather than the returning
+// lease's own size: PlanAndSchedule alternates a full special-mode
+// table with a contiguous-mode table whose t_P and m_P axes collapse to
+// one cell (~1000x smaller), and trimming on each small release would
+// free and reallocate hundreds of megabytes per planner call. With the
+// decay, an alternating big/small pattern keeps the mark at the big
+// size, while a few consecutive small releases let it halve past the
+// trim threshold.
+const tableTrimFactor = 4
 
 var tablePool = sync.Pool{New: func() any { return new(dpTable) }}
 
@@ -214,4 +405,45 @@ func acquireTable() *dpTable {
 	return t
 }
 
-func releaseTable(t *dpTable) { tablePool.Put(t) }
+// releaseTable returns a table to the arena, trimming backing arrays
+// that have grown past tableTrimFactor× the table's decayed high-water
+// demand and recording the retained footprint. The gauge tracks the
+// high-water bytes of a single released table rather than a global pool
+// sum: sync.Pool drops tables on GC without notice, so a global
+// accumulator would only drift upward.
+func releaseTable(t *dpTable, reg *obs.Registry) {
+	trimOnRelease(t, reg)
+	tablePool.Put(t)
+}
+
+// trimOnRelease applies the trim policy and footprint gauge without
+// touching the pool, so tests can drive the policy on a private table
+// (putting one table into the pool twice would alias concurrent leases).
+func trimOnRelease(t *dpTable, reg *obs.Registry) {
+	if hw := t.trimHWM / 2; hw > t.size {
+		t.trimHWM = hw
+	} else {
+		t.trimHWM = t.size
+	}
+	if need := t.trimHWM; need > 0 && cap(t.slots) > tableTrimFactor*need {
+		t.slots = nil
+		t.stamp = 0
+		t.hoist = hoistCache{}
+		if reg != nil {
+			reg.Counter("dp_table_trims").Inc()
+		}
+	}
+	if reg != nil {
+		reg.Gauge("dp_table_pool_bytes").Observe(uint64(t.retainedBytes()))
+	}
+}
+
+// retainedBytes sums the capacity the table's backing arrays hold onto
+// while pooled (element sizes by layout: dpState 64, colEnt 32).
+func (t *dpTable) retainedBytes() int {
+	b := cap(t.slots) * 64
+	cc := &t.cols
+	b += cap(cc.dir)*8 + cap(cc.ent)*32 + cap(cc.gmax)*4 +
+		cap(cc.gmaxSeen)*4 + cap(cc.gmaxCached)*4
+	return b
+}

@@ -163,12 +163,16 @@ type dpEntry struct {
 // whether any cut passed a memory check: a state that ends infeasible
 // with memOK still false died on memory alone, which is monotone in T̂
 // and therefore certifiable across probes (see dpTable.certMark).
+// flo/fhi accumulate the state's value-certificate interval: the
+// intersection of every visited cut's interval (colEnt.lo/hi) and every
+// consulted child's recorded range; fhi <= flo marks it empty.
 type dpFrame struct {
 	l, p, itP, imP, iV int32
 	k                  int32
 	stage              int8
 	memOK              bool
 	best               dpEntry
+	flo, fhi           float64
 }
 
 // roundUp maps a continuous value onto its grid index, rounding up
@@ -191,6 +195,150 @@ func roundUp(v, step float64, n int) int {
 // ceilT returns ceil(x / T̂) with a relative epsilon guard.
 func (r *dpRun) ceilT(x float64) float64 {
 	return math.Ceil(x/r.that - 1e-9)
+}
+
+// nInterval returns the widest target-period interval [lo, hi) around
+// the current T̂ on which ceilT(w) provably keeps the value n it has now
+// (the caller passes n = ceilT(w)). In real arithmetic the count stays n
+// for T̂' in [w/(n+ε), w/(n-1+ε)) with ε the ceilT guard; the 1e-12
+// relative margins shrink the interval strictly inside that range, which
+// dominates float64's ~2e-16 rounding by four orders of magnitude, so
+// the claim survives the floating-point evaluation at any adopting
+// probe. For n == 0 the count stays zero for all larger targets.
+func (r *dpRun) nInterval(w, n float64) (lo, hi float64) {
+	if n <= 0 {
+		return w * 1e9 * (1 + 1e-12), inf
+	}
+	return w / (n + 1e-9) * (1 + 1e-12), w / (n - 1 + 1e-9) * (1 - 1e-12)
+}
+
+// cutInterval returns the target-period interval [lo, hi) around the
+// current T̂ on which every quantity the DP actually consumes from one
+// cut — the group count g = max(1, ceilT(v+u)) and the GRID INDEX of
+// the child delay (v ⊕ u) ⊕ cl — keeps its current value, making the
+// cut's memory checks, candidate values and child state invariant.
+//
+// The raw ⊕ result need not be invariant: when an application snaps,
+// the delay contains a T̂·ceilT term that varies continuously with the
+// target — but the only consumer of the delay is roundUp, which
+// quantizes it back to a grid index. So instead of poisoning the
+// interval on a snap, the chain is replayed symbolically: over the
+// region where every ceilT plateau above is pinned, the delay is a
+// fixed linear function A·T̂' + B with integer slope (the snapped group
+// count), and the interval where roundUp keeps the recorded index is a
+// closed form (ivnInterval). Plateaus of composed arguments such as
+// ceilT(T̂'·n + u) reduce in real arithmetic to plateaus of u/T̂'; the
+// few extra ulps of float noise this introduces are dwarfed by the
+// 1e-12 relative margins exactly as in nInterval.
+func (r *dpRun) cutInterval(v, u, cl float64, ivn int) (lo, hi float64) {
+	w := v + u
+	nvu := r.ceilT(w)
+	lo, hi = r.nInterval(w, nvu) // pins g and the first ⊕'s crossing side
+	nv := r.ceilT(v)
+	l2, h2 := r.nInterval(v, nv) // pins the first ⊕'s base side
+	if l2 > lo {
+		lo = l2
+	}
+	if h2 < hi {
+		hi = h2
+	}
+	// a = v ⊕ u as the pinned-region linear form aA·T̂' + aB, replaying
+	// oplus's branch on the recorded plateau values.
+	var aA, aB float64
+	if nvu == nv {
+		aA, aB = 0, w
+	} else {
+		aA, aB = nv, u
+	}
+	a := aA*r.that + aB // oplus's own float result, op for op
+	n2 := r.ceilT(a)
+	m2 := r.ceilT(a + cl)
+	if aA == 0 {
+		// a is the constant w; its base-side plateau is already pinned
+		// (n2 == nvu), only the crossing side of the second ⊕ remains.
+		l2, h2 = r.nInterval(a+cl, m2)
+		if l2 > lo {
+			lo = l2
+		}
+		if h2 < hi {
+			hi = h2
+		}
+	} else {
+		// a = nv·T̂' + u: ceilT(a) == n2 reduces to the u/T̂' plateau at
+		// n2 − nv, and ceilT(a + cl) == m2 to the (u+cl)/T̂' plateau.
+		l2, h2 = r.nInterval(u, n2-nv)
+		if l2 > lo {
+			lo = l2
+		}
+		if h2 < hi {
+			hi = h2
+		}
+		l2, h2 = r.nInterval(u+cl, m2-nv)
+		if l2 > lo {
+			lo = l2
+		}
+		if h2 < hi {
+			hi = h2
+		}
+	}
+	// b = a ⊕ cl as a linear form; pin its grid index when it varies.
+	var bA, bB float64
+	if m2 == n2 {
+		bA, bB = aA, aB+cl
+	} else {
+		bA, bB = n2, cl
+	}
+	if bA > 0 {
+		// ivn is the caller's recorded index (fillEnt's own roundUp of the
+		// evaluated ⊕ chain), so the pinned index can never drift an ulp
+		// from the stored e.ivn.
+		l2, h2 = r.ivnInterval(bA, bB, ivn)
+		if l2 > lo {
+			lo = l2
+		}
+		if h2 < hi {
+			hi = h2
+		}
+	}
+	return lo, hi
+}
+
+// ivnInterval returns the target-period interval on which
+// roundUp(A·T̂' + B, stepV, nV) provably keeps the recorded index i,
+// for a strictly positive slope A. roundUp is Ceil((x)/step − 1e-9)
+// clamped to [0, nV−1], monotone in T̂', so each plateau edge is a
+// single division; the 1e-12 relative margins shrink strictly inside
+// it, absorbing the associativity noise between this linear form and
+// the ⊕ chain's own float evaluation.
+func (r *dpRun) ivnInterval(A, B float64, i int) (lo, hi float64) {
+	step := r.stepV
+	lo, hi = 0, inf
+	if i < r.nV-1 {
+		// Ceil stays <= i while (A·T̂'+B)/step − 1e-9 <= i.
+		if h := (step*(float64(i)+1e-9) - B) / A * (1 - 1e-12); h < hi {
+			hi = h
+		}
+	}
+	if i > 0 {
+		// Ceil stays > i−1 (or clamps from above at i == nV−1) while
+		// (A·T̂'+B)/step − 1e-9 > i−1.
+		if l := (step*(float64(i)-1+1e-9) - B) / A * (1 + 1e-12); l > lo {
+			lo = l
+		}
+	}
+	return lo, hi
+}
+
+// baseInterval is cutInterval's analogue for the p == 0 base case, whose
+// only T̂-dependent quantity is the group count of the whole remaining
+// prefix. With the special processor disabled the base case is
+// unconditionally infeasible, at every target.
+func (r *dpRun) baseInterval(v float64, l int) (float64, float64) {
+	if r.disableSpecial {
+		return 0, inf
+	}
+	w := v + r.uTo[l]
+	return r.nInterval(w, r.ceilT(w))
 }
 
 // oplus is the ⊕ operator of Section 4.2.2: advance a delay x by a work
@@ -233,34 +381,69 @@ func (r *dpRun) stageMem(k, l, g int) float64 {
 	return m
 }
 
-// init populates the hoisted slices for one (chain, platform) pair.
+// hoistKey identifies the inputs the hoisted slices are derived from.
+// The memory budget is absent on purpose: it feeds the comparisons, not
+// the slices.
+type hoistKey struct {
+	c       *chain.Chain
+	lat, bw float64
+	weights chain.WeightPolicy
+}
+
+// hoistCache keeps the T̂-independent hoisted slices alive on the table
+// across the probes of a lease (and, through the PlannerCache, across
+// sweep cells): every probe of one Algorithm 1 call rebuilds exactly the
+// same five O(L) slices otherwise. The slices are read-only for the
+// duration of a run, so aliasing them into each probe's dpRun is safe
+// under the one-invocation-per-table rule.
+type hoistCache struct {
+	key                            hoistKey
+	uTo, sumWTo, asTo, twoA, cLeft []float64
+}
+
+// init populates the hoisted slices for one (chain, platform) pair,
+// adopting the table's cached copies when the key matches.
 func (r *dpRun) init() {
 	c := r.c
 	L := c.Len()
 	r.L = L
 	r.mem = r.plat.Memory
-	r.uTo = grow(r.uTo, L+1)
-	r.sumWTo = grow(r.sumWTo, L+1)
-	r.asTo = grow(r.asTo, L+1)
-	r.twoA = grow(r.twoA, L+1)
-	r.cLeft = grow(r.cLeft, L+1)
-	r.uTo[0], r.sumWTo[0], r.asTo[0] = 0, 0, 0
-	r.twoA[0] = 2 * c.A(0)
-	r.cLeft[0], r.cLeft[1] = 0, 0
-	for i := 1; i <= L; i++ {
-		r.uTo[i] = c.U(1, i)
-		r.sumWTo[i] = c.SumW(1, i)
-		r.asTo[i] = c.AStore(1, i)
-		r.twoA[i] = 2 * c.A(i)
-		if i > 1 {
-			r.cLeft[i] = c.CommTimeAlphaBeta(i-1, r.plat.Latency, r.plat.Bandwidth)
-		}
-	}
 	w := r.weights
 	if w == (chain.WeightPolicy{}) {
 		w = chain.TwoBufferedWeights()
 	}
 	r.wFixed, r.wPerBatch = w.Fixed, w.PerBatch
+	h := &hoistCache{} // map-fallback runs have no table to cache on
+	if r.tab != nil {
+		h = &r.tab.hoist
+	}
+	key := hoistKey{c: c, lat: r.plat.Latency, bw: r.plat.Bandwidth, weights: w}
+	if h.key == key && len(h.uTo) == L+1 {
+		r.uTo, r.sumWTo, r.asTo, r.twoA, r.cLeft = h.uTo, h.sumWTo, h.asTo, h.twoA, h.cLeft
+		if st := r.stats; st != nil {
+			st.HoistReuses++
+		}
+		return
+	}
+	h.key = key
+	h.uTo = grow(h.uTo, L+1)
+	h.sumWTo = grow(h.sumWTo, L+1)
+	h.asTo = grow(h.asTo, L+1)
+	h.twoA = grow(h.twoA, L+1)
+	h.cLeft = grow(h.cLeft, L+1)
+	h.uTo[0], h.sumWTo[0], h.asTo[0] = 0, 0, 0
+	h.twoA[0] = 2 * c.A(0)
+	h.cLeft[0], h.cLeft[1] = 0, 0
+	for i := 1; i <= L; i++ {
+		h.uTo[i] = c.U(1, i)
+		h.sumWTo[i] = c.SumW(1, i)
+		h.asTo[i] = c.AStore(1, i)
+		h.twoA[i] = 2 * c.A(i)
+		if i > 1 {
+			h.cLeft[i] = c.CommTimeAlphaBeta(i-1, r.plat.Latency, r.plat.Bandwidth)
+		}
+	}
+	r.uTo, r.sumWTo, r.asTo, r.twoA, r.cLeft = h.uTo, h.sumWTo, h.asTo, h.twoA, h.cLeft
 }
 
 func grow(s []float64, n int) []float64 {
@@ -285,24 +468,37 @@ func (r *dpRun) baseCase(l int, tP, mP, v float64) dpEntry {
 
 // childValue returns the value of a sub-state if it is already resolved:
 // l == 0 states are closed-form, everything else comes from the table —
-// or from a cross-probe memory-death certificate, which settles the
-// child at infinity without descending into it.
-func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, bool) {
+// or from a cross-probe certificate: a memory-death certificate settles
+// the child at infinity, a value certificate whose interval covers the
+// probe target settles it at its recorded entry, in both cases without
+// descending. The returned index (-1 for l == 0) lets the caller
+// intersect the child's recorded validity range into its own interval.
+func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, int, bool) {
 	if l == 0 {
-		return float64(itP) * r.stepT, true
+		return float64(itP) * r.stepT, -1, true
 	}
 	idx := r.tab.idx(l, p, itP, imP, iV)
 	if v, ok := r.tab.getPeriod(idx); ok {
-		return v, true
+		return v, idx, true
 	}
 	if r.tab.certDead(idx, r.that) {
 		if st := r.stats; st != nil {
 			st.StatesCertPruned++
 		}
-		r.tab.put(idx, dpEntry{period: inf, k: -1})
-		return inf, true
+		r.tab.putAdopted(idx, dpEntry{period: inf, k: -1})
+		r.tab.valPutDead(idx, r.that)
+		return inf, idx, true
 	}
-	return 0, false
+	if r.tab.certOn {
+		if e, ok := r.tab.valGet(idx, r.that); ok {
+			if st := r.stats; st != nil {
+				st.StatesValReused++
+			}
+			r.tab.putAdopted(idx, e)
+			return e.period, idx, true
+		}
+	}
+	return 0, idx, false
 }
 
 // solve evaluates T(l, p, t_P, m_P, V) with an explicit work stack: a
@@ -323,15 +519,26 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 		if st := r.stats; st != nil {
 			st.StatesCertPruned++
 		}
-		r.tab.put(idx0, dpEntry{period: inf, k: -1})
+		r.tab.putAdopted(idx0, dpEntry{period: inf, k: -1})
+		r.tab.valPutDead(idx0, r.that)
 		return inf
+	}
+	certOn := r.tab.certOn
+	if certOn {
+		if e, ok := r.tab.valGet(idx0, r.that); ok {
+			if st := r.stats; st != nil {
+				st.StatesValReused++
+			}
+			r.tab.putAdopted(idx0, e)
+			return e.period
+		}
 	}
 	stats := r.stats
 	cc := &r.tab.cols
 	st := r.stack[:0]
 	st = append(st, dpFrame{
 		l: int32(l0), p: int32(p0), itP: int32(itP0), imP: int32(imP0), iV: int32(iV0),
-		k: int32(l0), best: dpEntry{period: inf, k: -1},
+		k: int32(l0), best: dpEntry{period: inf, k: -1}, fhi: inf,
 	})
 	for len(st) > 0 {
 		f := &st[len(st)-1]
@@ -350,6 +557,12 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				r.tab.certMark(idx, r.that)
 				if stats != nil && r.tab.certOn {
 					stats.CertsRecorded++
+				}
+			}
+			if certOn {
+				blo, bhi := r.baseInterval(v, l)
+				if r.tab.valPut(idx, blo, bhi, e) && stats != nil {
+					stats.ValCertsRecorded++
 				}
 			}
 			st = st[:len(st)-1]
@@ -392,6 +605,18 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				iVN = int(e.ivn)
 				normOK = e.g <= gmax
 				smem = e.smem
+				if certOn {
+					// Every visited cut constrains the state's value
+					// certificate: outside [e.lo, e.hi) the cut's group
+					// count or child delay changes and the evaluation may
+					// diverge. (Idempotent when a frame resumes a cut.)
+					if e.lo > f.flo {
+						f.flo = e.lo
+					}
+					if e.hi < f.fhi {
+						f.fhi = e.hi
+					}
+				}
 			} else {
 				g = r.groupsU(v, u)
 				vNext := r.oplus(r.oplus(v, u), cl)
@@ -400,21 +625,51 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				if !r.disableSpecial {
 					smem = r.stageMem(k, l, g-1)
 				}
+				if certOn {
+					clo, chi := r.cutInterval(v, u, cl, iVN)
+					if clo > f.flo {
+						f.flo = clo
+					}
+					if chi < f.fhi {
+						f.fhi = chi
+					}
+				}
 			}
 
 			if f.stage == 0 {
-				// Assign stage [k,l] to a normal processor.
-				if normOK {
+				// Assign stage [k,l] to a normal processor. The child is
+				// consulted only when the branch can still win: its
+				// candidate is max3(u, cl, sub) and the incumbent only
+				// improves on a strict decrease, so cl >= best (u < best is
+				// the monotone check above) decides the comparison without
+				// the lookup — or the child's whole subtree. The skip
+				// replays under a value certificate: cl is T̂-independent
+				// and the incumbent sequence is reproduced inductively.
+				if normOK && cl >= f.best.period {
 					f.memOK = true
-					sub, ok := r.childValue(k-1, p-1, int(f.itP), int(f.imP), iVN)
+				} else if normOK {
+					f.memOK = true
+					sub, cidx, ok := r.childValue(k-1, p-1, int(f.itP), int(f.imP), iVN)
 					if !ok {
 						f.k = int32(k)
 						st = append(st, dpFrame{
 							l: int32(k - 1), p: int32(p - 1), itP: f.itP, imP: f.imP, iV: int32(iVN),
-							k: int32(k - 1), best: dpEntry{period: inf, k: -1},
+							k: int32(k - 1), best: dpEntry{period: inf, k: -1}, fhi: inf,
 						})
 						pushed = true
 						break
+					}
+					if certOn && cidx >= 0 {
+						if clo, chi, cok := r.tab.valRange(cidx, r.that); cok {
+							if clo > f.flo {
+								f.flo = clo
+							}
+							if chi < f.fhi {
+								f.fhi = chi
+							}
+						} else {
+							f.flo, f.fhi = inf, -1
+						}
 					}
 					cand := max3(u, cl, sub)
 					if cand < f.best.period {
@@ -433,16 +688,37 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 					f.memOK = true
 					itPN := roundUp(tP+u, r.stepT, r.nT)
 					tNext := float64(itPN) * r.stepT
+					// Same early decision as the normal branch: the
+					// candidate is max3(tNext, cl, sub), and tNext is
+					// T̂-independent (a T̂-free sum snapped to the t_P grid),
+					// so a floor at or above the incumbent settles the cut
+					// without touching the child.
+					if tNext >= f.best.period || cl >= f.best.period {
+						f.stage = 0
+						continue
+					}
 					imPN := roundUp(mNext, r.stepM, r.nM)
-					sub, ok := r.childValue(k-1, p, itPN, imPN, iVN)
+					sub, cidx, ok := r.childValue(k-1, p, itPN, imPN, iVN)
 					if !ok {
 						f.k = int32(k)
 						st = append(st, dpFrame{
 							l: int32(k - 1), p: f.p, itP: int32(itPN), imP: int32(imPN), iV: int32(iVN),
-							k: int32(k - 1), best: dpEntry{period: inf, k: -1},
+							k: int32(k - 1), best: dpEntry{period: inf, k: -1}, fhi: inf,
 						})
 						pushed = true
 						break
+					}
+					if certOn && cidx >= 0 {
+						if clo, chi, cok := r.tab.valRange(cidx, r.that); cok {
+							if clo > f.flo {
+								f.flo = clo
+							}
+							if chi < f.fhi {
+								f.fhi = chi
+							}
+						} else {
+							f.flo, f.fhi = inf, -1
+						}
 					}
 					cand := max3(tNext, cl, sub)
 					if cand < f.best.period {
@@ -468,6 +744,14 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 			}
 		}
 		r.tab.put(idx, f.best)
+		if certOn {
+			// Cuts skipped by the monotone break need no constraint: the
+			// running best sequence is reproduced over the interval, so
+			// the break re-fires at the same k at any adopted target.
+			if r.tab.valPut(idx, f.flo, f.fhi, f.best) && stats != nil {
+				stats.ValCertsRecorded++
+			}
+		}
 		st = st[:len(st)-1]
 	}
 	r.stack = st[:0]
@@ -510,7 +794,7 @@ type dpConfig struct {
 // special processor enabled, P for the contiguous ablation).
 func runDP(c *chain.Chain, plat platform.Platform, that float64, cfg dpConfig) (*DPResult, error) {
 	tab := acquireTable()
-	defer releaseTable(tab)
+	defer releaseTable(tab, cfg.obs)
 	return runDPWith(tab, c, plat, that, cfg)
 }
 
@@ -550,12 +834,12 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		stepV: (totalU + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)) / float64(disc.V-1),
 		tab:   tab,
 	}
-	r.init()
 	if cfg.obs != nil {
 		r.stats = &r.statsBuf
 		r.obs = cfg.obs
 		r.t0 = time.Now()
 	}
+	r.init()
 	tab.reset(c.Len()+1, normals+1, nT, nM, disc.V)
 	if st := r.stats; st != nil {
 		if tab.grew {
@@ -619,6 +903,17 @@ func (r *dpRun) reconstruct(normals int) (*partition.Allocation, error) {
 			break
 		}
 		e, ok := r.tab.get(r.tab.idx(l, p, itP, imP, iV))
+		if !ok {
+			// A value-certificate adoption settled an ancestor without
+			// materializing this state's entry in the current probe's
+			// generation. Re-solve it: the solver usually adopts it
+			// straight from the value store (the child's recorded
+			// interval contains the ancestor's by construction), and
+			// computes it fresh otherwise — either way the entry equals
+			// the cold run's, so the walk continues bit-identically.
+			r.solve(l, p, itP, imP, iV)
+			e, ok = r.tab.get(r.tab.idx(l, p, itP, imP, iV))
+		}
 		if !ok || e.period == inf {
 			return nil, fmt.Errorf("core: reconstruction reached unexplored state (l=%d p=%d)", l, p)
 		}

@@ -71,8 +71,13 @@ func (r *mapRun) compute(l, p, itP, imP, iV int) dpEntry {
 		vNext := r.oplus(r.oplus(v, u), cLeft)
 		iVN := roundUp(vNext, r.stepV, r.nV)
 
-		// Assign stage [k,l] to a normal processor.
-		if r.stageMem(k, l, g) <= r.mem {
+		// Assign stage [k,l] to a normal processor. The child is consulted
+		// only when the branch can still win: the candidate is
+		// max(u, cLeft, sub) and the incumbent only improves on a strict
+		// decrease, so cLeft >= best (u < best is the monotone check
+		// above) decides the comparison without descending. The dense
+		// solver applies the identical skip, keeping traversals aligned.
+		if r.stageMem(k, l, g) <= r.mem && cLeft < best.period {
 			sub := r.solveRec(k-1, p-1, itP, imP, iVN)
 			cand := math.Max(u, math.Max(cLeft, sub))
 			if cand < best.period {
@@ -82,12 +87,17 @@ func (r *mapRun) compute(l, p, itP, imP, iV int) dpEntry {
 
 		// Assign stage [k,l] to the special processor. Its memory is
 		// under-estimated with g-1 copies (Section 4.2.1); the scheduling
-		// phase repairs the difference.
+		// phase repairs the difference. Same early decision: the candidate
+		// is max(tNext, cLeft, sub), so a floor at or above the incumbent
+		// settles the cut without descending.
 		if !r.disableSpecial {
 			mNext := mP + r.stageMem(k, l, g-1)
 			if mNext <= r.mem {
 				itPN := roundUp(tP+u, r.stepT, r.nT)
 				tNext := float64(itPN) * r.stepT
+				if tNext >= best.period || cLeft >= best.period {
+					continue
+				}
 				imPN := roundUp(mNext, r.stepM, r.nM)
 				sub := r.solveRec(k-1, p, itPN, imPN, iVN)
 				cand := math.Max(tNext, math.Max(cLeft, sub))

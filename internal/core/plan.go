@@ -56,6 +56,16 @@ type Options struct {
 	// hot paths then pay one predicted-not-taken branch and zero extra
 	// allocations, and all planner outputs are bit-identical either way.
 	Obs *obs.Registry
+	// Cache, when set, carries planner state across PlanAllocation calls:
+	// a result memo (identical inputs return the recorded result without
+	// re-running Algorithm 1) and warm dense tables whose death and value
+	// certificates survive between calls that share a chain,
+	// communication terms, discretization, special mode and weight
+	// policy. Planner outputs are bit-identical with or without a cache;
+	// only the per-probe work counters (Eval.States, DPStats) shrink on
+	// warm runs, since adopted states are not re-evaluated. See
+	// PlannerCache.
+	Cache *PlannerCache
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +192,14 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		return nil, err
 	}
 
+	var mkey planKey
+	if opts.Cache != nil {
+		mkey = planKeyFor(c, plat, opts)
+		if res, ok := opts.Cache.getPlan(mkey); ok {
+			return res, nil
+		}
+	}
+
 	lb := c.TotalU() / float64(plat.Workers)
 	ub := c.TotalU() + c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth)
 
@@ -222,13 +240,17 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 			return nil, err
 		}
 	} else {
-		// Sequential bisection, reusing a single pooled table across all
-		// probes: each probe only bumps the table's epoch stamp, and the
-		// armed certificate store lets a failed probe's memory-death
-		// proofs prune every smaller-T̂ probe after it.
-		tab := acquireTable()
-		defer releaseTable(tab)
-		tab.certBegin()
+		// Sequential bisection, reusing a single table across all probes:
+		// each probe only bumps the table's epoch stamp, the armed
+		// certificate store lets a failed probe's memory-death proofs
+		// prune every smaller-T̂ probe after it, and value certificates
+		// let later probes adopt earlier probes' entries outright. With a
+		// PlannerCache the table can arrive warm — certificates from a
+		// previous compatible call still live (certArm re-arms only on a
+		// memory-limit change).
+		tab, tkey := leaseTableFor(c, plat, opts)
+		defer returnTableFor(tab, tkey, opts)
+		tab.certArm(plat.Memory)
 		cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: 1, obs: opts.Obs}
 		var probeErr error
 		labelPhase("probe", func() {
@@ -265,7 +287,29 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		return nil, fmt.Errorf("core: no feasible allocation in %d iterations: %w",
 			opts.Iterations, platform.ErrInfeasible)
 	}
+	if opts.Cache != nil {
+		opts.Cache.putPlan(mkey, res)
+	}
 	return res, nil
+}
+
+// leaseTableFor acquires the DP table for one PlanAllocation: through
+// the cache (possibly warm) when one is configured, from the shared
+// pool otherwise.
+func leaseTableFor(c *chain.Chain, plat platform.Platform, opts Options) (*dpTable, tableKey) {
+	k := tableKeyFor(c, plat, opts)
+	if opts.Cache != nil {
+		return opts.Cache.leaseTable(k), k
+	}
+	return acquireTable(), k
+}
+
+func returnTableFor(t *dpTable, k tableKey, opts Options) {
+	if opts.Cache != nil {
+		opts.Cache.returnTable(k, t, opts.Obs)
+		return
+	}
+	releaseTable(t, opts.Obs)
 }
 
 // planParallel probes several bracket points per round on concurrent
@@ -281,9 +325,19 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, p
 	fan, waveW := probeFan(w)
 	tabs := make([]*dpTable, fan)
 	for i := range tabs {
-		tabs[i] = acquireTable()
-		tabs[i].certBegin()
-		defer releaseTable(tabs[i])
+		if i == 0 {
+			// Slot 0 is the cache-backed lease: the deterministic fold
+			// order makes it the slot whose probes anchor the search, so
+			// it is the one that benefits most from arriving warm. The
+			// remaining slots come from the shared pool cold.
+			tab, tkey := leaseTableFor(c, plat, opts)
+			defer returnTableFor(tab, tkey, opts)
+			tabs[0] = tab
+		} else {
+			tabs[i] = acquireTable()
+			defer releaseTable(tabs[i], opts.Obs)
+		}
+		tabs[i].certArm(plat.Memory)
 	}
 	cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: waveW, obs: opts.Obs}
 

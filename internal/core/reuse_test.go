@@ -1,0 +1,360 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/nets"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+// comparePhaseOne asserts the planner outputs that define a Plan —
+// probe schedule, periods, allocation (which IS the reconstruction:
+// spans and processor assignment come from the DP's recorded decisions)
+// — are bit-identical between two results.
+func comparePhaseOne(t *testing.T, label string, got, want *PhaseOneResult) {
+	t.Helper()
+	if got.PredictedPeriod != want.PredictedPeriod || got.TargetPeriod != want.TargetPeriod {
+		t.Fatalf("%s: (predicted %g, target %g) != (%g, %g)",
+			label, got.PredictedPeriod, got.TargetPeriod, want.PredictedPeriod, want.TargetPeriod)
+	}
+	if len(got.Evals) != len(want.Evals) {
+		t.Fatalf("%s: %d probes != %d", label, len(got.Evals), len(want.Evals))
+	}
+	for i := range got.Evals {
+		g, w := got.Evals[i], want.Evals[i]
+		if g.That != w.That || g.Raw != w.Raw || g.Effective != w.Effective ||
+			g.LB != w.LB || g.UB != w.UB {
+			t.Fatalf("%s: probe %d (T̂=%g raw %g eff %g lb %g ub %g) != (T̂=%g raw %g eff %g lb %g ub %g)",
+				label, i, g.That, g.Raw, g.Effective, g.LB, g.UB, w.That, w.Raw, w.Effective, w.LB, w.UB)
+		}
+		if (g.Alloc == nil) != (w.Alloc == nil) {
+			t.Fatalf("%s: probe %d feasibility mismatch", label, i)
+		}
+		if g.Alloc == nil {
+			continue
+		}
+		if len(g.Alloc.Spans) != len(w.Alloc.Spans) {
+			t.Fatalf("%s: probe %d stage count %d != %d", label, i, len(g.Alloc.Spans), len(w.Alloc.Spans))
+		}
+		for s := range g.Alloc.Spans {
+			if g.Alloc.Spans[s] != w.Alloc.Spans[s] || g.Alloc.Procs[s] != w.Alloc.Procs[s] {
+				t.Fatalf("%s: probe %d stage %d allocation differs", label, i, s)
+			}
+		}
+	}
+}
+
+// TestWarmAcrossCellsMatchesCold is the cross-cell equivalence property:
+// a PlannerCache shared across a grid of (P, M) cells — certificates
+// crossing processor counts via the p-outermost layout and surviving
+// memory changes only through certArm's re-arm — must leave every
+// planner output bit-identical to a cold run, in both special-processor
+// and contiguous modes. Run it under -race: the cache is exercised from
+// the sweep-shaped access pattern the harness uses.
+func TestWarmAcrossCellsMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(10), chain.DefaultRandomOptions())
+		cache := NewPlannerCache()
+		for _, special := range []bool{false, true} {
+			for _, pw := range []int{3, 4, 5} {
+				for _, mem := range []float64{4e9, 9e9} {
+					pl := plat(pw, mem, 12e9)
+					pl.Latency = 1e-5
+					warm, werr := PlanAllocation(c, pl, Options{Parallel: 1, DisableSpecial: special, Cache: cache})
+					cold, cerr := PlanAllocation(c, pl, Options{Parallel: 1, DisableSpecial: special})
+					if (werr == nil) != (cerr == nil) {
+						t.Fatalf("trial %d special=%v P=%d M=%g: warm err %v, cold err %v",
+							trial, special, pw, mem, werr, cerr)
+					}
+					if werr != nil {
+						continue
+					}
+					comparePhaseOne(t, "warm-across-cells", warm, cold)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmPlanAndScheduleMatchesCold runs the full two-phase planner
+// with and without a shared cache over a small sweep and compares the
+// end-to-end Plan (scheduled period, scheduler, final allocation).
+func TestWarmPlanAndScheduleMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(8), chain.DefaultRandomOptions())
+		cache := NewPlannerCache()
+		for _, pw := range []int{3, 5} {
+			for _, mem := range []float64{5e9, 10e9} {
+				pl := plat(pw, mem, 12e9)
+				warm, werr := PlanAndSchedule(c, pl, Options{Parallel: 1, Cache: cache}, ScheduleOptions{})
+				cold, cerr := PlanAndSchedule(c, pl, Options{Parallel: 1}, ScheduleOptions{})
+				if (werr == nil) != (cerr == nil) {
+					t.Fatalf("trial %d P=%d M=%g: warm err %v, cold err %v", trial, pw, mem, werr, cerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if warm.Period != cold.Period || warm.Scheduler != cold.Scheduler {
+					t.Fatalf("trial %d P=%d M=%g: warm plan (%g, %s) != cold (%g, %s)",
+						trial, pw, mem, warm.Period, warm.Scheduler, cold.Period, cold.Scheduler)
+				}
+				wa, ca := warm.Pattern.Alloc, cold.Pattern.Alloc
+				if len(wa.Spans) != len(ca.Spans) {
+					t.Fatalf("trial %d P=%d M=%g: stage count differs", trial, pw, mem)
+				}
+				for s := range wa.Spans {
+					if wa.Spans[s] != ca.Spans[s] || wa.Procs[s] != ca.Procs[s] {
+						t.Fatalf("trial %d P=%d M=%g: scheduled allocation differs at stage %d", trial, pw, mem, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWarmParallelSearchMatchesCold covers the parallel probe search:
+// slot 0 is the cache-backed (possibly warm) lease, so the equivalence
+// must hold there too, at any worker budget.
+func TestWarmParallelSearchMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(8), chain.DefaultRandomOptions())
+		for _, par := range []int{4, 8} {
+			cache := NewPlannerCache()
+			for _, mem := range []float64{4e9, 8e9} {
+				pl := plat(4, mem, 12e9)
+				warm, werr := PlanAllocation(c, pl, Options{Parallel: par, Cache: cache})
+				cold, cerr := PlanAllocation(c, pl, Options{Parallel: par})
+				if (werr == nil) != (cerr == nil) {
+					t.Fatalf("trial %d par %d M=%g: warm err %v, cold err %v", trial, par, mem, werr, cerr)
+				}
+				if werr != nil {
+					continue
+				}
+				comparePhaseOne(t, "warm-parallel", warm, cold)
+			}
+		}
+	}
+}
+
+// TestPlannerCacheMemo checks the result memo: a second identical call
+// returns the recorded result without re-running Algorithm 1 (the probe
+// phase count stays put), and the returned copy is append-isolated from
+// the memo's own slice.
+func TestPlannerCacheMemo(t *testing.T) {
+	c := chain.Uniform(12, 1e-3, 2e-3, 2e8, 1e8)
+	pl := plat(4, 8e9, 12e9)
+	cache := NewPlannerCache()
+	reg := obs.NewRegistry()
+	opts := Options{Parallel: 1, Cache: cache, Obs: reg}
+
+	first, err := PlanAllocation(c, pl, opts)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	runs := reg.Counter("dp_runs").Value()
+	second, err := PlanAllocation(c, pl, opts)
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if got := reg.Counter("dp_runs").Value(); got != runs {
+		t.Fatalf("memo hit still ran the DP: dp_runs %d -> %d", runs, got)
+	}
+	comparePhaseOne(t, "memo", second, first)
+
+	// Appending to the returned Evals must not leak into the memo.
+	second.Evals = append(second.Evals, Eval{That: -1})
+	third, err := PlanAllocation(c, pl, opts)
+	if err != nil {
+		t.Fatalf("third: %v", err)
+	}
+	if len(third.Evals) != len(first.Evals) {
+		t.Fatalf("memo corrupted by caller append: %d evals != %d", len(third.Evals), len(first.Evals))
+	}
+
+	// A different input must miss.
+	pl2 := pl
+	pl2.Workers = 5
+	if _, err := PlanAllocation(c, pl2, opts); err != nil {
+		t.Fatalf("P=5: %v", err)
+	}
+	if got := reg.Counter("dp_runs").Value(); got == runs {
+		t.Fatalf("distinct platform hit the memo")
+	}
+}
+
+// TestValueReuseFires is the liveness side of the reuse layer: on a
+// plausible configuration the sequential Algorithm 1 must actually adopt
+// value certificates in its later probes (and record them in earlier
+// ones) — the equivalence tests alone would also pass with reuse
+// silently disabled.
+func TestValueReuseFires(t *testing.T) {
+	c := chain.Uniform(16, 1e-3, 3e-3, 4e8, 2e8)
+	pl := plat(4, 10e9, 12e9)
+	reg := obs.NewRegistry()
+	res, err := PlanAllocation(c, pl, Options{Parallel: 1, Obs: reg})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	var recorded, reused uint64
+	for i := range res.Evals {
+		st := &res.Evals[i].Stats
+		recorded += st.ValCertsRecorded
+		reused += st.StatesValReused
+		if res.Evals[i].States != int(st.StatesEvaluated) {
+			t.Fatalf("probe %d: Eval.States %d != fresh StatesEvaluated %d",
+				i, res.Evals[i].States, st.StatesEvaluated)
+		}
+	}
+	if recorded == 0 {
+		t.Fatalf("no value certificates recorded across %d probes", len(res.Evals))
+	}
+	if reused == 0 {
+		t.Fatalf("no value-certificate adoptions across %d probes (recorded %d)", len(res.Evals), recorded)
+	}
+	if reg.Counter("dp_val_certs_recorded").Value() == 0 || reg.Counter("dp_states_val_reused").Value() == 0 {
+		t.Fatalf("registry counters missing value-reuse totals")
+	}
+}
+
+// TestTableTrimPolicy: a pooled table whose backing arrays exceed
+// tableTrimFactor times the decayed high-water demand must drop them
+// (and count the trim); a proportionate table must keep them, and an
+// alternating big/small lease pattern — PlanAndSchedule's
+// special/contiguous rhythm — must never trim.
+func TestTableTrimPolicy(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	// Sustained shrink: a run of small releases halves the high-water
+	// mark each time until the big capacity crosses the threshold.
+	big := &dpTable{}
+	big.reset(12, 6, 32, 8, 32)
+	trimOnRelease(big, reg) // hwm = big size
+	for i := 0; i < 12 && big.slots != nil; i++ {
+		big.reset(2, 1, 4, 2, 4)
+		if cap(big.slots) <= tableTrimFactor*big.size {
+			t.Fatalf("test setup: capacity %d not beyond the trim threshold for size %d", cap(big.slots), big.size)
+		}
+		trimOnRelease(big, reg)
+	}
+	if big.slots != nil {
+		t.Fatalf("oversized backing array survived a sustained run of small releases")
+	}
+	if got := reg.Counter("dp_table_trims").Value(); got != 1 {
+		t.Fatalf("dp_table_trims = %d, want 1", got)
+	}
+
+	// Alternating big/small keeps the mark pinned at the big size, so
+	// the arrays survive: trimming here would reallocate hundreds of
+	// megabytes per PlanAndSchedule call.
+	alt := &dpTable{}
+	alt.reset(12, 6, 32, 8, 32)
+	keepBig := cap(alt.slots)
+	trimOnRelease(alt, reg)
+	for i := 0; i < 8; i++ {
+		alt.reset(2, 1, 4, 2, 4)
+		trimOnRelease(alt, reg)
+		alt.reset(12, 6, 32, 8, 32)
+		trimOnRelease(alt, reg)
+	}
+	if alt.slots == nil || cap(alt.slots) != keepBig {
+		t.Fatalf("alternating big/small lease pattern trimmed the table")
+	}
+
+	small := &dpTable{}
+	small.reset(6, 3, 8, 4, 8)
+	keep := cap(small.slots)
+	trimOnRelease(small, reg)
+	if small.slots == nil || cap(small.slots) != keep {
+		t.Fatalf("proportionate table was trimmed")
+	}
+	if reg.Gauge("dp_table_pool_bytes").Value() == 0 {
+		t.Fatalf("dp_table_pool_bytes gauge not observed")
+	}
+	if got := reg.Counter("dp_table_trims").Value(); got != 1 {
+		t.Fatalf("dp_table_trims = %d after proportionate and alternating releases, want still 1", got)
+	}
+}
+
+// TestProbeStatesPinnedToFig6Report is the regression pin for the
+// stats-attribution fix: the first probe of the committed Fig. 6 run
+// report is a cold probe (nothing to adopt yet), so its counters must
+// stay exactly reproducible — and the headline predicted period with
+// them. If this test fails after an intentional planner change,
+// regenerate results/planreport_fig6.json (make obs-demo) and re-commit.
+func TestProbeStatesPinnedToFig6Report(t *testing.T) {
+	raw, err := os.ReadFile("../../results/planreport_fig6.json")
+	if err != nil {
+		t.Fatalf("read committed report: %v", err)
+	}
+	var want PlanReport
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decode committed report: %v", err)
+	}
+
+	c, err := nets.Build(nets.Spec{Name: "resnet50", Batch: 8, Size: 1000})
+	if err != nil {
+		t.Fatalf("build resnet50: %v", err)
+	}
+	cc, err := c.Coarsen(24)
+	if err != nil {
+		t.Fatalf("coarsen: %v", err)
+	}
+	pl := platform.Platform{Workers: 4, Memory: 10 * platform.GB, Bandwidth: 12 * platform.GB}
+	res, err := PlanAllocation(cc, pl, Options{Parallel: 8, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if res.PredictedPeriod != want.PredictedPeriod {
+		t.Fatalf("predicted period %g != committed %g", res.PredictedPeriod, want.PredictedPeriod)
+	}
+	if len(res.Evals) != len(want.Probes) {
+		t.Fatalf("%d probes != committed %d", len(res.Evals), len(want.Probes))
+	}
+	got, pin := res.Evals[0], want.Probes[0]
+	if got.That != pin.That {
+		t.Fatalf("probe 0 T̂ %g != committed %g", got.That, pin.That)
+	}
+	if got.States != pin.States || got.Stats.StatesEvaluated != pin.Stats.StatesEvaluated {
+		t.Fatalf("probe 0 states (%d, %d) != committed (%d, %d)",
+			got.States, got.Stats.StatesEvaluated, pin.States, pin.Stats.StatesEvaluated)
+	}
+	g, w := got.Stats, pin.Stats
+	if g.StatesCertPruned != w.StatesCertPruned || g.CertsRecorded != w.CertsRecorded ||
+		g.CutsEvaluated != w.CutsEvaluated || g.ColumnsOpened != w.ColumnsOpened ||
+		g.ColumnEntryFills != w.ColumnEntryFills || g.FrontierCells != w.FrontierCells ||
+		g.PlanesFilled != w.PlanesFilled || g.PlaneCellsMax != w.PlaneCellsMax {
+		t.Fatalf("probe 0 counters diverged from committed report:\n got %+v\nwant %+v", g, w)
+	}
+}
+
+// TestCertArmMemoryChange pins the certArm contract directly: same
+// memory resumes the generation, a different memory starts a fresh one.
+func TestCertArmMemoryChange(t *testing.T) {
+	tab := &dpTable{}
+	tab.certArm(1e9) // arm first, then reset sizes the cert arrays (lease order)
+	tab.reset(4, 2, 4, 2, 4)
+	gen := tab.certEpoch
+	tab.certMark(3, 0.5)
+	tab.certArm(1e9)
+	if tab.certEpoch != gen {
+		t.Fatalf("same-memory re-arm bumped the epoch")
+	}
+	if !tab.certDead(3, 0.4) {
+		t.Fatalf("certificate lost across same-memory re-arm")
+	}
+	tab.certArm(2e9)
+	if tab.certEpoch == gen {
+		t.Fatalf("memory change did not start a new generation")
+	}
+	if tab.certDead(3, 0.4) {
+		t.Fatalf("certificate survived a memory change")
+	}
+}

@@ -27,15 +27,29 @@ import (
 //   - StatesCertPruned: states settled at +Inf by a cross-probe
 //     memory-death certificate without being expanded.
 type DPStats struct {
-	// StatesEvaluated is the number of states tabulated by this run
-	// (the dense table's store count; includes certificate-settled
-	// states).
+	// StatesEvaluated is the number of states this run evaluated fresh
+	// (the dense table's store count). States settled from a certificate
+	// — death or value — are excluded, so warm probes report only the
+	// work they actually did; adopted states are counted separately in
+	// StatesCertPruned and StatesValReused.
 	StatesEvaluated uint64 `json:"states_evaluated"`
 	// StatesCertPruned counts states settled directly by a cross-probe
 	// memory-death certificate.
 	StatesCertPruned uint64 `json:"states_cert_pruned"`
+	// StatesValReused counts states adopted wholesale from a prior
+	// probe's value certificate (the current T̂ fell inside the record's
+	// proven validity interval). Like cert-pruned states, adopted states
+	// are excluded from StatesEvaluated — that field measures fresh work.
+	StatesValReused uint64 `json:"states_val_reused"`
 	// CertsRecorded counts memory-death certificates written this run.
 	CertsRecorded uint64 `json:"certs_recorded"`
+	// ValCertsRecorded counts value certificates (validity intervals with
+	// lo < hi) written this run.
+	ValCertsRecorded uint64 `json:"val_certs_recorded"`
+	// HoistReuses counts DP runs that adopted the table-cached
+	// T̂-independent hoists (U prefix sums, per-cut weights, comm terms)
+	// instead of rebuilding them.
+	HoistReuses uint64 `json:"hoist_reuses"`
 	// CutsEvaluated counts visits of the DP's inner cut loop (the lazy
 	// solver revisits a cut when it resumes after a child suspension;
 	// the wavefront visits each cut at most once).
@@ -98,7 +112,10 @@ type PlaneSample struct {
 func (s *DPStats) add(o *DPStats) {
 	s.StatesEvaluated += o.StatesEvaluated
 	s.StatesCertPruned += o.StatesCertPruned
+	s.StatesValReused += o.StatesValReused
 	s.CertsRecorded += o.CertsRecorded
+	s.ValCertsRecorded += o.ValCertsRecorded
+	s.HoistReuses += o.HoistReuses
 	s.CutsEvaluated += o.CutsEvaluated
 	s.CutsSkippedKmin += o.CutsSkippedKmin
 	s.CutsSkippedMonotone += o.CutsSkippedMonotone
@@ -125,6 +142,7 @@ func (s *DPStats) atomicAdd(o *DPStats) {
 	atomic.AddUint64(&s.CutsEvaluated, o.CutsEvaluated)
 	atomic.AddUint64(&s.CutsSkippedMonotone, o.CutsSkippedMonotone)
 	atomic.AddUint64(&s.CertsRecorded, o.CertsRecorded)
+	atomic.AddUint64(&s.ValCertsRecorded, o.ValCertsRecorded)
 }
 
 // flush publishes the run's totals into the registry's cumulative
@@ -137,7 +155,10 @@ func (s *DPStats) flush(reg *obs.Registry) {
 	reg.Counter("dp_runs").Inc()
 	reg.Counter("dp_states_evaluated").Add(s.StatesEvaluated)
 	reg.Counter("dp_states_cert_pruned").Add(s.StatesCertPruned)
+	reg.Counter("dp_states_val_reused").Add(s.StatesValReused)
 	reg.Counter("dp_certs_recorded").Add(s.CertsRecorded)
+	reg.Counter("dp_val_certs_recorded").Add(s.ValCertsRecorded)
+	reg.Counter("dp_hoist_reuses").Add(s.HoistReuses)
 	reg.Counter("dp_cuts_evaluated").Add(s.CutsEvaluated)
 	reg.Counter("dp_cuts_skipped_kmin").Add(s.CutsSkippedKmin)
 	reg.Counter("dp_cuts_skipped_monotone").Add(s.CutsSkippedMonotone)
@@ -161,7 +182,10 @@ func (s *DPStats) flush(reg *obs.Registry) {
 func (s *DPStats) counterEqual(o *DPStats) bool {
 	if s.StatesEvaluated != o.StatesEvaluated ||
 		s.StatesCertPruned != o.StatesCertPruned ||
+		s.StatesValReused != o.StatesValReused ||
 		s.CertsRecorded != o.CertsRecorded ||
+		s.ValCertsRecorded != o.ValCertsRecorded ||
+		s.HoistReuses != o.HoistReuses ||
 		s.CutsEvaluated != o.CutsEvaluated ||
 		s.CutsSkippedKmin != o.CutsSkippedKmin ||
 		s.CutsSkippedMonotone != o.CutsSkippedMonotone ||

@@ -92,14 +92,32 @@ func (r *dpRun) waveSolve(L, P, workers int) float64 {
 				st.CertsRecorded++
 			}
 		}
+		if t.certOn {
+			blo, bhi := r.baseInterval(0, L)
+			if t.valPut(rootIdx, blo, bhi, e) {
+				if st := r.stats; st != nil {
+					st.ValCertsRecorded++
+				}
+			}
+		}
 		return e.period
 	}
 	if t.certDead(rootIdx, r.that) {
 		if st := r.stats; st != nil {
 			st.StatesCertPruned++
 		}
-		t.put(rootIdx, dpEntry{period: inf, k: -1})
+		t.putAdopted(rootIdx, dpEntry{period: inf, k: -1})
+		t.valPutDead(rootIdx, r.that)
 		return inf
+	}
+	if t.certOn {
+		if e, ok := t.valGet(rootIdx, r.that); ok {
+			if st := r.stats; st != nil {
+				st.StatesValReused++
+			}
+			t.putAdopted(rootIdx, e)
+			return e.period
+		}
 	}
 
 	w := &t.wave
@@ -227,14 +245,13 @@ func (r *dpRun) frontierLevel(l int) {
 	wi := 0
 	for _, cell := range cells {
 		idx := int(cell.idx)
-		rem := idx
+		rem := idx / t.nL // l-innermost layout: l = idx % nL is the caller's l
 		iV := rem % t.nV
 		rem /= t.nV
 		imP := rem % t.nM
 		rem /= t.nM
 		itP := rem % t.nT
-		rem /= t.nT
-		p := rem % t.nP
+		p := rem / t.nT // p-outermost layout
 		tP := float64(itP) * r.stepT
 		mP := float64(imP) * r.stepM
 		if stats != nil {
@@ -249,6 +266,12 @@ func (r *dpRun) frontierLevel(l int) {
 				t.certMark(idx, r.that)
 				if stats != nil && t.certOn {
 					stats.CertsRecorded++
+				}
+			}
+			if t.certOn {
+				blo, bhi := r.baseInterval(v, l)
+				if t.valPut(idx, blo, bhi, e) && stats != nil {
+					stats.ValCertsRecorded++
 				}
 			}
 			continue
@@ -304,8 +327,10 @@ func (r *dpRun) frontierLevel(l int) {
 }
 
 // mark queues an unvisited cell for evaluation on its level, unless a
-// cross-probe certificate already proves it memory-dead, in which case
-// its infinite entry is stored outright.
+// cross-probe certificate already settles it: a death certificate
+// stores its infinite entry outright, a value certificate covering the
+// probe target adopts the recorded entry — either way the cell's
+// subtree is pruned from the frontier.
 func (r *dpRun) mark(lv, idx int) {
 	t := r.tab
 	if t.slots[idx].meta>>metaStampShift == t.stamp {
@@ -315,8 +340,18 @@ func (r *dpRun) mark(lv, idx int) {
 		if st := r.stats; st != nil {
 			st.StatesCertPruned++
 		}
-		t.put(idx, dpEntry{period: inf, k: -1})
+		t.putAdopted(idx, dpEntry{period: inf, k: -1})
+		t.valPutDead(idx, r.that)
 		return
+	}
+	if t.certOn {
+		if e, ok := t.valGet(idx, r.that); ok {
+			if st := r.stats; st != nil {
+				st.StatesValReused++
+			}
+			t.putAdopted(idx, e)
+			return
+		}
 	}
 	t.slots[idx].meta = t.stamp << metaStampShift
 	w := &t.wave
@@ -444,18 +479,19 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 	t := r.tab
 	cc := &t.cols
 	idx := int(cell.idx)
-	rem := idx
+	rem := idx / t.nL // l-innermost layout: l = idx % nL is the caller's l
 	iV := rem % t.nV
 	rem /= t.nV
 	imP := rem % t.nM
 	rem /= t.nM
 	itP := rem % t.nT
-	rem /= t.nT
-	p := rem % t.nP
+	p := rem / t.nT // p-outermost layout
 	tP := float64(itP) * r.stepT
 	mP := float64(imP) * r.stepM
 
+	certOn := t.certOn
 	best := dpEntry{period: inf, k: -1}
+	flo, fhi := 0.0, inf
 	memOK := false
 	kmin := int(cell.kmin)
 	for k := l; k >= kmin; k-- {
@@ -476,10 +512,36 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 			panic("core: wavefront evaluation touched a column entry the frontier never filled")
 		}
 		iVN := int(e.ivn)
+		if certOn {
+			// Same interval discipline as the lazy solver: every visited
+			// cut and every consulted child narrows the cell's value
+			// certificate. Cuts below kmin need no constraint — their
+			// candidates are >= U(k,l) > ub >= value at every target in
+			// the interval (U and the candidate floors are
+			// T̂-independent), so they can never improve the entry.
+			if e.lo > flo {
+				flo = e.lo
+			}
+			if e.hi < fhi {
+				fhi = e.hi
+			}
+		}
 
 		if e.g <= gmax {
 			memOK = true
-			sub := r.waveChild(k-1, p-1, itP, imP, iVN)
+			sub, cidx := r.waveChild(k-1, p-1, itP, imP, iVN)
+			if certOn && cidx >= 0 {
+				if clo, chi, cok := t.valRange(cidx, r.that); cok {
+					if clo > flo {
+						flo = clo
+					}
+					if chi < fhi {
+						fhi = chi
+					}
+				} else {
+					flo, fhi = inf, -1
+				}
+			}
 			cand := max3(u, cl, sub)
 			if cand < best.period {
 				best = dpEntry{period: cand, k: int16(k)}
@@ -492,7 +554,19 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 				itPN := roundUp(tP+u, r.stepT, r.nT)
 				tNext := float64(itPN) * r.stepT
 				imPN := roundUp(mNext, r.stepM, r.nM)
-				sub := r.waveChild(k-1, p, itPN, imPN, iVN)
+				sub, cidx := r.waveChild(k-1, p, itPN, imPN, iVN)
+				if certOn && cidx >= 0 {
+					if clo, chi, cok := t.valRange(cidx, r.that); cok {
+						if clo > flo {
+							flo = clo
+						}
+						if chi < fhi {
+							fhi = chi
+						}
+					} else {
+						flo, fhi = inf, -1
+					}
+				}
 				cand := max3(tNext, cl, sub)
 				if cand < best.period {
 					best = dpEntry{period: cand, k: int16(k), special: true}
@@ -514,19 +588,29 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 		}
 	}
 	t.putNC(idx, best)
+	if certOn {
+		// Value-record writes hit disjoint idx slots, race-free under the
+		// same ownership argument as putNC/certMarkIdx.
+		if t.valPut(idx, flo, fhi, best) && cs != nil {
+			cs.ValCertsRecorded++
+		}
+	}
 	return certed
 }
 
 // waveChild reads a child settled on a lower plane (l == 0 children are
-// closed-form). A missing child would mean the frontier under-covered
-// the evaluation — a planner bug, not an input condition.
-func (r *dpRun) waveChild(l, p, itP, imP, iV int) float64 {
+// closed-form, index -1). A missing child would mean the frontier
+// under-covered the evaluation — a planner bug, not an input condition.
+// The index lets the caller intersect the child's value-certificate
+// range into the cell's own interval.
+func (r *dpRun) waveChild(l, p, itP, imP, iV int) (float64, int) {
 	if l == 0 {
-		return float64(itP) * r.stepT
+		return float64(itP) * r.stepT, -1
 	}
-	v, ok := r.tab.getPeriod(r.tab.idx(l, p, itP, imP, iV))
+	idx := r.tab.idx(l, p, itP, imP, iV)
+	v, ok := r.tab.getPeriod(idx)
 	if !ok {
 		panic("core: wavefront evaluation read a cell outside the frontier")
 	}
-	return v
+	return v, idx
 }

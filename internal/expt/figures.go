@@ -168,15 +168,16 @@ func AblationTable(rows []Row) string {
 	return b.String()
 }
 
-// CSV renders the raw sweep, one line per configuration. The last three
+// CSV renders the raw sweep, one line per configuration. The last four
 // columns are the MadPipe planner's pruning-rate breakdown (states
-// evaluated, states settled by death certificates, fraction of cut
-// positions skipped by the kmin floor and the monotone break); they are
-// empty unless the sweep ran with an observability registry attached
-// (see Runner.Obs and EXPERIMENTS.md).
+// evaluated fresh, states settled by death certificates, fraction of
+// cut positions skipped by the kmin floor and the monotone break, and
+// the fraction of settled states adopted from cross-probe value
+// certificates); they are empty unless the sweep ran with an
+// observability registry attached (see Runner.Obs and EXPERIMENTS.md).
 func CSV(rows []Row) string {
 	var b strings.Builder
-	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct\n")
+	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct,mp_val_reuse_pct\n")
 	csvf := func(v float64) string {
 		if math.IsInf(v, 1) {
 			return "inf"
@@ -184,7 +185,7 @@ func CSV(rows []Row) string {
 		return fmt.Sprintf("%.6f", v)
 	}
 	for _, r := range sorted(rows) {
-		var states, pruned, skipPct string
+		var states, pruned, skipPct, valPct string
 		if rep := r.MadPipe.Report; rep != nil {
 			st := rep.TotalStats()
 			states = fmt.Sprintf("%d", st.StatesEvaluated)
@@ -193,12 +194,15 @@ func CSV(rows []Row) string {
 			if total := st.CutsEvaluated + skipped; total > 0 {
 				skipPct = fmt.Sprintf("%.2f", 100*float64(skipped)/float64(total))
 			}
+			if settled := st.StatesEvaluated + st.StatesCertPruned + st.StatesValReused; settled > 0 {
+				valPct = fmt.Sprintf("%.2f", 100*float64(st.StatesValReused)/float64(settled))
+			}
 		}
-		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s\n",
+		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s,%s\n",
 			r.Net, r.Workers, r.MemGB, r.BandGB, r.SeqTime,
 			csvf(r.PipeDream.Predicted), csvf(r.PipeDream.Valid), r.PipeDream.Scheduler, r.PipeDream.SimOK,
 			csvf(r.MadPipe.Predicted), csvf(r.MadPipe.Valid), r.MadPipe.Scheduler, r.MadPipe.SimOK,
-			csvf(r.MadPipeContig.Valid), states, pruned, skipPct)
+			csvf(r.MadPipeContig.Valid), states, pruned, skipPct, valPct)
 	}
 	return b.String()
 }
