@@ -111,6 +111,52 @@ func BenchmarkFig7AllNetworks(b *testing.B) {
 	b.ReportMetric(ratio, "pd/mp-geomean")
 }
 
+// fig7Sweep is the wall-time series for the dominance-aware sweep
+// scheduler: all four networks over a Fig. 7-shaped grid whose memory
+// ladder reaches into the infeasible band, so both per-probe
+// infeasibility floors and whole-cell death skips fire. Besides the
+// timing, it reports the sweep's total probe count and the dominance
+// savings — both exact functions of the grid (benchdiff gates on the
+// probe count; time is advisory).
+func fig7Sweep(b *testing.B, par int) {
+	runner := &expt.Runner{SimPeriods: 8, MaxChain: 16, Parallel: par}
+	chains := nets.All()
+	grid := expt.Grid{Workers: []int{2, 4, 6, 8}, MemoryGB: []float64{3, 4, 6, 8, 12, 16}, BandwidthG: []float64{12}}
+	var probes, saved int
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.Sweep(chains, grid, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes, saved = 0, 0
+		var logSum float64
+		n := 0
+		for _, r := range rows {
+			probes += r.MadPipe.Probes + r.MadPipeContig.Probes
+			saved += r.MadPipe.ProbesSaved + r.MadPipeContig.ProbesSaved
+			if r.PipeDream.Feasible() && r.MadPipe.Feasible() {
+				logSum += math.Log(r.PipeDream.Valid / r.MadPipe.Valid)
+				n++
+			}
+		}
+		if n > 0 {
+			ratio = math.Exp(logSum / float64(n))
+		}
+	}
+	b.ReportMetric(float64(probes), "probes/op")
+	b.ReportMetric(float64(saved), "probessaved/op")
+	b.ReportMetric(ratio, "pd/mp-geomean")
+}
+
+// BenchmarkFig7Sweep is the sequential (one-worker) sweep.
+func BenchmarkFig7Sweep(b *testing.B) { fig7Sweep(b, 1) }
+
+// BenchmarkFig7SweepParallel4 runs the same grid on four workers: row
+// affinity keeps every reported metric identical to the sequential run,
+// only the wall time may differ.
+func BenchmarkFig7SweepParallel4(b *testing.B) { fig7Sweep(b, 4) }
+
 // BenchmarkFig8Speedup regenerates a Figure 8 point: MadPipe's speedup
 // over sequential execution for ResNet-101 at P=8, M=16 GB.
 func BenchmarkFig8Speedup(b *testing.B) {
@@ -233,11 +279,13 @@ func BenchmarkAlgorithm1(b *testing.B) {
 
 // algorithm1Sweep runs one sweep-shaped workload: three full Algorithm 1
 // searches over neighbouring processor counts on the same chain — the
-// access pattern of a Fig. 7/8 grid row. With warm=true the cells share
-// a PlannerCache (fresh per iteration, so b.N does not compound reuse),
-// letting later cells adopt the earlier cells' value and death
-// certificates across P via the p-outermost table layout; cold runs
-// plan each cell from scratch. Reported metrics are deterministic:
+// access pattern of a Fig. 7/8 grid row, in the sweep scheduler's
+// size-dominant order (descending P, so the warm table is allocated
+// once at its maximal shape and later cells reslice instead of
+// regrowing). With warm=true the cells share a PlannerCache (fresh per
+// iteration, so b.N does not compound reuse), letting later cells adopt
+// the earlier cells' value and death certificates across P via the
+// p-outermost table layout; cold runs plan each cell from scratch. Reported metrics are deterministic:
 // states/op counts fresh DP evaluations, valreuse/op counts states
 // adopted from value certificates — the warm/cold gap is the reuse
 // layer's measured effect, and cmd/benchdiff gates on both (a change
@@ -253,7 +301,7 @@ func algorithm1Sweep(b *testing.B, warm bool) {
 		if warm {
 			opts.Cache = core.NewPlannerCache()
 		}
-		for _, p := range []int{4, 5, 6} {
+		for _, p := range []int{6, 5, 4} {
 			res, err := core.PlanAllocation(c, benchPlat(p, 10, 12), opts)
 			if err != nil {
 				b.Fatal(err)
@@ -262,6 +310,13 @@ func algorithm1Sweep(b *testing.B, warm bool) {
 				states += res.Evals[j].Stats.StatesEvaluated
 				reused += res.Evals[j].Stats.StatesValReused
 			}
+		}
+		if warm {
+			// Drain the shard back to the shared pool, as Sweep does when
+			// a worker finishes — without this every iteration strands its
+			// tables in a dead cache and the next one reallocates them,
+			// which measures a leak, not the reuse layer.
+			opts.Cache.Release(reg)
 		}
 	}
 	b.ReportMetric(float64(states), "states/op")

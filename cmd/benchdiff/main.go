@@ -68,7 +68,7 @@ func main() {
 		old       = flag.String("old", "", "previous snapshot to compare against (default: newest BENCH_*.json in -dir)")
 		write     = flag.Bool("write", true, "write BENCH_<date>.json after the run")
 		threshold = flag.Float64("threshold", 0.10, "relative regression tolerated on gated metrics")
-		gate      = flag.String("gate", "time,allocs", "comma list of metrics whose regressions fail the run: time, allocs, states, bytes, or a literal unit such as states/op")
+		gate      = flag.String("gate", "time,allocs", "comma list of metrics whose regressions fail the run: time, allocs, states, probes, bytes, or a literal unit such as states/op")
 		warm      = flag.Bool("warm", false, "print a Cold/Warm column pair for every <Name>Cold/<Name>Warm benchmark pair in this run, and fail unless each Warm side shows live reuse (valreuse/op > 0)")
 		count     = flag.Int("count", 1, "value passed to go test -count; runs above 1 interleave the whole benchmark set (A/B pairs see the same machine conditions) and report per-metric means")
 	)
@@ -148,12 +148,17 @@ func parseGate(spec string) (map[string]bool, error) {
 			gated["allocs/op"] = true
 		case "states":
 			gated["states/op"] = true
+		case "probes":
+			// The sweep benchmarks' total bisection probe count — exact
+			// for a fixed grid, so it is gated exact-match (threshold 0)
+			// while their wall time stays advisory.
+			gated["probes/op"] = true
 		case "bytes":
 			gated["B/op"] = true
 		case "":
 		default:
 			if !strings.Contains(u, "/") {
-				return nil, fmt.Errorf("unknown -gate metric %q (want time, allocs, states, bytes, or a unit like states/op)", g)
+				return nil, fmt.Errorf("unknown -gate metric %q (want time, allocs, states, probes, bytes, or a unit like states/op)", g)
 			}
 			gated[u] = true
 		}

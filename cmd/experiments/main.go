@@ -139,7 +139,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweep finished in %s\n\n", time.Since(start).Round(time.Second))
+	// Dominance-scheduler economics: probe totals come from the rows
+	// themselves (exact for a fixed grid); the registry, when attached,
+	// additionally knows how many whole cells were skipped by cell-level
+	// death certificates and how warm the per-worker table shards ran.
+	var probes, saved int
+	for _, r := range rows {
+		probes += r.MadPipe.Probes + r.MadPipeContig.Probes
+		saved += r.MadPipe.ProbesSaved + r.MadPipeContig.ProbesSaved
+	}
+	fmt.Fprintf(os.Stderr, "sweep finished in %s — %d probes folded, %d answered by dominance floors\n",
+		time.Since(start).Round(time.Second), probes, saved)
+	if runner.Obs != nil {
+		warm := runner.Obs.Counter("sweep_warm_leases").Value()
+		cold := runner.Obs.Counter("sweep_cold_leases").Value()
+		fmt.Fprintf(os.Stderr, "planner reuse: %d cells skipped outright, %d warm / %d cold table leases\n",
+			runner.Obs.Counter("sweep_cells_skipped").Value(), warm, cold)
+	}
+	fmt.Fprintln(os.Stderr)
 
 	show := func(name string) bool { return *fig == "all" || *fig == name }
 	if show("6") {

@@ -36,17 +36,23 @@ import (
 // *chain.Chain for hits, which is the natural shape for a sweep harness
 // that coarsens each network once and re-plans it across a grid.
 //
-// The cache is safe for concurrent use. Warm-table leasing can be
-// disabled (SetWarmTables) while keeping the result memo: concurrent
-// sweep workers otherwise make per-probe stats depend on which cell
-// happened to warm the table first — planner outputs are bit-identical
-// either way, but deterministic probe timelines are part of the
-// harness's contract.
+// The cache is safe for concurrent use, and warmth is a per-lease
+// property: each leaseTable call independently asks for a warm table or
+// a cold one (Options.ColdTables), so concurrent callers with different
+// needs share one cache without mutating its state. Warm leases are
+// race-free under concurrency — the stack hands each pooled table to
+// exactly one caller — but per-probe work stats then depend on which
+// caller warmed a table first; harnesses that promise deterministic
+// stats at any parallelism level shard caches per worker instead (see
+// internal/expt).
 type PlannerCache struct {
 	mu     sync.Mutex
-	cold   bool // disables warm-table leasing only; the memo stays on
 	plans  map[planKey]*PhaseOneResult
 	tables map[tableKey][]*dpTable
+	// warmLeases/coldLeases count leaseTable outcomes: a pop from a warm
+	// stack vs a fresh table from the shared pool (including leases that
+	// asked for cold). Their ratio is the cache's warm-hit rate.
+	warmLeases, coldLeases uint64
 }
 
 // planKey identifies one PlanAllocation computation completely: two
@@ -87,7 +93,7 @@ const (
 	tableStackCap = 16
 )
 
-// NewPlannerCache returns an empty cache with warm-table leasing on.
+// NewPlannerCache returns an empty cache.
 func NewPlannerCache() *PlannerCache {
 	return &PlannerCache{
 		plans:  make(map[planKey]*PhaseOneResult),
@@ -95,13 +101,14 @@ func NewPlannerCache() *PlannerCache {
 	}
 }
 
-// SetWarmTables toggles warm-table leasing. Turning it off releases
-// nothing already pooled; it only makes future leases cold. The result
-// memo is unaffected (memo hits are deterministic at any concurrency).
-func (pc *PlannerCache) SetWarmTables(on bool) {
+// LeaseStats reports how many table leases were served warm (a pooled
+// table with live certificate stores) vs cold (a fresh table from the
+// shared pool, including leases that asked for cold). Deterministic for
+// a fixed call sequence, which per-worker sharding guarantees.
+func (pc *PlannerCache) LeaseStats() (warm, cold uint64) {
 	pc.mu.Lock()
-	pc.cold = !on
-	pc.mu.Unlock()
+	defer pc.mu.Unlock()
+	return pc.warmLeases, pc.coldLeases
 }
 
 // getPlan returns the memoized result for k, as a shallow copy whose
@@ -131,30 +138,35 @@ func (pc *PlannerCache) putPlan(k planKey, res *PhaseOneResult) {
 }
 
 // leaseTable hands out a table for key k: a warm one (certificate
-// stores alive from a previous lease on the same key) when available,
-// otherwise a cold table from the shared pool. The caller must pair it
-// with returnTable and arm certificates via certArm, never certBegin —
-// certBegin would discard exactly the state a warm lease preserves.
-func (pc *PlannerCache) leaseTable(k tableKey) *dpTable {
+// stores alive from a previous lease on the same key) when available
+// and the caller didn't ask for cold, otherwise a fresh table from the
+// shared pool. The caller must pair it with returnTable and arm
+// certificates via certArm, never certBegin — certBegin would discard
+// exactly the state a warm lease preserves.
+func (pc *PlannerCache) leaseTable(k tableKey, cold bool) *dpTable {
 	pc.mu.Lock()
-	if !pc.cold {
+	if !cold {
 		if s := pc.tables[k]; len(s) > 0 {
 			t := s[len(s)-1]
 			s[len(s)-1] = nil
 			pc.tables[k] = s[:len(s)-1]
+			pc.warmLeases++
 			pc.mu.Unlock()
 			return t
 		}
 	}
+	pc.coldLeases++
 	pc.mu.Unlock()
 	return acquireTable()
 }
 
 // returnTable retains t for future leases on k, or sends it back to the
-// shared pool when the per-key stack is full or warm leasing is off.
-func (pc *PlannerCache) returnTable(k tableKey, t *dpTable, reg *obs.Registry) {
+// shared pool when the per-key stack is full or the lease was cold (a
+// cold caller's certificates reflect work the pool's trim policy should
+// reclaim, not future warmth this cache promised anyone).
+func (pc *PlannerCache) returnTable(k tableKey, t *dpTable, cold bool, reg *obs.Registry) {
 	pc.mu.Lock()
-	if !pc.cold && len(pc.tables[k]) < tableStackCap {
+	if !cold && len(pc.tables[k]) < tableStackCap {
 		pc.tables[k] = append(pc.tables[k], t)
 		pc.mu.Unlock()
 		return

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"madpipe/internal/chain"
+)
+
+// Bracket is a closed target-period interval [Lo, Hi]. PlanAllocation
+// reports the final bracket of its bisection through ResultHint so a
+// sweep harness can inspect how the search converged.
+type Bracket struct {
+	Lo, Hi float64
+}
+
+// Hint carries knowledge between PlanAllocation calls that differ only
+// in the platform's memory limit — the cells of one sweep row. It does
+// NOT seed the bisection bracket: an inherited [lo, hi] tighter than the
+// cold bracket would change the probe trajectory and could clip the
+// optimum (max(DP(T̂), T̂) is not monotone enough in T̂ for that to be
+// safe). Instead the hint records exact-replay facts that let later
+// calls skip DP invocations while probing the exact same T̂ sequence:
+//
+//   - Infeasibility floors. When the full DP proves the root state
+//     infeasible at target T̂ under memory limit M, the same DP at the
+//     same T̂ is infeasible at every M' <= M. This is exact, not merely
+//     modeled: the m_P grid step scales linearly with M, so each stage's
+//     memory-index sequence at the smaller limit dominates the larger
+//     limit's pointwise, and every memory check (base case, special
+//     branch, normal-branch gmax) only gets harder. A floored probe is
+//     folded exactly as the cold search folds an infeasible DP result.
+//     Floors match their recorded T̂ exactly — never T̂' < T̂ — because ⊕
+//     delay snapping makes infeasibility non-monotone in the target
+//     (the same reason value certificates record memory-death intervals
+//     but not period-death intervals).
+//
+//   - Cell-level death certificates. When an entire search (all
+//     Iterations probes) comes back infeasible at M, the probe
+//     trajectory at any M' <= M replays identically — the bracket's
+//     upper bound never moves on infeasible folds, so every midpoint is
+//     covered by a floor by induction — and the search fails the same
+//     way. Dead reports this, letting a sweep skip dominated-infeasible
+//     cells without running the planner at all. This lifts the dense
+//     table's per-probe memory-death certificates (dense.go, certArm) to
+//     whole-cell scope.
+//
+// The floors depend on the probe trajectory, which is a function of
+// everything in the planner input except the memory limit. bind pins the
+// hint to that signature on first use and panics on mismatch — sharing a
+// Hint across rows is a programming error, not a soft degradation.
+//
+// A Hint is confined to one goroutine at a time (the sweep's row
+// affinity guarantees this); it is not safe for concurrent use. Within
+// one PlanAllocation the parallel probe search consults and updates the
+// hint only on the coordinating goroutine.
+type Hint struct {
+	bound bool
+	key   hintKey
+	// floors[0] is the special-processor mode, floors[1] the contiguous
+	// (DisableSpecial) mode: one Hint serves both searches of a sweep
+	// cell, including the contiguous re-plan inside PlanAndSchedule.
+	floors [2]floorStore
+}
+
+// NewHint returns an empty hint for one sweep row.
+func NewHint() *Hint {
+	return &Hint{}
+}
+
+// hintKey is the planner input a hint's floors are conditioned on:
+// everything that shapes the probe trajectory except the memory limit
+// (and the special mode, which selects the floor store instead).
+// Observability is deliberately absent — it never changes outputs.
+type hintKey struct {
+	c          *chain.Chain
+	workers    int
+	latency    float64
+	bandwidth  float64
+	disc       Discretization
+	iterations int
+	weights    chain.WeightPolicy
+	parallel   int // resolved worker count: the probe fan shapes the schedule
+}
+
+// floorStore is one mode's record of probe targets proven root-infeasible.
+type floorStore struct {
+	// mem maps an exact probe target T̂ to the largest memory limit at
+	// which the full DP proved it infeasible.
+	mem map[float64]float64
+	// deadMem is the largest memory limit at which a whole search failed
+	// (0 = none recorded; real limits are positive).
+	deadMem float64
+}
+
+func modeIdx(disableSpecial bool) int {
+	if disableSpecial {
+		return 1
+	}
+	return 0
+}
+
+// bind pins the hint to one row signature (nil-safe). Reusing a hint
+// across rows would replay floors whose probe trajectories do not match,
+// silently corrupting results — fail loudly instead.
+func (h *Hint) bind(k hintKey) {
+	if h == nil {
+		return
+	}
+	if !h.bound {
+		h.bound, h.key = true, k
+		return
+	}
+	if h.key != k {
+		panic(fmt.Sprintf("core: Hint shared across incompatible searches (have %+v, got %+v); use one Hint per sweep row", h.key, k))
+	}
+}
+
+// covered reports whether a probe at exactly target that is provably
+// infeasible at memory limit mem (nil-safe).
+func (h *Hint) covered(disableSpecial bool, that, mem float64) bool {
+	if h == nil {
+		return false
+	}
+	rec, ok := h.floors[modeIdx(disableSpecial)].mem[that]
+	return ok && mem <= rec
+}
+
+// record notes that the DP at target that returned root-infeasible under
+// memory limit mem (nil-safe). Floors keep the largest such limit.
+func (h *Hint) record(disableSpecial bool, that, mem float64) {
+	if h == nil {
+		return
+	}
+	f := &h.floors[modeIdx(disableSpecial)]
+	if f.mem == nil {
+		f.mem = make(map[float64]float64)
+	}
+	if old, ok := f.mem[that]; !ok || mem > old {
+		f.mem[that] = mem
+	}
+}
+
+// recordDead notes that an entire search failed at memory limit mem
+// (nil-safe).
+func (h *Hint) recordDead(disableSpecial bool, mem float64) {
+	if h == nil {
+		return
+	}
+	f := &h.floors[modeIdx(disableSpecial)]
+	if mem > f.deadMem {
+		f.deadMem = mem
+	}
+}
+
+// Dead reports whether a whole search at memory limit mem is dominated
+// by a recorded full-search failure at mem or above: the search would
+// replay the failed trajectory probe for probe and fail identically, so
+// a sweep can skip it outright. Safe on a nil hint (always false).
+func (h *Hint) Dead(disableSpecial bool, mem float64) bool {
+	if h == nil {
+		return false
+	}
+	f := &h.floors[modeIdx(disableSpecial)]
+	return f.deadMem > 0 && mem <= f.deadMem
+}
+
+// ResultHint summarizes one PlanAllocation search for the caller: the
+// final bisection bracket and the probe economics (how many probes
+// folded, and how many of those were answered by an infeasibility floor
+// without running the DP). Probes and ProbesSaved are deterministic for
+// a fixed input and hint state — a memo hit returns the originating
+// run's values.
+type ResultHint struct {
+	Bracket     Bracket
+	Probes      int
+	ProbesSaved int
+}

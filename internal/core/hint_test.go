@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+// hintGrid is a Fig. 7-shaped sweep row set: processor counts crossed
+// with the paper's memory ladder, visited memory-DESCENDING the way the
+// sweep scheduler does (floors and death certificates only flow from
+// larger limits to smaller ones).
+var hintMemsDesc = []float64{16e9, 14e9, 12e9, 10e9, 8e9, 7e9, 6e9, 5e9, 4e9, 3e9, 2e9, 1e9}
+
+// TestHintMatchesColdAcrossGrid is the guard the ISSUE asks for: a
+// hint-seeded search must return bit-identical probe schedules, periods
+// and allocations to a cold search on every cell of a Fig. 7-shaped
+// grid, in both planner modes — and the hints must actually fire
+// somewhere (the equivalence alone would also pass with the floors
+// disabled).
+func TestHintMatchesColdAcrossGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	disc := Discretization{TP: 21, MP: 5, V: 15}
+	totalSaved := 0
+	for trial := 0; trial < 6; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(8), chain.DefaultRandomOptions())
+		for _, special := range []bool{false, true} {
+			for _, pw := range []int{2, 4, 6, 8} {
+				hint := NewHint() // one hint per (chain, P) row, like the sweep
+				for _, mem := range hintMemsDesc {
+					pl := plat(pw, mem, 12e9)
+					opts := Options{Parallel: 1, DisableSpecial: special, Disc: disc}
+					cold, cerr := PlanAllocation(c, pl, opts)
+					opts.Hint = hint
+					warm, werr := PlanAllocation(c, pl, opts)
+					if (werr == nil) != (cerr == nil) {
+						t.Fatalf("trial %d special=%v P=%d M=%g: hinted err %v, cold err %v",
+							trial, special, pw, mem, werr, cerr)
+					}
+					if werr != nil {
+						if !errors.Is(werr, platform.ErrInfeasible) {
+							t.Fatalf("trial %d special=%v P=%d M=%g: unexpected error %v", trial, special, pw, mem, werr)
+						}
+						continue
+					}
+					comparePhaseOne(t, "hinted", warm, cold)
+					if warm.Hint.Bracket != cold.Hint.Bracket || warm.Hint.Probes != cold.Hint.Probes {
+						t.Fatalf("trial %d special=%v P=%d M=%g: bracket/probes (%+v, %d) != (%+v, %d)",
+							trial, special, pw, mem, warm.Hint.Bracket, warm.Hint.Probes, cold.Hint.Bracket, cold.Hint.Probes)
+					}
+					totalSaved += warm.Hint.ProbesSaved
+				}
+			}
+		}
+	}
+	if totalSaved == 0 {
+		t.Fatalf("no probes were answered by floors anywhere on the grid; the hint machinery is dead")
+	}
+}
+
+// TestHintParallelSearchMatchesCold repeats the equivalence for the
+// parallel probe search, where floor-covered candidates must be folded
+// without spawning a probe goroutine.
+func TestHintParallelSearchMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	disc := Discretization{TP: 21, MP: 5, V: 15}
+	totalSaved := 0
+	for trial := 0; trial < 4; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(8), chain.DefaultRandomOptions())
+		for _, pw := range []int{3, 6} {
+			hint := NewHint()
+			for _, mem := range hintMemsDesc {
+				pl := plat(pw, mem, 12e9)
+				opts := Options{Parallel: 2, Disc: disc}
+				cold, cerr := PlanAllocation(c, pl, opts)
+				opts.Hint = hint
+				warm, werr := PlanAllocation(c, pl, opts)
+				if (werr == nil) != (cerr == nil) {
+					t.Fatalf("trial %d P=%d M=%g: hinted err %v, cold err %v", trial, pw, mem, werr, cerr)
+				}
+				if werr != nil {
+					continue
+				}
+				comparePhaseOne(t, "hinted-parallel", warm, cold)
+				totalSaved += warm.Hint.ProbesSaved
+			}
+		}
+	}
+	if totalSaved == 0 {
+		t.Fatalf("no probes were answered by floors in the parallel search")
+	}
+}
+
+// TestHintDeadReplay: once a whole search fails at memory M, a hinted
+// search at M' < M must (a) be flagged Dead, (b) fail identically, and
+// (c) be answered entirely by floors — zero DP runs, every probe
+// floor-saved (visible through the obs registry).
+func TestHintDeadReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	disc := Discretization{TP: 21, MP: 5, V: 15}
+	for trial := 0; trial < 20; trial++ {
+		c := chain.Random(rng, 5+rng.Intn(8), chain.DefaultRandomOptions())
+		pl := plat(4, 1e9, 12e9)
+		hint := NewHint()
+		reg := obs.NewRegistry()
+		opts := Options{Parallel: 1, Disc: disc, Hint: hint, Obs: reg}
+		if _, err := PlanAllocation(c, pl, opts); err == nil {
+			continue // feasible even at 1 GB; try another chain
+		} else if !errors.Is(err, platform.ErrInfeasible) {
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+		if !hint.Dead(false, pl.Memory/2) || hint.Dead(false, pl.Memory*2) {
+			t.Fatalf("trial %d: Dead certificate has wrong coverage", trial)
+		}
+		runsBefore := reg.Counter("dp_runs").Value()
+		savedBefore := reg.Counter("plan_probes_floor_saved").Value()
+		probesBefore := reg.Counter("plan_probes").Value()
+		pl2 := pl
+		pl2.Memory = pl.Memory / 2
+		if _, err := PlanAllocation(c, pl2, opts); !errors.Is(err, platform.ErrInfeasible) {
+			t.Fatalf("trial %d: dominated replay did not fail infeasible: %v", trial, err)
+		}
+		if runs := reg.Counter("dp_runs").Value() - runsBefore; runs != 0 {
+			t.Errorf("trial %d: dominated replay ran %d DPs, want 0", trial, runs)
+		}
+		probes := reg.Counter("plan_probes").Value() - probesBefore
+		saved := reg.Counter("plan_probes_floor_saved").Value() - savedBefore
+		if probes == 0 || saved != probes {
+			t.Errorf("trial %d: replay folded %d probes but floors answered %d", trial, probes, saved)
+		}
+		return // one infeasible chain is enough
+	}
+	t.Skip("no infeasible configuration found in 20 trials")
+}
+
+// TestHintBindPanics: sharing one hint across searches with different
+// row signatures must fail loudly.
+func TestHintBindPanics(t *testing.T) {
+	c := chain.Uniform(8, 1e-3, 2e-3, 2e8, 1e8)
+	hint := NewHint()
+	opts := Options{Parallel: 1, Hint: hint, Disc: Discretization{TP: 21, MP: 5, V: 15}}
+	if _, err := PlanAllocation(c, plat(4, 8e9, 12e9), opts); err != nil {
+		t.Fatalf("seed plan: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bind accepted a different bandwidth on the same hint")
+		}
+	}()
+	_, _ = PlanAllocation(c, plat(4, 8e9, 24e9), opts) // bandwidth changed: different row
+}
+
+// TestColdTablesLeaseStats covers per-lease warmth on one cache: warm
+// leases pop the per-key stack, ColdTables bypasses it in both
+// directions, and LeaseStats reports the split. Different memory limits
+// share a table key, so each call leases (no memo hits).
+func TestColdTablesLeaseStats(t *testing.T) {
+	c := chain.Uniform(8, 1e-3, 2e-3, 2e8, 1e8)
+	cache := NewPlannerCache()
+	opts := Options{Parallel: 1, Cache: cache, Disc: Discretization{TP: 21, MP: 5, V: 15}}
+	mems := []float64{16e9, 12e9, 8e9, 6e9}
+	for i, mem := range mems {
+		if _, err := PlanAllocation(c, plat(4, mem, 12e9), opts); err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+	}
+	warm, cold := cache.LeaseStats()
+	if cold != 1 || warm != uint64(len(mems)-1) {
+		t.Fatalf("warm leases: LeaseStats = (%d, %d), want (%d, 1)", warm, cold, len(mems)-1)
+	}
+	opts.ColdTables = true
+	if _, err := PlanAllocation(c, plat(4, 4e9, 12e9), opts); err != nil {
+		t.Fatalf("cold plan: %v", err)
+	}
+	warm, cold = cache.LeaseStats()
+	if cold != 2 || warm != uint64(len(mems)-1) {
+		t.Fatalf("after ColdTables lease: LeaseStats = (%d, %d), want (%d, 2)", warm, cold, len(mems)-1)
+	}
+	// The cold lease must not have consumed or grown the warm stack: the
+	// next warm lease still pops the table returned before it.
+	opts.ColdTables = false
+	if _, err := PlanAllocation(c, plat(4, 3e9, 12e9), opts); err != nil {
+		t.Fatalf("rewarm plan: %v", err)
+	}
+	warm, cold = cache.LeaseStats()
+	if cold != 2 || warm != uint64(len(mems)) {
+		t.Fatalf("after rewarm lease: LeaseStats = (%d, %d), want (%d, 2)", warm, cold, len(mems))
+	}
+	cache.Release(nil)
+}

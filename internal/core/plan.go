@@ -66,6 +66,19 @@ type Options struct {
 	// warm runs, since adopted states are not re-evaluated. See
 	// PlannerCache.
 	Cache *PlannerCache
+	// ColdTables forces table leases from the shared pool even when Cache
+	// is set, bypassing the cache's warm stacks in both directions (the
+	// returned table goes back to the pool, not the cache). Warmth is a
+	// per-lease property: concurrent calls on one cache may mix warm and
+	// cold leases freely. The result memo is unaffected.
+	ColdTables bool
+	// Hint, when set, carries exact-replay knowledge across calls that
+	// differ only in the memory limit — infeasibility floors that answer
+	// provably infeasible probes without running the DP, and cell-level
+	// death certificates. Outputs are bit-identical with or without a
+	// hint: the probe T̂ trajectory never changes, only the DP work needed
+	// to answer it (floor-answered probes report zero States). See Hint.
+	Hint *Hint
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +161,8 @@ type PhaseOneResult struct {
 	TargetPeriod float64
 	// Evals logs every probe, in the deterministic fold order.
 	Evals []Eval
+	// Hint reports the search's final bracket and probe economics.
+	Hint ResultHint
 }
 
 // DP exposes a single MadPipe-DP invocation at a fixed target period,
@@ -191,6 +206,10 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 	if err != nil {
 		return nil, err
 	}
+
+	// The hint is bound to the row signature before the memo check: a
+	// mis-shared hint must fail loudly even on memo hits.
+	opts.Hint.bind(hintKeyFor(c, plat, opts))
 
 	var mkey planKey
 	if opts.Cache != nil {
@@ -236,7 +255,7 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 	}
 
 	if w := resolveParallel(opts.Parallel); w > 1 {
-		if err := planParallel(c, plat, opts, w, planStart, &lb, &ub, fold); err != nil {
+		if err := planParallel(c, plat, opts, w, planStart, &lb, &ub, fold, res); err != nil {
 			return nil, err
 		}
 	} else {
@@ -256,23 +275,36 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		labelPhase("probe", func() {
 			that := lb
 			for i := 0; i < opts.Iterations; i++ {
-				var pStart time.Time
-				if opts.Obs != nil {
-					pStart = time.Now()
+				if opts.Hint.covered(opts.DisableSpecial, that, plat.Memory) {
+					// A neighbor cell's floor proves this exact probe
+					// infeasible at our (smaller or equal) memory limit; fold
+					// the infeasible result without running the DP. The lb/ub
+					// trace, probe count and final result are bit-identical to
+					// the cold search — only States drops to zero.
+					res.Hint.ProbesSaved++
+					fold(that, &DPResult{Period: math.Inf(1)}, 0, 0, 0)
+				} else {
+					var pStart time.Time
+					if opts.Obs != nil {
+						pStart = time.Now()
+					}
+					dp, err := runDPWith(tab, c, plat, that, cfg)
+					if err != nil {
+						probeErr = err
+						return
+					}
+					var startNS, durNS int64
+					if opts.Obs != nil {
+						d := time.Since(pStart)
+						opts.Obs.Phase("probe").Add(d)
+						startNS = pStart.Sub(planStart).Nanoseconds()
+						durNS = d.Nanoseconds()
+					}
+					if dp.Alloc == nil {
+						opts.Hint.record(opts.DisableSpecial, that, plat.Memory)
+					}
+					fold(that, dp, 0, startNS, durNS)
 				}
-				dp, err := runDPWith(tab, c, plat, that, cfg)
-				if err != nil {
-					probeErr = err
-					return
-				}
-				var startNS, durNS int64
-				if opts.Obs != nil {
-					d := time.Since(pStart)
-					opts.Obs.Phase("probe").Add(d)
-					startNS = pStart.Sub(planStart).Nanoseconds()
-					durNS = d.Nanoseconds()
-				}
-				fold(that, dp, 0, startNS, durNS)
 				if ub <= lb {
 					break
 				}
@@ -283,7 +315,15 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 			return nil, probeErr
 		}
 	}
+	res.Hint.Bracket = Bracket{Lo: lb, Hi: ub}
+	res.Hint.Probes = len(res.Evals)
+	flushPlan(opts.Obs, res.Hint.Probes, res.Hint.ProbesSaved)
 	if res.Alloc == nil {
+		// Every probe was infeasible: the trajectory replays identically at
+		// any smaller memory limit (infeasible folds never move ub), so the
+		// whole cell is dead there — lift the per-probe floors to a
+		// cell-level death certificate.
+		opts.Hint.recordDead(opts.DisableSpecial, plat.Memory)
 		return nil, fmt.Errorf("core: no feasible allocation in %d iterations: %w",
 			opts.Iterations, platform.ErrInfeasible)
 	}
@@ -293,20 +333,35 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 	return res, nil
 }
 
+// hintKeyFor derives the row signature a hint is bound to; opts must
+// already be normalized (withDefaults).
+func hintKeyFor(c *chain.Chain, plat platform.Platform, opts Options) hintKey {
+	return hintKey{
+		c:          c,
+		workers:    plat.Workers,
+		latency:    plat.Latency,
+		bandwidth:  plat.Bandwidth,
+		disc:       opts.Disc,
+		iterations: opts.Iterations,
+		weights:    opts.Weights,
+		parallel:   resolveParallel(opts.Parallel),
+	}
+}
+
 // leaseTableFor acquires the DP table for one PlanAllocation: through
-// the cache (possibly warm) when one is configured, from the shared
-// pool otherwise.
+// the cache (warm unless the lease opts out via ColdTables) when one is
+// configured, from the shared pool otherwise.
 func leaseTableFor(c *chain.Chain, plat platform.Platform, opts Options) (*dpTable, tableKey) {
 	k := tableKeyFor(c, plat, opts)
 	if opts.Cache != nil {
-		return opts.Cache.leaseTable(k), k
+		return opts.Cache.leaseTable(k, opts.ColdTables), k
 	}
 	return acquireTable(), k
 }
 
 func returnTableFor(t *dpTable, k tableKey, opts Options) {
 	if opts.Cache != nil {
-		opts.Cache.returnTable(k, t, opts.Obs)
+		opts.Cache.returnTable(k, t, opts.ColdTables, opts.Obs)
 		return
 	}
 	releaseTable(t, opts.Obs)
@@ -320,8 +375,11 @@ func returnTableFor(t *dpTable, k tableKey, opts Options) {
 // the table's columns, gmax memo and armed certificate store, so later
 // rounds start warm. The total probe budget is opts.Iterations,
 // matching the sequential search's DP work; budget beyond the probe fan
-// goes to each probe's wavefront workers.
-func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, planStart time.Time, lb, ub *float64, fold func(float64, *DPResult, int, int64, int64)) error {
+// goes to each probe's wavefront workers. The hint (when present) is
+// consulted and updated only here, on the coordinating goroutine:
+// floor-covered candidates never spawn a probe goroutine, and floors are
+// recorded during the sequential fold pass.
+func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, planStart time.Time, lb, ub *float64, fold func(float64, *DPResult, int, int64, int64), res *PhaseOneResult) error {
 	fan, waveW := probeFan(w)
 	tabs := make([]*dpTable, fan)
 	for i := range tabs {
@@ -358,6 +416,14 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, p
 		durs := make([]int64, len(cands))
 		var wg sync.WaitGroup
 		for i, that := range cands {
+			if opts.Hint.covered(opts.DisableSpecial, that, plat.Memory) {
+				// Answered by a neighbor cell's floor: fold as an infeasible
+				// probe (same trajectory as the cold search) without a DP
+				// goroutine.
+				res.Hint.ProbesSaved++
+				results[i] = &DPResult{Period: math.Inf(1)}
+				continue
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -380,6 +446,9 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, p
 		for i := range cands {
 			if errs[i] != nil {
 				return errs[i]
+			}
+			if results[i].Alloc == nil {
+				opts.Hint.record(opts.DisableSpecial, cands[i], plat.Memory)
 			}
 			fold(cands[i], results[i], i, starts[i], durs[i])
 		}

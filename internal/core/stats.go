@@ -176,6 +176,18 @@ func (s *DPStats) flush(reg *obs.Registry) {
 	reg.Gauge("dp_states_max").Observe(s.StatesEvaluated)
 }
 
+// flushPlan publishes one Algorithm 1 search's probe economics into the
+// registry: how many probes folded and how many of those were answered
+// by a Hint infeasibility floor without a DP run. Both are deterministic
+// for a fixed input and hint state, unlike the wall-clock phase timers.
+func flushPlan(reg *obs.Registry, probes, floorSaved int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("plan_probes").Add(uint64(probes))
+	reg.Counter("plan_probes_floor_saved").Add(uint64(floorSaved))
+}
+
 // counterEqual reports whether the deterministic counter fields of two
 // stats agree (plane sample timings are wall-clock and excluded, but
 // sample sizes and chunk counts must match).

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,6 +65,13 @@ type Outcome struct {
 	SimOK bool
 	// Elapsed is the planning wall-clock time.
 	Elapsed time.Duration
+	// Probes is the number of bisection probes phase 1 folded, and
+	// ProbesSaved how many of those were answered by a sweep hint's
+	// infeasibility floor without running the DP (see core.Hint). Both
+	// are deterministic for a fixed grid and zero when phase 1 found no
+	// allocation or the cell was skipped by a cell-level death
+	// certificate.
+	Probes, ProbesSaved int
 	// Report is the planner's structured run report, populated for the
 	// MadPipe variants when the Runner has an observability registry
 	// attached; nil otherwise (a pointer so Rows stay comparable and the
@@ -116,10 +124,12 @@ type Runner struct {
 
 	// Per-chain shared planner state: the coarsened chain (every grid
 	// cell re-plans the same coarsening, so it is computed once) and a
-	// core.PlannerCache carrying the result memo and — in sequential
-	// sweeps — warm DP tables across the chain's cells. Keyed by the
-	// original chain's identity; lazily initialized, guarded by sharedMu
-	// for the concurrent sweep workers.
+	// core.PlannerCache carrying the result memo and warm DP tables for
+	// standalone Run calls. Sweep does not use this cache for tables —
+	// it shards a private PlannerCache per worker (see Sweep) so warm
+	// leases compose with Parallel while staying deterministic. Keyed by
+	// the original chain's identity; lazily initialized, guarded by
+	// sharedMu.
 	sharedMu sync.Mutex
 	shared   map[*chain.Chain]*chainShared
 }
@@ -131,19 +141,20 @@ type chainShared struct {
 	cache    *core.PlannerCache
 }
 
-// sharedFor returns (building on first use) the shared planner state for
-// c. Warm-table leasing is enabled only for sequential sweeps: with
-// concurrent workers the probe-timeline stats would depend on which cell
-// happened to warm a table first, and the harness promises output
-// identical at any parallelism level. The result memo stays on in both
-// modes — within one configuration the planner re-solves identical
-// inputs (the phase-2 portfolio fallback and the contiguous ablation),
-// which is deterministic on a single worker goroutine.
+// sharedFor returns (building on first use) the shared planner state
+// for c. The cache itself carries no warm/cold mode — warmth is a
+// per-lease property (core.Options.ColdTables), so overlapping callers
+// with different Parallel settings never flip each other's leases. Run
+// decides per call: warm table leases for a sequential runner, cold for
+// a parallel one (concurrent warm leases on one cache would make
+// probe-timeline stats depend on which cell warmed a table first, and
+// the harness promises output identical at any parallelism level). The
+// result memo is always on — memo hits are deterministic at any
+// concurrency.
 func (r *Runner) sharedFor(c *chain.Chain) (*chainShared, error) {
 	r.sharedMu.Lock()
 	defer r.sharedMu.Unlock()
 	if s, ok := r.shared[c]; ok && s.maxChain == r.maxChain() {
-		s.cache.SetWarmTables(r.workerCount() == 1)
 		return s, nil
 	}
 	cc, err := c.Coarsen(r.maxChain())
@@ -151,7 +162,6 @@ func (r *Runner) sharedFor(c *chain.Chain) (*chainShared, error) {
 		return nil, err
 	}
 	s := &chainShared{maxChain: r.maxChain(), cc: cc, cache: core.NewPlannerCache()}
-	s.cache.SetWarmTables(r.workerCount() == 1)
 	if r.shared == nil {
 		r.shared = make(map[*chain.Chain]*chainShared)
 	}
@@ -180,24 +190,31 @@ func (r *Runner) schedOpts() core.ScheduleOptions {
 	return core.ScheduleOptions{MILP: ilpsched.New(ilpsched.Options{Budget: r.ILPBudget, Probes: 3})}
 }
 
-// Run evaluates all planners on one configuration.
+// Run evaluates all planners on one configuration. A parallel runner
+// leases tables cold from the shared per-chain cache (warm leases under
+// concurrency would make per-probe stats scheduling-dependent); Sweep
+// gets warm leases at any parallelism via per-worker cache shards.
 func (r *Runner) Run(c *chain.Chain, plat platform.Platform) (Row, error) {
 	sh, err := r.sharedFor(c)
 	if err != nil {
 		return Row{}, err
 	}
-	cc := sh.cc
+	return r.runCell(c.Name(), sh.cc, sh.cache, nil, r.workerCount() > 1, plat), nil
+}
+
+// runCell evaluates all planners on one prepared (coarsened) cell.
+func (r *Runner) runCell(net string, cc *chain.Chain, cache *core.PlannerCache, hint *core.Hint, cold bool, plat platform.Platform) Row {
 	row := Row{
-		Net:     c.Name(),
+		Net:     net,
 		Workers: plat.Workers,
 		MemGB:   plat.Memory / platform.GB,
 		BandGB:  plat.Bandwidth / platform.GB,
 		SeqTime: cc.TotalU(),
 	}
 	row.PipeDream = r.runPipeDream(cc, plat)
-	row.MadPipe = r.runMadPipe(cc, sh.cache, plat, false)
-	row.MadPipeContig = r.runMadPipe(cc, sh.cache, plat, true)
-	return row, nil
+	row.MadPipe = r.runMadPipe(cc, cache, hint, cold, plat, false)
+	row.MadPipeContig = r.runMadPipe(cc, cache, hint, cold, plat, true)
+	return row
 }
 
 func (r *Runner) runPipeDream(c *chain.Chain, plat platform.Platform) Outcome {
@@ -222,7 +239,18 @@ func (r *Runner) runPipeDream(c *chain.Chain, plat platform.Platform) Outcome {
 	return out
 }
 
-func (r *Runner) runMadPipe(c *chain.Chain, cache *core.PlannerCache, plat platform.Platform, contig bool) Outcome {
+func (r *Runner) runMadPipe(c *chain.Chain, cache *core.PlannerCache, hint *core.Hint, cold bool, plat platform.Platform, contig bool) Outcome {
+	if hint.Dead(contig, plat.Memory) {
+		// A sweep neighbor at a memory limit >= plat.Memory already ran
+		// this exact search to full infeasibility; the search here would
+		// replay it probe for probe and fail identically (see core.Hint),
+		// and PlanAndSchedule fails outright when its primary phase-1
+		// search does, so the whole cell is dominated-infeasible. The
+		// outcome matches a cold run's bit for bit: Probes and Report are
+		// only filled on phase-1 success.
+		r.Obs.Counter("sweep_cells_skipped").Inc()
+		return Outcome{Predicted: math.Inf(1), Valid: math.Inf(1)}
+	}
 	start := time.Now()
 	out := Outcome{Predicted: math.Inf(1), Valid: math.Inf(1)}
 	defer func() { out.Elapsed = time.Since(start) }()
@@ -239,8 +267,15 @@ func (r *Runner) runMadPipe(c *chain.Chain, cache *core.PlannerCache, plat platf
 	}
 	opts.Obs = r.Obs
 	opts.Cache = cache
+	opts.ColdTables = cold
+	opts.Hint = hint
 	if p1, err := core.PlanAllocation(c, plat, opts); err == nil {
 		out.Predicted = p1.PredictedPeriod
+		out.Probes = p1.Hint.Probes
+		out.ProbesSaved = p1.Hint.ProbesSaved
+		if out.ProbesSaved > 0 {
+			r.Obs.Counter("sweep_probes_saved").Add(uint64(out.ProbesSaved))
+		}
 		if r.Obs != nil {
 			out.Report = core.NewPlanReport(c, plat, opts, p1)
 		}
@@ -271,21 +306,42 @@ func (r *Runner) verify(plan *core.Plan) bool {
 	return math.Abs(res.Throughput-want) <= 0.25*want
 }
 
-// Sweep runs a grid over the given chains on the runner's worker pool.
-// Rows come back in grid order regardless of parallelism; onRow, when
-// non-nil, is likewise invoked in grid order (from the worker that
-// completes the frontier row, serialized).
+// Sweep runs a grid over the given chains with dominance-aware
+// scheduling. Cells are grouped into rows — one row per (chain, P,
+// bandwidth), the cells of one row differing only in the memory limit —
+// and every row is processed whole, on one worker, with its cells
+// ordered by DESCENDING memory. That order plus a per-row core.Hint
+// turns the grid's dominance structure into planner work savings: a
+// probe the full DP proved infeasible at memory M is folded for free at
+// any M' <= M (same probe trajectory, no DP run), and a cell whose whole
+// search failed kills every smaller-memory cell in the row outright.
+//
+// Row affinity is also what makes warm sharing parallel-safe: each
+// worker owns a private PlannerCache shard, so warm tables, value
+// certificates and hints never cross goroutines. Rows are assigned to
+// workers statically (round-robin), so results, per-cell probe counts
+// and the sweep_* obs counters are bit-identical at any Parallel
+// setting; per-shard warm-hit gauges are deterministic for a fixed
+// worker count. Returned rows are in grid order regardless of
+// parallelism; onRow, when non-nil, is likewise invoked in grid order
+// (from the worker that completes the frontier row, serialized).
 func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, error) {
-	type job struct {
-		c    *chain.Chain
+	type cell struct {
+		net  string
+		cc   *chain.Chain
 		plat platform.Platform
 	}
-	var jobs []job
+	var cells []cell
 	for _, c := range chains {
+		// Coarsen up front so the workers cannot fail mid-sweep.
+		sh, err := r.sharedFor(c)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", c.Name(), err)
+		}
 		for _, p := range g.Workers {
 			for _, bw := range g.BandwidthG {
 				for _, m := range g.MemoryGB {
-					jobs = append(jobs, job{c, platform.Platform{
+					cells = append(cells, cell{c.Name(), sh.cc, platform.Platform{
 						Workers:   p,
 						Memory:    m * platform.GB,
 						Bandwidth: bw * platform.GB,
@@ -294,26 +350,96 @@ func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, e
 			}
 		}
 	}
-	rows := make([]Row, len(jobs))
-	errs := make([]error, len(jobs))
+	rows := make([]Row, len(cells))
+	if len(cells) == 0 {
+		return rows, nil
+	}
+	// morder visits one row's cells in descending-memory order (stable on
+	// ties), the order in which dominance facts flow: floors and death
+	// certificates recorded at a larger limit cover every smaller one.
+	nM := len(g.MemoryGB)
+	morder := make([]int, nM)
+	for i := range morder {
+		morder[i] = i
+	}
+	sort.SliceStable(morder, func(a, b int) bool { return g.MemoryGB[morder[a]] > g.MemoryGB[morder[b]] })
+	rowCount := len(cells) / nM
+	w := r.workerCount()
+	if w > rowCount {
+		w = rowCount
+	}
+
 	// Progress handles are nil-safe no-ops without a registry; workers
 	// bump the counter as configurations finish, so a scrape mid-sweep
-	// shows live progress.
-	r.Obs.Gauge("expt_rows_total").Observe(uint64(len(jobs)))
+	// shows live progress. The emission gate releases onRow callbacks in
+	// grid order as the frontier row completes.
+	r.Obs.Gauge("expt_rows_total").Observe(uint64(len(cells)))
 	rowsDone := r.Obs.Counter("expt_rows_done")
-	r.runJobs(len(jobs), func(i int) {
-		rows[i], errs[i] = r.Run(jobs[i].c, jobs[i].plat)
+	var (
+		mu   sync.Mutex
+		done = make([]bool, len(cells))
+		next int
+	)
+	finish := func(i int) {
 		rowsDone.Inc()
-	}, func(i int) {
-		if onRow != nil && errs[i] == nil {
-			onRow(rows[i])
+		mu.Lock()
+		done[i] = true
+		for next < len(cells) && done[next] {
+			if onRow != nil {
+				onRow(rows[next])
+			}
+			next++
 		}
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("expt: %s on %v: %w", jobs[i].c.Name(), jobs[i].plat, err)
-		}
+		mu.Unlock()
 	}
+	shard := func(k int) {
+		cache := core.NewPlannerCache()
+		// Size-dominant row order: run this shard's rows in descending
+		// worker count, so the first lease on every table key allocates
+		// the warm table at its maximal shape and each later lease is a
+		// reslice. The packed state index keeps p outermost precisely so
+		// smaller-P rows address the same prefix (certificates included);
+		// visiting P ascending instead regrows the table at every step,
+		// and each regrow zeroes the larger array and copies the full old
+		// capacity — on the paper grid that is gigabytes of memmove,
+		// profiled at roughly half the sweep's planner time. Execution
+		// order cannot change results (the warm-vs-cold equivalence tests
+		// pin this); grid-order emission is the done-gate's job.
+		mine := make([]int, 0, (rowCount-k+w-1)/w)
+		for rowIdx := k; rowIdx < rowCount; rowIdx += w {
+			mine = append(mine, rowIdx)
+		}
+		sort.SliceStable(mine, func(a, b int) bool {
+			return cells[mine[a]*nM].plat.Workers > cells[mine[b]*nM].plat.Workers
+		})
+		for _, rowIdx := range mine {
+			hint := core.NewHint()
+			for _, mi := range morder {
+				i := rowIdx*nM + mi
+				rows[i] = r.runCell(cells[i].net, cells[i].cc, cache, hint, false, cells[i].plat)
+				finish(i)
+			}
+		}
+		warm, cold := cache.LeaseStats()
+		r.Obs.Counter("sweep_warm_leases").Add(warm)
+		r.Obs.Counter("sweep_cold_leases").Add(cold)
+		r.Obs.Gauge(fmt.Sprintf("sweep_shard%d_warm_leases", k)).Observe(warm)
+		r.Obs.Gauge(fmt.Sprintf("sweep_shard%d_cold_leases", k)).Observe(cold)
+		cache.Release(r.Obs)
+	}
+	if w <= 1 {
+		shard(0)
+		return rows, nil
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			shard(k)
+		}(k)
+	}
+	wg.Wait()
 	return rows, nil
 }
 

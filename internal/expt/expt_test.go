@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"madpipe/internal/chain"
+	"madpipe/internal/obs"
 	"madpipe/internal/platform"
 )
 
@@ -231,15 +232,21 @@ func TestOptimalityGapSmall(t *testing.T) {
 
 // TestSweepParallelDeterministic: running the same grid sequentially and
 // at several parallelism levels must yield identical rows in identical
-// order, with onRow fired once per row in grid order. Run with -race to
-// exercise the worker pool.
+// order, with onRow fired once per row in grid order — warm shards and
+// dominance hints included (sweeps always lease warm now; row affinity
+// keeps that deterministic). Run with -race to exercise the worker pool.
 func TestSweepParallelDeterministic(t *testing.T) {
 	base := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: 1}
 	want, err := base.Sweep(testChains(), testGrid(), nil)
 	if err != nil {
 		t.Fatalf("sequential sweep: %v", err)
 	}
-	for _, par := range []int{0, 2, 4} {
+	// The rendered figure tables must be byte-identical too — they are
+	// the sweep's headline output.
+	wantFig6 := Fig6Table(want, want[0].Net)
+	wantFig7 := Fig7Table(want)
+	wantCSV := CSV(want)
+	for _, par := range []int{0, 2, 4, 8} {
 		r := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: par}
 		var seen []Row
 		rows, err := r.Sweep(testChains(), testGrid(), func(row Row) { seen = append(seen, row) })
@@ -255,6 +262,90 @@ func TestSweepParallelDeterministic(t *testing.T) {
 			}
 			if !rowsEqual(seen[i], rows[i]) {
 				t.Errorf("parallel=%d: onRow order broken at %d", par, i)
+			}
+		}
+		if got := Fig6Table(rows, rows[0].Net); got != wantFig6 {
+			t.Errorf("parallel=%d: Fig6Table differs:\n got:\n%s\nwant:\n%s", par, got, wantFig6)
+		}
+		if got := Fig7Table(rows); got != wantFig7 {
+			t.Errorf("parallel=%d: Fig7Table differs:\n got:\n%s\nwant:\n%s", par, got, wantFig7)
+		}
+		if got := CSV(rows); got != wantCSV {
+			t.Errorf("parallel=%d: CSV differs:\n got:\n%s\nwant:\n%s", par, got, wantCSV)
+		}
+	}
+}
+
+// TestSweepDominance drives a grid whose low-memory cells are
+// infeasible and checks the dominance machinery end to end: floors and
+// cell-level death certificates fire (observable through the obs
+// counters), skipped cells report the same outcomes a cell-by-cell Run
+// produces, and the savings totals are identical at every parallelism
+// level.
+func TestSweepDominance(t *testing.T) {
+	// Memory limits chosen to straddle infeasibility for the test chains
+	// at small P: the bottom of each row dies (whole-cell skips) and the
+	// 1.5–4 GB band has searches with a mix of memory-infeasible and
+	// feasible probes (per-probe floors). The grid lists memories
+	// ascending on purpose to check the scheduler reorders them.
+	grid := Grid{Workers: []int{2, 4}, MemoryGB: []float64{0.5, 1, 1.5, 2, 3, 4, 6, 12}, BandwidthG: []float64{12}}
+	counters := func(par int) (rows []Row, skipped, saved uint64) {
+		reg := obs.NewRegistry()
+		r := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: par, Obs: reg}
+		rows, err := r.Sweep(testChains(), grid, nil)
+		if err != nil {
+			t.Fatalf("parallel=%d sweep: %v", par, err)
+		}
+		return rows, reg.Counter("sweep_cells_skipped").Value(), reg.Counter("sweep_probes_saved").Value()
+	}
+	rows, skipped, saved := counters(1)
+	if skipped == 0 {
+		t.Errorf("no cells skipped: the grid's infeasible floor should kill dominated cells")
+	}
+	if saved == 0 {
+		t.Errorf("no probes saved: infeasibility floors never fired")
+	}
+	var outcomeSaved int
+	for _, row := range rows {
+		outcomeSaved += row.MadPipe.ProbesSaved + row.MadPipeContig.ProbesSaved
+	}
+	if uint64(outcomeSaved) != saved {
+		t.Errorf("sweep_probes_saved=%d, outcomes sum to %d", saved, outcomeSaved)
+	}
+	for _, par := range []int{2, 8} {
+		prows, pskipped, psaved := counters(par)
+		if pskipped != skipped || psaved != saved {
+			t.Errorf("parallel=%d: skipped/saved = %d/%d, want %d/%d", par, pskipped, pskipped, skipped, saved)
+		}
+		for i := range prows {
+			if !rowsEqual(prows[i], rows[i]) {
+				t.Errorf("parallel=%d row %d differs:\n got %+v\nwant %+v", par, i, prows[i], rows[i])
+			}
+		}
+	}
+	// Dominance-skipped cells must report exactly what an isolated,
+	// hint-free Run reports — modulo the probe-economics fields, which a
+	// standalone run cannot save (and never fills on infeasible cells).
+	solo := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: 1}
+	for _, c := range testChains() {
+		for _, row := range rows {
+			if row.Net != c.Name() {
+				continue
+			}
+			want, err := solo.Run(c, platform.Platform{
+				Workers:   row.Workers,
+				Memory:    row.MemGB * platform.GB,
+				Bandwidth: row.BandGB * platform.GB,
+			})
+			if err != nil {
+				t.Fatalf("Run(%s, P=%d, M=%g): %v", row.Net, row.Workers, row.MemGB, err)
+			}
+			got := row
+			got.MadPipe.Probes, got.MadPipe.ProbesSaved = want.MadPipe.Probes, want.MadPipe.ProbesSaved
+			got.MadPipeContig.Probes, got.MadPipeContig.ProbesSaved = want.MadPipeContig.Probes, want.MadPipeContig.ProbesSaved
+			if !rowsEqual(got, want) {
+				t.Errorf("sweep row (net=%s P=%d M=%g) differs from standalone Run:\n got %+v\nwant %+v",
+					row.Net, row.Workers, row.MemGB, got, want)
 			}
 		}
 	}

@@ -168,16 +168,20 @@ func AblationTable(rows []Row) string {
 	return b.String()
 }
 
-// CSV renders the raw sweep, one line per configuration. The last four
+// CSV renders the raw sweep, one line per configuration. The last five
 // columns are the MadPipe planner's pruning-rate breakdown (states
 // evaluated fresh, states settled by death certificates, fraction of
-// cut positions skipped by the kmin floor and the monotone break, and
-// the fraction of settled states adopted from cross-probe value
-// certificates); they are empty unless the sweep ran with an
-// observability registry attached (see Runner.Obs and EXPERIMENTS.md).
+// cut positions skipped by the kmin floor and the monotone break, the
+// fraction of settled states adopted from cross-probe value
+// certificates, and the fraction of bisection probes answered by the
+// sweep's dominance floors without a DP run). The first four are empty
+// unless the sweep ran with an observability registry attached (see
+// Runner.Obs and EXPERIMENTS.md); mp_probes_saved_pct comes from the
+// outcomes themselves and is empty only when phase 1 found nothing in
+// either mode.
 func CSV(rows []Row) string {
 	var b strings.Builder
-	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct,mp_val_reuse_pct\n")
+	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct,mp_val_reuse_pct,mp_probes_saved_pct\n")
 	csvf := func(v float64) string {
 		if math.IsInf(v, 1) {
 			return "inf"
@@ -198,11 +202,16 @@ func CSV(rows []Row) string {
 				valPct = fmt.Sprintf("%.2f", 100*float64(st.StatesValReused)/float64(settled))
 			}
 		}
-		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s,%s\n",
+		var savedPct string
+		if probes := r.MadPipe.Probes + r.MadPipeContig.Probes; probes > 0 {
+			saved := r.MadPipe.ProbesSaved + r.MadPipeContig.ProbesSaved
+			savedPct = fmt.Sprintf("%.2f", 100*float64(saved)/float64(probes))
+		}
+		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s,%s,%s\n",
 			r.Net, r.Workers, r.MemGB, r.BandGB, r.SeqTime,
 			csvf(r.PipeDream.Predicted), csvf(r.PipeDream.Valid), r.PipeDream.Scheduler, r.PipeDream.SimOK,
 			csvf(r.MadPipe.Predicted), csvf(r.MadPipe.Valid), r.MadPipe.Scheduler, r.MadPipe.SimOK,
-			csvf(r.MadPipeContig.Valid), states, pruned, skipPct, valPct)
+			csvf(r.MadPipeContig.Valid), states, pruned, skipPct, valPct, savedPct)
 	}
 	return b.String()
 }

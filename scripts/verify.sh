@@ -51,8 +51,21 @@ echo "== go test"
 go test ./...
 
 echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting)"
-go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold' \
+go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold' \
 	./internal/core/ ./internal/expt/ ./internal/obs/
+
+# The sweep's warm-shard determinism contract ("bit-identical at any -j")
+# must hold whatever the host gives the scheduler: run the determinism
+# tests at two GOMAXPROCS settings so both the starved and the saturated
+# worker pools are exercised under the race detector.
+echo "== sweep determinism at two worker-pool widths (race)"
+GOMAXPROCS=2 go test -race -run 'TestSweepParallelDeterministic|TestSweepDominance' ./internal/expt/
+GOMAXPROCS=8 go test -race -run 'TestSweepParallelDeterministic|TestSweepDominance' ./internal/expt/
+
+# Flush ordering assumptions in the experiment harness: row-affinity
+# scheduling must not depend on test execution order.
+echo "== shuffled tests (internal/expt)"
+go test -shuffle=on ./internal/expt/
 
 echo "== benchmark sanity (1 iteration)"
 go test -run '^$' -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP$' -benchtime 1x .
@@ -63,5 +76,11 @@ go test -run '^$' -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP$' -benchtime 
 # ns/op deltas still print for the reviewer.
 echo "== benchmark regression check (gate: allocs/op + live warm reuse)"
 go run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP$|BenchmarkAlgorithm1$|BenchmarkAlgorithm1Sweep' -benchtime 5x -write=false -gate allocs -threshold 0.5 -warm
+
+# The sweep's probe count is an exact function of the grid and the
+# dominance machinery: any drift is a planner-behavior change and fails
+# the gate outright. Wall time on the same series stays advisory.
+echo "== sweep probe-count regression check (gate: probes/op, exact)"
+go run ./cmd/benchdiff -bench 'BenchmarkFig7Sweep$' -benchtime 1x -write=false -gate probes -threshold 0
 
 echo "verify: OK"
