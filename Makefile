@@ -13,15 +13,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 gate (see ROADMAP.md): build, vet, full tests,
-# a -race smoke over the concurrent probe, wavefront and sweep paths, a
-# one-shot benchmark sanity run, and a regression check against the
-# committed BENCH_*.json snapshot. The check gates on allocs/op only
-# (deterministic; fixed seeds) because shared-machine timing noise
-# swings by integer factors — ns/op deltas still print for review.
-verify: build vet test race
-	$(GO) test -run '^$$' -bench 'BenchmarkFig6ResNet50|BenchmarkMadPipeDP$$' -benchtime 1x .
-	$(GO) run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP$$|BenchmarkAlgorithm1$$|BenchmarkAlgorithm1Sweep' -benchtime 5x -write=false -gate allocs -threshold 0.5 -warm
+# verify is the tier-1 gate (see ROADMAP.md), delegated wholesale to
+# scripts/verify.sh: build, vet, staticcheck, full tests, -race smokes
+# over the concurrent probe/wavefront/sweep/frontier paths, shuffled
+# expt tests, a one-shot benchmark sanity run, and exact regression
+# checks against the committed BENCH_*.json snapshot (allocs, sweep
+# probes/op, frontier probes/op + dpprobes/op; ns/op deltas print for
+# review only — shared-machine timing noise swings by integer factors).
+verify:
+	scripts/verify.sh
 
 race:
 	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold' ./internal/core/ ./internal/expt/ ./internal/obs/
@@ -29,7 +29,7 @@ race:
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
 # ns/op or allocs/op regressions against the previous snapshot.
 bench:
-	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler' -benchtime 3x
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler' -benchtime 3x
 
 # bench-quick compares without recording a snapshot.
 bench-quick:

@@ -157,6 +157,55 @@ func BenchmarkFig7Sweep(b *testing.B) { fig7Sweep(b, 1) }
 // only the wall time may differ.
 func BenchmarkFig7SweepParallel4(b *testing.B) { fig7Sweep(b, 4) }
 
+// BenchmarkFig7Frontier measures the parametric frontier solver on its
+// native workload: a dense T*(M) ladder — ResNet-50 at P ∈ {4, 8} in
+// both planning modes, 3–16 GB sampled at 1/64 GB steps. probes/op is
+// the total probe count folded across every sample's search, identical
+// to what per-cell bisection at the same limits would fold; dpprobes/op
+// is how many of those the frontier actually ran through the DP (the
+// rest were answered by merged bracket certificates and infeasibility
+// floors). Both are exact functions of the input, so benchdiff gates on
+// them at a zero threshold; probereduction-x — the per-cell baseline
+// cost over the frontier's — is their ratio and the tentpole's headline
+// (must stay well above 3).
+func BenchmarkFig7Frontier(b *testing.B) {
+	c, err := nets.Build(nets.PaperSpec("resnet50"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc, err := c.Coarsen(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mems []float64
+	for m := 3 * platform.GB; m <= 16*platform.GB; m += platform.GB / 64 {
+		mems = append(mems, m)
+	}
+	var probes, saved, breaks int
+	for i := 0; i < b.N; i++ {
+		probes, saved, breaks = 0, 0, 0
+		for _, p := range []int{4, 8} {
+			for _, special := range []bool{false, true} {
+				plat := platform.Platform{Workers: p, Memory: 16 * platform.GB, Bandwidth: 12 * platform.GB}
+				opts := core.Options{Parallel: 1, DisableSpecial: special, Cache: core.NewPlannerCache()}
+				fr, err := core.PlanFrontier(cc, plat, mems, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += fr.Probes
+				saved += fr.ProbesSaved
+				breaks += fr.Breakpoints()
+			}
+		}
+	}
+	b.ReportMetric(float64(probes), "probes/op")
+	b.ReportMetric(float64(probes-saved), "dpprobes/op")
+	b.ReportMetric(float64(breaks), "breakpoints/op")
+	if probes > saved {
+		b.ReportMetric(float64(probes)/float64(probes-saved), "probereduction-x")
+	}
+}
+
 // BenchmarkFig8Speedup regenerates a Figure 8 point: MadPipe's speedup
 // over sequential execution for ResNet-101 at P=8, M=16 GB.
 func BenchmarkFig8Speedup(b *testing.B) {

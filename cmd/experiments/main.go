@@ -150,6 +150,26 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep finished in %s — %d probes folded, %d answered by dominance floors\n",
 		time.Since(start).Round(time.Second), probes, saved)
+	// Frontier economics: every cell of a sweep row carries its row's
+	// frontier totals, so count each (net, P, beta) row once. Zero rows
+	// means the frontier pre-solve was off (planner-parallel sweep).
+	var fBreaks, fReplays, fProbes, fRows int
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/%d/%g", r.Net, r.Workers, r.BandGB)
+		if r.FrontierProbes == 0 || seen[key] {
+			continue
+		}
+		seen[key] = true
+		fRows++
+		fBreaks += r.FrontierBreakpoints
+		fReplays += r.FrontierReplays
+		fProbes += r.FrontierProbes
+	}
+	if fRows > 0 {
+		fmt.Fprintf(os.Stderr, "frontier pre-solve: %d rows, %d breakpoints, %d of %d probes replayed through the DP (%.1f%%)\n",
+			fRows, fBreaks, fReplays, fProbes, 100*float64(fReplays)/float64(fProbes))
+	}
 	if runner.Obs != nil {
 		warm := runner.Obs.Counter("sweep_warm_leases").Value()
 		cold := runner.Obs.Counter("sweep_cold_leases").Value()

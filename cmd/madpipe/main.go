@@ -8,13 +8,17 @@
 //	madpipe -net resnet50 -p 4 -mem 8 -bw 12
 //	madpipe -chain profile.json -p 8 -mem 16 -ilp 10s
 //	madpipe -net densenet121 -p 4 -mem 6 -contig
+//	madpipe -net resnet50 -p 4 -frontier 3:16:1
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"madpipe/internal/chain"
@@ -47,6 +51,7 @@ func main() {
 		statsFile = flag.String("stats", "", "write a structured PlanReport JSON to this file (\"-\" for stdout)")
 		listen    = flag.String("listen", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address while planning, e.g. :8080")
 		parallel  = flag.Int("parallel", 0, "planner worker budget (0 auto, 1 sequential reference; see core.Options.Parallel)")
+		frontier  = flag.String("frontier", "", "solve the T*(M) frontier over these memory limits in GB instead of planning one cell: a comma-separated list (\"3,4,6,8\"), a lo:hi:step range (\"3:16:1\"), or both; dumps the breakpoint list as JSON to -stats (default stdout)")
 	)
 	flag.Parse()
 
@@ -88,6 +93,12 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics /debug/vars /debug/pprof (until exit)\n", addr)
+	}
+	if *frontier != "" {
+		if err := runFrontier(cc, plat, opts, reg, *frontier, *statsFile); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	sched := core.ScheduleOptions{}
 	if *ilp > 0 {
@@ -197,18 +208,108 @@ func loadChain(file, net string, batch, size int) (*chain.Chain, error) {
 }
 
 func writeReport(path string, report *core.PlanReport) error {
+	return writeJSONReport(path, report.WriteJSON)
+}
+
+func writeJSONReport(path string, write func(io.Writer) error) error {
 	if path == "-" {
-		return report.WriteJSON(os.Stdout)
+		return write(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := report.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// runFrontier handles -frontier: one PlanFrontier walk over the parsed
+// memory ladder, a human summary of the breakpoints on stdout, and the
+// full FrontierReport as JSON to dest ("-" or empty for stdout).
+func runFrontier(cc *chain.Chain, plat platform.Platform, opts core.Options, reg *obs.Registry, spec, dest string) error {
+	mems, err := parseMemSpec(spec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	fr, err := core.PlanFrontier(cc, plat, mems, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nT*(M) frontier (%d samples, solved in %s):\n",
+		len(fr.Samples), time.Since(start).Round(time.Millisecond))
+	for _, s := range fr.Segments {
+		if s.Feasible {
+			fmt.Printf("  [%6.2f, %6.2f] GB  T*=%.4fs (target %.4fs), certified down to %.2f GB\n",
+				s.MemLo/platform.GB, s.MemHi/platform.GB, s.Predicted, s.Target, s.CertLo/platform.GB)
+		} else {
+			fmt.Printf("  [%6.2f, %6.2f] GB  infeasible\n", s.MemLo/platform.GB, s.MemHi/platform.GB)
+		}
+	}
+	fmt.Printf("  probes: %d folded, %d answered without a DP run (%d by the frontier store), %d replays after the seed\n",
+		fr.Probes, fr.ProbesSaved, fr.FrontierSaved, fr.Replays)
+	report := core.NewFrontierReport(cc, plat, opts, fr)
+	report.AttachObs(reg)
+	if dest == "" {
+		dest = "-"
+	}
+	if err := writeJSONReport(dest, report.WriteJSON); err != nil {
+		return err
+	}
+	if dest != "-" {
+		fmt.Printf("\nfrontier report written to %s\n", dest)
+	}
+	return nil
+}
+
+// parseMemSpec parses the -frontier memory ladder: comma-separated
+// items, each either a single limit in GB or a lo:hi:step range
+// (inclusive of hi when it lands on the step).
+func parseMemSpec(spec string) ([]float64, error) {
+	var mems []float64
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if strings.Contains(item, ":") {
+			parts := strings.Split(item, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad -frontier range %q (want lo:hi:step)", item)
+			}
+			var lo, hi, step float64
+			for i, p := range []*float64{&lo, &hi, &step} {
+				v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad -frontier range %q: %v", item, err)
+				}
+				*p = v
+			}
+			if step <= 0 || hi < lo {
+				return nil, fmt.Errorf("bad -frontier range %q (want lo <= hi, step > 0)", item)
+			}
+			for k := 0; ; k++ {
+				m := lo + float64(k)*step
+				if m > hi*(1+1e-12) {
+					break
+				}
+				mems = append(mems, m*platform.GB)
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -frontier memory %q: %v", item, err)
+		}
+		mems = append(mems, v*platform.GB)
+	}
+	if len(mems) == 0 {
+		return nil, fmt.Errorf("-frontier %q names no memory limits", spec)
+	}
+	return mems, nil
 }
 
 func fatal(err error) {

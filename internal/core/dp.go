@@ -148,6 +148,125 @@ type dpRun struct {
 	// lives here rather than as a planeFill local so the worker closures
 	// capture only r and the run stays allocation-free.
 	certAny atomic.Bool
+
+	// Memory-interval tracking (frontier mode; see frontier.go). When
+	// mtrack is set, every memory-dependent operation the run executes —
+	// normal-branch and special-branch memory checks, the m_P grid
+	// rounding of child states, the base-case check — narrows
+	// [pmlo, pmhi) to the widest memory range on which that operation
+	// provably reproduces its outcome, so the whole probe (traversal,
+	// value, reconstruction choices) replays move-for-move at any memory
+	// limit inside the final interval. The accumulator is probe-global
+	// rather than per-state, which is only sound while every operation
+	// contributing to the answer executes within this probe: the moment
+	// the run adopts a cross-probe certificate — a state settled by a
+	// death or value certificate recorded by an earlier probe, whose
+	// memory constraints this run never re-executed — mAdopted marks the
+	// interval untrustworthy and runDPWith collapses the claim to the
+	// single limit the run verified. Certificates never change answers
+	// (TestCertReuseMatchesColdProbes), so adoption stays armed in
+	// frontier mode for its ~3x probe speedup; wide intervals then come
+	// from certificate-free runs (cold tables, first probes) and from
+	// the frontier store's monotone bracket merging (hint.go), which
+	// needs no tracked width at all.
+	mtrack     bool
+	pmlo, pmhi float64
+	mAdopted   bool
+}
+
+// mPinLo raises the tracked interval's lower edge: the probe's outcome
+// is only claimed for memory limits >= lo. The run itself witnesses its
+// outcome at the current limit, so a safety margin that lands above it
+// (exact-threshold geometry: thr == mem, common on round-number memory
+// grids) clamps to the limit instead of excluding the one point the
+// probe actually verified.
+func (r *dpRun) mPinLo(lo float64) {
+	if lo > r.mem {
+		lo = r.mem
+	}
+	if lo > r.pmlo {
+		r.pmlo = lo
+	}
+}
+
+// mPinHi lowers the tracked interval's upper edge (half-open): the
+// probe's outcome is only claimed for memory limits < hi. Clamped so
+// the current limit always stays inside the interval, as in mPinLo.
+func (r *dpRun) mPinHi(hi float64) {
+	if m := math.Nextafter(r.mem, inf); hi < m {
+		hi = m
+	}
+	if hi < r.pmhi {
+		r.pmhi = hi
+	}
+}
+
+// mPinNorm records a normal-branch memory check stageMem(k,l,g) <= mem.
+// The stage memory is memory-limit-independent and the replayed
+// comparison at M' is direct, so the pin is exact: a pass holds for all
+// M' >= smemN, a failure for all M' < smemN. No epsilon is needed.
+func (r *dpRun) mPinNorm(smemN float64, pass bool) {
+	if pass {
+		r.mPinLo(smemN)
+	} else {
+		r.mPinHi(smemN)
+	}
+}
+
+// mPinSpecial records a special-branch (or base-case) memory check
+// imP*stepM + smem <= mem. Because stepM = M/(nM-1) scales with the
+// memory limit, the check at M' reads imP*M'/(nM-1) + smem <= M', which
+// in real arithmetic flips at Mthr = smem / (1 - imP/(nM-1)). The 1e-12
+// relative margins shrink the claimed range strictly inside the real
+// one, dominating the few-ulp float noise of the replayed evaluation
+// exactly as nInterval's margins do on the T̂ axis. The grid-top index
+// (imP == nM-1) makes the threshold degenerate; the pin collapses to
+// the current limit alone.
+func (r *dpRun) mPinSpecial(imP int, smem float64, pass bool) {
+	q := float64(r.nM-1-imP) / float64(r.nM-1)
+	if q <= 0 {
+		// Grid-top index: mP' is the limit itself up to rounding
+		// (imP*stepM' with imP == nM-1), so for any smem above the
+		// rounding noise the check fails at every limit — the outcome is
+		// memory-independent and needs no pin (the claimed range is
+		// upper-capped at the verified limit by runDPWith, so the
+		// relative noise bound applies throughout it). A marginal smem —
+		// including a pass, only possible when smem is at rounding scale
+		// — pins to the current limit alone.
+		if smem > r.mem*1e-9 && !pass {
+			return
+		}
+		r.mPinLo(r.mem)
+		r.mPinHi(math.Nextafter(r.mem, inf))
+		return
+	}
+	thr := smem / q
+	if pass {
+		r.mPinLo(thr * (1 + 1e-12))
+	} else {
+		r.mPinHi(thr * (1 - 1e-12))
+	}
+}
+
+// mPinRound records the m_P grid rounding of a special-branch child,
+// imPN = roundUp(imP*stepM + smem, stepM, nM): in real arithmetic the
+// ceil argument is imP + x with x = smem*(nM-1)/M', so the index keeps
+// its recorded value c = imPN - imP while x stays on its plateau. x
+// grows as the memory limit shrinks, so "ceil stays <= c" is a lower
+// bound on M' and "ceil stays > c-1" an upper bound — the mirror image
+// of ivnInterval, whose argument grows with its axis. A recorded index
+// at the grid top stays clamped there for every smaller limit, so only
+// the upper bound applies; c == 0 needs no upper bound (x >= 0 always
+// rounds to at least 0). Margins as in mPinSpecial.
+func (r *dpRun) mPinRound(imP, imPN int, smem float64) {
+	c := float64(imPN - imP)
+	scaled := smem * float64(r.nM-1)
+	if imPN < r.nM-1 {
+		r.mPinLo(scaled / (c + 1e-9) * (1 + 1e-12))
+	}
+	if c >= 1 {
+		r.mPinHi(scaled / (c - 1 + 1e-9) * (1 - 1e-12))
+	}
 }
 
 type dpEntry struct {
@@ -454,13 +573,19 @@ func grow(s []float64, n int) []float64 {
 }
 
 // baseCase is the p == 0 case of the recurrence: the remaining prefix
-// becomes a single stage on the special processor.
-func (r *dpRun) baseCase(l int, tP, mP, v float64) dpEntry {
+// becomes a single stage on the special processor. imP is the m_P grid
+// index behind mP, consumed only by frontier-mode interval tracking.
+func (r *dpRun) baseCase(l, imP int, tP, mP, v float64) dpEntry {
 	if r.disableSpecial {
 		return dpEntry{period: inf, k: -1}
 	}
 	g := r.groupsU(v, r.uTo[l])
-	if mP+r.stageMem(1, l, g-1) > r.mem {
+	smem := r.stageMem(1, l, g-1)
+	ok := mP+smem <= r.mem
+	if r.mtrack {
+		r.mPinSpecial(imP, smem, ok)
+	}
+	if !ok {
 		return dpEntry{period: inf, k: -1}
 	}
 	return dpEntry{period: r.uTo[l] + tP, k: -1, special: true}
@@ -485,6 +610,7 @@ func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, int, bool) {
 		if st := r.stats; st != nil {
 			st.StatesCertPruned++
 		}
+		r.mAdopted = true
 		r.tab.putAdopted(idx, dpEntry{period: inf, k: -1})
 		r.tab.valPutDead(idx, r.that)
 		return inf, idx, true
@@ -494,6 +620,7 @@ func (r *dpRun) childValue(l, p, itP, imP, iV int) (float64, int, bool) {
 			if st := r.stats; st != nil {
 				st.StatesValReused++
 			}
+			r.mAdopted = true
 			r.tab.putAdopted(idx, e)
 			return e.period, idx, true
 		}
@@ -519,6 +646,7 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 		if st := r.stats; st != nil {
 			st.StatesCertPruned++
 		}
+		r.mAdopted = true
 		r.tab.putAdopted(idx0, dpEntry{period: inf, k: -1})
 		r.tab.valPutDead(idx0, r.that)
 		return inf
@@ -529,6 +657,7 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 			if st := r.stats; st != nil {
 				st.StatesValReused++
 			}
+			r.mAdopted = true
 			r.tab.putAdopted(idx0, e)
 			return e.period
 		}
@@ -548,7 +677,7 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 		v := float64(f.iV) * r.stepV
 
 		if p == 0 {
-			e := r.baseCase(l, tP, mP, v)
+			e := r.baseCase(l, int(f.imP), tP, mP, v)
 			idx := r.tab.idx(l, 0, int(f.itP), int(f.imP), int(f.iV))
 			r.tab.put(idx, e)
 			if e.period == inf {
@@ -605,6 +734,13 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				iVN = int(e.ivn)
 				normOK = e.g <= gmax
 				smem = e.smem
+				if r.mtrack {
+					// The column threshold is exact: g <= gmax holds iff
+					// stageMem(k,l,g) <= mem (gmaxFor bisects the reference
+					// expression), so the pin value replays the comparison
+					// the columns encode at any memory limit.
+					r.mPinNorm(r.stageMem(k, l, int(e.g)), normOK)
+				}
 				if certOn {
 					// Every visited cut constrains the state's value
 					// certificate: outside [e.lo, e.hi) the cut's group
@@ -621,7 +757,11 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 				g = r.groupsU(v, u)
 				vNext := r.oplus(r.oplus(v, u), cl)
 				iVN = roundUp(vNext, r.stepV, r.nV)
-				normOK = r.stageMem(k, l, g) <= r.mem
+				smemN := r.stageMem(k, l, g)
+				normOK = smemN <= r.mem
+				if r.mtrack {
+					r.mPinNorm(smemN, normOK)
+				}
 				if !r.disableSpecial {
 					smem = r.stageMem(k, l, g-1)
 				}
@@ -684,7 +824,11 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 			// scheduling phase repairs the difference.
 			if !r.disableSpecial {
 				mNext := mP + smem
-				if mNext <= r.mem {
+				specOK := mNext <= r.mem
+				if r.mtrack {
+					r.mPinSpecial(int(f.imP), smem, specOK)
+				}
+				if specOK {
 					f.memOK = true
 					itPN := roundUp(tP+u, r.stepT, r.nT)
 					tNext := float64(itPN) * r.stepT
@@ -698,6 +842,9 @@ func (r *dpRun) solve(l0, p0, itP0, imP0, iV0 int) float64 {
 						continue
 					}
 					imPN := roundUp(mNext, r.stepM, r.nM)
+					if r.mtrack {
+						r.mPinRound(int(f.imP), imPN, smem)
+					}
 					sub, cidx, ok := r.childValue(k-1, p, itPN, imPN, iVN)
 					if !ok {
 						f.k = int32(k)
@@ -773,6 +920,11 @@ type DPResult struct {
 	// value otherwise. The legacy map fallback is uninstrumented beyond
 	// States.
 	Stats DPStats
+	// MLo/MHi bound the half-open memory-limit interval [MLo, MHi) on
+	// which this probe provably replays bit-identically (frontier mode
+	// only; both zero otherwise). The map fallback tracks nothing and
+	// reports the degenerate single-point interval at the run's limit.
+	MLo, MHi float64
 }
 
 // dpConfig bundles the per-invocation knobs of the DP driver.
@@ -786,6 +938,12 @@ type dpConfig struct {
 	// obs enables stats collection and receives cumulative counters and
 	// phase timings; nil disables all instrumentation.
 	obs *obs.Registry
+	// mtrack enables memory-interval tracking for the frontier solver
+	// (frontier.go): the run accumulates the widest [MLo, MHi) on which
+	// its answer replays. Requires the sequential solver (the wavefront's
+	// plane-fill workers would race on the probe-global accumulator) and
+	// is only sound with cross-probe certificate adoption off.
+	mtrack bool
 }
 
 // runDP executes MadPipe-DP for a fixed target period T̂ and reconstructs
@@ -820,7 +978,13 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		nT, nM = 1, 1
 	}
 	if !denseFits(c.Len(), normals, nT, nM, disc.V) {
-		return runDPMap(c, plat, that, disc, cfg.disableSpecial, cfg.weights)
+		res, err := runDPMap(c, plat, that, disc, cfg.disableSpecial, cfg.weights)
+		if err == nil && cfg.mtrack {
+			// The map solver tracks no intervals; claim only the single
+			// memory limit it actually ran at.
+			res.MLo, res.MHi = plat.Memory, math.Nextafter(plat.Memory, inf)
+		}
+		return res, err
 	}
 
 	totalU := c.TotalU()
@@ -838,6 +1002,10 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		r.stats = &r.statsBuf
 		r.obs = cfg.obs
 		r.t0 = time.Now()
+	}
+	if cfg.mtrack {
+		r.mtrack = true
+		r.pmlo, r.pmhi = 0, inf
 	}
 	r.init()
 	tab.reset(c.Len()+1, normals+1, nT, nM, disc.V)
@@ -857,7 +1025,7 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 	// its workers only read them); for chains too long for the quadratic
 	// column directory the lazy solver runs instead, computing cut
 	// scalars inline.
-	wave := cfg.workers >= 2 && tab.cols.on
+	wave := cfg.workers >= 2 && tab.cols.on && !cfg.mtrack
 	if wave {
 		period = r.waveSolve(c.Len(), normals, cfg.workers)
 	} else {
@@ -870,6 +1038,9 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		st.flush(cfg.obs)
 	}
 	if period == inf {
+		if r.mtrack {
+			res.MLo, res.MHi = r.mtrackInterval()
+		}
 		return res, nil
 	}
 	var alloc *partition.Allocation
@@ -883,7 +1054,31 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		return nil, err
 	}
 	res.Alloc = alloc
+	if r.mtrack {
+		// Reconstruction replays grid roundings and may pin further; read
+		// the accumulator only after it completes.
+		res.MLo, res.MHi = r.mtrackInterval()
+	}
 	return res, nil
+}
+
+// mtrackInterval is the memory interval a tracked run may claim: the
+// accumulated [pmlo, pmhi) when every contributing operation ran within
+// this probe, or the bare verified limit when any state was adopted
+// from a cross-probe certificate (see dpRun.mAdopted). The upper edge
+// is clamped to just above the verified limit either way: the raw edge
+// can genuinely extend higher, but the frontier only walks downward,
+// and capping keeps every relative noise bound in the pin derivations
+// valid over the whole claimed range.
+func (r *dpRun) mtrackInterval() (float64, float64) {
+	if r.mAdopted {
+		return r.mem, math.Nextafter(r.mem, inf)
+	}
+	hi := math.Nextafter(r.mem, inf)
+	if r.pmhi < hi {
+		hi = r.pmhi
+	}
+	return r.pmlo, hi
 }
 
 // reconstruct replays the tabulated decisions from the root state and
@@ -933,7 +1128,12 @@ func (r *dpRun) reconstruct(normals int) (*partition.Allocation, error) {
 		stages = append(stages, rev{span: chain.Span{From: k, To: l}, special: e.special})
 		if e.special {
 			itP = roundUp(tP+u, r.stepT, r.nT)
-			imP = roundUp(mP+r.stageMem(k, l, g-1), r.stepM, r.nM)
+			smem := r.stageMem(k, l, g-1)
+			prevImP := imP
+			imP = roundUp(mP+smem, r.stepM, r.nM)
+			if r.mtrack {
+				r.mPinRound(prevImP, imP, smem)
+			}
 		} else {
 			p--
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"madpipe/internal/chain"
+	"madpipe/internal/partition"
+	"madpipe/internal/platform"
 )
 
 // Bracket is a closed target-period interval [Lo, Hi]. PlanAllocation
@@ -60,6 +62,44 @@ type Hint struct {
 	// (DisableSpecial) mode: one Hint serves both searches of a sweep
 	// cell, including the contiguous re-plan inside PlanAndSchedule.
 	floors [2]floorStore
+	// frontier arms the feasible-probe store (armFrontier): searches run
+	// their DP probes with memory-interval tracking (sound per run even
+	// under certificate adoption — an adopting run collapses its claim
+	// to the limit it verified, see dpRun.mAdopted), and feasible probe
+	// results are recorded with the half-open memory interval on which
+	// they provably replay, widened by monotone bracket merging.
+	// Infeasible probes keep using the floors above (their coverage —
+	// every M' <= the recorded limit — is strictly wider). Disarmed
+	// hints never consult or grow the store, so non-frontier callers pay
+	// nothing.
+	frontier bool
+	// probes[mode] maps an exact probe target T̂ to the feasible results
+	// recorded at that target, each valid on its own memory interval.
+	// Walking one row keeps this tiny: one record per frontier segment
+	// per target.
+	probes [2]map[float64][]frontierRec
+}
+
+// frontierRec is one feasible DP probe outcome pinned to the half-open
+// memory interval [mlo, mhi) on which the probe provably returns the
+// same answer. The interval is seeded by a DP run's tracked replay
+// interval (see dpRun.mtrack) and widened by monotone bracket merging
+// (see frontierRecord): at a fixed probe target T̂ a decision
+// sequence's value is memory-independent — memory only gates
+// feasibility — and its feasibility is monotone in the limit (the
+// same exact domination argument behind the infeasibility floors: the
+// m_P grid step scales with M, so every memory check only gets harder
+// as M shrinks). Two runs at M1 < M2 returning the same period and
+// the same allocation therefore pin the probe's answer on all of
+// [M1, M2]: the optimal value is sandwiched between equal endpoints,
+// and the reconstruction — a deterministic, memory-independent
+// tie-break over decision sequences whose feasible set grows
+// monotonically with M — picks the same sequence everywhere between
+// endpoints that agree on it.
+type frontierRec struct {
+	mlo, mhi float64
+	period   float64
+	alloc    *partition.Allocation
 }
 
 // NewHint returns an empty hint for one sweep row.
@@ -140,6 +180,17 @@ func (h *Hint) record(disableSpecial bool, that, mem float64) {
 	}
 }
 
+// floorAt returns the recorded infeasibility floor for exactly target
+// that — the largest memory limit at which the probe is proven
+// infeasible — or false when none exists (nil-safe).
+func (h *Hint) floorAt(disableSpecial bool, that float64) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	rec, ok := h.floors[modeIdx(disableSpecial)].mem[that]
+	return rec, ok
+}
+
 // recordDead notes that an entire search failed at memory limit mem
 // (nil-safe).
 func (h *Hint) recordDead(disableSpecial bool, mem float64) {
@@ -150,6 +201,94 @@ func (h *Hint) recordDead(disableSpecial bool, mem float64) {
 	if mem > f.deadMem {
 		f.deadMem = mem
 	}
+}
+
+// armFrontier switches the hint into frontier mode (nil-safe): searches
+// bound to it run interval-tracked DP probes and reuse feasible probe
+// results across memory limits. Arming is
+// one-way for the hint's lifetime — mixing tracked and untracked
+// searches on one store would record intervals the untracked probes
+// never validated.
+func (h *Hint) armFrontier() {
+	if h != nil {
+		h.frontier = true
+	}
+}
+
+// frontierArmed reports whether the feasible-probe store is active.
+func (h *Hint) frontierArmed() bool {
+	return h != nil && h.frontier
+}
+
+// frontierCovered looks up a feasible probe result at exactly target
+// that whose recorded memory interval contains mem. The returned result
+// re-targets the recorded allocation at the caller's platform (same
+// workers/bandwidth/latency by the bind contract; only Memory moves),
+// sharing the immutable span and processor slices.
+func (h *Hint) frontierCovered(disableSpecial bool, that, mem float64, plat platform.Platform) (*DPResult, bool) {
+	if !h.frontierArmed() {
+		return nil, false
+	}
+	for _, rec := range h.probes[modeIdx(disableSpecial)][that] {
+		if rec.mlo <= mem && mem < rec.mhi {
+			a := *rec.alloc
+			a.Plat = plat
+			return &DPResult{Period: rec.period, Alloc: &a, MLo: rec.mlo, MHi: rec.mhi}, true
+		}
+	}
+	return nil, false
+}
+
+// frontierRecord stores a feasible DP probe outcome with its tracked
+// memory-validity interval (no-op unless armed, the probe is feasible,
+// and tracking produced a non-degenerate interval). A new observation
+// whose period and allocation match an existing record at the same
+// target merges into it, widening the record to the hull of both
+// intervals: the gap between the two observed limits is certified by
+// monotonicity (see frontierRec), and each tracked interval certifies
+// its own overhang beyond its observation. This is what makes a
+// bisection-ordered frontier walk cheap — once the two ends of a
+// plateau are solved, every probe of every sample between them is
+// answered by the merged record.
+func (h *Hint) frontierRecord(disableSpecial bool, that float64, dp *DPResult) {
+	if !h.frontierArmed() || dp.Alloc == nil || !(dp.MLo < dp.MHi) {
+		return
+	}
+	m := modeIdx(disableSpecial)
+	if h.probes[m] == nil {
+		h.probes[m] = make(map[float64][]frontierRec)
+	}
+	recs := h.probes[m][that]
+	for i := range recs {
+		rec := &recs[i]
+		if rec.period == dp.Period && allocSame(rec.alloc, dp.Alloc) {
+			if dp.MLo < rec.mlo {
+				rec.mlo = dp.MLo
+			}
+			if dp.MHi > rec.mhi {
+				rec.mhi = dp.MHi
+			}
+			return
+		}
+	}
+	h.probes[m][that] = append(recs, frontierRec{
+		mlo: dp.MLo, mhi: dp.MHi, period: dp.Period, alloc: dp.Alloc,
+	})
+}
+
+// allocSame reports whether two allocations make the same decisions:
+// identical spans and processor assignments (the chain, platform shape
+// and weight policy are fixed by the hint's bind contract).
+func allocSame(a, b *partition.Allocation) bool {
+	if len(a.Spans) != len(b.Spans) {
+		return false
+	}
+	for i := range a.Spans {
+		if a.Spans[i] != b.Spans[i] || a.Procs[i] != b.Procs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Dead reports whether a whole search at memory limit mem is dominated
@@ -174,4 +313,14 @@ type ResultHint struct {
 	Bracket     Bracket
 	Probes      int
 	ProbesSaved int
+	// FrontierSaved is the subset of ProbesSaved answered by the
+	// frontier's feasible-probe store (as opposed to infeasibility
+	// floors); zero unless the search ran under an armed frontier hint.
+	FrontierSaved int
+	// MemLo/MemHi bound the half-open memory interval [MemLo, MemHi) on
+	// which the whole search provably replays: the intersection of every
+	// folded probe's validity interval (tracked for DP runs, recorded for
+	// store hits, (0, M] for floor hits). Populated only by frontier-mode
+	// sequential searches; both zero otherwise.
+	MemLo, MemHi float64
 }

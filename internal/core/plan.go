@@ -78,6 +78,10 @@ type Options struct {
 	// death certificates. Outputs are bit-identical with or without a
 	// hint: the probe T̂ trajectory never changes, only the DP work needed
 	// to answer it (floor-answered probes report zero States). See Hint.
+	// A frontier-armed hint (PlanFrontier) additionally reuses feasible
+	// probe results across memory limits; only the sequential search
+	// (resolved Parallel == 1) consults and grows that store — the
+	// parallel search stays correct but reaps no frontier savings.
 	Hint *Hint
 }
 
@@ -269,8 +273,21 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		// memory-limit change).
 		tab, tkey := leaseTableFor(c, plat, opts)
 		defer returnTableFor(tab, tkey, opts)
+		frontier := opts.Hint.frontierArmed()
+		// Certificate adoption stays armed in frontier mode too — adoption
+		// never changes answers (TestCertReuseMatchesColdProbes), and
+		// disabling it would make every frontier probe pay the full DP,
+		// tripling sweep wall time. Soundness of the tracked memory
+		// intervals is preserved per run instead: a probe that adopted any
+		// certificate collapses its claim to the limit it verified
+		// (dpRun.mAdopted), and the frontier store's bracket merging
+		// re-widens coverage from outcome monotonicity alone.
 		tab.certArm(plat.Memory)
-		cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: 1, obs: opts.Obs}
+		cfg := dpConfig{disc: opts.Disc, disableSpecial: opts.DisableSpecial, weights: opts.Weights, workers: 1, obs: opts.Obs, mtrack: frontier}
+		// smlo/smhi accumulate the whole search's memory-validity interval
+		// [MemLo, MemHi): the intersection of every folded probe's own
+		// interval (frontier mode only).
+		smlo, smhi := 0.0, inf
 		var probeErr error
 		labelPhase("probe", func() {
 			that := lb
@@ -282,7 +299,28 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 					// trace, probe count and final result are bit-identical to
 					// the cold search — only States drops to zero.
 					res.Hint.ProbesSaved++
+					if frontier {
+						if fm, ok := opts.Hint.floorAt(opts.DisableSpecial, that); ok {
+							if hi := math.Nextafter(fm, inf); hi < smhi {
+								smhi = hi
+							}
+						}
+					}
 					fold(that, &DPResult{Period: math.Inf(1)}, 0, 0, 0)
+				} else if dp, ok := opts.Hint.frontierCovered(opts.DisableSpecial, that, plat.Memory, plat); ok {
+					// A feasible probe recorded at another memory limit whose
+					// validity interval contains ours: fold its result — same
+					// period, same allocation re-targeted at this platform —
+					// without a DP run. States stays zero, like a floor fold.
+					res.Hint.ProbesSaved++
+					res.Hint.FrontierSaved++
+					if dp.MLo > smlo {
+						smlo = dp.MLo
+					}
+					if dp.MHi < smhi {
+						smhi = dp.MHi
+					}
+					fold(that, dp, 0, 0, 0)
 				} else {
 					var pStart time.Time
 					if opts.Obs != nil {
@@ -302,6 +340,22 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 					}
 					if dp.Alloc == nil {
 						opts.Hint.record(opts.DisableSpecial, that, plat.Memory)
+						if frontier {
+							// The floor just recorded is exact for every
+							// M' <= Memory (see Hint); below-only coverage is
+							// all a downward frontier walk needs.
+							if hi := math.Nextafter(plat.Memory, inf); hi < smhi {
+								smhi = hi
+							}
+						}
+					} else if frontier {
+						opts.Hint.frontierRecord(opts.DisableSpecial, that, dp)
+						if dp.MLo > smlo {
+							smlo = dp.MLo
+						}
+						if dp.MHi < smhi {
+							smhi = dp.MHi
+						}
 					}
 					fold(that, dp, 0, startNS, durNS)
 				}
@@ -313,6 +367,9 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		})
 		if probeErr != nil {
 			return nil, probeErr
+		}
+		if frontier {
+			res.Hint.MemLo, res.Hint.MemHi = smlo, smhi
 		}
 	}
 	res.Hint.Bracket = Bracket{Lo: lb, Hi: ub}
@@ -458,8 +515,21 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, p
 
 // bracketCandidates spreads k probe targets over the bracket. The first
 // round anchors at the lower bound — the sequential search's first probe
-// — and later rounds sample interior points, degenerating to the exact
-// bisection midpoint for k == 1.
+// — and later rounds sample interior points lb + (ub-lb)·i/(k+1), which
+// for k == 1 is the midpoint in the incremental formulation lb +
+// (ub-lb)/2 (up to one ulp from the sequential search's (lb+ub)/2 — the
+// two searches have distinct probe schedules by design, see
+// Options.Parallel). Two invariants the parallel search relies on:
+//
+//   - Candidates never leave [lb, ub]: ub is clamped up to lb first and
+//     the interpolation weight i/(k+1) lies in (0, 1), so a fold that
+//     tightened the bracket cannot push a probe outside it.
+//   - At a degenerate bracket (lb == ub, produced when a feasible fold
+//     lands Effective exactly on the lower bound with budget left)
+//     every candidate equals lb exactly: ub-lb is exactly zero and
+//     lb + 0·w == lb in floating point for the positive periods probed
+//     here, so the k == 1 midpoint re-probes lb instead of drifting off
+//     the bracket by an ulp. TestBracketCandidatesDegenerate pins both.
 func bracketCandidates(lb, ub float64, k int, first bool) []float64 {
 	if ub < lb {
 		ub = lb

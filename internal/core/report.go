@@ -14,7 +14,7 @@ import (
 // PlanReports and exported traces, so archived artifacts are
 // self-describing. Bump it when a change alters planner outputs or the
 // meaning of a reported counter.
-const PlannerVersion = "madpipe-planner/3"
+const PlannerVersion = "madpipe-planner/4"
 
 // ChainSummary condenses the planned chain for reports and trace
 // metadata.
@@ -206,6 +206,124 @@ func (r *PlanReport) TotalStats() DPStats {
 
 // WriteJSON writes the report as indented JSON.
 func (r *PlanReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SegmentReport is one T*(M) plateau in a FrontierReport. JSON cannot
+// encode +Inf, so infeasible segments carry Feasible=false with the
+// periods zeroed instead of infinite.
+type SegmentReport struct {
+	MemHi    float64 `json:"mem_hi"`
+	MemLo    float64 `json:"mem_lo"`
+	CertLo   float64 `json:"cert_lo"`
+	Feasible bool    `json:"feasible"`
+	// Predicted/Target are the plateau's phase-1 periods (absent when
+	// infeasible).
+	Predicted float64 `json:"predicted,omitempty"`
+	Target    float64 `json:"target,omitempty"`
+	// Stages is the plateau's allocation (absent when infeasible).
+	Stages []StageReport `json:"stages,omitempty"`
+	// Probes/Replays are the plateau's probe economics (see
+	// FrontierSegment).
+	Probes  int `json:"probes"`
+	Replays int `json:"replays"`
+}
+
+// FrontierReport is the structured output of one PlanFrontier walk: the
+// T*(M) breakpoint list over the sampled memory range, with the same
+// chain/platform/options envelope as a PlanReport. Emitted by
+// `cmd/madpipe -frontier`. The envelope's platform memory is the
+// highest sampled limit.
+type FrontierReport struct {
+	Version  string          `json:"version"`
+	Chain    ChainSummary    `json:"chain"`
+	Platform PlatformSummary `json:"platform"`
+	Options  OptionsSummary  `json:"options"`
+
+	// Samples are the memory limits walked, descending.
+	Samples []float64 `json:"samples"`
+	// Segments are the breakpoint list, descending; consecutive segments
+	// always differ in outcome.
+	Segments []SegmentReport `json:"segments"`
+
+	// Probe economics of the whole walk (see FrontierResult).
+	Probes        int `json:"probes"`
+	ProbesSaved   int `json:"probes_saved"`
+	FrontierSaved int `json:"frontier_saved"`
+	Replays       int `json:"replays"`
+
+	// Obs is a snapshot of the walk's registry, when one was attached.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// NewFrontierReport builds a report from a frontier solve. c, plat and
+// opts must be the inputs PlanFrontier received.
+func NewFrontierReport(c *chain.Chain, plat platform.Platform, opts Options, fr *FrontierResult) *FrontierReport {
+	opts = opts.withDefaults()
+	opts.Parallel = 1 // PlanFrontier pins the sequential search
+	plat.Memory = fr.Samples[0]
+	r := &FrontierReport{
+		Version: PlannerVersion,
+		Chain: ChainSummary{
+			Layers:    c.Len(),
+			TotalU:    c.TotalU(),
+			TotalComm: c.TotalCommTimeAlphaBeta(plat.Latency, plat.Bandwidth),
+		},
+		Platform: PlatformSummary{
+			Workers: plat.Workers, Memory: plat.Memory,
+			Latency: plat.Latency, Bandwidth: plat.Bandwidth,
+		},
+		Options: OptionsSummary{
+			Disc:           opts.Disc,
+			Iterations:     opts.Iterations,
+			DisableSpecial: fr.DisableSpecial,
+			MaxChainLength: opts.MaxChainLength,
+			Parallel:       opts.Parallel,
+			Workers:        1,
+			ProbeFan:       1,
+			WaveWorkers:    1,
+			Observed:       opts.Obs != nil,
+		},
+		Samples:       fr.Samples,
+		Probes:        fr.Probes,
+		ProbesSaved:   fr.ProbesSaved,
+		FrontierSaved: fr.FrontierSaved,
+		Replays:       fr.Replays,
+	}
+	r.Segments = make([]SegmentReport, 0, len(fr.Segments))
+	for _, s := range fr.Segments {
+		sr := SegmentReport{
+			MemHi: s.MemHi, MemLo: s.MemLo, CertLo: s.CertLo,
+			Probes: s.Probes, Replays: s.Replays,
+		}
+		if s.Feasible {
+			sr.Feasible = true
+			sr.Predicted, sr.Target = s.Predicted, s.Target
+			if a := s.Result.Alloc; a != nil {
+				sr.Stages = make([]StageReport, len(a.Spans))
+				for i, sp := range a.Spans {
+					sr.Stages[i] = StageReport{From: sp.From, To: sp.To, Proc: a.Procs[i]}
+				}
+			}
+		}
+		r.Segments = append(r.Segments, sr)
+	}
+	return r
+}
+
+// AttachObs embeds a snapshot of the registry the walk recorded into.
+func (r *FrontierReport) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := reg.Snapshot()
+	r.Obs = &s
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *FrontierReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

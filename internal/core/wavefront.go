@@ -84,7 +84,7 @@ func (r *dpRun) waveSolve(L, P, workers int) float64 {
 	t := r.tab
 	rootIdx := t.idx(L, P, 0, 0, 0)
 	if P == 0 {
-		e := r.baseCase(L, 0, 0, 0)
+		e := r.baseCase(L, 0, 0, 0, 0)
 		t.put(rootIdx, e)
 		if e.period == inf {
 			t.certMark(rootIdx, r.that)
@@ -260,7 +260,7 @@ func (r *dpRun) frontierLevel(l int) {
 
 		if p == 0 {
 			v := float64(iV) * r.stepV
-			e := r.baseCase(l, tP, mP, v)
+			e := r.baseCase(l, imP, tP, mP, v)
 			t.put(idx, e)
 			if e.period == inf {
 				t.certMark(idx, r.that)

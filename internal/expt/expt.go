@@ -91,6 +91,16 @@ type Row struct {
 	SeqTime float64 // U(1,L): sequential time per mini-batch
 	PipeDream, MadPipe,
 	MadPipeContig Outcome
+	// FrontierBreakpoints, FrontierReplays and FrontierProbes are the
+	// parametric-frontier economics of the sweep row this configuration
+	// belongs to (one row = one chain, worker count and bandwidth swept
+	// over the memory axis), summed over both planner modes: how many
+	// T*(M) plateaus the row's memory ladder resolved into, how many DP
+	// probes had to re-run after the seed sample, and how many probes the
+	// row's searches folded in total. Every cell of a row carries the same
+	// values; all zero for standalone Run calls and for sweeps that opt
+	// into planner-internal parallelism (see Runner.rowFrontier).
+	FrontierBreakpoints, FrontierReplays, FrontierProbes int
 }
 
 // Runner executes configurations with shared settings.
@@ -414,9 +424,24 @@ func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, e
 		})
 		for _, rowIdx := range mine {
 			hint := core.NewHint()
+			// Parametric frontier pre-solve: one PlanFrontier walk per
+			// planner mode over the row's memory ladder. Every sample's
+			// phase-1 result is memoized in this shard's cache under the
+			// exact per-cell planner key, and whole-search failures land in
+			// the row hint as death certificates — so the cell loop below is
+			// unchanged but its planners replay from the memo (or skip dead
+			// cells) instead of bisecting per cell.
+			mems := make([]float64, 0, nM)
+			for _, mi := range morder {
+				mems = append(mems, cells[rowIdx*nM+mi].plat.Memory)
+			}
+			breaks, replays, probes := r.rowFrontier(cells[rowIdx*nM].cc, cache, hint, cells[rowIdx*nM].plat, mems)
 			for _, mi := range morder {
 				i := rowIdx*nM + mi
 				rows[i] = r.runCell(cells[i].net, cells[i].cc, cache, hint, false, cells[i].plat)
+				rows[i].FrontierBreakpoints = breaks
+				rows[i].FrontierReplays = replays
+				rows[i].FrontierProbes = probes
 				finish(i)
 			}
 		}
@@ -441,6 +466,42 @@ func (r *Runner) Sweep(chains []*chain.Chain, g Grid, onRow func(Row)) ([]Row, e
 	}
 	wg.Wait()
 	return rows, nil
+}
+
+// rowFrontier solves one sweep row's T*(M) frontier in both planner
+// modes, memoizing each sample's phase-1 result in cache and recording
+// dominance facts in hint. The options mirror runMadPipe's exactly —
+// same discretization, iterations, weights, registry, cache and hint,
+// with the probe fan pinned to 1 — so the memo keys the frontier writes
+// are the keys the cell loop reads. Returns the row's breakpoint,
+// replay and probe totals summed over both modes.
+//
+// A runner that opts into planner-internal parallelism (Opts.Parallel >
+// 1) skips the pre-solve: the frontier needs the sequential reference
+// search, and a hint binds to one probe fan — the cells then plan
+// per-cell exactly as before, sharing only the hint's dominance floors.
+func (r *Runner) rowFrontier(cc *chain.Chain, cache *core.PlannerCache, hint *core.Hint, plat platform.Platform, mems []float64) (breaks, replays, probes int) {
+	if r.Opts.Parallel > 1 {
+		return 0, 0, 0
+	}
+	for _, contig := range []bool{false, true} {
+		opts := r.Opts
+		opts.DisableSpecial = contig
+		opts.Parallel = 1
+		opts.Obs = r.Obs
+		opts.Cache = cache
+		opts.Hint = hint
+		fr, err := core.PlanFrontier(cc, plat, mems, opts)
+		if err != nil {
+			// Nothing was lost: the cell loop still plans every cell, just
+			// without shared DP work for this mode.
+			continue
+		}
+		breaks += fr.Breakpoints()
+		replays += fr.Replays
+		probes += fr.Probes
+	}
+	return breaks, replays, probes
 }
 
 func (r *Runner) workerCount() int {

@@ -343,6 +343,7 @@ func TestSweepDominance(t *testing.T) {
 			got := row
 			got.MadPipe.Probes, got.MadPipe.ProbesSaved = want.MadPipe.Probes, want.MadPipe.ProbesSaved
 			got.MadPipeContig.Probes, got.MadPipeContig.ProbesSaved = want.MadPipeContig.Probes, want.MadPipeContig.ProbesSaved
+			got.FrontierBreakpoints, got.FrontierReplays, got.FrontierProbes = 0, 0, 0
 			if !rowsEqual(got, want) {
 				t.Errorf("sweep row (net=%s P=%d M=%g) differs from standalone Run:\n got %+v\nwant %+v",
 					row.Net, row.Workers, row.MemGB, got, want)
@@ -365,4 +366,64 @@ func rowsEqual(a, b Row) bool {
 		return r
 	}
 	return norm(a) == norm(b)
+}
+
+// TestFrontierSamplingMatchesPerCell is the sweep-level half of the
+// parametric-frontier property (the core half lives in
+// internal/core/frontier_test.go): a sweep whose rows are pre-solved by
+// PlanFrontier and sampled at the grid memories must report the same
+// planner outcomes — periods, feasibility, schedulers, simulation
+// verdicts — as an isolated, hint-free Run of every cell, at every
+// parallelism level. Only the probe-economics fields may differ (the
+// whole point of the frontier is to save probes a standalone run
+// cannot), so those are normalized out. Run with -race to exercise the
+// shard workers.
+func TestFrontierSamplingMatchesPerCell(t *testing.T) {
+	// A memory ladder dense enough that rows have both plateaus and
+	// breakpoints, plus an infeasible floor at the bottom.
+	grid := Grid{Workers: []int{2, 4}, MemoryGB: []float64{1, 2, 3, 4, 6, 8, 12, 16}, BandwidthG: []float64{12}}
+	for _, par := range []int{1, 4} {
+		r := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: par}
+		rows, err := r.Sweep(testChains(), grid, nil)
+		if err != nil {
+			t.Fatalf("parallel=%d sweep: %v", par, err)
+		}
+		frontierRan := false
+		for _, row := range rows {
+			if row.FrontierProbes > 0 {
+				frontierRan = true
+			}
+			if row.FrontierReplays > row.FrontierProbes {
+				t.Errorf("parallel=%d: row (net=%s P=%d M=%g) replays %d exceed probes %d",
+					par, row.Net, row.Workers, row.MemGB, row.FrontierReplays, row.FrontierProbes)
+			}
+		}
+		if !frontierRan {
+			t.Fatalf("parallel=%d: no row recorded frontier probes; the pre-solve never ran", par)
+		}
+		for _, c := range testChains() {
+			solo := &Runner{SimPeriods: 12, MaxChain: 10, Parallel: 1}
+			for _, row := range rows {
+				if row.Net != c.Name() {
+					continue
+				}
+				want, err := solo.Run(c, platform.Platform{
+					Workers:   row.Workers,
+					Memory:    row.MemGB * platform.GB,
+					Bandwidth: row.BandGB * platform.GB,
+				})
+				if err != nil {
+					t.Fatalf("Run(%s, P=%d, M=%g): %v", row.Net, row.Workers, row.MemGB, err)
+				}
+				got := row
+				got.MadPipe.Probes, got.MadPipe.ProbesSaved = want.MadPipe.Probes, want.MadPipe.ProbesSaved
+				got.MadPipeContig.Probes, got.MadPipeContig.ProbesSaved = want.MadPipeContig.Probes, want.MadPipeContig.ProbesSaved
+				got.FrontierBreakpoints, got.FrontierReplays, got.FrontierProbes = 0, 0, 0
+				if !rowsEqual(got, want) {
+					t.Errorf("parallel=%d: frontier-sampled row (net=%s P=%d M=%g) differs from standalone Run:\n got %+v\nwant %+v",
+						par, row.Net, row.Workers, row.MemGB, got, want)
+				}
+			}
+		}
+	}
 }

@@ -168,20 +168,26 @@ func AblationTable(rows []Row) string {
 	return b.String()
 }
 
-// CSV renders the raw sweep, one line per configuration. The last five
+// CSV renders the raw sweep, one line per configuration. The trailing
 // columns are the MadPipe planner's pruning-rate breakdown (states
 // evaluated fresh, states settled by death certificates, fraction of
 // cut positions skipped by the kmin floor and the monotone break, the
 // fraction of settled states adopted from cross-probe value
-// certificates, and the fraction of bisection probes answered by the
-// sweep's dominance floors without a DP run). The first four are empty
-// unless the sweep ran with an observability registry attached (see
-// Runner.Obs and EXPERIMENTS.md); mp_probes_saved_pct comes from the
-// outcomes themselves and is empty only when phase 1 found nothing in
-// either mode.
+// certificates, and the fraction of bisection probes answered without
+// a DP run — dominance floors plus the frontier store) followed by the
+// parametric-frontier economics of the configuration's sweep row
+// (mp_frontier_breakpoints: T*(M) plateaus the row resolved into, both
+// modes summed; mp_frontier_replays_pct: DP probes re-run after the
+// row's seed sample as a percentage of all probes the row folded). The
+// pruning columns are empty unless the sweep ran with an observability
+// registry attached (see Runner.Obs and EXPERIMENTS.md);
+// mp_probes_saved_pct comes from the outcomes themselves and is empty
+// only when phase 1 found nothing in either mode; the frontier columns
+// are empty when the row was not frontier-solved (standalone Run rows,
+// or sweeps with planner-internal parallelism).
 func CSV(rows []Row) string {
 	var b strings.Builder
-	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct,mp_val_reuse_pct,mp_probes_saved_pct\n")
+	b.WriteString("net,workers,mem_gb,bw_gbs,seq_s,pd_pred,pd_valid,pd_sched,pd_simok,mp_pred,mp_valid,mp_sched,mp_simok,contig_valid,mp_states,mp_cert_pruned,mp_cut_skip_pct,mp_val_reuse_pct,mp_probes_saved_pct,mp_frontier_breakpoints,mp_frontier_replays_pct\n")
 	csvf := func(v float64) string {
 		if math.IsInf(v, 1) {
 			return "inf"
@@ -207,11 +213,16 @@ func CSV(rows []Row) string {
 			saved := r.MadPipe.ProbesSaved + r.MadPipeContig.ProbesSaved
 			savedPct = fmt.Sprintf("%.2f", 100*float64(saved)/float64(probes))
 		}
-		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s,%s,%s\n",
+		var frontBreaks, frontReplaysPct string
+		if r.FrontierProbes > 0 {
+			frontBreaks = fmt.Sprintf("%d", r.FrontierBreakpoints)
+			frontReplaysPct = fmt.Sprintf("%.2f", 100*float64(r.FrontierReplays)/float64(r.FrontierProbes))
+		}
+		fmt.Fprintf(&b, "%s,%d,%.0f,%.0f,%.6f,%s,%s,%s,%t,%s,%s,%s,%t,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.Net, r.Workers, r.MemGB, r.BandGB, r.SeqTime,
 			csvf(r.PipeDream.Predicted), csvf(r.PipeDream.Valid), r.PipeDream.Scheduler, r.PipeDream.SimOK,
 			csvf(r.MadPipe.Predicted), csvf(r.MadPipe.Valid), r.MadPipe.Scheduler, r.MadPipe.SimOK,
-			csvf(r.MadPipeContig.Valid), states, pruned, skipPct, valPct, savedPct)
+			csvf(r.MadPipeContig.Valid), states, pruned, skipPct, valPct, savedPct, frontBreaks, frontReplaysPct)
 	}
 	return b.String()
 }

@@ -145,3 +145,52 @@ func TestObsEnabledSameHeadline(t *testing.T) {
 		t.Errorf("registry empty after an observed plan: %+v", snap.Counters)
 	}
 }
+
+// TestObsFrontierCounters extends the guard to the parametric frontier
+// solver: attaching a registry must not change a frontier's segments,
+// and the frontier_* counters must land in the snapshot and agree with
+// the result's own economics.
+func TestObsFrontierCounters(t *testing.T) {
+	c, err := nets.Build(nets.PaperSpec("resnet50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = c.Coarsen(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := benchPlat(4, 16, 12)
+	var mems []float64
+	for m := 3.0; m <= 16; m++ {
+		mems = append(mems, m*1e9)
+	}
+	off, err := core.PlanFrontier(c, plat, mems, core.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	on, err := core.PlanFrontier(c, plat, mems, core.Options{Parallel: 1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.Segments) != len(off.Segments) || on.Probes != off.Probes || on.Replays != off.Replays {
+		t.Fatalf("observability changed the frontier: %d/%d/%d segments/probes/replays vs %d/%d/%d",
+			len(on.Segments), on.Probes, on.Replays, len(off.Segments), off.Probes, off.Replays)
+	}
+	for i := range on.Segments {
+		a, b := on.Segments[i], off.Segments[i]
+		if a.Predicted != b.Predicted || a.Target != b.Target || a.MemHi != b.MemHi || a.MemLo != b.MemLo {
+			t.Fatalf("segment %d differs with observability on: %+v vs %+v", i, a, b)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["frontier_breakpoints"]; got != uint64(on.Breakpoints()) {
+		t.Errorf("frontier_breakpoints = %d, result has %d", got, on.Breakpoints())
+	}
+	if got := snap.Counters["frontier_replays"]; got != uint64(on.Replays) {
+		t.Errorf("frontier_replays = %d, result has %d", got, on.Replays)
+	}
+	if got := snap.Counters["frontier_probes_saved"]; got != uint64(on.FrontierSaved) {
+		t.Errorf("frontier_probes_saved = %d, result has %d", got, on.FrontierSaved)
+	}
+}

@@ -51,7 +51,7 @@ echo "== go test"
 go test ./...
 
 echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting)"
-go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold' \
+go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell' \
 	./internal/core/ ./internal/expt/ ./internal/obs/
 
 # The sweep's warm-shard determinism contract ("bit-identical at any -j")
@@ -82,5 +82,13 @@ go run ./cmd/benchdiff -bench 'BenchmarkMadPipeDP$|BenchmarkAlgorithm1$|Benchmar
 # the gate outright. Wall time on the same series stays advisory.
 echo "== sweep probe-count regression check (gate: probes/op, exact)"
 go run ./cmd/benchdiff -bench 'BenchmarkFig7Sweep$' -benchtime 1x -write=false -gate probes -threshold 0
+
+# The frontier solver's probe economics are likewise exact for a fixed
+# ladder: probes/op (what per-cell bisection would fold at the same
+# limits) and dpprobes/op (what the frontier actually ran) pin the
+# >= 3x DP-probe reduction — a drift in either is a certificate- or
+# walk-behavior change and fails the gate outright.
+echo "== frontier probe-economics regression check (gate: probes/op + dpprobes/op, exact)"
+go run ./cmd/benchdiff -bench 'BenchmarkFig7Frontier$' -benchtime 1x -write=false -gate probes/op,dpprobes/op -threshold 0
 
 echo "verify: OK"
