@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race bench bench-quick bench-warm vet obs-demo
+.PHONY: all build test verify race bench bench-quick bench-warm bench-serve vet obs-demo serve
 
 all: build
 
@@ -29,7 +29,7 @@ race:
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
 # ns/op or allocs/op regressions against the previous snapshot.
 bench:
-	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler' -benchtime 3x
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler|BenchmarkServeLoad|BenchmarkServeMemo' -benchtime 3x
 
 # bench-quick compares without recording a snapshot.
 bench-quick:
@@ -42,6 +42,21 @@ bench-quick:
 # live value-certificate reuse.
 bench-warm:
 	$(GO) run ./cmd/benchdiff -bench 'BenchmarkAlgorithm1Sweep' -benchtime 3x -count 3 -warm
+
+# bench-serve runs the serving benchmarks alone (plans/sec, latency
+# quantiles, memo hit economics at 1/8/64 clients plus the isolated
+# hit-vs-cold pair) and compares against the committed snapshot without
+# recording a new one. misses/op is exact only at one client (concurrent
+# first contacts each record a miss before single-flight collapses
+# them), so only ServeLoad1 is gated; the c=8/64 runs print for review.
+bench-serve:
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkServeLoad1$$|BenchmarkServeMemo' -benchtime 1x -write=false -gate misses/op -threshold 0
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkServeLoad8$$|BenchmarkServeLoad64$$' -benchtime 1x -write=false
+
+# serve boots the planning daemon on its default port with defaults
+# suitable for local use; madpipeload (or curl) can then POST /v1/plan.
+serve:
+	$(GO) run ./cmd/madpiped -addr 127.0.0.1:7333
 
 # obs-demo plans ResNet-50 with full observability: the PlanReport prints
 # to stdout, and /metrics, /debug/vars and /debug/pprof serve on an

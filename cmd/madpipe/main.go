@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ func main() {
 		statsFile = flag.String("stats", "", "write a structured PlanReport JSON to this file (\"-\" for stdout)")
 		listen    = flag.String("listen", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address while planning, e.g. :8080")
 		parallel  = flag.Int("parallel", 0, "planner worker budget (0 auto, 1 sequential reference; see core.Options.Parallel)")
+		timeout   = flag.Duration("timeout", 0, "planning deadline (0 = none); expiry cancels the planner between probes")
 		frontier  = flag.String("frontier", "", "solve the T*(M) frontier over these memory limits in GB instead of planning one cell: a comma-separated list (\"3,4,6,8\"), a lo:hi:step range (\"3:16:1\"), or both; dumps the breakpoint list as JSON to -stats (default stdout)")
 	)
 	flag.Parse()
@@ -94,8 +96,17 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics /debug/vars /debug/pprof (until exit)\n", addr)
 	}
+	// One shared cancellation path covers both planning modes: the
+	// deadline cancels the search between probes, never mid-DP, so a run
+	// that finishes in time is bit-identical to an unbounded one.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *frontier != "" {
-		if err := runFrontier(cc, plat, opts, reg, *frontier, *statsFile); err != nil {
+		if err := runFrontier(ctx, cc, plat, opts, reg, *frontier, *statsFile); err != nil {
 			fatal(err)
 		}
 		return
@@ -105,7 +116,7 @@ func main() {
 		sched.MILP = ilpsched.New(ilpsched.Options{Budget: *ilp})
 	}
 	start := time.Now()
-	plan, err := core.PlanAndSchedule(cc, plat, opts, sched)
+	plan, err := core.PlanAndScheduleCtx(ctx, cc, plat, opts, sched)
 	if err != nil {
 		fatal(fmt.Errorf("madpipe found no feasible schedule: %w", err))
 	}
@@ -229,13 +240,13 @@ func writeJSONReport(path string, write func(io.Writer) error) error {
 // runFrontier handles -frontier: one PlanFrontier walk over the parsed
 // memory ladder, a human summary of the breakpoints on stdout, and the
 // full FrontierReport as JSON to dest ("-" or empty for stdout).
-func runFrontier(cc *chain.Chain, plat platform.Platform, opts core.Options, reg *obs.Registry, spec, dest string) error {
+func runFrontier(ctx context.Context, cc *chain.Chain, plat platform.Platform, opts core.Options, reg *obs.Registry, spec, dest string) error {
 	mems, err := parseMemSpec(spec)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	fr, err := core.PlanFrontier(cc, plat, mems, opts)
+	fr, err := core.PlanFrontierCtx(ctx, cc, plat, mems, opts)
 	if err != nil {
 		return err
 	}

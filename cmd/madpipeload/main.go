@@ -1,0 +1,264 @@
+// Command madpipeload drives a running madpiped with a serving mix and
+// reports plans/sec, p50/p99 latency and the memo hit rate at each
+// requested concurrency level, e.g.:
+//
+//	madpipeload -addr 127.0.0.1:7333 -c 1,8,64 -n 200
+//
+// The mix mirrors the paper's Fig 6/7 shape: a hot set of repeated
+// (chain, platform) cells that should hit the plan memo after first
+// contact, interleaved with cold cells (unique memory limits) that must
+// plan — cold cells still reuse warm DP tables, since the planner's
+// table keys do not include the memory limit.
+//
+// With -smoke it instead runs the deterministic daemon smoke used by
+// scripts/verify.sh: health check, a Fig 6 plan posted twice (second
+// must be a memo hit with a byte-identical body), a frontier request,
+// and a /metrics scrape — all through Go's HTTP client, no curl needed.
+// -out writes the Fig 6 plan body for field-level comparison against
+// the committed results/planreport_fig6.json.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7333", "madpiped address (host:port)")
+		smoke  = flag.Bool("smoke", false, "run the verify.sh smoke sequence instead of the load mix")
+		out    = flag.String("out", "", "with -smoke: write the Fig 6 plan response body to this file")
+		levels = flag.String("c", "1,8,64", "comma-separated concurrency levels")
+		n      = flag.Int("n", 200, "requests per concurrency level")
+		hot    = flag.Int("hot", 4, "hot-set size (distinct repeated cells)")
+		coldEv = flag.Int("cold-every", 8, "issue a cold (never-seen) cell every this many requests (0 disables)")
+	)
+	flag.Parse()
+	base := "http://" + *addr
+	if *smoke {
+		if err := runSmoke(base, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "madpipeload: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: OK")
+		return
+	}
+	cs, err := parseLevels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madpipeload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-4s %10s %10s %10s %9s %7s\n", "c", "plans/sec", "p50-ms", "p99-ms", "hit-rate", "errors")
+	// One cold-cell sequence across all levels, so a later level's cold
+	// requests are genuinely never-seen rather than replays of an
+	// earlier level's.
+	var coldSeq atomic.Int64
+	for _, c := range cs {
+		r := runLevel(base, c, *n, *hot, *coldEv, &coldSeq)
+		fmt.Printf("%-4d %10.1f %10.2f %10.2f %8.1f%% %7d\n",
+			c, r.rate, r.p50.Seconds()*1e3, r.p99.Seconds()*1e3, 100*r.hitRate, r.errors)
+	}
+}
+
+func parseLevels(s string) ([]int, error) {
+	var cs []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", f)
+		}
+		cs = append(cs, v)
+	}
+	return cs, nil
+}
+
+// planBody renders a /v1/plan request for one serving cell. memGB keys
+// the cell: hot cells reuse a small ladder, cold cells get fresh
+// values. Parallel is pinned to 1 so responses are machine-independent.
+func planBody(memGB float64) []byte {
+	return []byte(fmt.Sprintf(`{"net":{"name":"resnet50","batch":8,"size":1000},"platform":{"workers":4,"memory_gb":%g,"bandwidth_gb":12},"options":{"max_chain":24,"parallel":1}}`, memGB))
+}
+
+type levelResult struct {
+	rate    float64
+	p50     time.Duration
+	p99     time.Duration
+	hitRate float64
+	errors  int
+}
+
+func runLevel(base string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) levelResult {
+	var (
+		next   atomic.Int64
+		hits   atomic.Int64
+		errors atomic.Int64
+		mu     sync.Mutex
+		lats   []time.Duration
+		wg     sync.WaitGroup
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	wg.Add(c)
+	for w := 0; w < c; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				memGB := 8 + float64(i%hot) // hot ladder: 8,9,... GB
+				if coldEvery > 0 && i%coldEvery == coldEvery-1 {
+					// A memory limit no other request uses: misses the
+					// memo, but shares warm DP tables with the hot set.
+					memGB = 8 + 1e-4*float64(coldSeq.Add(1))
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/plan", "application/json", bytes.NewReader(planBody(memGB)))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(t0)
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				if resp.Header.Get("X-Madpipe-Memo") == "hit" {
+					hits.Add(1)
+				}
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res := levelResult{errors: int(errors.Load())}
+	if len(lats) > 0 {
+		res.rate = float64(len(lats)) / elapsed.Seconds()
+		res.p50 = lats[len(lats)/2]
+		res.p99 = lats[len(lats)*99/100]
+		res.hitRate = float64(hits.Load()) / float64(len(lats))
+	}
+	return res
+}
+
+// --- smoke mode ---
+
+// fig6Plan is the pinned Fig 6 cell: ResNet-50 (batch 8, size 1000)
+// coarsened to 24 nodes on P=4, M=10 GB, beta=12 GB/s, planned with the
+// committed report's parallel=8 budget so predicted_period matches
+// results/planreport_fig6.json bit-for-bit.
+const fig6Plan = `{"net":{"name":"resnet50","batch":8,"size":1000},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"max_chain":24,"parallel":8}}`
+
+const fig6Frontier = `{"net":{"name":"resnet50","batch":8,"size":1000},"platform":{"workers":4,"bandwidth_gb":12},"options":{"max_chain":24,"parallel":8},"mems_gb":[4,6,8,10]}`
+
+func runSmoke(base, out string) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	status, memo1, body1, err := post(client, base+"/v1/plan", fig6Plan)
+	if err != nil {
+		return fmt.Errorf("plan #1: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("plan #1: status %d: %s", status, trim(body1))
+	}
+	if memo1 != "miss" {
+		return fmt.Errorf("plan #1: expected memo miss, got %q", memo1)
+	}
+	status, memo2, body2, err := post(client, base+"/v1/plan", fig6Plan)
+	if err != nil {
+		return fmt.Errorf("plan #2: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("plan #2: status %d: %s", status, trim(body2))
+	}
+	if memo2 != "hit" {
+		return fmt.Errorf("plan #2: expected memo hit, got %q", memo2)
+	}
+	if !bytes.Equal(body1, body2) {
+		return fmt.Errorf("memo hit body differs from miss body (%d vs %d bytes)", len(body1), len(body2))
+	}
+	fmt.Printf("smoke: plan served (%d bytes), memo hit bit-identical\n", len(body1))
+	if out != "" {
+		if err := os.WriteFile(out, body1, 0o644); err != nil {
+			return err
+		}
+	}
+
+	status, _, fbody, err := post(client, base+"/v1/frontier", fig6Frontier)
+	if err != nil {
+		return fmt.Errorf("frontier: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("frontier: status %d: %s", status, trim(fbody))
+	}
+	fmt.Printf("smoke: frontier served (%d bytes)\n", len(fbody))
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	mbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	for _, series := range []string{"plan_memo_hits", "plan_memo_misses", "serve_requests"} {
+		if !bytes.Contains(mbody, []byte(series)) {
+			return fmt.Errorf("metrics: missing series %q", series)
+		}
+	}
+	fmt.Println("smoke: /metrics exposes plan_memo_* and serve_* series")
+	return nil
+}
+
+func post(client *http.Client, url, body string) (status int, memo string, respBody []byte, err error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Madpipe-Memo"), b, nil
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func trim(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -101,6 +101,38 @@ func NewPlannerCache() *PlannerCache {
 	}
 }
 
+// CacheStats is a point-in-time census of a PlannerCache, for capacity
+// accounting in long-lived holders (the madpiped daemon's per-worker
+// shards release a cache whose TableKeys outgrow their bound, since the
+// pointer-keyed maps never forget a chain on their own).
+type CacheStats struct {
+	// Plans is the number of memoized PhaseOneResults.
+	Plans int `json:"plans"`
+	// TableKeys is the number of distinct warm-table keys held, and
+	// TablesPooled the total tables parked across their stacks.
+	TableKeys    int `json:"table_keys"`
+	TablesPooled int `json:"tables_pooled"`
+	// WarmLeases/ColdLeases mirror LeaseStats.
+	WarmLeases uint64 `json:"warm_leases"`
+	ColdLeases uint64 `json:"cold_leases"`
+}
+
+// Stats returns the cache's current census.
+func (pc *PlannerCache) Stats() CacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	s := CacheStats{
+		Plans:      len(pc.plans),
+		TableKeys:  len(pc.tables),
+		WarmLeases: pc.warmLeases,
+		ColdLeases: pc.coldLeases,
+	}
+	for _, stack := range pc.tables {
+		s.TablesPooled += len(stack)
+	}
+	return s
+}
+
 // LeaseStats reports how many table leases were served warm (a pooled
 // table with live certificate stores) vs cold (a fresh table from the
 // shared pool, including leases that asked for cold). Deterministic for

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/platform"
+)
+
+func ctxTestPlat() platform.Platform {
+	return platform.Platform{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10}
+}
+
+// A cancelled context must stop every entry point before it folds a
+// probe, and the error must expose context.Canceled for callers that
+// map cancellation onto HTTP status codes.
+func TestPlanCtxCancelled(t *testing.T) {
+	c := chain.Uniform(8, 1, 2, 1e6, 1e6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PlanAllocationCtx(ctx, c, ctxTestPlat(), Options{Parallel: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlanAllocationCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := PlanAllocationCtx(ctx, c, ctxTestPlat(), Options{Parallel: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel PlanAllocationCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := PlanAndScheduleCtx(ctx, c, ctxTestPlat(), Options{Parallel: 1}, ScheduleOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlanAndScheduleCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	mems := []float64{4e9, 8e9, 1.2e10}
+	if _, err := PlanFrontierCtx(ctx, c, ctxTestPlat(), mems, Options{Parallel: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlanFrontierCtx(cancelled) = %v, want context.Canceled", err)
+	}
+}
+
+// An expired deadline surfaces as context.DeadlineExceeded; the search
+// stops between probes, so it returns promptly even mid-bisection.
+func TestPlanCtxDeadline(t *testing.T) {
+	c := chain.Uniform(12, 1, 2, 1e6, 1e6)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := PlanAllocationCtx(ctx, c, ctxTestPlat(), Options{Parallel: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PlanAllocationCtx(expired) = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// A live context changes nothing: the result is bit-identical to the
+// context-free call (the checks are pure branches).
+func TestPlanCtxLiveMatchesBackground(t *testing.T) {
+	c := chain.Uniform(8, 1, 2, 1e6, 1e6)
+	want, err := PlanAllocation(c, ctxTestPlat(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	got, err := PlanAllocationCtx(ctx, c, ctxTestPlat(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PredictedPeriod != want.PredictedPeriod || got.TargetPeriod != want.TargetPeriod || len(got.Evals) != len(want.Evals) {
+		t.Fatalf("ctx run diverged: got (%v,%v,%d evals), want (%v,%v,%d evals)",
+			got.PredictedPeriod, got.TargetPeriod, len(got.Evals),
+			want.PredictedPeriod, want.TargetPeriod, len(want.Evals))
+	}
+}
+
+func TestPlannerCacheStats(t *testing.T) {
+	c := chain.Uniform(8, 1, 2, 1e6, 1e6)
+	pc := NewPlannerCache()
+	if _, err := PlanAllocation(c, ctxTestPlat(), Options{Parallel: 1, Cache: pc}); err != nil {
+		t.Fatal(err)
+	}
+	s := pc.Stats()
+	if s.Plans == 0 || s.TableKeys == 0 || s.TablesPooled == 0 {
+		t.Fatalf("Stats after a cached plan = %+v, want non-zero plans/table keys/pooled tables", s)
+	}
+	if s.WarmLeases+s.ColdLeases == 0 {
+		t.Fatalf("Stats lease counters empty: %+v", s)
+	}
+	pc.Release(nil)
+	if s := pc.Stats(); s.Plans != 0 || s.TableKeys != 0 || s.TablesPooled != 0 {
+		t.Fatalf("Stats after Release = %+v, want empty", s)
+	}
+}

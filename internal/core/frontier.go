@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -134,6 +135,17 @@ func (f *FrontierResult) Breakpoints() int { return len(f.Segments) }
 // within one. A caller-supplied Options.Hint is armed for frontier
 // mode and must not be shared with non-frontier searches.
 func PlanFrontier(c *chain.Chain, plat platform.Platform, mems []float64, opts Options) (*FrontierResult, error) {
+	return PlanFrontierCtx(context.Background(), c, plat, mems, opts)
+}
+
+// PlanFrontierCtx is PlanFrontier under a context: the walk checks ctx
+// before each sample's search, and each search checks it between probes
+// (see PlanAllocationCtx), so cancellation lands within about one DP
+// probe. A nil ctx walks without cancellation.
+func PlanFrontierCtx(ctx context.Context, c *chain.Chain, plat platform.Platform, mems []float64, opts Options) (*FrontierResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	// The frontier store only works on the sequential search; speculative
 	// parallel probes would fold results whose memory intervals were
@@ -177,7 +189,7 @@ func PlanFrontier(c *chain.Chain, plat platform.Platform, mems []float64, opts O
 		}
 		pl := plat
 		pl.Memory = s.mem
-		res, err := PlanAllocation(c, pl, opts)
+		res, err := PlanAllocationCtx(ctx, c, pl, opts)
 		if err != nil {
 			if errors.Is(err, platform.ErrInfeasible) {
 				return nil

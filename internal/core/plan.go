@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -84,6 +85,14 @@ type Options struct {
 	// parallel search stays correct but reaps no frontier savings.
 	Hint *Hint
 }
+
+// Normalized returns the options with the planner's defaults filled in
+// (discretization, iterations) — the effective option set a call runs
+// with. Serving layers key memos by normalized options so "defaults
+// spelled out" and "defaults left zero" hash identically. Parallel is
+// NOT resolved (0 still means GOMAXPROCS); callers that need a
+// machine-stable key must pin it explicitly.
+func (o Options) Normalized() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.Disc == (Discretization{}) {
@@ -202,12 +211,30 @@ func prepared(c *chain.Chain, opts Options) (*chain.Chain, error) {
 // > 1 each round probes several bracket points concurrently; the probe
 // budget and the deterministic fold keep results reproducible.
 func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*PhaseOneResult, error) {
+	return PlanAllocationCtx(context.Background(), c, plat, opts)
+}
+
+// PlanAllocationCtx is PlanAllocation under a context: the search checks
+// ctx between probes (and the parallel search between rounds), so a
+// deadline or cancellation stops the planner within roughly one DP
+// probe's duration — a single probe is never interrupted mid-run, which
+// keeps every folded probe bit-identical to the uncancelled search. A
+// nil ctx plans without cancellation. The CLI's -timeout flag and the
+// madpiped daemon's per-request deadlines both come through here, so
+// there is exactly one cancellation path to test.
+func PlanAllocationCtx(ctx context.Context, c *chain.Chain, plat platform.Platform, opts Options) (*PhaseOneResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
 	c, err := prepared(c, opts)
 	if err != nil {
+		return nil, err
+	}
+	if err := planCtxErr(ctx, 0); err != nil {
 		return nil, err
 	}
 
@@ -259,7 +286,7 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 	}
 
 	if w := resolveParallel(opts.Parallel); w > 1 {
-		if err := planParallel(c, plat, opts, w, planStart, &lb, &ub, fold, res); err != nil {
+		if err := planParallel(ctx, c, plat, opts, w, planStart, &lb, &ub, fold, res); err != nil {
 			return nil, err
 		}
 	} else {
@@ -292,6 +319,9 @@ func PlanAllocation(c *chain.Chain, plat platform.Platform, opts Options) (*Phas
 		labelPhase("probe", func() {
 			that := lb
 			for i := 0; i < opts.Iterations; i++ {
+				if probeErr = planCtxErr(ctx, len(res.Evals)); probeErr != nil {
+					return
+				}
 				if opts.Hint.covered(opts.DisableSpecial, that, plat.Memory) {
 					// A neighbor cell's floor proves this exact probe
 					// infeasible at our (smaller or equal) memory limit; fold
@@ -436,7 +466,7 @@ func returnTableFor(t *dpTable, k tableKey, opts Options) {
 // consulted and updated only here, on the coordinating goroutine:
 // floor-covered candidates never spawn a probe goroutine, and floors are
 // recorded during the sequential fold pass.
-func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, planStart time.Time, lb, ub *float64, fold func(float64, *DPResult, int, int64, int64), res *PhaseOneResult) error {
+func planParallel(ctx context.Context, c *chain.Chain, plat platform.Platform, opts Options, w int, planStart time.Time, lb, ub *float64, fold func(float64, *DPResult, int, int64, int64), res *PhaseOneResult) error {
 	fan, waveW := probeFan(w)
 	tabs := make([]*dpTable, fan)
 	for i := range tabs {
@@ -459,6 +489,9 @@ func planParallel(c *chain.Chain, plat platform.Platform, opts Options, w int, p
 	budget := opts.Iterations
 	first := true
 	for budget > 0 && (first || *ub > *lb) {
+		if err := planCtxErr(ctx, len(res.Evals)); err != nil {
+			return err
+		}
 		k := fan
 		if k > budget {
 			k = budget
@@ -547,4 +580,17 @@ func bracketCandidates(lb, ub float64, k int, first bool) []float64 {
 		out = append(out, lb+(ub-lb)*float64(i)/float64(k+1))
 	}
 	return out
+}
+
+// planCtxErr translates a done context into the planner's cancellation
+// error, recording how many probes had folded when the search stopped.
+// A nil or live context costs one branch.
+func planCtxErr(ctx context.Context, probes int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: planning cancelled after %d probes: %w", probes, err)
+	}
+	return nil
 }

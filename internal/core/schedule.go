@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"madpipe/internal/chain"
@@ -83,7 +84,16 @@ func ScheduleAllocation(a *partition.Allocation, opts ScheduleOptions) (*Plan, e
 // by phase 2 and the best valid pattern wins; allocations whose
 // load-based period already exceeds the best schedule found are pruned.
 func PlanAndSchedule(c *chain.Chain, plat platform.Platform, opts Options, sopts ScheduleOptions) (*Plan, error) {
-	p1, err := PlanAllocation(c, plat, opts)
+	return PlanAndScheduleCtx(context.Background(), c, plat, opts, sopts)
+}
+
+// PlanAndScheduleCtx is PlanAndSchedule under a context: both phase-1
+// searches check ctx between probes (see PlanAllocationCtx) and phase 2
+// checks it between portfolio members, so a deadline stops the planner
+// within roughly one DP probe or one scheduling attempt. A nil ctx
+// plans without cancellation.
+func PlanAndScheduleCtx(ctx context.Context, c *chain.Chain, plat platform.Platform, opts Options, sopts ScheduleOptions) (*Plan, error) {
+	p1, err := PlanAllocationCtx(ctx, c, plat, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -91,12 +101,15 @@ func PlanAndSchedule(c *chain.Chain, plat platform.Platform, opts Options, sopts
 	if !opts.DisableSpecial {
 		fopts := opts
 		fopts.DisableSpecial = true
-		if p1c, err := PlanAllocation(c, plat, fopts); err == nil {
+		if p1c, err := PlanAllocationCtx(ctx, c, plat, fopts); err == nil {
 			evals = append(append([]Eval(nil), evals...), p1c.Evals...)
 		}
 	}
 	var best *Plan
 	for _, a := range distinctAllocations(evals) {
+		if err := planCtxErr(ctx, len(evals)); err != nil {
+			return nil, err
+		}
 		if best != nil && a.LoadPeriod() >= best.Period {
 			continue // cannot beat the incumbent schedule
 		}

@@ -1,0 +1,41 @@
+package expt
+
+import (
+	"fmt"
+
+	"madpipe/internal/serve"
+)
+
+// ServingMix returns a deterministic /v1/plan request stream shaped
+// like the paper's evaluation traffic (Fig 6/7): hot cells cycle a
+// small memory ladder on one network — every contact after the first
+// should hit the plan memo — and every coldEvery-th request is a
+// never-repeated cell (a unique memory limit), which must plan cold in
+// the memo but still shares warm DP tables, since the planner's table
+// keys exclude the memory limit.
+//
+// The stream is a pure function of (netName, n, coldEvery): replaying
+// it against a fresh daemon always produces the same hit/miss split
+// (len(hotLadder) + floor(n/coldEvery) misses when n > 0), which is
+// what lets the serving benchmark gate misses/op exactly.
+func ServingMix(netName string, n, coldEvery int) ([]serve.PlanRequest, error) {
+	if n < 0 || coldEvery < 0 {
+		return nil, fmt.Errorf("expt: ServingMix(n=%d, coldEvery=%d): negative argument", n, coldEvery)
+	}
+	hotLadder := []float64{6, 8, 10, 12} // GB, the Fig 7 ladder's interior
+	reqs := make([]serve.PlanRequest, 0, n)
+	cold := 0
+	for i := 0; i < n; i++ {
+		memGB := hotLadder[i%len(hotLadder)]
+		if coldEvery > 0 && i%coldEvery == coldEvery-1 {
+			cold++
+			memGB = 8 + 1e-4*float64(cold)
+		}
+		reqs = append(reqs, serve.PlanRequest{
+			Net:      &serve.NetSpec{Name: netName, Batch: 8, Size: 1000},
+			Platform: serve.PlatformSpec{Workers: 4, MemoryGB: memGB, BandwidthGB: 12},
+			Options:  serve.OptionsSpec{MaxChain: 24, Parallel: 1},
+		})
+	}
+	return reqs, nil
+}

@@ -1,0 +1,217 @@
+// Package fingerprint derives canonical, content-addressed keys for
+// planning requests, so a serving layer can memoize plans across
+// requests that arrive as distinct decoded objects. A key covers
+// everything that determines the planner's output — the chain's
+// (UF, UB, W, A, AStore) vectors and input activation, the platform
+// spec, and the normalized planner options — and deliberately excludes
+// everything that does not (layer and chain names, observability,
+// cache handles).
+//
+// # Quantization
+//
+// Production traffic re-plans near-identical chains constantly: a
+// profiler re-measures a layer at 10.02 ms instead of 10.00 ms and the
+// whole request misses a byte-exact memo. Every float hashed here is
+// therefore pushed through a relative bucketing grid first: with
+// quantum q > 0, positive values collide when they round to the same
+// multiplicative bucket of width (1+q), so values within about q of
+// each other usually share a key (values astride a bucket boundary do
+// not — this is bucketing, not an exact epsilon ball). Quantization is
+// a deterministic function of the value, so byte-identical requests
+// always collide regardless of q. With q = 0 (the default everywhere
+// correctness matters) the raw IEEE-754 bits are hashed and only
+// bit-identical requests collide.
+//
+// A quantized key identifies a *bucket* of requests; a memo keyed by
+// it serves every request in the bucket the plan computed for the
+// first arrival. That is the intended semantics for near-duplicate
+// traffic and is why chain interning — which must not change planner
+// outputs — always uses q = 0.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/platform"
+)
+
+// Key is a canonical request fingerprint: a SHA-256 digest of the
+// normalized request encoding. Keys are comparable and usable as map
+// keys.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, for headers and logs.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Shard maps the key onto one of n shards (n must be a power of two is
+// NOT required; any n >= 1 works). The digest's uniformity makes any
+// byte window an acceptable shard selector.
+func (k Key) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint64(k[:8]) % uint64(n))
+}
+
+// bucket maps a float onto its quantization bucket: the raw IEEE-754
+// bits when q <= 0, otherwise the index of the multiplicative bucket
+// of width (1+q) the value falls in, with the sign carried separately.
+// Deterministic, so equal values always share a bucket at any q.
+func bucket(v, q float64) uint64 {
+	if q <= 0 {
+		return math.Float64bits(v)
+	}
+	if v == 0 {
+		return 0
+	}
+	var sign uint64
+	if v < 0 {
+		sign = 1 << 63
+		v = -v
+	}
+	b := int64(math.Round(math.Log(v) / math.Log1p(q)))
+	return sign | uint64(b)&(1<<63-1)
+}
+
+// digest accumulates the canonical encoding. All multi-byte values are
+// written big-endian; every float goes through the bucket grid.
+type digest struct {
+	h   hash.Hash
+	q   float64
+	buf [8]byte
+}
+
+func newDigest(q float64) *digest { return &digest{h: sha256.New(), q: q} }
+
+func (d *digest) u64(v uint64) {
+	binary.BigEndian.PutUint64(d.buf[:], v)
+	d.h.Write(d.buf[:])
+}
+
+func (d *digest) f64(v float64) { d.u64(bucket(v, d.q)) }
+func (d *digest) int(v int)     { d.u64(uint64(int64(v))) }
+
+func (d *digest) boolean(v bool) {
+	if v {
+		d.u64(1)
+		return
+	}
+	d.u64(0)
+}
+
+func (d *digest) key() Key {
+	var k Key
+	d.h.Sum(k[:0])
+	return k
+}
+
+// encoding version; bump when the canonical layout changes so stale
+// persisted keys (if any ever exist) cannot alias new ones.
+const version = 1
+
+// request kinds, hashed first so a plan and a frontier request over the
+// same inputs never collide.
+const (
+	kindChain    = 1
+	kindPlan     = 2
+	kindFrontier = 3
+)
+
+func (d *digest) chain(c *chain.Chain) {
+	d.int(c.Len())
+	d.f64(c.A(0)) // input activation a^(0)
+	for _, l := range c.Layers() {
+		d.f64(l.UF)
+		d.f64(l.UB)
+		d.f64(l.W)
+		d.f64(l.A)
+		d.f64(l.AStore)
+	}
+}
+
+// options hashes the outcome-determining option fields, normalized
+// (defaults filled in). Obs/Cache/ColdTables/Hint are excluded: they
+// never change planner outputs, only the work done to produce them.
+func (d *digest) options(opts core.Options) {
+	opts = opts.Normalized()
+	d.int(opts.Disc.TP)
+	d.int(opts.Disc.MP)
+	d.int(opts.Disc.V)
+	d.int(opts.Iterations)
+	d.boolean(opts.DisableSpecial)
+	d.int(opts.MaxChainLength)
+	d.f64(opts.Weights.Fixed)
+	d.f64(opts.Weights.PerBatch)
+	// Parallel changes the probe schedule (different fans can settle on
+	// different, equally valid targets), so it is part of the identity.
+	// Hashed raw: callers wanting machine-stable keys pin it != 0.
+	d.int(opts.Parallel)
+}
+
+// ChainKey fingerprints chain content alone — the interning key for
+// canonical *chain.Chain instances. Use quantum 0 for interning:
+// collapsing nearby chains onto one canonical instance changes planner
+// outputs, which interning must never do.
+func ChainKey(c *chain.Chain, quantum float64) Key {
+	d := newDigest(quantum)
+	d.u64(version)
+	d.u64(kindChain)
+	d.chain(c)
+	return d.key()
+}
+
+// PlanKey fingerprints a full plan request: chain, platform, normalized
+// options, and whether phase 2 (scheduling) runs. Two requests with
+// equal keys receive bit-identical responses from a deterministic
+// planner, so a memo may serve either's cached response to both.
+func PlanKey(c *chain.Chain, plat platform.Platform, opts core.Options, schedule bool, quantum float64) Key {
+	d := newDigest(quantum)
+	d.u64(version)
+	d.u64(kindPlan)
+	d.chain(c)
+	d.int(plat.Workers)
+	d.f64(plat.Memory)
+	d.f64(plat.Latency)
+	d.f64(plat.Bandwidth)
+	d.options(opts)
+	d.boolean(schedule)
+	return d.key()
+}
+
+// FrontierKey fingerprints a frontier request: chain, platform shape
+// (the platform's own Memory is ignored, exactly as PlanFrontier
+// ignores it), normalized options, and the memory ladder. The ladder
+// is sorted and deduplicated before hashing — PlanFrontier does the
+// same — so permutations and duplicates of one ladder collide.
+func FrontierKey(c *chain.Chain, plat platform.Platform, mems []float64, opts core.Options, quantum float64) Key {
+	d := newDigest(quantum)
+	d.u64(version)
+	d.u64(kindFrontier)
+	d.chain(c)
+	d.int(plat.Workers)
+	d.f64(plat.Latency)
+	d.f64(plat.Bandwidth)
+	d.options(opts)
+	ms := append([]float64(nil), mems...)
+	sort.Float64s(ms)
+	n := 0
+	for i, m := range ms {
+		if i == 0 || m != ms[n-1] {
+			ms[n] = m
+			n++
+		}
+	}
+	ms = ms[:n]
+	d.int(len(ms))
+	for _, m := range ms {
+		d.f64(m)
+	}
+	return d.key()
+}

@@ -1,0 +1,207 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/platform"
+)
+
+func testPlat() platform.Platform {
+	return platform.Platform{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10}
+}
+
+func randChain(rng *rand.Rand) *chain.Chain {
+	n := 3 + rng.Intn(8)
+	layers := make([]chain.Layer, n)
+	for i := range layers {
+		layers[i] = chain.Layer{
+			UF: 0.001 + rng.Float64()*0.05,
+			UB: 0.001 + rng.Float64()*0.1,
+			W:  1e6 + rng.Float64()*1e9,
+			A:  1e5 + rng.Float64()*1e8,
+		}
+	}
+	return chain.MustNew("rand", 1e6+rng.Float64()*1e7, layers)
+}
+
+// jitter multiplies every float of the chain by (1 + up to amp), with
+// independent signs, modelling a re-profiled near-duplicate.
+func jitter(rng *rand.Rand, c *chain.Chain, amp float64) *chain.Chain {
+	j := func(v float64) float64 { return v * (1 + amp*(2*rng.Float64()-1)) }
+	ls := c.Layers()
+	for i := range ls {
+		ls[i].UF = j(ls[i].UF)
+		ls[i].UB = j(ls[i].UB)
+		ls[i].W = j(ls[i].W)
+		ls[i].A = j(ls[i].A)
+		ls[i].AStore = j(ls[i].AStore)
+	}
+	return chain.MustNew("jittered", j(c.A(0)), ls)
+}
+
+// chainBuckets is the test oracle: the quantized normal form of a
+// chain's float vector, via the same bucket function the digest uses.
+func chainBuckets(c *chain.Chain, q float64) []uint64 {
+	out := []uint64{bucket(c.A(0), q)}
+	for _, l := range c.Layers() {
+		out = append(out, bucket(l.UF, q), bucket(l.UB, q), bucket(l.W, q), bucket(l.A, q), bucket(l.AStore, q))
+	}
+	return out
+}
+
+func sameBuckets(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChainKeyDeterministic: two independently constructed chains with
+// identical content (names differ — cosmetic) must collide at any
+// quantum; byte-identical requests always hit.
+func TestChainKeyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		c := randChain(rng)
+		dup := chain.MustNew("other-name", c.A(0), c.Layers())
+		for _, q := range []float64{0, 0.01, 0.1} {
+			if ChainKey(c, q) != ChainKey(dup, q) {
+				t.Fatalf("trial %d q=%g: identical content, different keys", trial, q)
+			}
+			if PlanKey(c, testPlat(), core.Options{}, false, q) != PlanKey(dup, testPlat(), core.Options{}, false, q) {
+				t.Fatalf("trial %d q=%g: identical plan requests, different keys", trial, q)
+			}
+		}
+	}
+}
+
+// TestEpsilonInvariant is the quantization property: a jittered chain
+// collides with the original exactly when their quantized normal forms
+// are equal — requests that normalize equal must collide, unequal must
+// not. Both outcomes occur across the trials (checked), so the test
+// cannot pass vacuously.
+func TestEpsilonInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const q = 0.05
+	collided, separated := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		c := randChain(rng)
+		// Small jitters should mostly stay inside buckets, large ones
+		// mostly leave them; both paths exercise the invariant.
+		amp := q / 50
+		if trial%2 == 1 {
+			amp = 4 * q
+		}
+		jc := jitter(rng, c, amp)
+		wantSame := sameBuckets(chainBuckets(c, q), chainBuckets(jc, q))
+		gotSame := ChainKey(c, q) == ChainKey(jc, q)
+		if wantSame != gotSame {
+			t.Fatalf("trial %d: normal forms equal=%v but keys equal=%v", trial, wantSame, gotSame)
+		}
+		if gotSame {
+			collided++
+		} else {
+			separated++
+		}
+	}
+	if collided == 0 || separated == 0 {
+		t.Fatalf("degenerate trial mix: %d collided, %d separated", collided, separated)
+	}
+}
+
+// TestExactModeSeparates: with quantum 0 even one-ulp-scale changes to
+// any single field produce a different key.
+func TestExactModeSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randChain(rng)
+	base := PlanKey(c, testPlat(), core.Options{}, false, 0)
+
+	ls := c.Layers()
+	ls[1].UB *= 1 + 1e-12
+	if PlanKey(chain.MustNew("m", c.A(0), ls), testPlat(), core.Options{}, false, 0) == base {
+		t.Error("tiny UB change collided at quantum 0")
+	}
+	pl := testPlat()
+	pl.Memory += 1
+	if PlanKey(c, pl, core.Options{}, false, 0) == base {
+		t.Error("platform memory change collided")
+	}
+	pl = testPlat()
+	pl.Workers++
+	if PlanKey(c, pl, core.Options{}, false, 0) == base {
+		t.Error("worker-count change collided")
+	}
+	if PlanKey(c, testPlat(), core.Options{DisableSpecial: true}, false, 0) == base {
+		t.Error("contiguous-mode change collided")
+	}
+	if PlanKey(c, testPlat(), core.Options{Parallel: 4}, false, 0) == base {
+		t.Error("parallel change collided")
+	}
+	if PlanKey(c, testPlat(), core.Options{}, true, 0) == base {
+		t.Error("schedule flag change collided")
+	}
+	if ChainKey(c, 0) == base {
+		t.Error("chain-only key collided with plan key")
+	}
+}
+
+// TestOptionsNormalized: spelling out the planner defaults hashes the
+// same as leaving them zero.
+func TestOptionsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := randChain(rng)
+	zero := core.Options{}
+	spelled := core.Options{Disc: core.DefaultDiscretization(), Iterations: 10}
+	if PlanKey(c, testPlat(), zero, false, 0) != PlanKey(c, testPlat(), spelled, false, 0) {
+		t.Error("normalized options diverge from zero-value options")
+	}
+}
+
+// TestFrontierPermutation: the ladder is sorted and deduplicated before
+// hashing, so permutations and duplicates collide; a genuinely
+// different ladder (and the platform's ignored Memory field) must not
+// change/affect the key respectively.
+func TestFrontierPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randChain(rng)
+	mems := []float64{4e9, 8e9, 1.2e10, 1.6e10}
+	perm := []float64{1.6e10, 4e9, 1.2e10, 8e9, 8e9, 4e9}
+	base := FrontierKey(c, testPlat(), mems, core.Options{}, 0)
+	if FrontierKey(c, testPlat(), perm, core.Options{}, 0) != base {
+		t.Error("permuted+duplicated ladder changed the key")
+	}
+	other := []float64{4e9, 8e9, 1.2e10}
+	if FrontierKey(c, testPlat(), other, core.Options{}, 0) == base {
+		t.Error("different ladder collided")
+	}
+	pl := testPlat()
+	pl.Memory = 123
+	if FrontierKey(c, pl, mems, core.Options{}, 0) != base {
+		t.Error("ignored platform Memory leaked into the frontier key")
+	}
+}
+
+// TestShardStable: Shard is in-range and deterministic.
+func TestShardStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		k := ChainKey(randChain(rng), 0)
+		for _, n := range []int{1, 2, 7, 16} {
+			s := k.Shard(n)
+			if s < 0 || s >= n {
+				t.Fatalf("Shard(%d) = %d out of range", n, s)
+			}
+			if s != k.Shard(n) {
+				t.Fatalf("Shard not deterministic")
+			}
+		}
+	}
+}

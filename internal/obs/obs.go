@@ -254,6 +254,51 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Delta returns the change from prev to s: counters and phase totals
+// are subtracted entry-wise (entries absent from prev count from zero,
+// and a counter that went backwards — a restarted process — clamps to
+// zero rather than underflowing), while gauges keep s's value, since a
+// high-water mark has no meaningful difference. Entries that did not
+// move are dropped, so a Delta is exactly "what happened between two
+// scrapes" — the shape load generators need to report a memo hit rate
+// for one measurement window without parsing Prometheus text: scrape
+// /v1/stats twice, decode both into Snapshot, diff.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var d Snapshot
+	for name, cur := range s.Counters {
+		if base := prev.Counters[name]; cur > base {
+			if d.Counters == nil {
+				d.Counters = make(map[string]uint64)
+			}
+			d.Counters[name] = cur - base
+		}
+	}
+	if len(s.Gauges) > 0 {
+		d.Gauges = make(map[string]uint64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			d.Gauges[name] = v
+		}
+	}
+	for name, cur := range s.Phases {
+		base := prev.Phases[name]
+		if cur.Count <= base.Count && cur.TotalNS <= base.TotalNS {
+			continue
+		}
+		if d.Phases == nil {
+			d.Phases = make(map[string]PhaseSnapshot)
+		}
+		p := PhaseSnapshot{}
+		if cur.Count > base.Count {
+			p.Count = cur.Count - base.Count
+		}
+		if cur.TotalNS > base.TotalNS {
+			p.TotalNS = cur.TotalNS - base.TotalNS
+		}
+		d.Phases[name] = p
+	}
+	return d
+}
+
 // sortedKeys returns the map's keys in lexical order, for deterministic
 // exposition.
 func sortedKeys[V any](m map[string]V) []string {

@@ -240,3 +240,49 @@ func TestListenAndServeEphemeral(t *testing.T) {
 		t.Errorf("scrape over the wire missing counter:\n%s", body)
 	}
 }
+
+// TestSnapshotDelta covers the scrape-twice-and-diff helper: counters
+// and phase totals subtract, new names count from zero, regressions
+// clamp, unchanged entries drop, gauges pass through.
+func TestSnapshotDelta(t *testing.T) {
+	prev := Snapshot{
+		Counters: map[string]uint64{"plan_memo_hits": 10, "plan_memo_misses": 4, "steady": 7, "restarted": 100},
+		Gauges:   map[string]uint64{"queue_depth_peak": 3},
+		Phases: map[string]PhaseSnapshot{
+			"serve_plan": {Count: 4, TotalNS: 4000},
+			"idle":       {Count: 1, TotalNS: 10},
+		},
+	}
+	cur := Snapshot{
+		Counters: map[string]uint64{"plan_memo_hits": 25, "plan_memo_misses": 4, "steady": 7, "restarted": 2, "fresh": 3},
+		Gauges:   map[string]uint64{"queue_depth_peak": 5},
+		Phases: map[string]PhaseSnapshot{
+			"serve_plan": {Count: 9, TotalNS: 9500},
+			"idle":       {Count: 1, TotalNS: 10},
+		},
+	}
+	d := cur.Delta(prev)
+	if got := d.Counters["plan_memo_hits"]; got != 15 {
+		t.Errorf("hits delta = %d, want 15", got)
+	}
+	if got := d.Counters["fresh"]; got != 3 {
+		t.Errorf("fresh delta = %d, want 3", got)
+	}
+	for _, name := range []string{"plan_memo_misses", "steady", "restarted"} {
+		if _, ok := d.Counters[name]; ok {
+			t.Errorf("unchanged/regressed counter %q kept in delta", name)
+		}
+	}
+	if got := d.Gauges["queue_depth_peak"]; got != 5 {
+		t.Errorf("gauge passthrough = %d, want 5", got)
+	}
+	if got := d.Phases["serve_plan"]; got.Count != 5 || got.TotalNS != 5500 {
+		t.Errorf("phase delta = %+v, want {5 5500}", got)
+	}
+	if _, ok := d.Phases["idle"]; ok {
+		t.Error("unchanged phase kept in delta")
+	}
+	if empty := (Snapshot{}).Delta(Snapshot{}); empty.Counters != nil || empty.Phases != nil {
+		t.Errorf("empty delta allocated maps: %+v", empty)
+	}
+}

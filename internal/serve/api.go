@@ -1,0 +1,204 @@
+// Package serve is the planning daemon's serving layer: JSON request
+// types shared by cmd/madpiped, cmd/madpipeload and the benchmarks, a
+// sharded fingerprint-keyed plan memo with LRU + TTL eviction and a
+// byte budget, and an admission-controlled HTTP server that layers the
+// memo above per-worker core.PlannerCache shards so warm DP tables
+// survive across requests.
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/fingerprint"
+	"madpipe/internal/nets"
+	"madpipe/internal/platform"
+)
+
+// Response envelope headers. The serving metadata rides in headers, not
+// the body, so a memo hit's body is byte-for-byte the miss's body — the
+// bit-identity contract tests compare raw bodies.
+const (
+	// HeaderFingerprint carries the request's fingerprint in hex.
+	HeaderFingerprint = "X-Madpipe-Fingerprint"
+	// HeaderMemo is "hit" when the response came from the plan memo,
+	// "miss" when it was planned by this request.
+	HeaderMemo = "X-Madpipe-Memo"
+)
+
+// PlatformSpec is the target platform in a request. All sizes are
+// bytes and bytes/second, matching the core model and PlanReport; the
+// *GB convenience fields multiply by 1e9 when the byte field is zero.
+type PlatformSpec struct {
+	Workers     int     `json:"workers"`
+	Memory      float64 `json:"memory,omitempty"`
+	MemoryGB    float64 `json:"memory_gb,omitempty"`
+	Bandwidth   float64 `json:"bandwidth,omitempty"`
+	BandwidthGB float64 `json:"bandwidth_gb,omitempty"`
+	Latency     float64 `json:"latency,omitempty"`
+}
+
+// Platform resolves the spec to a core platform.
+func (p PlatformSpec) Platform() platform.Platform {
+	mem, bw := p.Memory, p.Bandwidth
+	if mem == 0 {
+		mem = p.MemoryGB * platform.GB
+	}
+	if bw == 0 {
+		bw = p.BandwidthGB * platform.GB
+	}
+	return platform.Platform{Workers: p.Workers, Memory: mem, Bandwidth: bw, Latency: p.Latency}
+}
+
+// NetSpec names one of the built-in analytical profiles instead of an
+// inline chain (convenience for smokes and examples; production traffic
+// sends measured chains).
+type NetSpec struct {
+	Name  string `json:"name"`
+	Batch int    `json:"batch,omitempty"` // default 8
+	Size  int    `json:"size,omitempty"`  // default 1000
+}
+
+// OptionsSpec is the subset of core.Options a request may set. Work
+// carriers (Obs, Cache, Hint) are daemon-owned and not exposed.
+type OptionsSpec struct {
+	// Iterations is Algorithm 1's probe budget (0: the paper's 10).
+	Iterations int `json:"iterations,omitempty"`
+	// DisableSpecial plans the contiguous ablation.
+	DisableSpecial bool `json:"disable_special,omitempty"`
+	// MaxChain coarsens the chain to at most this many nodes before
+	// planning (0: plan as sent).
+	MaxChain int `json:"max_chain,omitempty"`
+	// Weights selects the weight-versioning policy: "" or "2bw" for the
+	// paper's PipeDream-2BW discipline, "stash" for original PipeDream.
+	Weights string `json:"weights,omitempty"`
+	// Parallel is the planner worker budget for this request. 0 uses
+	// the daemon's default (1 — the sequential reference search, whose
+	// outputs are machine-independent). Different budgets are different
+	// fingerprints: probe schedules differ.
+	Parallel int `json:"parallel,omitempty"`
+	// ColdTables opts this request out of the worker's warm table
+	// shard in both directions (per-request isolation; see
+	// core.Options.ColdTables). Outputs are identical either way.
+	ColdTables bool `json:"cold_tables,omitempty"`
+}
+
+// coreOptions maps the spec onto core.Options with the daemon default
+// parallelism applied. MaxChain intentionally stays out of the returned
+// options: the server coarsens once, up front, so the planner cache
+// sees one canonical chain pointer per (chain, max_chain) bucket.
+func (o OptionsSpec) coreOptions(defaultParallel int) (core.Options, error) {
+	opts := core.Options{
+		Iterations:     o.Iterations,
+		DisableSpecial: o.DisableSpecial,
+		Parallel:       o.Parallel,
+		ColdTables:     o.ColdTables,
+	}
+	switch o.Weights {
+	case "", "2bw":
+		opts.Weights = chain.TwoBufferedWeights()
+	case "stash":
+		opts.Weights = chain.StashedWeights()
+	default:
+		return core.Options{}, fmt.Errorf("unknown weights policy %q (want 2bw or stash)", o.Weights)
+	}
+	if opts.Parallel == 0 {
+		opts.Parallel = defaultParallel
+	}
+	return opts, nil
+}
+
+// PlanRequest is the body of POST /v1/plan. Exactly one of Chain and
+// Net must be set. The response body is a core.PlanReport.
+type PlanRequest struct {
+	Chain    *chain.Chain `json:"chain,omitempty"`
+	Net      *NetSpec     `json:"net,omitempty"`
+	Platform PlatformSpec `json:"platform"`
+	Options  OptionsSpec  `json:"options,omitempty"`
+	// Schedule runs phase 2 (1F1B*/list — the deterministic
+	// schedulers; the daemon never runs the budgeted MILP, whose
+	// anytime results would break response memoization).
+	Schedule bool `json:"schedule,omitempty"`
+}
+
+// FrontierRequest is the body of POST /v1/frontier: solve T*(M) over
+// the given memory ladder (bytes; MemsGB is a ×1e9 convenience, used
+// when Mems is empty). The platform's own memory field is ignored,
+// exactly as core.PlanFrontier ignores it. The response body is a
+// core.FrontierReport.
+type FrontierRequest struct {
+	Chain    *chain.Chain `json:"chain,omitempty"`
+	Net      *NetSpec     `json:"net,omitempty"`
+	Platform PlatformSpec `json:"platform"`
+	Options  OptionsSpec  `json:"options,omitempty"`
+	Mems     []float64    `json:"mems,omitempty"`
+	MemsGB   []float64    `json:"mems_gb,omitempty"`
+}
+
+func (r *FrontierRequest) mems() []float64 {
+	if len(r.Mems) > 0 {
+		return r.Mems
+	}
+	ms := make([]float64, len(r.MemsGB))
+	for i, m := range r.MemsGB {
+		ms[i] = m * platform.GB
+	}
+	return ms
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// resolveChain materializes the request chain: the inline spec as sent,
+// or a named built-in profile.
+func resolveChain(c *chain.Chain, net *NetSpec) (*chain.Chain, error) {
+	switch {
+	case c != nil && net != nil:
+		return nil, fmt.Errorf("request sets both chain and net")
+	case c != nil:
+		return c, nil
+	case net != nil:
+		spec := nets.Spec{Name: net.Name, Batch: net.Batch, Size: net.Size}
+		if spec.Batch == 0 {
+			spec.Batch = 8
+		}
+		if spec.Size == 0 {
+			spec.Size = 1000
+		}
+		return nets.Build(spec)
+	default:
+		return nil, fmt.Errorf("request sets neither chain nor net")
+	}
+}
+
+// job is one unit of planning work a worker executes. The two real
+// implementations are planJob and frontierJob; tests inject blocking
+// jobs to pin workers deterministically.
+type job interface {
+	run(ctx context.Context, s *Server, worker int) answer
+}
+
+// planJob is a fully resolved plan request: fingerprinted, validated,
+// ready for a worker.
+type planJob struct {
+	key      fingerprint.Key
+	c        *chain.Chain // as sent (pre-coarsening)
+	plat     platform.Platform
+	opts     core.Options // MaxChainLength unset; maxChain applied by the worker
+	maxChain int
+	schedule bool
+}
+
+// frontierJob is a fully resolved frontier request.
+type frontierJob struct {
+	key      fingerprint.Key
+	c        *chain.Chain
+	plat     platform.Platform
+	opts     core.Options
+	maxChain int
+	mems     []float64
+}

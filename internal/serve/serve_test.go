@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/fingerprint"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+func testPlat() platform.Platform {
+	return platform.Platform{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10}
+}
+
+func testOpts() core.Options {
+	return core.Options{Weights: chain.TwoBufferedWeights(), Parallel: 1}
+}
+
+// testChain builds a deterministic non-uniform chain: enough structure
+// that allocations are non-trivial, small enough to plan in
+// milliseconds.
+func testChain(n int, seed float64) *chain.Chain {
+	layers := make([]chain.Layer, n)
+	for i := range layers {
+		f := 1 + 0.3*float64((i*7+int(seed*13))%5)
+		layers[i] = chain.Layer{UF: 0.01 * f, UB: 0.02 * f, W: 2e8 * f, A: 3e7 * f}
+	}
+	return chain.MustNew("serve-test", 1e6*seed, layers)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	hs := httptest.NewServer(s.Mux())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, hs
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, rb
+}
+
+// directPlanBytes renders the reference response body the daemon must
+// match: a cold, uninstrumented core call through the same canonical
+// report writer.
+func directPlanBytes(t *testing.T, c *chain.Chain, plat platform.Platform, opts core.Options, schedule bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if schedule {
+		plan, err := core.PlanAndSchedule(c, plat, opts, core.ScheduleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := core.NewPlanReport(c, plat, opts, plan.PhaseOne)
+		rep.AttachSchedule(plan)
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	p1, err := core.PlanAllocation(c, plat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.NewPlanReport(c, plat, opts, p1).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServePlanBitIdentical: the daemon's plan body — on the memo miss
+// AND the memo hit — is byte-for-byte what a direct cold
+// core.PlanAllocation + PlanReport.WriteJSON produces.
+func TestServePlanBitIdentical(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+	for _, schedule := range []bool{false, true} {
+		c := testChain(12, 3)
+		want := directPlanBytes(t, c, testPlat(), testOpts(), schedule)
+
+		req := PlanRequest{Chain: c, Platform: PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10},
+			Options: OptionsSpec{Parallel: 1}, Schedule: schedule}
+		resp, body := postJSON(t, hs.URL+"/v1/plan", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule=%v: status %d: %s", schedule, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get(HeaderMemo); got != "miss" {
+			t.Fatalf("schedule=%v: first request memo=%q, want miss", schedule, got)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("schedule=%v: miss body differs from direct core call (%d vs %d bytes)", schedule, len(body), len(want))
+		}
+
+		resp2, body2 := postJSON(t, hs.URL+"/v1/plan", req)
+		if got := resp2.Header.Get(HeaderMemo); got != "hit" {
+			t.Fatalf("schedule=%v: second request memo=%q, want hit", schedule, got)
+		}
+		if !bytes.Equal(body2, want) {
+			t.Fatalf("schedule=%v: hit body differs from direct core call", schedule)
+		}
+		if resp.Header.Get(HeaderFingerprint) != resp2.Header.Get(HeaderFingerprint) {
+			t.Fatalf("schedule=%v: fingerprint changed between identical requests", schedule)
+		}
+	}
+}
+
+// TestServeFrontierBitIdentical: same contract for /v1/frontier against
+// core.PlanFrontier + FrontierReport.WriteJSON.
+func TestServeFrontierBitIdentical(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+	c := testChain(12, 5)
+	mems := []float64{6e9, 8e9, 1e10, 1.4e10}
+	fr, err := core.PlanFrontier(c, testPlat(), mems, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := core.NewFrontierReport(c, testPlat(), testOpts(), fr).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	req := FrontierRequest{Chain: c, Platform: PlatformSpec{Workers: 4, Bandwidth: 1.2e10},
+		Options: OptionsSpec{Parallel: 1}, Mems: mems}
+	resp, body := postJSON(t, hs.URL+"/v1/frontier", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("frontier miss body differs from direct core call (%d vs %d bytes)", len(body), want.Len())
+	}
+	resp2, body2 := postJSON(t, hs.URL+"/v1/frontier", req)
+	if got := resp2.Header.Get(HeaderMemo); got != "hit" {
+		t.Fatalf("second frontier memo=%q, want hit", got)
+	}
+	if !bytes.Equal(body2, want.Bytes()) {
+		t.Fatal("frontier hit body differs from direct core call")
+	}
+}
+
+// TestServeInfeasibleMemoized: deterministic infeasibility (memory too
+// small for any allocation) is 422 and served from the memo on repeat —
+// it is as much a function of the request as a feasible plan.
+func TestServeInfeasibleMemoized(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	req := PlanRequest{Chain: testChain(12, 7),
+		Platform: PlatformSpec{Workers: 4, Memory: 1e3, Bandwidth: 1.2e10},
+		Options:  OptionsSpec{Parallel: 1}}
+	resp, body := postJSON(t, hs.URL+"/v1/plan", req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	resp2, body2 := postJSON(t, hs.URL+"/v1/plan", req)
+	if resp2.StatusCode != http.StatusUnprocessableEntity || resp2.Header.Get(HeaderMemo) != "hit" {
+		t.Fatalf("repeat infeasible: status %d memo %q, want 422 hit", resp2.StatusCode, resp2.Header.Get(HeaderMemo))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("infeasible bodies differ between miss and hit")
+	}
+}
+
+// TestServeChurnBitIdentical is the concurrency contract: 8 goroutines
+// hammer a mixed working set and every single response body — hit or
+// miss, whatever worker cache warmth — equals the cold direct-call
+// reference for its request. Run under -race by scripts/verify.sh.
+func TestServeChurnBitIdentical(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 4, QueueDepth: 64, Registry: obs.NewRegistry()})
+
+	type cell struct {
+		req  PlanRequest
+		want []byte
+	}
+	var cells []cell
+	for i := 0; i < 4; i++ {
+		c := testChain(10+i, float64(i+1))
+		plat := testPlat()
+		plat.Memory = 8e9 + 1e9*float64(i)
+		cells = append(cells, cell{
+			req: PlanRequest{Chain: c,
+				Platform: PlatformSpec{Workers: 4, Memory: plat.Memory, Bandwidth: 1.2e10},
+				Options:  OptionsSpec{Parallel: 1}},
+			want: directPlanBytes(t, c, plat, testOpts(), false),
+		})
+	}
+
+	const goroutines, rounds = 8, 12
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cl := cells[(g+r)%len(cells)]
+				b, err := json.Marshal(cl.req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(hs.URL+"/v1/plan", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("g%d r%d: status %d: %s", g, r, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, cl.want) {
+					errc <- fmt.Errorf("g%d r%d: body differs from cold direct call (memo=%s)", g, r, resp.Header.Get(HeaderMemo))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Memo.Hits == 0 {
+		t.Error("churn saw zero memo hits; mix should repeat cells")
+	}
+	if st.Memo.Misses == 0 {
+		t.Error("churn saw zero memo misses")
+	}
+}
+
+// TestServeMemoBudgetCapsBytes: sustained unique-chain traffic against
+// a small memo budget must evict rather than grow — resident bytes stay
+// under the budget while every request still gets its exact plan.
+func TestServeMemoBudgetCapsBytes(t *testing.T) {
+	const budget = 48 << 10
+	srv, hs := newTestServer(t, Config{Workers: 2, Memo: MemoConfig{MaxBytes: budget, Shards: 2}})
+	for i := 0; i < 24; i++ {
+		req := PlanRequest{Chain: testChain(9, float64(100+i)),
+			Platform: PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10},
+			Options:  OptionsSpec{Parallel: 1}}
+		resp, body := postJSON(t, hs.URL+"/v1/plan", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if st := srv.memo.Stats(); st.Bytes > st.MaxBytes {
+			t.Fatalf("request %d: memo %d bytes over budget %d", i, st.Bytes, st.MaxBytes)
+		}
+	}
+	st := srv.memo.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under unique-chain traffic (resident %d / %d bytes, %d entries)", st.Bytes, st.MaxBytes, st.Entries)
+	}
+}
+
+// TestMemoLRUAndTTL exercises the memo's eviction machinery directly
+// with synthetic clocks and keys.
+func TestMemoLRUAndTTL(t *testing.T) {
+	key := func(i int) fingerprint.Key {
+		var k fingerprint.Key
+		k[0], k[1] = byte(i), byte(i>>8)
+		return k
+	}
+	t0 := time.Unix(1000, 0)
+	body := bytes.Repeat([]byte("x"), 1024)
+
+	// LRU: single shard sized for ~3 entries; touching entry 0 must make
+	// entry 1 the eviction victim.
+	m := NewMemo(MemoConfig{Shards: 1, MaxBytes: 3 * (1024 + entryOverhead)}, nil)
+	for i := 0; i < 3; i++ {
+		m.Put(key(i), 200, body, t0)
+	}
+	if _, _, ok := m.Get(key(0), t0); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	m.Put(key(3), 200, body, t0)
+	if _, _, ok := m.Get(key(1), t0); ok {
+		t.Fatal("LRU kept the least-recently-used entry 1")
+	}
+	if _, _, ok := m.Get(key(0), t0); !ok {
+		t.Fatal("LRU evicted the recently touched entry 0")
+	}
+	if st := m.Stats(); st.Evictions != 1 || st.Bytes > st.MaxBytes {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+
+	// TTL: entries expire TTL after insertion, lazily on Get and eagerly
+	// on Sweep.
+	m = NewMemo(MemoConfig{Shards: 1, MaxBytes: 1 << 20, TTL: time.Minute}, nil)
+	m.Put(key(1), 200, body, t0)
+	m.Put(key(2), 200, body, t0.Add(30*time.Second))
+	if _, _, ok := m.Get(key(1), t0.Add(59*time.Second)); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	if _, _, ok := m.Get(key(1), t0.Add(61*time.Second)); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	if n := m.Sweep(t0.Add(91 * time.Second)); n != 1 {
+		t.Fatalf("Sweep dropped %d entries, want 1 (key 2)", n)
+	}
+	if st := m.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("memo not empty after expiry: %+v", st)
+	}
+
+	// An entry larger than the whole shard budget is rejected outright.
+	m = NewMemo(MemoConfig{Shards: 1, MaxBytes: 512}, nil)
+	m.Put(key(9), 200, body, t0)
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatal("oversized entry was cached")
+	}
+}
+
+// blockJob pins a worker until released — the deterministic seam for
+// admission-control tests.
+type blockJob struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockJob) run(ctx context.Context, _ *Server, _ int) answer {
+	close(b.started)
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+	}
+	return answer{status: http.StatusOK, body: []byte("{}")}
+}
+
+// TestServeQueueFullSheds: with one worker pinned and the queue full,
+// the next dispatch sheds with 429 instead of queueing unboundedly.
+func TestServeQueueFullSheds(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	pin := &blockJob{started: make(chan struct{}), release: make(chan struct{})}
+	pinDone := make(chan answer, 1)
+	go func() { pinDone <- s.dispatch(context.Background(), pin) }()
+	<-pin.started // the only worker is now busy
+
+	filler := &blockJob{started: make(chan struct{}), release: pin.release}
+	fillerDone := make(chan answer, 1)
+	go func() { fillerDone <- s.dispatch(context.Background(), filler) }()
+	// The filler occupies the queue's one slot; poll until it is parked
+	// there (dispatch enqueues synchronously before waiting).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("filler never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if ans := s.dispatch(context.Background(), &blockJob{started: make(chan struct{}), release: pin.release}); ans.status != http.StatusTooManyRequests {
+		t.Fatalf("dispatch with full queue: status %d, want 429", ans.status)
+	}
+
+	close(pin.release)
+	if ans := <-pinDone; ans.status != http.StatusOK {
+		t.Fatalf("pinned job: status %d", ans.status)
+	}
+	if ans := <-fillerDone; ans.status != http.StatusOK {
+		t.Fatalf("queued job: status %d", ans.status)
+	}
+}
+
+// TestServeDeadline: a request whose budget expires before planning
+// finishes answers 504 and is never memoized.
+func TestServeDeadline(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 1, Timeout: time.Nanosecond})
+	req := PlanRequest{Chain: testChain(12, 2),
+		Platform: PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10},
+		Options:  OptionsSpec{Parallel: 1}}
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, hs.URL+"/v1/plan", req)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("attempt %d: status %d, want 504: %s", i, resp.StatusCode, body)
+		}
+	}
+	if st := srv.memo.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("timeout outcome leaked into the memo: %+v", st)
+	}
+}
+
+// TestServeDrain: after Shutdown begins, new requests are shed with 503
+// + Retry-After, /healthz reports draining, and Shutdown returns
+// cleanly.
+func TestServeDrain(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	hs := httptest.NewServer(s.Mux())
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp, body := postJSON(t, hs.URL+"/v1/plan", PlanRequest{})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	hr, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", hr.StatusCode)
+	}
+}
+
+// TestServeBadRequests: malformed inputs answer 400 with a JSON error.
+func TestServeBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	for name, body := range map[string]string{
+		"not json":          "{",
+		"unknown field":     `{"nets":{"name":"resnet50"}}`,
+		"no chain":          `{"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12}}`,
+		"both chains":       `{"net":{"name":"resnet50"},"chain":{"name":"x","input_activation":1,"layers":[]},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12}}`,
+		"bad weights":       `{"net":{"name":"resnet50"},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"weights":"nope"}}`,
+		"bad platform":      `{"net":{"name":"resnet50"},"platform":{"workers":0,"memory_gb":10,"bandwidth_gb":12}}`,
+		"negative maxchain": `{"net":{"name":"resnet50"},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"max_chain":-1}}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, rb)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rb, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body is not an ErrorResponse: %s", name, rb)
+		}
+	}
+	resp, _ := postJSON(t, hs.URL+"/v1/frontier", FrontierRequest{Chain: testChain(8, 1),
+		Platform: PlatformSpec{Workers: 4, Bandwidth: 1.2e10}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("frontier without ladder: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeStatsAndIntern: /v1/stats reports the memo and worker-cache
+// census; repeated distinct-but-equal chains intern onto one canonical
+// instance so warm planner tables survive across requests.
+func TestServeStatsAndIntern(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 1, Registry: obs.NewRegistry()})
+	c := testChain(10, 4)
+	for i := 0; i < 3; i++ {
+		// Fresh decode every round (postJSON marshals anew), and vary the
+		// memory limit so each round misses the memo but shares the
+		// interned chain and its warm tables.
+		req := PlanRequest{Chain: c,
+			Platform: PlatformSpec{Workers: 4, Memory: 8e9 + 1e9*float64(i), Bandwidth: 1.2e10},
+			Options:  OptionsSpec{Parallel: 1}}
+		resp, body := postJSON(t, hs.URL+"/v1/plan", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	hr, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if st.Interned != 1 {
+		t.Errorf("interned %d chains, want 1 (same content every round)", st.Interned)
+	}
+	if st.Memo.Misses != 3 {
+		t.Errorf("memo misses = %d, want 3 (distinct memory limits)", st.Memo.Misses)
+	}
+	var warm uint64
+	for _, w := range st.Workers {
+		warm += w.WarmLeases
+	}
+	if warm == 0 {
+		t.Error("no warm table leases across interned requests; interning is not feeding the planner cache")
+	}
+	_ = srv
+}

@@ -1,0 +1,656 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"madpipe/internal/chain"
+	"madpipe/internal/core"
+	"madpipe/internal/fingerprint"
+	"madpipe/internal/obs"
+	"madpipe/internal/platform"
+)
+
+// Config sizes the serving layer.
+type Config struct {
+	// Workers is the planning worker pool size (default 2). Each worker
+	// owns a private core.PlannerCache — sharding by worker, not by
+	// request, keeps warm-table lease sequences deterministic per worker
+	// while letting distinct requests plan concurrently.
+	Workers int
+	// QueueDepth bounds the admission queue (default 4×Workers). A full
+	// queue sheds with 429 + Retry-After instead of growing latency
+	// without bound.
+	QueueDepth int
+	// Timeout is the per-request planning deadline (default 30s). It
+	// covers queue wait plus planning; expiry cancels the planner
+	// between probes and answers 504.
+	Timeout time.Duration
+	// Quantum is the fingerprint bucketing grid for memo keys (default
+	// 0: byte-exact requests only). Chain interning always uses 0
+	// regardless — interning must never change planner outputs.
+	Quantum float64
+	// Memo sizes the response memo.
+	Memo MemoConfig
+	// InternCap bounds the canonical-chain store (default 512 chains).
+	// When full, new chains plan un-interned: correctness is unchanged,
+	// only cross-request warm-table reuse for those chains is lost.
+	InternCap int
+	// TableKeyCap bounds each worker cache's distinct warm-table keys
+	// (default 128). The pointer-keyed planner cache never forgets a
+	// chain on its own, so a worker whose census outgrows the cap
+	// releases the cache back to the shared pool and restarts cold.
+	TableKeyCap int
+	// Parallel is the planner worker budget applied when a request
+	// leaves options.parallel unset (default 1, the sequential reference
+	// search, whose probe schedule is machine-independent).
+	Parallel int
+	// Registry receives the serving metrics (plan_memo_*, serve_*). May
+	// be nil. It is never handed to the planner: planner observability
+	// attaches wall-clock timings to probe evaluations, and daemon
+	// responses must depend only on request content.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.InternCap <= 0 {
+		c.InternCap = 512
+	}
+	if c.TableKeyCap <= 0 {
+		c.TableKeyCap = 128
+	}
+	if c.Parallel == 0 {
+		c.Parallel = 1
+	}
+	return c
+}
+
+// maxBodyBytes bounds request decoding (measured chains are a few KB;
+// even a 10k-layer chain is well under this).
+const maxBodyBytes = 32 << 20
+
+// answer is one finished planning outcome: the status and exact body a
+// handler writes. Memoizable answers are stored as-is, which is what
+// makes a later hit bit-identical.
+type answer struct {
+	status int
+	body   []byte
+}
+
+// memoizable reports whether the outcome is a pure function of the
+// request (plan reports and deterministic infeasibility are; timeouts
+// and shutdown are circumstances of this attempt).
+func (a answer) memoizable() bool {
+	return a.status == http.StatusOK || a.status == http.StatusUnprocessableEntity
+}
+
+// task is one admitted request travelling to a worker.
+type task struct {
+	ctx  context.Context
+	job  job
+	done chan answer
+}
+
+// flight is a single-flight slot: the first miss for a key plans it,
+// concurrent requests for the same key wait for that answer instead of
+// planning it again (thundering-herd protection for expensive plans).
+type flight struct {
+	done chan struct{}
+	ans  answer
+	ok   bool // ans is memoizable and was published
+}
+
+// Server is the planning service: admission control in front of a
+// worker pool, a fingerprint-keyed response memo, and a canonical-chain
+// intern store that makes the planner's pointer-keyed warm caches
+// effective across requests.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	memo  *Memo
+	queue chan *task
+
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	internMu sync.Mutex
+	intern   map[fingerprint.Key]*chain.Chain
+
+	flightMu sync.Mutex
+	flights  map[fingerprint.Key]*flight
+
+	cacheMu     sync.Mutex
+	caches      []*core.PlannerCache
+	cacheResets uint64
+
+	cRequests, cPlanned, cQueueFull *obs.Counter
+	cDraining, cDeadline            *obs.Counter
+	cInternHits, cInternFull        *obs.Counter
+	gQueueDepth                     *obs.Gauge
+}
+
+// NewServer builds the server and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:         cfg,
+		reg:         reg,
+		memo:        NewMemo(cfg.Memo, reg),
+		queue:       make(chan *task, cfg.QueueDepth),
+		intern:      make(map[fingerprint.Key]*chain.Chain),
+		flights:     make(map[fingerprint.Key]*flight),
+		caches:      make([]*core.PlannerCache, cfg.Workers),
+		cRequests:   reg.Counter("serve_requests"),
+		cPlanned:    reg.Counter("serve_planned"),
+		cQueueFull:  reg.Counter("serve_shed_queue_full"),
+		cDraining:   reg.Counter("serve_shed_draining"),
+		cDeadline:   reg.Counter("serve_deadline_exceeded"),
+		cInternHits: reg.Counter("serve_intern_hits"),
+		cInternFull: reg.Counter("serve_intern_full"),
+		gQueueDepth: reg.Gauge("serve_queue_depth_peak"),
+	}
+	for i := range s.caches {
+		s.caches[i] = core.NewPlannerCache()
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// Mux returns the daemon's full endpoint set: the planning API layered
+// over the registry's observability mux (/metrics, /debug/vars,
+// /debug/pprof) when a registry is attached.
+func (s *Server) Mux() *http.ServeMux {
+	var mux *http.ServeMux
+	if s.reg != nil {
+		mux = s.reg.NewMux()
+	} else {
+		mux = http.NewServeMux()
+	}
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/frontier", s.handleFrontier)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Shutdown drains the server: new requests are shed with 503, requests
+// already admitted run to completion (or ctx expiry), then the worker
+// pool stops and the planner caches return their tables to the shared
+// pool. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	finished := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+	close(s.queue)
+	s.workers.Wait()
+	s.cacheMu.Lock()
+	caches := s.caches
+	s.caches = nil
+	s.cacheMu.Unlock()
+	for _, pc := range caches {
+		pc.Release(s.reg)
+	}
+	return nil
+}
+
+// canonicalChain returns the interned instance for c's exact content,
+// interning it on first sight. The planner's warm caches key by chain
+// pointer, so without this every decoded request body would be a new
+// chain and warm tables would never be reused across requests.
+// Interning is byte-exact (quantum 0): it must never change outputs.
+func (s *Server) canonicalChain(c *chain.Chain) *chain.Chain {
+	k := fingerprint.ChainKey(c, 0)
+	s.internMu.Lock()
+	defer s.internMu.Unlock()
+	if cc, ok := s.intern[k]; ok {
+		s.cInternHits.Inc()
+		return cc
+	}
+	if len(s.intern) >= s.cfg.InternCap {
+		s.cInternFull.Inc()
+		return c
+	}
+	s.intern[k] = c
+	return c
+}
+
+// ServerStats is the body of GET /v1/stats.
+type ServerStats struct {
+	Memo        MemoStats         `json:"memo"`
+	Workers     []core.CacheStats `json:"workers"`
+	CacheResets uint64            `json:"cache_resets"`
+	Interned    int               `json:"interned_chains"`
+	Draining    bool              `json:"draining"`
+	Obs         obs.Snapshot      `json:"obs,omitempty"`
+}
+
+// Stats returns the server's current census.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{Memo: s.memo.Stats(), Draining: s.draining.Load()}
+	s.cacheMu.Lock()
+	st.CacheResets = s.cacheResets
+	for _, pc := range s.caches {
+		st.Workers = append(st.Workers, pc.Stats())
+	}
+	s.cacheMu.Unlock()
+	s.internMu.Lock()
+	st.Interned = len(s.intern)
+	s.internMu.Unlock()
+	if s.reg != nil {
+		st.Obs = s.reg.Snapshot()
+	}
+	return st
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.admit(w, r, &req) {
+		return
+	}
+	defer s.inflight.Done()
+	c, plat, opts, fail := s.resolve(req.Chain, req.Net, req.Platform, req.Options)
+	if fail != nil {
+		writeError(w, http.StatusBadRequest, fail)
+		return
+	}
+	key := fingerprint.PlanKey(c, plat, withMaxChain(opts, req.Options.MaxChain), req.Schedule, s.cfg.Quantum)
+	job := &planJob{key: key, c: c, plat: plat, opts: opts, maxChain: req.Options.MaxChain, schedule: req.Schedule}
+	s.serveJob(w, r, key, job)
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	var req FrontierRequest
+	if !s.admit(w, r, &req) {
+		return
+	}
+	defer s.inflight.Done()
+	mems := req.mems()
+	if len(mems) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("frontier request needs a non-empty memory ladder (mems or mems_gb)"))
+		return
+	}
+	// The ladder replaces the platform's own memory limit (PlanFrontier
+	// ignores it; FrontierKey excludes it), so requests may omit it —
+	// substitute the ladder's top so platform validation still covers
+	// the fields that do matter.
+	if req.Platform.Memory == 0 && req.Platform.MemoryGB == 0 {
+		req.Platform.Memory = maxOf(mems)
+	}
+	c, plat, opts, fail := s.resolve(req.Chain, req.Net, req.Platform, req.Options)
+	if fail != nil {
+		writeError(w, http.StatusBadRequest, fail)
+		return
+	}
+	key := fingerprint.FrontierKey(c, plat, mems, withMaxChain(opts, req.Options.MaxChain), s.cfg.Quantum)
+	job := &frontierJob{key: key, c: c, plat: plat, opts: opts, maxChain: req.Options.MaxChain, mems: mems}
+	s.serveJob(w, r, key, job)
+}
+
+func maxOf(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// withMaxChain folds the request's coarsening bound into the options
+// hashed for the fingerprint. The executed options keep it zero — the
+// worker coarsens through the intern store instead — but two requests
+// differing only in max_chain are different plans and must not collide.
+func withMaxChain(opts core.Options, maxChain int) core.Options {
+	opts.MaxChainLength = maxChain
+	return opts
+}
+
+// admit runs the shared request gate: method, drain state, body decode,
+// inflight accounting. On a false return the response is written; on
+// true the caller owns one inflight slot and must Done it.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, req any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	s.cRequests.Inc()
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	s.inflight.Add(1)
+	// Drain may have flipped between the check and Add; re-check so
+	// Shutdown's inflight.Wait cannot miss us racing in.
+	if s.draining.Load() {
+		s.inflight.Done()
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	return true
+}
+
+// resolve materializes and validates the request's chain (canonical
+// instance), platform and options.
+func (s *Server) resolve(c *chain.Chain, net *NetSpec, ps PlatformSpec, os OptionsSpec) (*chain.Chain, platform.Platform, core.Options, error) {
+	rc, err := resolveChain(c, net)
+	if err != nil {
+		return nil, platform.Platform{}, core.Options{}, err
+	}
+	plat := ps.Platform()
+	if err := plat.Validate(); err != nil {
+		return nil, platform.Platform{}, core.Options{}, err
+	}
+	if os.MaxChain < 0 {
+		return nil, platform.Platform{}, core.Options{}, fmt.Errorf("max_chain must be >= 0, got %d", os.MaxChain)
+	}
+	opts, err := os.coreOptions(s.cfg.Parallel)
+	if err != nil {
+		return nil, platform.Platform{}, core.Options{}, err
+	}
+	return rc, plat, opts, nil
+}
+
+// serveJob is the memo + single-flight + worker-pool path shared by the
+// plan and frontier handlers.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, key fingerprint.Key, job job) {
+	w.Header().Set(HeaderFingerprint, key.String())
+	if status, body, ok := s.memo.Get(key, time.Now()); ok {
+		writeAnswer(w, answer{status, body}, "hit")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	for {
+		fl, leader := s.joinFlight(key)
+		if leader {
+			ans := s.dispatch(ctx, job)
+			if ans.memoizable() {
+				s.memo.Put(key, ans.status, ans.body, time.Now())
+			}
+			s.leaveFlight(key, fl, ans)
+			writeAnswer(w, ans, "miss")
+			return
+		}
+		select {
+		case <-fl.done:
+			if fl.ok {
+				// The leader's answer is exactly what we would have
+				// computed; count it as the memo hit it effectively is.
+				s.memo.hits.Add(1)
+				s.memo.cHits.Inc()
+				writeAnswer(w, fl.ans, "hit")
+				return
+			}
+			// Leader hit a circumstance (timeout, shutdown), not a
+			// property of the request: plan it ourselves.
+		case <-ctx.Done():
+			s.cDeadline.Inc()
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded waiting for concurrent plan of this request"))
+			return
+		}
+	}
+}
+
+// joinFlight registers interest in key: the first caller becomes leader
+// (and must leaveFlight), later callers get the leader's flight.
+func (s *Server) joinFlight(key fingerprint.Key) (*flight, bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if fl, ok := s.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[key] = fl
+	return fl, true
+}
+
+func (s *Server) leaveFlight(key fingerprint.Key, fl *flight, ans answer) {
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	fl.ans = ans
+	fl.ok = ans.memoizable()
+	close(fl.done)
+}
+
+// dispatch queues the job on the worker pool and waits for its answer,
+// shedding when the queue is full and giving up at the deadline.
+func (s *Server) dispatch(ctx context.Context, job job) answer {
+	t := &task{ctx: ctx, job: job, done: make(chan answer, 1)}
+	select {
+	case s.queue <- t:
+		s.gQueueDepth.Observe(uint64(len(s.queue)))
+	default:
+		s.cQueueFull.Inc()
+		return s.shedAnswer(http.StatusTooManyRequests, "planning queue full")
+	}
+	select {
+	case ans := <-t.done:
+		return ans
+	case <-ctx.Done():
+		s.cDeadline.Inc()
+		return errorAnswer(http.StatusGatewayTimeout, fmt.Errorf("planning deadline exceeded"))
+	}
+}
+
+// --- worker pool ---
+
+func (s *Server) worker(i int) {
+	defer s.workers.Done()
+	for t := range s.queue {
+		if err := t.ctx.Err(); err != nil {
+			// The requester already gave up; don't burn planner time.
+			t.done <- errorAnswer(http.StatusGatewayTimeout, fmt.Errorf("request expired in queue: %w", err))
+			continue
+		}
+		s.cPlanned.Inc()
+		t.done <- t.job.run(t.ctx, s, i)
+		s.trimCache(i)
+	}
+}
+
+// cache returns worker i's planner cache (nil after shutdown).
+func (s *Server) cache(i int) *core.PlannerCache {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.caches == nil {
+		return nil
+	}
+	return s.caches[i]
+}
+
+// trimCache releases worker i's cache when its warm-table census
+// outgrows the bound. The planner cache is pointer-keyed and never
+// forgets a chain; under sustained unique-chain traffic this is what
+// caps its footprint (eviction granularity is the whole cache — always
+// sound, recomputation only).
+func (s *Server) trimCache(i int) {
+	pc := s.cache(i)
+	if pc == nil || pc.Stats().TableKeys <= s.cfg.TableKeyCap {
+		return
+	}
+	pc.Release(s.reg)
+	s.cacheMu.Lock()
+	s.cacheResets++
+	s.cacheMu.Unlock()
+}
+
+// prepare coarsens (request-level max_chain) and interns the chain, so
+// the planner sees one canonical pointer per content bucket and its
+// warm caches hit across requests.
+func (s *Server) prepare(c *chain.Chain, maxChain int) (*chain.Chain, error) {
+	if maxChain > 0 {
+		cc, err := c.Coarsen(maxChain)
+		if err != nil {
+			return nil, err
+		}
+		c = cc
+	}
+	return s.canonicalChain(c), nil
+}
+
+// run plans one request on worker i's cache and renders the response.
+// The planner sees Obs == nil always: observability attaches wall-clock
+// timings to probe evaluations, and response bodies must be a pure
+// function of the request.
+func (j *planJob) run(ctx context.Context, s *Server, i int) answer {
+	c, err := s.prepare(j.c, j.maxChain)
+	if err != nil {
+		return errorAnswer(http.StatusBadRequest, err)
+	}
+	opts := j.opts
+	opts.Cache = s.cache(i)
+	var p1 *core.PhaseOneResult
+	var plan *core.Plan
+	if j.schedule {
+		plan, err = core.PlanAndScheduleCtx(ctx, c, j.plat, opts, core.ScheduleOptions{})
+		if plan != nil {
+			p1 = plan.PhaseOne
+		}
+	} else {
+		p1, err = core.PlanAllocationCtx(ctx, c, j.plat, opts)
+	}
+	if err != nil {
+		return planErrorAnswer(ctx, err)
+	}
+	report := core.NewPlanReport(c, j.plat, opts, p1)
+	if plan != nil {
+		report.AttachSchedule(plan)
+	}
+	return renderReport(report.WriteJSON)
+}
+
+func (j *frontierJob) run(ctx context.Context, s *Server, i int) answer {
+	c, err := s.prepare(j.c, j.maxChain)
+	if err != nil {
+		return errorAnswer(http.StatusBadRequest, err)
+	}
+	opts := j.opts
+	opts.Cache = s.cache(i)
+	fr, err := core.PlanFrontierCtx(ctx, c, j.plat, j.mems, opts)
+	if err != nil {
+		return planErrorAnswer(ctx, err)
+	}
+	return renderReport(core.NewFrontierReport(c, j.plat, opts, fr).WriteJSON)
+}
+
+// planErrorAnswer classifies a planner error: infeasibility is a
+// deterministic property of the request (422, memoizable); cancellation
+// is a circumstance of this attempt (504, never memoized).
+func planErrorAnswer(ctx context.Context, err error) answer {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled), ctx.Err() != nil:
+		return errorAnswer(http.StatusGatewayTimeout, err)
+	case errors.Is(err, platform.ErrInfeasible):
+		return errorAnswer(http.StatusUnprocessableEntity, err)
+	default:
+		return errorAnswer(http.StatusInternalServerError, err)
+	}
+}
+
+// renderReport marshals a report through its canonical WriteJSON (the
+// same bytes cmd/madpipe -stats writes), so daemon bodies and CLI
+// reports are directly diffable.
+func renderReport(write func(io.Writer) error) answer {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return errorAnswer(http.StatusInternalServerError, fmt.Errorf("encode report: %w", err))
+	}
+	return answer{status: http.StatusOK, body: buf.Bytes()}
+}
+
+// --- response writing ---
+
+func errorAnswer(status int, err error) answer {
+	body, _ := json.Marshal(ErrorResponse{Error: err.Error()})
+	return answer{status: status, body: append(body, '\n')}
+}
+
+func writeAnswer(w http.ResponseWriter, ans answer, memo string) {
+	w.Header().Set(HeaderMemo, memo)
+	if ans.status == http.StatusTooManyRequests || ans.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(ans.body)))
+	w.WriteHeader(ans.status)
+	_, _ = w.Write(ans.body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	ans := errorAnswer(status, err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ans.status)
+	_, _ = w.Write(ans.body)
+}
+
+// shed answers an overload rejection with Retry-After so well-behaved
+// clients back off instead of hammering a saturated daemon.
+func (s *Server) shed(w http.ResponseWriter, status int, why string) {
+	if status == http.StatusServiceUnavailable {
+		s.cDraining.Inc()
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, status, fmt.Errorf("overloaded: %s", why))
+}
+
+// shedAnswer is shed for the in-flight path (queue full on a miss).
+func (s *Server) shedAnswer(status int, why string) answer {
+	return answer{status: status, body: errorAnswer(status, fmt.Errorf("overloaded: %s", why)).body}
+}

@@ -50,9 +50,9 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting)"
-go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell' \
-	./internal/core/ ./internal/expt/ ./internal/obs/
+echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting + serving churn)"
+go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell|TestPlanCtxLiveMatchesBackground|TestServeChurnBitIdentical|TestServeQueueFullSheds' \
+	./internal/core/ ./internal/expt/ ./internal/obs/ ./internal/serve/
 
 # The sweep's warm-shard determinism contract ("bit-identical at any -j")
 # must hold whatever the host gives the scheduler: run the determinism
@@ -90,5 +90,49 @@ go run ./cmd/benchdiff -bench 'BenchmarkFig7Sweep$' -benchtime 1x -write=false -
 # walk-behavior change and fails the gate outright.
 echo "== frontier probe-economics regression check (gate: probes/op + dpprobes/op, exact)"
 go run ./cmd/benchdiff -bench 'BenchmarkFig7Frontier$' -benchtime 1x -write=false -gate probes/op,dpprobes/op -threshold 0
+
+# The serving layer's memo economics are an exact function of the
+# deterministic request mix at one client (no concurrent first contacts
+# can split a miss): any drift in misses/op is a fingerprint- or
+# memo-behavior change and fails the gate outright. plans/s, latency
+# quantiles and hitspeedup-x stay advisory.
+echo "== serving memo regression check (gate: misses/op, exact)"
+go run ./cmd/benchdiff -bench 'BenchmarkServeLoad1$' -benchtime 1x -write=false -gate misses/op -threshold 0
+
+# End-to-end daemon smoke: boot madpiped on an ephemeral port, run the
+# madpipeload smoke (health check, the pinned Fig 6 plan posted twice —
+# the repeat must be a bit-identical memo hit —, a frontier request and
+# a /metrics scrape), assert the served plan's headline fields match the
+# committed results/planreport_fig6.json, then SIGTERM and require a
+# clean drain.
+echo "== daemon serving smoke (madpiped + madpipeload)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+go build -o "$SMOKE_DIR/madpiped" ./cmd/madpiped
+go build -o "$SMOKE_DIR/madpipeload" ./cmd/madpipeload
+"$SMOKE_DIR/madpiped" -addr 127.0.0.1:0 -addr-file "$SMOKE_DIR/addr" >"$SMOKE_DIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -s "$SMOKE_DIR/addr" ] && [ "$i" -lt 100 ]; do
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr" ] || { echo "daemon never bound"; cat "$SMOKE_DIR/daemon.log"; exit 1; }
+"$SMOKE_DIR/madpipeload" -addr "$(cat "$SMOKE_DIR/addr")" -smoke -out "$SMOKE_DIR/fig6.json"
+for field in predicted_period target_period; do
+	want="$(grep "\"$field\"" results/planreport_fig6.json)"
+	got="$(grep "\"$field\"" "$SMOKE_DIR/fig6.json")"
+	if [ "$want" != "$got" ]; then
+		echo "daemon $field diverges from the committed Fig 6 report:"
+		echo "  got:  $got"
+		echo "  want: $want"
+		exit 1
+	fi
+done
+echo "daemon Fig 6 headline matches results/planreport_fig6.json"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "daemon exited non-zero after SIGTERM"; cat "$SMOKE_DIR/daemon.log"; exit 1; }
+grep -q "drained cleanly" "$SMOKE_DIR/daemon.log" || { echo "daemon did not drain cleanly"; cat "$SMOKE_DIR/daemon.log"; exit 1; }
+echo "daemon drained cleanly on SIGTERM"
 
 echo "verify: OK"

@@ -1,0 +1,197 @@
+package madpipe
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"madpipe/internal/expt"
+	"madpipe/internal/serve"
+)
+
+// The ServeLoad benchmarks measure the madpiped serving layer end to
+// end — HTTP decode, fingerprint, memo, single-flight, worker pool,
+// planner — under the deterministic expt.ServingMix request stream at
+// 1, 8 and 64 concurrent clients. Each iteration serves the whole mix
+// against a fresh server, so hits/op and misses/op are exact functions
+// of the mix (gated by scripts/verify.sh at c=1, where no concurrent
+// first contacts can split a miss across requests); plans/sec and the
+// latency quantiles are the advisory throughput headline.
+//
+// BenchmarkServeMemoHit and BenchmarkServeMemoCold isolate the two
+// serving paths — a memoized response vs a full plan — whose ns/op
+// ratio in the committed snapshot documents the memo's speedup.
+
+const serveMixLen = 96
+
+func serveLoad(b *testing.B, clients int) {
+	mix, err := expt.ServingMix("resnet50", serveMixLen, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := make([][]byte, len(mix))
+	for i, r := range mix {
+		if bodies[i], err = json.Marshal(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	transport := &http.Transport{MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
+	defer transport.CloseIdleConnections()
+
+	var hits, misses, served uint64
+	var elapsed time.Duration
+	var lats []time.Duration
+	var missLats, hitLats []time.Duration
+	var mu sync.Mutex
+
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		srv := serve.NewServer(serve.Config{Workers: 4, QueueDepth: 2 * serveMixLen})
+		hs := httptest.NewServer(srv.Mux())
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		wg.Add(clients)
+		for w := 0; w < clients; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(bodies) {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(hs.URL+"/v1/plan", "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					d := time.Since(t0)
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("request %d: status %d", i, resp.StatusCode)
+						return
+					}
+					hit := resp.Header.Get(serve.HeaderMemo) == "hit"
+					mu.Lock()
+					served++
+					lats = append(lats, d)
+					if hit {
+						hits++
+						hitLats = append(hitLats, d)
+					} else {
+						misses++
+						missLats = append(missLats, d)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed += time.Since(start)
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+	}
+	b.StopTimer()
+	if b.Failed() || served == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	b.ReportMetric(float64(served)/elapsed.Seconds(), "plans/s")
+	b.ReportMetric(lats[len(lats)/2].Seconds()*1e3, "p50-ms")
+	b.ReportMetric(lats[len(lats)*99/100].Seconds()*1e3, "p99-ms")
+	b.ReportMetric(float64(hits)/float64(served), "hitrate")
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(misses)/float64(b.N), "misses/op")
+	if len(hitLats) > 0 && len(missLats) > 0 {
+		sort.Slice(hitLats, func(i, j int) bool { return hitLats[i] < hitLats[j] })
+		sort.Slice(missLats, func(i, j int) bool { return missLats[i] < missLats[j] })
+		b.ReportMetric(missLats[len(missLats)/2].Seconds()/hitLats[len(hitLats)/2].Seconds(), "hitspeedup-x")
+	}
+}
+
+func BenchmarkServeLoad1(b *testing.B)  { serveLoad(b, 1) }
+func BenchmarkServeLoad8(b *testing.B)  { serveLoad(b, 8) }
+func BenchmarkServeLoad64(b *testing.B) { serveLoad(b, 64) }
+
+// serveMemoBench times one /v1/plan round trip per op. With repeat=true
+// every op re-sends one pinned request against a pre-warmed server (a
+// pure memo hit); with repeat=false every op sends a never-seen cell (a
+// full cold plan). The committed ns/op pair is the memo's speedup
+// evidence.
+func serveMemoBench(b *testing.B, repeat bool) {
+	srv := serve.NewServer(serve.Config{Workers: 1})
+	hs := httptest.NewServer(srv.Mux())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	mix, err := expt.ServingMix("resnet50", 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(body []byte) string {
+		resp, err := http.Post(hs.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return resp.Header.Get(serve.HeaderMemo)
+	}
+	render := func(memGB float64) []byte {
+		r := mix[0]
+		r.Platform.MemoryGB = memGB
+		body, err := json.Marshal(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	if repeat {
+		warm := render(10)
+		post(warm) // populate the memo
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if memo := post(warm); memo != "hit" {
+				b.Fatalf("iteration %d: memo=%q, want hit", i, memo)
+			}
+		}
+		return
+	}
+	// Unique memory limit per op: every request fingerprints fresh. The
+	// bodies render outside the timed loop so both benchmarks time the
+	// same client work.
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		bodies[i] = render(9 + 1e-6*float64(i+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if memo := post(bodies[i]); memo != "miss" {
+			b.Fatalf("iteration %d: memo=%q, want miss", i, memo)
+		}
+	}
+}
+
+func BenchmarkServeMemoHit(b *testing.B)  { serveMemoBench(b, true) }
+func BenchmarkServeMemoCold(b *testing.B) { serveMemoBench(b, false) }
