@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race bench bench-quick bench-warm bench-serve vet obs-demo serve
+.PHONY: all build test verify race bench bench-quick bench-warm bench-serve vet obs-demo serve obs-serve-demo
 
 all: build
 
@@ -29,7 +29,7 @@ race:
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
 # ns/op or allocs/op regressions against the previous snapshot.
 bench:
-	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler|BenchmarkServeLoad|BenchmarkServeMemo' -benchtime 3x
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler|BenchmarkServeLoad|BenchmarkServeMemo|BenchmarkServeObsOverhead' -benchtime 3x
 
 # bench-quick compares without recording a snapshot.
 bench-quick:
@@ -63,3 +63,11 @@ serve:
 # ephemeral port while the planner runs (the URL prints first).
 obs-demo:
 	$(GO) run ./cmd/madpipe -net resnet50 -p 4 -mem 10 -bw 12 -ilp 0 -gantt 0 -sim 0 -listen 127.0.0.1:0 -stats -
+
+# obs-serve-demo is the request-level observability tour: boot madpiped
+# on an ephemeral port, run the madpipeload concurrency ladder (latency
+# quantiles incl. p999, server-side per-phase attribution table, flight
+# recorder tail), then scrape /debug/requests (JSON) and save the
+# Perfetto serving trace (/debug/requests?trace=1) next to the log.
+obs-serve-demo:
+	scripts/obs_serve_demo.sh

@@ -46,6 +46,9 @@ func main() {
 		quantum  = flag.Float64("quantum", 0, "fingerprint bucketing grid: requests whose floats quantize equal share memo entries (0 = byte-exact only)")
 		parallel = flag.Int("parallel", 1, "default planner worker budget for requests that leave options.parallel unset (1 = machine-independent sequential search)")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
+		flightN  = flag.Int("flight", 64, "flight recorder capacity: last N completed requests kept for /debug/requests (plus N notable slow/shed)")
+		slow     = flag.Duration("slow", 0, "mark requests at least this slow as notable in the flight recorder (0 = the SLO target)")
+		sloTgt   = flag.Duration("slo-target", time.Second, "request-latency SLO target classifying serve_slo_ok / serve_slo_violations / serve_slo_errors")
 	)
 	flag.Parse()
 
@@ -57,8 +60,11 @@ func main() {
 		Timeout:    *timeout,
 		Quantum:    *quantum,
 		Memo:       serve.MemoConfig{MaxBytes: int64(*memoMB) << 20, TTL: *ttl},
-		Parallel:   *parallel,
-		Registry:   reg,
+		Parallel:      *parallel,
+		Registry:      reg,
+		FlightN:       *flightN,
+		SlowThreshold: *slow,
+		SLOTarget:     *sloTgt,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -74,7 +80,7 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Printf("madpiped: serving /v1/plan /v1/frontier /v1/stats /healthz /metrics on %s (%d workers, %d MB memo)\n",
+	fmt.Printf("madpiped: serving /v1/plan /v1/frontier /v1/stats /healthz /metrics /debug/requests on %s (%d workers, %d MB memo)\n",
 		bound, *workers, *memoMB)
 
 	sigc := make(chan os.Signal, 1)

@@ -1,5 +1,5 @@
 // Command madpipeload drives a running madpiped with a serving mix and
-// reports plans/sec, p50/p99 latency and the memo hit rate at each
+// reports plans/sec, p50/p99/p999 latency and the memo hit rate at each
 // requested concurrency level, e.g.:
 //
 //	madpipeload -addr 127.0.0.1:7333 -c 1,8,64 -n 200
@@ -10,27 +10,40 @@
 // plan — cold cells still reuse warm DP tables, since the planner's
 // table keys do not include the memory limit.
 //
+// Latencies are recorded into the same log-spaced mergeable histogram
+// the daemon itself uses (internal/obs.Hist), so the client's quantiles
+// and the daemon's /v1/stats summaries are directly comparable. After
+// the levels run, the daemon's /v1/stats is scraped twice and diffed
+// (obs.Snapshot.Delta) into a per-phase attribution table: where the
+// run's server-side time went (queue, memo, plan, marshal, ...).
+// -tail N additionally prints the daemon's last N requests from
+// /debug/requests.
+//
 // With -smoke it instead runs the deterministic daemon smoke used by
 // scripts/verify.sh: health check, a Fig 6 plan posted twice (second
-// must be a memo hit with a byte-identical body), a frontier request,
-// and a /metrics scrape — all through Go's HTTP client, no curl needed.
-// -out writes the Fig 6 plan body for field-level comparison against
-// the committed results/planreport_fig6.json.
+// must be a memo hit with a byte-identical body, and both visible in
+// order in /debug/requests), a frontier request, and a /metrics scrape
+// asserting the counter and histogram families — all through Go's HTTP
+// client, no curl needed. -out writes the Fig 6 plan body for
+// field-level comparison against the committed
+// results/planreport_fig6.json.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"madpipe/internal/obs"
 )
 
 func main() {
@@ -42,6 +55,7 @@ func main() {
 		n      = flag.Int("n", 200, "requests per concurrency level")
 		hot    = flag.Int("hot", 4, "hot-set size (distinct repeated cells)")
 		coldEv = flag.Int("cold-every", 8, "issue a cold (never-seen) cell every this many requests (0 disables)")
+		tail   = flag.Int("tail", 0, "after the load run, print the daemon's last N requests from /debug/requests")
 	)
 	flag.Parse()
 	base := "http://" + *addr
@@ -58,15 +72,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "madpipeload:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-4s %10s %10s %10s %9s %7s\n", "c", "plans/sec", "p50-ms", "p99-ms", "hit-rate", "errors")
+	before := scrapeObs(base) // best-effort: nil if the daemon has no obs
+	fmt.Printf("%-4s %10s %10s %10s %10s %9s %7s\n", "c", "plans/sec", "p50-ms", "p99-ms", "p999-ms", "hit-rate", "errors")
 	// One cold-cell sequence across all levels, so a later level's cold
 	// requests are genuinely never-seen rather than replays of an
 	// earlier level's.
 	var coldSeq atomic.Int64
 	for _, c := range cs {
 		r := runLevel(base, c, *n, *hot, *coldEv, &coldSeq)
-		fmt.Printf("%-4d %10.1f %10.2f %10.2f %8.1f%% %7d\n",
-			c, r.rate, r.p50.Seconds()*1e3, r.p99.Seconds()*1e3, 100*r.hitRate, r.errors)
+		fmt.Printf("%-4d %10.1f %10.2f %10.2f %10.2f %8.1f%% %7d\n",
+			c, r.rate, r.p50.Seconds()*1e3, r.p99.Seconds()*1e3, r.p999.Seconds()*1e3, 100*r.hitRate, r.errors)
+	}
+	if after := scrapeObs(base); before != nil && after != nil {
+		printAttribution(after.Delta(*before))
+	}
+	if *tail > 0 {
+		if err := printTail(base, *tail); err != nil {
+			fmt.Fprintln(os.Stderr, "madpipeload: tail:", err)
+		}
 	}
 }
 
@@ -93,6 +116,7 @@ type levelResult struct {
 	rate    float64
 	p50     time.Duration
 	p99     time.Duration
+	p999    time.Duration
 	hitRate float64
 	errors  int
 }
@@ -102,8 +126,7 @@ func runLevel(base string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) leve
 		next   atomic.Int64
 		hits   atomic.Int64
 		errors atomic.Int64
-		mu     sync.Mutex
-		lats   []time.Duration
+		lats   obs.Hist // lock-free; workers observe concurrently
 		wg     sync.WaitGroup
 	)
 	client := &http.Client{Timeout: 2 * time.Minute}
@@ -139,23 +162,119 @@ func runLevel(base string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) leve
 				if resp.Header.Get("X-Madpipe-Memo") == "hit" {
 					hits.Add(1)
 				}
-				mu.Lock()
-				lats = append(lats, d)
-				mu.Unlock()
+				lats.ObserveDuration(d)
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s := lats.Snapshot()
 	res := levelResult{errors: int(errors.Load())}
-	if len(lats) > 0 {
-		res.rate = float64(len(lats)) / elapsed.Seconds()
-		res.p50 = lats[len(lats)/2]
-		res.p99 = lats[len(lats)*99/100]
-		res.hitRate = float64(hits.Load()) / float64(len(lats))
+	if s.Count > 0 {
+		res.rate = float64(s.Count) / elapsed.Seconds()
+		res.p50 = time.Duration(s.Quantile(0.50))
+		res.p99 = time.Duration(s.Quantile(0.99))
+		res.p999 = time.Duration(s.Quantile(0.999))
+		res.hitRate = float64(hits.Load()) / float64(s.Count)
 	}
 	return res
+}
+
+// --- server-side attribution ---
+
+// statsBody is the slice of GET /v1/stats madpipeload consumes: the
+// registry snapshot with its histogram families.
+type statsBody struct {
+	Obs obs.Snapshot `json:"obs"`
+}
+
+// scrapeObs fetches the daemon's registry snapshot, or nil when the
+// daemon runs without observability (older daemon, no registry).
+func scrapeObs(base string) *obs.Snapshot {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st statsBody
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return nil
+	}
+	if st.Obs.Counters == nil && st.Obs.Hists == nil {
+		return nil
+	}
+	return &st.Obs
+}
+
+// printAttribution renders where the run's server-side time went: one
+// row per span phase from the scrape-twice histogram delta, with each
+// phase's share of the total request time.
+func printAttribution(d obs.Snapshot) {
+	var totalNS float64
+	for name, h := range d.Hists {
+		if strings.HasPrefix(name, "serve_req_") {
+			totalNS += float64(h.Sum)
+		}
+	}
+	if totalNS == 0 {
+		return
+	}
+	fmt.Printf("\nserver-side attribution (this run, via /v1/stats delta):\n")
+	fmt.Printf("%-8s %8s %10s %8s %10s %10s\n", "phase", "count", "total-ms", "share", "p50-ms", "p99-ms")
+	for _, p := range obs.SpanPhases() {
+		h, ok := d.Hists["serve_span_"+p.String()]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-8s %8d %10.2f %7.1f%% %10.3f %10.3f\n",
+			p.String(), h.Count, float64(h.Sum)/1e6, 100*float64(h.Sum)/totalNS,
+			float64(h.Quantile(0.50))/1e6, float64(h.Quantile(0.99))/1e6)
+	}
+}
+
+// debugRequests mirrors serve.DebugRequests for decoding.
+type debugRequests struct {
+	Recorder obs.FlightStats  `json:"recorder"`
+	Requests []obs.SpanRecord `json:"requests"`
+	Notable  []obs.SpanRecord `json:"notable"`
+}
+
+// fetchTail pulls the daemon's flight-recorder tail.
+func fetchTail(base string, n int) (*debugRequests, error) {
+	url := base + "/debug/requests"
+	if n > 0 {
+		url += "?n=" + strconv.Itoa(n)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d (daemon without observability?)", resp.StatusCode)
+	}
+	var dbg debugRequests
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		return nil, err
+	}
+	return &dbg, nil
+}
+
+// printTail renders the daemon's last n requests.
+func printTail(base string, n int) error {
+	dbg, err := fetchTail(base, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlast %d requests (/debug/requests, daemon total %d, %d slow, %d shed):\n",
+		len(dbg.Requests), dbg.Recorder.Total, dbg.Recorder.Slow, dbg.Recorder.Shed)
+	fmt.Printf("%-6s %-13s %4s %-5s %10s %10s %10s\n", "seq", "endpoint", "st", "memo", "dur-ms", "plan-ms", "queue-ms")
+	for _, r := range dbg.Requests {
+		fmt.Printf("%-6d %-13s %4d %-5s %10.2f %10.3f %10.3f\n",
+			r.Seq, r.Endpoint, r.Status, r.Memo, float64(r.DurNS)/1e6,
+			float64(r.Phases[obs.SpanPlan])/1e6, float64(r.Phases[obs.SpanQueue])/1e6)
+	}
+	return nil
 }
 
 // --- smoke mode ---
@@ -210,6 +329,33 @@ func runSmoke(base, out string) error {
 		}
 	}
 
+	// The flight recorder must list both plan requests in completion
+	// order: the miss (with planner time attributed) then the hit.
+	dbg, err := fetchTail(base, 0)
+	if err != nil {
+		return fmt.Errorf("debug/requests: %w", err)
+	}
+	if len(dbg.Requests) < 2 {
+		return fmt.Errorf("debug/requests: %d records, want the 2 smoke plans", len(dbg.Requests))
+	}
+	miss, hit := dbg.Requests[len(dbg.Requests)-2], dbg.Requests[len(dbg.Requests)-1]
+	if miss.Memo != "miss" || hit.Memo != "hit" {
+		return fmt.Errorf("debug/requests: memo verdicts %q,%q, want miss,hit", miss.Memo, hit.Memo)
+	}
+	if miss.Seq >= hit.Seq {
+		return fmt.Errorf("debug/requests: out of completion order (seq %d then %d)", miss.Seq, hit.Seq)
+	}
+	if miss.Fingerprint == "" || miss.Fingerprint != hit.Fingerprint {
+		return fmt.Errorf("debug/requests: fingerprints %q vs %q, want equal", miss.Fingerprint, hit.Fingerprint)
+	}
+	if miss.Phases[obs.SpanPlan] <= 0 {
+		return fmt.Errorf("debug/requests: miss carries no planner time: %+v", miss.Phases)
+	}
+	if hit.Phases[obs.SpanPlan] != 0 {
+		return fmt.Errorf("debug/requests: memo hit reached the planner: %+v", hit.Phases)
+	}
+	fmt.Println("smoke: /debug/requests lists miss then hit in order with plan-phase attribution")
+
 	status, _, fbody, err := post(client, base+"/v1/frontier", fig6Frontier)
 	if err != nil {
 		return fmt.Errorf("frontier: %w", err)
@@ -228,12 +374,30 @@ func runSmoke(base, out string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("metrics: status %d", resp.StatusCode)
 	}
-	for _, series := range []string{"plan_memo_hits", "plan_memo_misses", "serve_requests"} {
+	for _, series := range []string{
+		"plan_memo_hits", "plan_memo_misses", "serve_requests",
+		`madpipe_serve_req_plan_bucket{le="`, "madpipe_serve_req_plan_count",
+		`madpipe_serve_span_plan_bucket{le="`, "madpipe_serve_slo_",
+	} {
 		if !bytes.Contains(mbody, []byte(series)) {
 			return fmt.Errorf("metrics: missing series %q", series)
 		}
 	}
-	fmt.Println("smoke: /metrics exposes plan_memo_* and serve_* series")
+	fmt.Println("smoke: /metrics exposes plan_memo_*, serve_* and the serve_req/serve_span histogram families")
+
+	// The daemon's own quantile summaries come from the same histograms.
+	snap := scrapeObs(base)
+	if snap == nil {
+		return fmt.Errorf("stats: no obs snapshot in /v1/stats")
+	}
+	h, ok := snap.Hists["serve_req_plan"]
+	if !ok || h.Count < 2 {
+		return fmt.Errorf("stats: serve_req_plan histogram has %d samples, want the 2 smoke plans", h.Count)
+	}
+	if q := h.Quantile(0.999); q == 0 {
+		return fmt.Errorf("stats: serve_req_plan p999 is zero with %d samples", h.Count)
+	}
+	fmt.Println("smoke: /v1/stats carries the serve_req_plan histogram with live quantiles")
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"madpipe/internal/chain"
+	"madpipe/internal/obs"
 	"madpipe/internal/platform"
 )
 
@@ -65,6 +66,46 @@ func TestPlanCtxLiveMatchesBackground(t *testing.T) {
 		t.Fatalf("ctx run diverged: got (%v,%v,%d evals), want (%v,%v,%d evals)",
 			got.PredictedPeriod, got.TargetPeriod, len(got.Evals),
 			want.PredictedPeriod, want.TargetPeriod, len(want.Evals))
+	}
+}
+
+// TestPlanCtxSpanRecords: a request span riding the context picks up
+// the planner's wall-clock in its "plan" phase — through every *Ctx
+// entry point, without changing the answer — and a span-free context
+// records nothing.
+func TestPlanCtxSpanRecords(t *testing.T) {
+	c := chain.Uniform(8, 1, 2, 1e6, 1e6)
+	want, err := PlanAllocation(c, ctxTestPlat(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp := obs.StartSpan("/v1/plan")
+	got, err := PlanAllocationCtx(obs.WithSpan(context.Background(), sp), c, ctxTestPlat(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PredictedPeriod != want.PredictedPeriod || got.TargetPeriod != want.TargetPeriod {
+		t.Fatalf("span run diverged: (%v,%v) vs (%v,%v)",
+			got.PredictedPeriod, got.TargetPeriod, want.PredictedPeriod, want.TargetPeriod)
+	}
+	if sp.PhaseNS(obs.SpanPlan) <= 0 {
+		t.Fatal("PlanAllocationCtx recorded no plan-phase time into the context span")
+	}
+
+	// The frontier walk issues many inner searches; the additive phase
+	// accumulates them all.
+	fsp := obs.StartSpan("/v1/frontier")
+	if _, err := PlanFrontierCtx(obs.WithSpan(context.Background(), fsp), c, ctxTestPlat(),
+		[]float64{4e9, 8e9, 1.2e10}, Options{Parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fsp.PhaseNS(obs.SpanPlan) <= 0 {
+		t.Fatal("PlanFrontierCtx recorded no plan-phase time")
+	}
+
+	if obs.SpanFrom(context.Background()) != nil {
+		t.Fatal("background context invented a span")
 	}
 }
 

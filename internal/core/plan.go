@@ -226,6 +226,15 @@ func PlanAllocationCtx(ctx context.Context, c *chain.Chain, plat platform.Platfo
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// A request span riding the context (the madpiped serving path)
+	// attributes this search's wall-clock to its "plan" phase. The
+	// accumulator is additive, so a frontier walk or a schedule request
+	// issuing several searches records their genuine DP total. Without a
+	// span this costs one context lookup per plan, never per probe.
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		planT0 := time.Now()
+		defer func() { sp.Add(obs.SpanPlan, time.Since(planT0)) }()
+	}
 	opts = opts.withDefaults()
 	if err := plat.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightRecorder is an always-on ring buffer of completed requests: the
+// last N whatever their outcome, plus a second ring pinning the last N
+// "notable" ones — requests slower than the slow threshold or shed with
+// an overload status — so the evidence for the request you care about
+// (the slow one, the shed one) survives long after fast traffic has
+// lapped the recent ring. Recording is one short mutex hold and one
+// value copy; there is no allocation after construction beyond the
+// strings already carried by the record.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	seq     uint64
+	slowNS  int64
+	recent  ring
+	notable ring
+
+	total, slow, shed uint64
+}
+
+// ring is a fixed-capacity overwrite buffer of SpanRecords.
+type ring struct {
+	buf  []SpanRecord
+	next int // index of the slot the next record overwrites
+	full bool
+}
+
+func (r *ring) push(rec SpanRecord) {
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// tail appends the newest records, oldest first, to out.
+func (r *ring) tail(out []SpanRecord, n int) []SpanRecord {
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n > size {
+		n = size
+	}
+	for i := size - n; i < size; i++ {
+		idx := i
+		if r.full {
+			idx = (r.next + i) % len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// NewFlightRecorder builds a recorder keeping the last n requests
+// (default 64 when n <= 0) and marking requests slower than slow as
+// notable (slow <= 0 disables the slow classification; shed requests
+// are always notable).
+func NewFlightRecorder(n int, slow time.Duration) *FlightRecorder {
+	if n <= 0 {
+		n = 64
+	}
+	return &FlightRecorder{
+		slowNS:  int64(slow),
+		recent:  ring{buf: make([]SpanRecord, n)},
+		notable: ring{buf: make([]SpanRecord, n)},
+	}
+}
+
+// Record stamps rec with the next sequence number, classifies it, and
+// stores it. Safe on a nil receiver (no-op) and for concurrent callers.
+func (f *FlightRecorder) Record(rec SpanRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	rec.Seq = f.seq
+	rec.Slow = f.slowNS > 0 && rec.DurNS >= f.slowNS
+	f.total++
+	if rec.Slow {
+		f.slow++
+	}
+	if rec.Shed {
+		f.shed++
+	}
+	f.recent.push(rec)
+	if rec.Slow || rec.Shed {
+		f.notable.push(rec)
+	}
+	f.mu.Unlock()
+}
+
+// Tail returns the newest n recent records in completion order (oldest
+// of the n first). n <= 0 returns everything retained. Safe on a nil
+// receiver (returns nil).
+func (f *FlightRecorder) Tail(n int) []SpanRecord {
+	return f.collect(n, false)
+}
+
+// Notable returns the newest n notable (slow or shed) records in
+// completion order. Safe on a nil receiver.
+func (f *FlightRecorder) Notable(n int) []SpanRecord {
+	return f.collect(n, true)
+}
+
+func (f *FlightRecorder) collect(n int, notable bool) []SpanRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := &f.recent
+	if notable {
+		r = &f.notable
+	}
+	if n <= 0 {
+		n = len(r.buf)
+	}
+	return r.tail(make([]SpanRecord, 0, n), n)
+}
+
+// FlightStats is the recorder's census.
+type FlightStats struct {
+	Total       uint64 `json:"total"`
+	Slow        uint64 `json:"slow"`
+	Shed        uint64 `json:"shed"`
+	Capacity    int    `json:"capacity"`
+	SlowNS      int64  `json:"slow_threshold_ns"`
+	SeqLast     uint64 `json:"seq_last"`
+	RetainedAll int    `json:"retained"`
+}
+
+// Stats returns the recorder's counters. Safe on a nil receiver.
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	retained := f.recent.next
+	if f.recent.full {
+		retained = len(f.recent.buf)
+	}
+	return FlightStats{
+		Total:       f.total,
+		Slow:        f.slow,
+		Shed:        f.shed,
+		Capacity:    len(f.recent.buf),
+		SlowNS:      f.slowNS,
+		SeqLast:     f.seq,
+		RetainedAll: retained,
+	}
+}

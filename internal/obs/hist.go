@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a lock-free fixed-bucket histogram for latency-shaped values
+// (non-negative integers, conventionally nanoseconds). Buckets are
+// log-linear: histSub equal-width sub-buckets per power of two, so the
+// relative quantization error is bounded by 1/histSub (6.25%) at every
+// magnitude while bucket lookup stays a handful of bit operations.
+// Recording is a single atomic add per sample — any number of
+// goroutines may Observe concurrently — and counts are exact: a sample
+// is never dropped, compressed or resampled, so two histograms over the
+// same samples are bucket-for-bucket identical regardless of writer
+// interleaving, and shard snapshots merge by plain addition.
+//
+// A nil *Hist is a no-op, matching the package's zero-overhead-when-
+// disabled contract.
+type Hist struct {
+	sum     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+const (
+	// histSubBits fixes the sub-bucket resolution: 2^histSubBits linear
+	// sub-buckets per octave.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+
+	// HistBuckets is the total bucket count: indexes [0,histSub) hold the
+	// exact values 0..histSub-1, and each of the 64-histSubBits remaining
+	// octaves contributes histSub sub-buckets. Every uint64 has a bucket.
+	HistBuckets = histSub * (64 - histSubBits + 1)
+)
+
+// HistBucketOf returns the bucket index of v: the unique i with
+// HistBucketLo(i) <= v < HistBucketHi(i).
+func HistBucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // floor(log2 v) >= histSubBits
+	sub := (v >> uint(exp-histSubBits)) & (histSub - 1)
+	return (exp-histSubBits+1)*histSub + int(sub)
+}
+
+// HistBucketLo returns bucket i's inclusive lower bound.
+func HistBucketLo(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	block, sub := i/histSub, i%histSub
+	return uint64(histSub+sub) << uint(block-1)
+}
+
+// HistBucketHi returns bucket i's exclusive upper bound, saturating at
+// MaxUint64 for the top bucket.
+func HistBucketHi(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return math.MaxUint64
+	}
+	return HistBucketLo(i + 1)
+}
+
+// Observe records one sample. Safe on a nil receiver and under any
+// number of concurrent observers; never allocates.
+func (h *Hist) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[HistBucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative durations
+// clamp to zero). Safe on a nil receiver.
+func (h *Hist) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// HistBucket is one non-empty bucket in a snapshot, identified by its
+// inclusive lower bound (in the recorded unit, conventionally ns).
+type HistBucket struct {
+	Lo uint64 `json:"lo"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: the non-empty
+// buckets in ascending order plus exact count and sum. Snapshots are
+// plain data — mergeable, diffable, JSON round-trippable — so load
+// generators and the daemon can share one estimator.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Samples recorded
+// concurrently may or may not be included; Count always equals the sum
+// of the returned bucket counts (Sum is read separately and may lag by
+// in-flight samples). Safe on a nil receiver (returns the zero
+// snapshot).
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: HistBucketLo(i), N: n})
+			s.Count += n
+		}
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the inclusive upper
+// bound of the bucket holding the rank-⌈q·Count⌉ sample — a
+// deterministic, conservative estimate within the bucket's 6.25%
+// relative width. Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= rank {
+			hi := HistBucketHi(HistBucketOf(b.Lo))
+			return hi - 1
+		}
+	}
+	return HistBucketHi(HistBucketOf(s.Buckets[len(s.Buckets)-1].Lo)) - 1
+}
+
+// Mean returns the exact arithmetic mean of the recorded samples (0 for
+// an empty snapshot).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge returns the bucket-wise sum of s and o — the histogram a single
+// writer would have produced over both sample streams. Inputs are not
+// mutated.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	return combineBuckets(s, o, func(a, b uint64) uint64 { return a + b })
+}
+
+// Delta returns the bucket-wise change from prev to s: what was
+// recorded between two snapshots of one histogram. Buckets that went
+// backwards (a restarted process) clamp to zero; empty result buckets
+// are dropped.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	return combineBuckets(s, prev, func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return 0
+	})
+}
+
+// combineBuckets merges two sorted sparse bucket lists with op(a, b)
+// applied per bucket (absent buckets read as zero), recomputing Count
+// and applying the same op to Sum.
+func combineBuckets(a, b HistSnapshot, op func(uint64, uint64) uint64) HistSnapshot {
+	var out HistSnapshot
+	out.Sum = op(a.Sum, b.Sum)
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		var lo, av, bv uint64
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].Lo < b.Buckets[j].Lo):
+			lo, av = a.Buckets[i].Lo, a.Buckets[i].N
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].Lo < a.Buckets[i].Lo:
+			lo, bv = b.Buckets[j].Lo, b.Buckets[j].N
+			j++
+		default: // equal Lo
+			lo, av, bv = a.Buckets[i].Lo, a.Buckets[i].N, b.Buckets[j].N
+			i++
+			j++
+		}
+		if n := op(av, bv); n > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Lo: lo, N: n})
+			out.Count += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries is the bucket-placement property test: at
+// every power of two and one ns either side of it, the computed bucket
+// must actually contain the value, indexes must be monotone in the
+// value, and the Lo/Hi edges must tile the axis with no gaps.
+func TestHistBucketBoundaries(t *testing.T) {
+	contains := func(v uint64) {
+		t.Helper()
+		i := HistBucketOf(v)
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("HistBucketOf(%d) = %d out of range", v, i)
+		}
+		if lo, hi := HistBucketLo(i), HistBucketHi(i); v < lo || v >= hi {
+			if !(i == HistBuckets-1 && v >= lo) { // top bucket saturates
+				t.Fatalf("v=%d landed in bucket %d [%d,%d)", v, i, lo, hi)
+			}
+		}
+	}
+	// Exact powers and off-by-one ns around them, across every octave.
+	for exp := 0; exp < 64; exp++ {
+		p := uint64(1) << uint(exp)
+		contains(p)
+		if p > 0 {
+			contains(p - 1)
+		}
+		if p < math.MaxUint64 {
+			contains(p + 1)
+		}
+	}
+	contains(0)
+	contains(math.MaxUint64)
+
+	// Values below histSub are exact: bucket == value.
+	for v := uint64(0); v < histSub; v++ {
+		if i := HistBucketOf(v); uint64(i) != v {
+			t.Fatalf("low range not exact: bucket(%d) = %d", v, i)
+		}
+	}
+
+	// Monotonicity + tiling: each bucket's Hi is the next bucket's Lo.
+	for i := 0; i < HistBuckets-1; i++ {
+		if HistBucketHi(i) != HistBucketLo(i+1) {
+			t.Fatalf("gap between buckets %d and %d: hi=%d lo=%d",
+				i, i+1, HistBucketHi(i), HistBucketLo(i+1))
+		}
+	}
+
+	// Randomized sweep with a fixed seed: containment and round-trip.
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 20000; n++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		contains(v)
+		i := HistBucketOf(v)
+		if got := HistBucketOf(HistBucketLo(i)); got != i {
+			t.Fatalf("Lo(%d) does not map back: bucket %d -> %d", v, i, got)
+		}
+	}
+
+	// Relative bucket width stays within the 1/histSub design bound.
+	for i := histSub; i < HistBuckets-1; i++ {
+		lo, hi := HistBucketLo(i), HistBucketHi(i)
+		if width := hi - lo; float64(width)/float64(lo) > 1.0/histSub+1e-12 {
+			t.Fatalf("bucket %d [%d,%d): width %d exceeds %.4f relative", i, lo, hi, width, 1.0/histSub)
+		}
+	}
+}
+
+// TestHistMergeEqualsSingleWriter: sharded recording merged bucket-wise
+// equals one histogram that saw every sample — both for deterministic
+// round-robin sharding and for concurrent writers on one histogram.
+func TestHistMergeEqualsSingleWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		samples[i] = uint64(rng.Int63n(int64(10 * time.Second)))
+	}
+
+	var single Hist
+	shards := make([]*Hist, 4)
+	for i := range shards {
+		shards[i] = new(Hist)
+	}
+	for i, v := range samples {
+		single.Observe(v)
+		shards[i%len(shards)].Observe(v)
+	}
+	merged := HistSnapshot{}
+	for _, sh := range shards {
+		merged = merged.Merge(sh.Snapshot())
+	}
+	if want := single.Snapshot(); !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged shard snapshots differ from single writer:\n got %+v\nwant %+v", merged, want)
+	}
+
+	// Concurrent writers: bucket counts must be exact (no lost samples).
+	var conc Hist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(samples); i += 8 {
+				conc.Observe(samples[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := conc.Snapshot(), single.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent recording lost or misplaced samples:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestHistQuantile pins the estimator: quantiles of a known sample set
+// land in the recording's bucket (within the 6.25% relative width), and
+// the conservative upper-edge convention is monotone in q.
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	// 1000 samples at 1ms, 1000 at 10ms, 10 at 1s.
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(time.Millisecond))
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(10 * time.Millisecond))
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(uint64(time.Second))
+	}
+	s := h.Snapshot()
+	inBucketOf := func(q float64, v uint64) {
+		t.Helper()
+		got := s.Quantile(q)
+		i := HistBucketOf(v)
+		if lo, hi := HistBucketLo(i), HistBucketHi(i); got < lo || got >= hi {
+			t.Errorf("Quantile(%g) = %d, want within bucket of %d [%d,%d)", q, got, v, lo, hi)
+		}
+	}
+	inBucketOf(0.25, uint64(time.Millisecond))
+	inBucketOf(0.75, uint64(10*time.Millisecond))
+	inBucketOf(0.999, uint64(time.Second))
+	if p50, p999 := s.Quantile(0.5), s.Quantile(0.999); p50 > p999 {
+		t.Errorf("quantiles not monotone: p50=%d > p999=%d", p50, p999)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %d, want 0", got)
+	}
+	if mean := s.Mean(); math.Abs(mean-float64(s.Sum)/float64(s.Count)) > 1e-9 {
+		t.Errorf("mean = %g", mean)
+	}
+}
+
+// TestHistSnapshotDelta pins Delta(h1, h2) bucket-wise: recording more
+// samples into a histogram and diffing its snapshots yields exactly the
+// histogram of the new samples.
+func TestHistSnapshotDelta(t *testing.T) {
+	var h, onlyNew Hist
+	for _, v := range []uint64{5, 100, 100, 3000} {
+		h.Observe(v)
+	}
+	before := h.Snapshot()
+	extra := []uint64{5, 17, 100, 1 << 30}
+	for _, v := range extra {
+		h.Observe(v)
+		onlyNew.Observe(v)
+	}
+	d := h.Snapshot().Delta(before)
+	if want := onlyNew.Snapshot(); !reflect.DeepEqual(d, want) {
+		t.Fatalf("delta differs from histogram of the new samples:\n got %+v\nwant %+v", d, want)
+	}
+	// Backwards snapshots (restart) clamp to empty, not underflow.
+	if d := before.Delta(h.Snapshot()); d.Count != 0 || len(d.Buckets) != 0 {
+		t.Fatalf("backwards delta not clamped: %+v", d)
+	}
+}
+
+// TestRegistryHistSnapshotDelta covers the registry-level wiring: Hist
+// handles, Snapshot.Hists, and Snapshot.Delta over gauges + histograms.
+func TestRegistryHistSnapshotDelta(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Hist("x").Observe(1) // no-op, no panic
+	if (*Hist)(nil).Snapshot().Count != 0 {
+		t.Fatal("nil hist snapshot not empty")
+	}
+
+	r := NewRegistry()
+	r.Hist("serve_req_plan").ObserveDuration(2 * time.Millisecond)
+	r.Gauge("depth").Observe(4)
+	prev := r.Snapshot()
+	if len(prev.Hists) != 1 || prev.Hists["serve_req_plan"].Count != 1 {
+		t.Fatalf("snapshot hists: %+v", prev.Hists)
+	}
+
+	r.Hist("serve_req_plan").ObserveDuration(8 * time.Millisecond)
+	r.Hist("serve_req_frontier").ObserveDuration(time.Millisecond)
+	r.Gauge("depth").Observe(9)
+	r.Gauge("steady").Observe(2)
+	prev2 := r.Snapshot()
+	r.Gauge("steady").Observe(1) // below high water: unchanged
+
+	d := r.Snapshot().Delta(prev)
+	if got := d.Hists["serve_req_plan"]; got.Count != 1 ||
+		got.Buckets[0].Lo != HistBucketLo(HistBucketOf(uint64(8*time.Millisecond))) {
+		t.Errorf("plan hist delta = %+v, want the single 8ms sample", got)
+	}
+	if got := d.Hists["serve_req_frontier"]; got.Count != 1 {
+		t.Errorf("new hist delta = %+v, want count 1 from zero", got)
+	}
+	if got := d.Gauges["depth"]; got != 9 {
+		t.Errorf("risen gauge delta = %d, want new high water 9", got)
+	}
+	d2 := r.Snapshot().Delta(prev2)
+	if _, ok := d2.Gauges["steady"]; ok {
+		t.Error("unchanged gauge kept in delta")
+	}
+	if _, ok := d2.Hists["serve_req_plan"]; ok {
+		t.Error("unchanged hist kept in delta")
+	}
+}

@@ -41,7 +41,11 @@ func sanitizeMetricName(name string) string {
 // format (version 0.0.4), with no dependency beyond the standard
 // library. Counters expose as <ns>_<name>, gauges as <ns>_<name>
 // (TYPE gauge), phases as a <ns>_phase_<name>_seconds_total counter plus
-// a <ns>_phase_<name>_count counter. Output is sorted by name, so a
+// a <ns>_phase_<name>_count counter, and histograms as a classic
+// <ns>_<name>_bucket{le="…"} cumulative family (seconds; only occupied
+// buckets plus le="+Inf" are emitted — the log-linear grid has ~1000
+// potential buckets and a quiescent latency histogram occupies a few
+// dozen) with the usual _sum and _count. Output is sorted by name, so a
 // scrape is deterministic for a quiescent registry. Safe on a nil
 // registry (writes nothing).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -58,6 +62,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Gauges) {
 		m := metricNamespace + "_" + sanitizeMetricName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		m := metricNamespace + "_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.N
+			le := float64(HistBucketHi(HistBucketOf(b.Lo))) / 1e9
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", m, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			m, h.Count, m, float64(h.Sum)/1e9, m, h.Count); err != nil {
 			return err
 		}
 	}

@@ -148,6 +148,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	phases   map[string]*Phase
+	hists    map[string]*Hist
 }
 
 // NewRegistry returns an empty registry.
@@ -156,6 +157,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		phases:   make(map[string]*Phase),
+		hists:    make(map[string]*Hist),
 	}
 }
 
@@ -207,6 +209,22 @@ func (r *Registry) Phase(name string) *Phase {
 	return p
 }
 
+// Hist returns the named histogram, creating it on first use. Returns
+// nil (a no-op histogram) on a nil registry.
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Hist)
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
 // PhaseSnapshot is one phase's totals in a Snapshot.
 type PhaseSnapshot struct {
 	Count   uint64 `json:"count"`
@@ -220,6 +238,7 @@ type Snapshot struct {
 	Counters map[string]uint64        `json:"counters,omitempty"`
 	Gauges   map[string]uint64        `json:"gauges,omitempty"`
 	Phases   map[string]PhaseSnapshot `json:"phases,omitempty"`
+	Hists    map[string]HistSnapshot  `json:"hists,omitempty"`
 }
 
 // Snapshot captures the registry's current values. Safe on a nil
@@ -251,18 +270,26 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Phases[name] = PhaseSnapshot{Count: p.Count(), TotalNS: int64(p.Total())}
 		}
 	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Hists[name] = h.Snapshot()
+		}
+	}
 	return s
 }
 
-// Delta returns the change from prev to s: counters and phase totals
-// are subtracted entry-wise (entries absent from prev count from zero,
-// and a counter that went backwards — a restarted process — clamps to
-// zero rather than underflowing), while gauges keep s's value, since a
-// high-water mark has no meaningful difference. Entries that did not
-// move are dropped, so a Delta is exactly "what happened between two
-// scrapes" — the shape load generators need to report a memo hit rate
-// for one measurement window without parsing Prometheus text: scrape
-// /v1/stats twice, decode both into Snapshot, diff.
+// Delta returns the change from prev to s: counters, phase totals and
+// histogram buckets are subtracted entry-wise (entries absent from prev
+// count from zero, and anything that went backwards — a restarted
+// process — clamps to zero rather than underflowing). Gauges are
+// high-water marks with no meaningful difference, so a gauge that rose
+// keeps s's value — "the new high-water mark set in this window" — and
+// one that did not move is dropped like every other unchanged entry. A
+// Delta is exactly "what happened between two scrapes" — the shape load
+// generators need to report a memo hit rate or a per-phase latency
+// attribution for one measurement window without parsing Prometheus
+// text: scrape /v1/stats twice, decode both into Snapshot, diff.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	var d Snapshot
 	for name, cur := range s.Counters {
@@ -273,11 +300,23 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			d.Counters[name] = cur - base
 		}
 	}
-	if len(s.Gauges) > 0 {
-		d.Gauges = make(map[string]uint64, len(s.Gauges))
-		for name, v := range s.Gauges {
-			d.Gauges[name] = v
+	for name, cur := range s.Gauges {
+		if cur > prev.Gauges[name] {
+			if d.Gauges == nil {
+				d.Gauges = make(map[string]uint64)
+			}
+			d.Gauges[name] = cur
 		}
+	}
+	for name, cur := range s.Hists {
+		diff := cur.Delta(prev.Hists[name])
+		if diff.Count == 0 {
+			continue
+		}
+		if d.Hists == nil {
+			d.Hists = make(map[string]HistSnapshot)
+		}
+		d.Hists[name] = diff
 	}
 	for name, cur := range s.Phases {
 		base := prev.Phases[name]

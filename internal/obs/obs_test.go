@@ -243,11 +243,12 @@ func TestListenAndServeEphemeral(t *testing.T) {
 
 // TestSnapshotDelta covers the scrape-twice-and-diff helper: counters
 // and phase totals subtract, new names count from zero, regressions
-// clamp, unchanged entries drop, gauges pass through.
+// clamp, unchanged entries drop, risen gauges report the new high-water
+// mark. (Histogram deltas are pinned in TestRegistryHistSnapshotDelta.)
 func TestSnapshotDelta(t *testing.T) {
 	prev := Snapshot{
 		Counters: map[string]uint64{"plan_memo_hits": 10, "plan_memo_misses": 4, "steady": 7, "restarted": 100},
-		Gauges:   map[string]uint64{"queue_depth_peak": 3},
+		Gauges:   map[string]uint64{"queue_depth_peak": 3, "flat_gauge": 8},
 		Phases: map[string]PhaseSnapshot{
 			"serve_plan": {Count: 4, TotalNS: 4000},
 			"idle":       {Count: 1, TotalNS: 10},
@@ -255,7 +256,7 @@ func TestSnapshotDelta(t *testing.T) {
 	}
 	cur := Snapshot{
 		Counters: map[string]uint64{"plan_memo_hits": 25, "plan_memo_misses": 4, "steady": 7, "restarted": 2, "fresh": 3},
-		Gauges:   map[string]uint64{"queue_depth_peak": 5},
+		Gauges:   map[string]uint64{"queue_depth_peak": 5, "flat_gauge": 8},
 		Phases: map[string]PhaseSnapshot{
 			"serve_plan": {Count: 9, TotalNS: 9500},
 			"idle":       {Count: 1, TotalNS: 10},
@@ -274,7 +275,10 @@ func TestSnapshotDelta(t *testing.T) {
 		}
 	}
 	if got := d.Gauges["queue_depth_peak"]; got != 5 {
-		t.Errorf("gauge passthrough = %d, want 5", got)
+		t.Errorf("risen gauge = %d, want new high water 5", got)
+	}
+	if _, ok := d.Gauges["flat_gauge"]; ok {
+		t.Error("unchanged gauge kept in delta")
 	}
 	if got := d.Phases["serve_plan"]; got.Count != 5 || got.TotalNS != 5500 {
 		t.Errorf("phase delta = %+v, want {5 5500}", got)

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// SpanPhase names one segment of a served request's lifetime. Phases
+// are additive wall-clock accumulators, not a strict partition: a
+// request spends time in a subset of them (a memo hit never plans; a
+// single-flight follower waits instead of queueing) and the remainder
+// of its total duration is uninstrumented glue.
+type SpanPhase uint8
+
+const (
+	// SpanAdmit covers the admission gate: method check, drain check,
+	// body decode, request validation.
+	SpanAdmit SpanPhase = iota
+	// SpanQueue is time spent parked in the admission queue before a
+	// worker picked the request up.
+	SpanQueue
+	// SpanMemo is the response-memo lookup.
+	SpanMemo
+	// SpanFlight is a single-flight follower's wait for the leader's
+	// answer.
+	SpanFlight
+	// SpanIntern covers chain coarsening plus canonical-chain interning.
+	SpanIntern
+	// SpanPlan is the planner's own time (DP probes, frontier walk),
+	// recorded by the core *Ctx entry points when a span rides the
+	// request context.
+	SpanPlan
+	// SpanMarshal is report rendering into the response body.
+	SpanMarshal
+	// SpanWrite is the HTTP response write.
+	SpanWrite
+
+	// NumSpanPhases is the number of phases; valid phases are < it.
+	NumSpanPhases
+)
+
+var spanPhaseNames = [NumSpanPhases]string{
+	"admit", "queue", "memo", "flight", "intern", "plan", "marshal", "write",
+}
+
+// String returns the phase's exposition name ("admit", "queue", ...).
+func (p SpanPhase) String() string {
+	if p >= NumSpanPhases {
+		return "unknown"
+	}
+	return spanPhaseNames[p]
+}
+
+// SpanPhases lists every phase in recording order, for callers that
+// iterate the full set (histogram registration, attribution tables).
+func SpanPhases() [NumSpanPhases]SpanPhase {
+	var ps [NumSpanPhases]SpanPhase
+	for i := range ps {
+		ps[i] = SpanPhase(i)
+	}
+	return ps
+}
+
+// Span records one request's phase-boundary trace: a start stamp plus a
+// monotonic per-phase duration accumulator. The request-handling
+// goroutine creates it, hands it to the planning worker through the
+// request context, and folds it into a SpanRecord when the response is
+// written. Phase accumulators are atomic so a worker racing a
+// deadline-abandoned handler can never corrupt them.
+//
+// A nil *Span is a no-op on every method — the disabled path costs one
+// pointer check per call site and performs no allocation and no clock
+// reads.
+type Span struct {
+	endpoint string
+	start    time.Time
+	phaseNS  [NumSpanPhases]atomic.Int64
+
+	// Response metadata, set once by the owning handler before Finish.
+	fingerprint string
+	status      int
+	memo        string
+	bytes       int
+	shed        bool
+}
+
+// StartSpan begins a span for one request against the named endpoint,
+// stamping the (monotonic) start time.
+func StartSpan(endpoint string) *Span {
+	return &Span{endpoint: endpoint, start: time.Now()}
+}
+
+// Clock returns the current time for a later Since call, or the zero
+// time on a nil receiver — the idiom
+//
+//	t := sp.Clock()
+//	... work ...
+//	sp.Since(SpanMemo, t)
+//
+// costs two nil checks and no clock reads when sp is nil.
+func (sp *Span) Clock() time.Time {
+	if sp == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since adds the elapsed time from t0 to the phase accumulator. Safe on
+// a nil receiver (no-op).
+func (sp *Span) Since(p SpanPhase, t0 time.Time) {
+	if sp == nil {
+		return
+	}
+	sp.phaseNS[p].Add(int64(time.Since(t0)))
+}
+
+// Add adds d to the phase accumulator. Safe on a nil receiver.
+func (sp *Span) Add(p SpanPhase, d time.Duration) {
+	if sp == nil || d <= 0 {
+		return
+	}
+	sp.phaseNS[p].Add(int64(d))
+}
+
+// PhaseNS returns the accumulated nanoseconds for p (0 on nil).
+func (sp *Span) PhaseNS(p SpanPhase) int64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.phaseNS[p].Load()
+}
+
+// SetFingerprint records the request's cache key, stamped as soon as it
+// is computed (shed and error paths may finish without one). Safe on a
+// nil receiver.
+func (sp *Span) SetFingerprint(fingerprint string) {
+	if sp == nil {
+		return
+	}
+	sp.fingerprint = fingerprint
+}
+
+// SetMeta records the response metadata the flight recorder exposes.
+// Safe on a nil receiver.
+func (sp *Span) SetMeta(memo string, status, bytes int, shed bool) {
+	if sp == nil {
+		return
+	}
+	sp.memo, sp.status, sp.bytes, sp.shed = memo, status, bytes, shed
+}
+
+// Finish closes the span and returns its immutable record. Safe on a
+// nil receiver (returns the zero record; callers gate on a nil span
+// before using it).
+func (sp *Span) Finish() SpanRecord {
+	if sp == nil {
+		return SpanRecord{}
+	}
+	rec := SpanRecord{
+		Endpoint:    sp.endpoint,
+		Start:       sp.start,
+		DurNS:       int64(time.Since(sp.start)),
+		Status:      sp.status,
+		Memo:        sp.memo,
+		Fingerprint: sp.fingerprint,
+		Bytes:       sp.bytes,
+		Shed:        sp.shed,
+	}
+	for i := range rec.Phases {
+		rec.Phases[i] = sp.phaseNS[i].Load()
+	}
+	return rec
+}
+
+// PhaseDurations is a fixed per-phase nanosecond vector. It marshals as
+// a name-keyed JSON object with zero phases omitted, so /debug/requests
+// bodies read naturally while the in-memory record stays a flat array
+// (no per-request map allocation on the recording path).
+type PhaseDurations [NumSpanPhases]int64
+
+// MarshalJSON renders {"admit":123,...} with zero entries omitted, in
+// phase order.
+func (p PhaseDurations) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 16*int(NumSpanPhases))
+	buf = append(buf, '{')
+	first := true
+	for i, ns := range p {
+		if ns == 0 {
+			continue
+		}
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = append(buf, '"')
+		buf = append(buf, spanPhaseNames[i]...)
+		buf = append(buf, '"', ':')
+		buf = appendInt(buf, ns)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON parses the name-keyed object form; unknown phase names
+// are ignored so newer daemons stay readable by older clients.
+func (p *PhaseDurations) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for i, name := range spanPhaseNames {
+		if v, ok := m[name]; ok {
+			p[i] = v
+		}
+	}
+	return nil
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// SpanRecord is one completed request as the flight recorder stores and
+// /debug/requests serves it. Seq is assigned at record time, so records
+// sort in completion order.
+type SpanRecord struct {
+	Seq         uint64         `json:"seq"`
+	Endpoint    string         `json:"endpoint"`
+	Start       time.Time      `json:"start"`
+	DurNS       int64          `json:"dur_ns"`
+	Status      int            `json:"status"`
+	Memo        string         `json:"memo,omitempty"`
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Bytes       int            `json:"bytes"`
+	Shed        bool           `json:"shed,omitempty"`
+	Slow        bool           `json:"slow,omitempty"`
+	Phases      PhaseDurations `json:"phases"`
+}
+
+// spanKey carries a *Span in a context.Context.
+type spanKey struct{}
+
+// WithSpan attaches sp to ctx; a nil span returns ctx unchanged, so the
+// disabled path never allocates a context value.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the span riding ctx, or nil. This is how the
+// planner's *Ctx entry points pick the recorder up without signature
+// churn: instrumented code calls SpanFrom once and records through the
+// possibly-nil result.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSpanNilSafe: every method on a nil span is a no-op — this is the
+// disabled serving path.
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	if !sp.Clock().IsZero() {
+		t.Error("nil span Clock read the clock")
+	}
+	sp.Since(SpanMemo, time.Now())
+	sp.Add(SpanPlan, time.Second)
+	sp.SetFingerprint("fp")
+	sp.SetMeta("hit", 200, 10, false)
+	if sp.PhaseNS(SpanMemo) != 0 {
+		t.Error("nil span accumulated")
+	}
+	if rec := sp.Finish(); rec.Status != 0 || rec.DurNS != 0 {
+		t.Errorf("nil span record: %+v", rec)
+	}
+	ctx := WithSpan(context.Background(), nil)
+	if ctx != context.Background() {
+		t.Error("WithSpan(nil) allocated a context value")
+	}
+	if SpanFrom(ctx) != nil || SpanFrom(nil) != nil {
+		t.Error("SpanFrom invented a span")
+	}
+}
+
+// TestSpanPhasesAndContext: phases accumulate additively, ride a
+// context, and fold into a record with the response metadata.
+func TestSpanPhasesAndContext(t *testing.T) {
+	sp := StartSpan("/v1/plan")
+	sp.Add(SpanMemo, 3*time.Microsecond)
+	sp.Add(SpanMemo, 2*time.Microsecond)
+	sp.Add(SpanPlan, time.Millisecond)
+	t0 := sp.Clock()
+	if t0.IsZero() {
+		t.Fatal("live span Clock returned zero time")
+	}
+	sp.Since(SpanWrite, t0)
+
+	ctx := WithSpan(context.Background(), sp)
+	if got := SpanFrom(ctx); got != sp {
+		t.Fatal("span did not ride the context")
+	}
+
+	sp.SetFingerprint("abcd")
+	sp.SetMeta("miss", 200, 512, false)
+	rec := sp.Finish()
+	if rec.Endpoint != "/v1/plan" || rec.Status != 200 || rec.Memo != "miss" ||
+		rec.Fingerprint != "abcd" || rec.Bytes != 512 {
+		t.Errorf("record metadata: %+v", rec)
+	}
+	if got := rec.Phases[SpanMemo]; got != int64(5*time.Microsecond) {
+		t.Errorf("memo phase = %d, want 5µs accumulated", got)
+	}
+	if rec.Phases[SpanPlan] != int64(time.Millisecond) || rec.Phases[SpanWrite] <= 0 {
+		t.Errorf("phases: %+v", rec.Phases)
+	}
+	if rec.DurNS <= 0 {
+		t.Errorf("total duration %d", rec.DurNS)
+	}
+}
+
+// TestPhaseDurationsJSON: the fixed array marshals as a name-keyed
+// object with zeros omitted and round-trips.
+func TestPhaseDurationsJSON(t *testing.T) {
+	var p PhaseDurations
+	p[SpanQueue] = 1500
+	p[SpanPlan] = 2_000_000
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"queue":1500,"plan":2000000}`; string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+	var back PhaseDurations
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("round trip: %+v != %+v", back, p)
+	}
+	if err := json.Unmarshal([]byte(`{"queue":1,"future_phase":9}`), &back); err != nil {
+		t.Errorf("unknown phase name not ignored: %v", err)
+	}
+}
+
+// TestFlightRecorder: the recent ring keeps completion order and wraps;
+// the notable ring pins slow and shed requests past the recent ring's
+// horizon; sequence numbers are strictly increasing.
+func TestFlightRecorder(t *testing.T) {
+	f := NewFlightRecorder(4, 10*time.Millisecond)
+	rec := func(dur time.Duration, status int, shed bool) {
+		f.Record(SpanRecord{Endpoint: "/v1/plan", DurNS: int64(dur), Status: status, Shed: shed})
+	}
+	rec(15*time.Millisecond, 200, false) // slow -> notable
+	rec(time.Millisecond, 200, false)
+	rec(time.Millisecond, 429, true) // shed -> notable
+	for i := 0; i < 5; i++ {
+		rec(time.Millisecond, 200, false) // lap the recent ring
+	}
+
+	tail := f.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("tail retained %d records, want ring capacity 4", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq != tail[i-1].Seq+1 {
+			t.Fatalf("tail out of order: %d after %d", tail[i].Seq, tail[i-1].Seq)
+		}
+	}
+	if tail[len(tail)-1].Seq != 8 {
+		t.Errorf("newest seq = %d, want 8", tail[len(tail)-1].Seq)
+	}
+
+	notable := f.Notable(0)
+	if len(notable) != 2 {
+		t.Fatalf("notable retained %d, want slow + shed", len(notable))
+	}
+	if !notable[0].Slow || notable[0].Seq != 1 {
+		t.Errorf("first notable: %+v, want the slow seq-1 request", notable[0])
+	}
+	if !notable[1].Shed || notable[1].Status != 429 {
+		t.Errorf("second notable: %+v, want the shed 429", notable[1])
+	}
+
+	st := f.Stats()
+	if st.Total != 8 || st.Slow != 1 || st.Shed != 1 || st.Capacity != 4 || st.SeqLast != 8 {
+		t.Errorf("stats: %+v", st)
+	}
+	if n := f.Tail(2); len(n) != 2 || n[1].Seq != 8 {
+		t.Errorf("Tail(2): %+v", n)
+	}
+
+	var nilF *FlightRecorder
+	nilF.Record(SpanRecord{})
+	if nilF.Tail(1) != nil || nilF.Stats().Total != 0 {
+		t.Error("nil recorder not a no-op")
+	}
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"madpipe/internal/obs"
+)
+
+// requestObs bundles the request-level observability plane: per-endpoint
+// and per-phase latency histograms, the SLO counters, and the flight
+// recorder. A nil *requestObs (Config.Registry == nil) disables the
+// whole plane: start returns a nil span and every downstream call is a
+// one-pointer-check no-op, so the disabled serving path performs no
+// clock reads and no allocations for observability.
+type requestObs struct {
+	flight *obs.FlightRecorder
+	sloNS  int64
+
+	// reqHist maps the endpoint path to its request-duration histogram
+	// (serve_req_plan, serve_req_frontier); unknown endpoints fold into
+	// serve_req_other so nothing is silently dropped.
+	reqHist  map[string]*obs.Hist
+	reqOther *obs.Hist
+
+	// phaseHist holds one duration histogram per span phase
+	// (serve_span_admit, serve_span_queue, ...).
+	phaseHist [obs.NumSpanPhases]*obs.Hist
+
+	cSLOOK, cSLOViol, cSLOErr *obs.Counter
+}
+
+// newRequestObs wires the plane into reg. Callers pass a non-nil
+// registry; the disabled path is a nil *requestObs, not a stub.
+func newRequestObs(cfg Config, reg *obs.Registry) *requestObs {
+	o := &requestObs{
+		flight: obs.NewFlightRecorder(cfg.FlightN, cfg.SlowThreshold),
+		sloNS:  int64(cfg.SLOTarget),
+		reqHist: map[string]*obs.Hist{
+			"/v1/plan":     reg.Hist("serve_req_plan"),
+			"/v1/frontier": reg.Hist("serve_req_frontier"),
+		},
+		reqOther: reg.Hist("serve_req_other"),
+		cSLOOK:   reg.Counter("serve_slo_ok"),
+		cSLOViol: reg.Counter("serve_slo_violations"),
+		cSLOErr:  reg.Counter("serve_slo_errors"),
+	}
+	for _, p := range obs.SpanPhases() {
+		o.phaseHist[p] = reg.Hist("serve_span_" + p.String())
+	}
+	return o
+}
+
+// start opens a span for one request, or nil when the plane is
+// disabled — the single pointer check the whole feature costs then.
+func (o *requestObs) start(endpoint string) *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return obs.StartSpan(endpoint)
+}
+
+// finish folds a completed span into the histograms, SLO counters and
+// flight recorder. Safe on a nil receiver or nil span.
+func (o *requestObs) finish(sp *obs.Span) {
+	if o == nil || sp == nil {
+		return
+	}
+	rec := sp.Finish()
+	h := o.reqHist[rec.Endpoint]
+	if h == nil {
+		h = o.reqOther
+	}
+	h.Observe(uint64(rec.DurNS))
+	for i, ns := range rec.Phases {
+		if ns > 0 {
+			o.phaseHist[i].Observe(uint64(ns))
+		}
+	}
+	switch {
+	case rec.Shed || rec.Status >= 500:
+		// The daemon failed the request (overload, timeout, internal
+		// error): an SLO error regardless of how fast it failed.
+		o.cSLOErr.Inc()
+	case rec.DurNS > o.sloNS:
+		o.cSLOViol.Inc()
+	default:
+		o.cSLOOK.Inc()
+	}
+	o.flight.Record(rec)
+}
+
+// serviceP50 is the observed median request duration across endpoints,
+// the service-time estimate behind derived Retry-After values. Zero
+// when disabled or before any request completed.
+func (o *requestObs) serviceP50() time.Duration {
+	if o == nil {
+		return 0
+	}
+	var m obs.HistSnapshot
+	for _, h := range o.reqHist {
+		m = m.Merge(h.Snapshot())
+	}
+	if m.Count == 0 {
+		return 0
+	}
+	return time.Duration(m.Quantile(0.5))
+}
+
+// retryAfterSecs derives the Retry-After hint for a shed response: the
+// time for the current queue to drain through the worker pool at the
+// observed median service time, clamped to [1s, 60s]. With an empty
+// queue or no observations yet it stays at the legacy 1s.
+func retryAfterSecs(queued, workers int, p50 time.Duration) int {
+	if queued <= 0 || workers <= 0 || p50 <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(queued) * p50.Seconds() / float64(workers)))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// retryAfter renders the derived hint for this server's current state.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(retryAfterSecs(len(s.queue), s.cfg.Workers, s.robs.serviceP50()))
+}
+
+// LatencySummary is one histogram's quantile digest as /v1/stats
+// reports it (nanoseconds; the histogram's bucket resolution bounds
+// relative error at 1/16).
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  uint64  `json:"p50_ns"`
+	P90NS  uint64  `json:"p90_ns"`
+	P99NS  uint64  `json:"p99_ns"`
+	P999NS uint64  `json:"p999_ns"`
+}
+
+func summarize(s obs.HistSnapshot) LatencySummary {
+	return LatencySummary{
+		Count:  s.Count,
+		MeanNS: s.Mean(),
+		P50NS:  s.Quantile(0.50),
+		P90NS:  s.Quantile(0.90),
+		P99NS:  s.Quantile(0.99),
+		P999NS: s.Quantile(0.999),
+	}
+}
+
+// SLOStats is the serve_slo_* counter family plus its target.
+type SLOStats struct {
+	TargetNS   int64  `json:"target_ns"`
+	OK         uint64 `json:"ok"`
+	Violations uint64 `json:"violations"`
+	Errors     uint64 `json:"errors"`
+}
+
+// latency builds the /v1/stats quantile map: endpoints by path, phases
+// as "phase/<name>". Empty histograms are omitted.
+func (o *requestObs) latency() map[string]LatencySummary {
+	if o == nil {
+		return nil
+	}
+	out := make(map[string]LatencySummary)
+	add := func(name string, h *obs.Hist) {
+		if s := h.Snapshot(); s.Count > 0 {
+			out[name] = summarize(s)
+		}
+	}
+	for ep, h := range o.reqHist {
+		add(ep, h)
+	}
+	add("other", o.reqOther)
+	for _, p := range obs.SpanPhases() {
+		add("phase/"+p.String(), o.phaseHist[p])
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (o *requestObs) slo() *SLOStats {
+	if o == nil {
+		return nil
+	}
+	return &SLOStats{
+		TargetNS:   o.sloNS,
+		OK:         o.cSLOOK.Value(),
+		Violations: o.cSLOViol.Value(),
+		Errors:     o.cSLOErr.Value(),
+	}
+}

@@ -260,6 +260,14 @@ func TestServeChurnBitIdentical(t *testing.T) {
 	if st.Memo.Misses == 0 {
 		t.Error("churn saw zero memo misses")
 	}
+	// The registry enables the span plane; every one of the churn's
+	// requests must have been recorded without perturbing a single body.
+	if st.Flight == nil || st.Flight.Total != goroutines*rounds {
+		t.Errorf("flight recorder saw %+v, want %d spans", st.Flight, goroutines*rounds)
+	}
+	if sum := st.Latency["/v1/plan"]; sum.Count != goroutines*rounds || sum.P50NS == 0 {
+		t.Errorf("plan latency summary %+v, want count %d", sum, goroutines*rounds)
+	}
 }
 
 // TestServeMemoBudgetCapsBytes: sustained unique-chain traffic against
@@ -371,12 +379,12 @@ func TestServeQueueFullSheds(t *testing.T) {
 
 	pin := &blockJob{started: make(chan struct{}), release: make(chan struct{})}
 	pinDone := make(chan answer, 1)
-	go func() { pinDone <- s.dispatch(context.Background(), pin) }()
+	go func() { pinDone <- s.dispatch(context.Background(), pin, nil) }()
 	<-pin.started // the only worker is now busy
 
 	filler := &blockJob{started: make(chan struct{}), release: pin.release}
 	fillerDone := make(chan answer, 1)
-	go func() { fillerDone <- s.dispatch(context.Background(), filler) }()
+	go func() { fillerDone <- s.dispatch(context.Background(), filler, nil) }()
 	// The filler occupies the queue's one slot; poll until it is parked
 	// there (dispatch enqueues synchronously before waiting).
 	deadline := time.Now().Add(5 * time.Second)
@@ -387,7 +395,7 @@ func TestServeQueueFullSheds(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	if ans := s.dispatch(context.Background(), &blockJob{started: make(chan struct{}), release: pin.release}); ans.status != http.StatusTooManyRequests {
+	if ans := s.dispatch(context.Background(), &blockJob{started: make(chan struct{}), release: pin.release}, nil); ans.status != http.StatusTooManyRequests {
 		t.Fatalf("dispatch with full queue: status %d, want 429", ans.status)
 	}
 
@@ -523,4 +531,252 @@ func TestServeStatsAndIntern(t *testing.T) {
 		t.Error("no warm table leases across interned requests; interning is not feeding the planner cache")
 	}
 	_ = srv
+}
+
+// TestServeDebugRequests: the flight-recorder tail serves the session's
+// requests in completion order — a memo miss carrying queue/intern/
+// plan/marshal phases, then a hit carrying only memo/write — and the
+// ?trace=1 form renders them as a Chrome trace. Without a registry the
+// endpoint does not exist.
+func TestServeDebugRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, Registry: obs.NewRegistry()})
+	req := PlanRequest{Chain: testChain(10, 6),
+		Platform: PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10},
+		Options:  OptionsSpec{Parallel: 1}}
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, hs.URL+"/v1/plan", req); resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	hr, err := http.Get(hs.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg DebugRequests
+	if err := json.NewDecoder(hr.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if len(dbg.Requests) != 2 || dbg.Recorder.Total != 2 {
+		t.Fatalf("tail has %d requests (recorder %+v), want the 2 smoke requests", len(dbg.Requests), dbg.Recorder)
+	}
+	miss, hit := dbg.Requests[0], dbg.Requests[1]
+	if miss.Seq >= hit.Seq {
+		t.Errorf("tail out of completion order: seq %d then %d", miss.Seq, hit.Seq)
+	}
+	if miss.Memo != "miss" || hit.Memo != "hit" {
+		t.Errorf("memo verdicts %q, %q, want miss then hit", miss.Memo, hit.Memo)
+	}
+	if miss.Fingerprint == "" || miss.Fingerprint != hit.Fingerprint {
+		t.Errorf("fingerprints %q vs %q, want equal and non-empty", miss.Fingerprint, hit.Fingerprint)
+	}
+	if miss.Phases[obs.SpanPlan] <= 0 || miss.Phases[obs.SpanQueue] <= 0 ||
+		miss.Phases[obs.SpanIntern] <= 0 || miss.Phases[obs.SpanMarshal] <= 0 {
+		t.Errorf("miss phases incomplete: %+v", miss.Phases)
+	}
+	if hit.Phases[obs.SpanPlan] != 0 || hit.Phases[obs.SpanQueue] != 0 {
+		t.Errorf("memo hit reached the planner: %+v", hit.Phases)
+	}
+	if hit.Phases[obs.SpanMemo] <= 0 || hit.Phases[obs.SpanWrite] <= 0 {
+		t.Errorf("hit phases incomplete: %+v", hit.Phases)
+	}
+	if miss.Bytes == 0 || miss.Bytes != hit.Bytes {
+		t.Errorf("bytes %d vs %d, want equal non-zero bodies", miss.Bytes, hit.Bytes)
+	}
+
+	// ?trace=1 renders the same records as a trace document.
+	hr, err = http.Get(hs.URL + "/debug/requests?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &tf); err != nil || len(tf.TraceEvents) == 0 {
+		t.Fatalf("trace form invalid (err %v, %d events): %.200s", err, len(tf.TraceEvents), tb)
+	}
+
+	// ?n= bounds the tail; bad n is a 400.
+	hr, err = http.Get(hs.URL + "/debug/requests?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one DebugRequests
+	if err := json.NewDecoder(hr.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if len(one.Requests) != 1 || one.Requests[0].Seq != hit.Seq {
+		t.Errorf("Tail(1) = %+v, want just the newest request", one.Requests)
+	}
+	if hr, err = http.Get(hs.URL + "/debug/requests?n=-1"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusBadRequest {
+			t.Errorf("n=-1: status %d, want 400", hr.StatusCode)
+		}
+	}
+
+	// A registry-less server has no flight recorder and no endpoint.
+	_, plain := newTestServer(t, Config{Workers: 1})
+	if hr, err = http.Get(plain.URL + "/debug/requests"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusNotFound {
+			t.Errorf("disabled /debug/requests: status %d, want 404", hr.StatusCode)
+		}
+	}
+}
+
+// TestServeSLOCounters: a served request lands in ok or violations by
+// duration against the target; shed requests count as errors.
+func TestServeSLOCounters(t *testing.T) {
+	// Target of 1ns: any real request violates.
+	srv, hs := newTestServer(t, Config{Workers: 1, Registry: obs.NewRegistry(), SLOTarget: time.Nanosecond})
+	req := PlanRequest{Chain: testChain(10, 8),
+		Platform: PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10},
+		Options:  OptionsSpec{Parallel: 1}}
+	if resp, body := postJSON(t, hs.URL+"/v1/plan", req); resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if slo := srv.Stats().SLO; slo == nil || slo.Violations != 1 || slo.OK != 0 || slo.Errors != 0 {
+		t.Fatalf("SLO after slow request: %+v, want 1 violation", slo)
+	}
+
+	// A generous target counts the same request as ok. Managed by hand:
+	// the test drains this server itself, and Shutdown is once-only.
+	srv2 := NewServer(Config{Workers: 1, Registry: obs.NewRegistry(), SLOTarget: time.Hour})
+	hs2raw := httptest.NewServer(srv2.Mux())
+	defer hs2raw.Close()
+	hs2 := hs2raw
+	if resp, body := postJSON(t, hs2.URL+"/v1/plan", req); resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if slo := srv2.Stats().SLO; slo.OK != 1 || slo.Violations != 0 {
+		t.Fatalf("SLO after fast request: %+v, want 1 ok", slo)
+	}
+
+	// Shed while draining is an SLO error, and its record is notable.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postJSON(t, hs2.URL+"/v1/plan", req); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d, want 503", resp.StatusCode)
+	}
+	st := srv2.Stats()
+	if st.SLO.Errors != 1 {
+		t.Errorf("SLO after shed: %+v, want 1 error", st.SLO)
+	}
+	if st.Flight.Shed != 1 {
+		t.Errorf("flight recorder shed count: %+v", st.Flight)
+	}
+}
+
+// TestRetryAfterDerivation pins the shed back-off hint: 1s with an
+// empty queue or no observations, queue-drain time at the observed
+// median otherwise, clamped to [1, 60].
+func TestRetryAfterDerivation(t *testing.T) {
+	for _, tc := range []struct {
+		queued, workers int
+		p50             time.Duration
+		want            int
+	}{
+		{0, 2, time.Second, 1},            // empty queue
+		{4, 2, 0, 1},                      // no observations yet
+		{4, 2, 10 * time.Second, 20},      // 4 jobs / 2 workers * 10s
+		{3, 2, time.Second, 2},            // ceil(1.5)
+		{8, 1, 100 * time.Millisecond, 1}, // sub-second drains floor at 1
+		{100, 1, time.Minute, 60},         // clamp
+		{1, 0, time.Second, 1},            // degenerate pool
+	} {
+		if got := retryAfterSecs(tc.queued, tc.workers, tc.p50); got != tc.want {
+			t.Errorf("retryAfterSecs(%d, %d, %v) = %d, want %d", tc.queued, tc.workers, tc.p50, got, tc.want)
+		}
+	}
+
+	// Server-level: before any observation the header is the legacy "1";
+	// an observability-disabled server derives the same constant.
+	s := NewServer(Config{Workers: 2, Registry: obs.NewRegistry()})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	if got := s.retryAfter(); got != "1" {
+		t.Errorf("retryAfter before observations = %q, want \"1\"", got)
+	}
+	plain := NewServer(Config{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = plain.Shutdown(ctx)
+	}()
+	if got := plain.retryAfter(); got != "1" {
+		t.Errorf("disabled retryAfter = %q, want \"1\"", got)
+	}
+}
+
+// TestServeStatsLatencyQuantiles: /v1/stats exposes per-endpoint and
+// per-phase quantile digests derived from the same histograms /metrics
+// exports.
+func TestServeStatsLatencyQuantiles(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, Registry: obs.NewRegistry()})
+	req := PlanRequest{Chain: testChain(10, 9),
+		Platform: PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10},
+		Options:  OptionsSpec{Parallel: 1}}
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, hs.URL+"/v1/plan", req); resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	hr, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	sum, ok := st.Latency["/v1/plan"]
+	if !ok || sum.Count != 3 {
+		t.Fatalf("latency[/v1/plan] = %+v (present %v), want 3 samples", sum, ok)
+	}
+	if sum.P50NS == 0 || sum.P50NS > sum.P90NS || sum.P90NS > sum.P99NS || sum.P99NS > sum.P999NS {
+		t.Errorf("quantiles not monotone: %+v", sum)
+	}
+	if ph, ok := st.Latency["phase/plan"]; !ok || ph.Count != 1 {
+		t.Errorf("latency[phase/plan] = %+v (present %v), want the single miss", ph, ok)
+	}
+	if ph, ok := st.Latency["phase/memo"]; !ok || ph.Count != 3 {
+		t.Errorf("latency[phase/memo] = %+v (present %v), want every request", ph, ok)
+	}
+
+	// The same histogram family reaches Prometheus exposition.
+	hr, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	for _, want := range []string{
+		"# TYPE madpipe_serve_req_plan histogram",
+		"madpipe_serve_req_plan_count 3",
+		`madpipe_serve_req_plan_bucket{le="+Inf"} 3`,
+		"madpipe_serve_span_memo_count 3",
+		"madpipe_serve_slo_", // counter family present
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"madpipe/internal/fingerprint"
 	"madpipe/internal/obs"
 	"madpipe/internal/platform"
+	"madpipe/internal/trace"
 )
 
 // Config sizes the serving layer.
@@ -58,7 +59,22 @@ type Config struct {
 	// be nil. It is never handed to the planner: planner observability
 	// attaches wall-clock timings to probe evaluations, and daemon
 	// responses must depend only on request content.
+	//
+	// A non-nil Registry also enables the request-level observability
+	// plane: span recording, latency histograms, SLO counters, the
+	// flight recorder and /debug/requests. With a nil Registry that
+	// plane costs one pointer check per request and nothing else.
 	Registry *obs.Registry
+	// FlightN sizes the flight recorder's rings (default 64 completed
+	// requests, plus the same number of notable slow/shed requests).
+	FlightN int
+	// SlowThreshold marks requests at least this slow as notable in the
+	// flight recorder (default: SLOTarget).
+	SlowThreshold time.Duration
+	// SLOTarget classifies completed requests for the serve_slo_*
+	// counters: ok (within target), violations (served but slower), or
+	// errors (shed / 5xx). Default 1s.
+	SLOTarget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +95,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallel == 0 {
 		c.Parallel = 1
+	}
+	if c.FlightN <= 0 {
+		c.FlightN = 64
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = time.Second
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = c.SLOTarget
 	}
 	return c
 }
@@ -102,11 +127,15 @@ func (a answer) memoizable() bool {
 	return a.status == http.StatusOK || a.status == http.StatusUnprocessableEntity
 }
 
-// task is one admitted request travelling to a worker.
+// task is one admitted request travelling to a worker. sp/enq carry the
+// request span and its enqueue stamp so the worker can attribute queue
+// wait; both stay zero when observability is disabled.
 type task struct {
 	ctx  context.Context
 	job  job
 	done chan answer
+	sp   *obs.Span
+	enq  time.Time
 }
 
 // flight is a single-flight slot: the first miss for a key plans it,
@@ -125,6 +154,7 @@ type flight struct {
 type Server struct {
 	cfg   Config
 	reg   *obs.Registry
+	robs  *requestObs // nil when Registry is nil: observability disabled
 	memo  *Memo
 	queue chan *task
 
@@ -169,6 +199,9 @@ func NewServer(cfg Config) *Server {
 		cInternFull: reg.Counter("serve_intern_full"),
 		gQueueDepth: reg.Gauge("serve_queue_depth_peak"),
 	}
+	if reg != nil {
+		s.robs = newRequestObs(cfg, reg)
+	}
 	for i := range s.caches {
 		s.caches[i] = core.NewPlannerCache()
 	}
@@ -193,6 +226,11 @@ func (s *Server) Mux() *http.ServeMux {
 	mux.HandleFunc("/v1/frontier", s.handleFrontier)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.robs != nil {
+		// The flight-recorder tail only exists with observability on;
+		// disabled servers 404 here like any unregistered path.
+		mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	}
 	return mux
 }
 
@@ -245,19 +283,31 @@ func (s *Server) canonicalChain(c *chain.Chain) *chain.Chain {
 	return c
 }
 
-// ServerStats is the body of GET /v1/stats.
+// ServerStats is the body of GET /v1/stats. Latency, SLO and Flight
+// appear only when the observability plane is enabled; Latency keys are
+// endpoint paths plus "phase/<name>" per-phase digests, all derived
+// from the same histograms /metrics exposes.
 type ServerStats struct {
-	Memo        MemoStats         `json:"memo"`
-	Workers     []core.CacheStats `json:"workers"`
-	CacheResets uint64            `json:"cache_resets"`
-	Interned    int               `json:"interned_chains"`
-	Draining    bool              `json:"draining"`
-	Obs         obs.Snapshot      `json:"obs,omitempty"`
+	Memo        MemoStats                 `json:"memo"`
+	Workers     []core.CacheStats         `json:"workers"`
+	CacheResets uint64                    `json:"cache_resets"`
+	Interned    int                       `json:"interned_chains"`
+	Draining    bool                      `json:"draining"`
+	Latency     map[string]LatencySummary `json:"latency,omitempty"`
+	SLO         *SLOStats                 `json:"slo,omitempty"`
+	Flight      *obs.FlightStats          `json:"flight,omitempty"`
+	Obs         obs.Snapshot              `json:"obs,omitempty"`
 }
 
 // Stats returns the server's current census.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{Memo: s.memo.Stats(), Draining: s.draining.Load()}
+	if s.robs != nil {
+		st.Latency = s.robs.latency()
+		st.SLO = s.robs.slo()
+		fs := s.robs.flight.Stats()
+		st.Flight = &fs
+	}
 	s.cacheMu.Lock()
 	st.CacheResets = s.cacheResets
 	for _, pc := range s.caches {
@@ -284,6 +334,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// DebugRequests is the body of GET /debug/requests: the flight
+// recorder's census plus the most recent completed requests (in
+// completion order) and the pinned notable (slow/shed) ones.
+type DebugRequests struct {
+	Recorder obs.FlightStats  `json:"recorder"`
+	Requests []obs.SpanRecord `json:"requests"`
+	Notable  []obs.SpanRecord `json:"notable,omitempty"`
+}
+
+// handleDebugRequests serves the flight-recorder tail. ?n= bounds both
+// lists (default: everything retained); ?trace=1 renders the recent
+// requests as a Perfetto/Chrome trace instead of the JSON tail.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("n must be a non-negative integer, got %q", v), nil)
+			return
+		}
+		n = p
+	}
+	recent := s.robs.flight.Tail(n)
+	if r.URL.Query().Get("trace") == "1" {
+		f := trace.FromSpanRecords(recent)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="madpipe-requests.trace.json"`)
+		_ = json.NewEncoder(w).Encode(f)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(DebugRequests{
+		Recorder: s.robs.flight.Stats(),
+		Requests: recent,
+		Notable:  s.robs.flight.Notable(n),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -292,30 +382,39 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	sp := s.robs.start("/v1/plan")
+	defer s.robs.finish(sp)
+	t0 := sp.Clock()
 	var req PlanRequest
-	if !s.admit(w, r, &req) {
+	if !s.admit(w, r, &req, sp, t0) {
 		return
 	}
 	defer s.inflight.Done()
 	c, plat, opts, fail := s.resolve(req.Chain, req.Net, req.Platform, req.Options)
 	if fail != nil {
-		writeError(w, http.StatusBadRequest, fail)
+		sp.Since(obs.SpanAdmit, t0)
+		s.writeError(w, http.StatusBadRequest, fail, sp)
 		return
 	}
 	key := fingerprint.PlanKey(c, plat, withMaxChain(opts, req.Options.MaxChain), req.Schedule, s.cfg.Quantum)
 	job := &planJob{key: key, c: c, plat: plat, opts: opts, maxChain: req.Options.MaxChain, schedule: req.Schedule}
-	s.serveJob(w, r, key, job)
+	sp.Since(obs.SpanAdmit, t0)
+	s.serveJob(w, r, key, job, sp)
 }
 
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	sp := s.robs.start("/v1/frontier")
+	defer s.robs.finish(sp)
+	t0 := sp.Clock()
 	var req FrontierRequest
-	if !s.admit(w, r, &req) {
+	if !s.admit(w, r, &req, sp, t0) {
 		return
 	}
 	defer s.inflight.Done()
 	mems := req.mems()
 	if len(mems) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("frontier request needs a non-empty memory ladder (mems or mems_gb)"))
+		sp.Since(obs.SpanAdmit, t0)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontier request needs a non-empty memory ladder (mems or mems_gb)"), sp)
 		return
 	}
 	// The ladder replaces the platform's own memory limit (PlanFrontier
@@ -327,12 +426,14 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	}
 	c, plat, opts, fail := s.resolve(req.Chain, req.Net, req.Platform, req.Options)
 	if fail != nil {
-		writeError(w, http.StatusBadRequest, fail)
+		sp.Since(obs.SpanAdmit, t0)
+		s.writeError(w, http.StatusBadRequest, fail, sp)
 		return
 	}
 	key := fingerprint.FrontierKey(c, plat, mems, withMaxChain(opts, req.Options.MaxChain), s.cfg.Quantum)
 	job := &frontierJob{key: key, c: c, plat: plat, opts: opts, maxChain: req.Options.MaxChain, mems: mems}
-	s.serveJob(w, r, key, job)
+	sp.Since(obs.SpanAdmit, t0)
+	s.serveJob(w, r, key, job, sp)
 }
 
 func maxOf(vs []float64) float64 {
@@ -356,22 +457,28 @@ func withMaxChain(opts core.Options, maxChain int) core.Options {
 
 // admit runs the shared request gate: method, drain state, body decode,
 // inflight accounting. On a false return the response is written; on
-// true the caller owns one inflight slot and must Done it.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, req any) bool {
+// true the caller owns one inflight slot and must Done it. t0 is the
+// caller's admit-phase origin (sp.Clock() at handler entry) so rejected
+// requests still attribute their gate time; the caller stamps the
+// successful path itself after resolve.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, req any, sp *obs.Span, t0 time.Time) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		sp.Since(obs.SpanAdmit, t0)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"), sp)
 		return false
 	}
 	s.cRequests.Inc()
 	if s.draining.Load() {
-		s.shed(w, http.StatusServiceUnavailable, "draining")
+		sp.Since(obs.SpanAdmit, t0)
+		s.shed(w, http.StatusServiceUnavailable, "draining", sp)
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		sp.Since(obs.SpanAdmit, t0)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err), sp)
 		return false
 	}
 	s.inflight.Add(1)
@@ -379,7 +486,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, req any) bool {
 	// Shutdown's inflight.Wait cannot miss us racing in.
 	if s.draining.Load() {
 		s.inflight.Done()
-		s.shed(w, http.StatusServiceUnavailable, "draining")
+		sp.Since(obs.SpanAdmit, t0)
+		s.shed(w, http.StatusServiceUnavailable, "draining", sp)
 		return false
 	}
 	return true
@@ -408,40 +516,51 @@ func (s *Server) resolve(c *chain.Chain, net *NetSpec, ps PlatformSpec, os Optio
 
 // serveJob is the memo + single-flight + worker-pool path shared by the
 // plan and frontier handlers.
-func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, key fingerprint.Key, job job) {
-	w.Header().Set(HeaderFingerprint, key.String())
-	if status, body, ok := s.memo.Get(key, time.Now()); ok {
-		writeAnswer(w, answer{status, body}, "hit")
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, key fingerprint.Key, job job, sp *obs.Span) {
+	fp := key.String()
+	sp.SetFingerprint(fp)
+	w.Header().Set(HeaderFingerprint, fp)
+	tm := sp.Clock()
+	status, body, hit := s.memo.Get(key, time.Now())
+	sp.Since(obs.SpanMemo, tm)
+	if hit {
+		s.writeAnswer(w, answer{status, body}, "hit", sp)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	// The span rides the context into the worker and from there into the
+	// planner's *Ctx entry points (queue, intern, plan, marshal phases).
+	ctx = obs.WithSpan(ctx, sp)
 	for {
 		fl, leader := s.joinFlight(key)
 		if leader {
-			ans := s.dispatch(ctx, job)
+			ans := s.dispatch(ctx, job, sp)
 			if ans.memoizable() {
 				s.memo.Put(key, ans.status, ans.body, time.Now())
 			}
 			s.leaveFlight(key, fl, ans)
-			writeAnswer(w, ans, "miss")
+			s.writeAnswer(w, ans, "miss", sp)
 			return
 		}
+		tf := sp.Clock()
 		select {
 		case <-fl.done:
+			sp.Since(obs.SpanFlight, tf)
 			if fl.ok {
 				// The leader's answer is exactly what we would have
 				// computed; count it as the memo hit it effectively is.
 				s.memo.hits.Add(1)
 				s.memo.cHits.Inc()
-				writeAnswer(w, fl.ans, "hit")
+				s.writeAnswer(w, fl.ans, "hit", sp)
 				return
 			}
 			// Leader hit a circumstance (timeout, shutdown), not a
 			// property of the request: plan it ourselves.
 		case <-ctx.Done():
+			sp.Since(obs.SpanFlight, tf)
 			s.cDeadline.Inc()
-			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded waiting for concurrent plan of this request"))
+			s.writeError(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded waiting for concurrent plan of this request"), sp)
 			return
 		}
 	}
@@ -471,8 +590,13 @@ func (s *Server) leaveFlight(key fingerprint.Key, fl *flight, ans answer) {
 
 // dispatch queues the job on the worker pool and waits for its answer,
 // shedding when the queue is full and giving up at the deadline.
-func (s *Server) dispatch(ctx context.Context, job job) answer {
+func (s *Server) dispatch(ctx context.Context, job job, sp *obs.Span) answer {
 	t := &task{ctx: ctx, job: job, done: make(chan answer, 1)}
+	if sp != nil {
+		// Stamp before the send: once the task is on the channel a worker
+		// may read enq concurrently.
+		t.sp, t.enq = sp, time.Now()
+	}
 	select {
 	case s.queue <- t:
 		s.gQueueDepth.Observe(uint64(len(s.queue)))
@@ -494,6 +618,9 @@ func (s *Server) dispatch(ctx context.Context, job job) answer {
 func (s *Server) worker(i int) {
 	defer s.workers.Done()
 	for t := range s.queue {
+		if !t.enq.IsZero() {
+			t.sp.Since(obs.SpanQueue, t.enq)
+		}
 		if err := t.ctx.Err(); err != nil {
 			// The requester already gave up; don't burn planner time.
 			t.done <- errorAnswer(http.StatusGatewayTimeout, fmt.Errorf("request expired in queue: %w", err))
@@ -550,7 +677,10 @@ func (s *Server) prepare(c *chain.Chain, maxChain int) (*chain.Chain, error) {
 // timings to probe evaluations, and response bodies must be a pure
 // function of the request.
 func (j *planJob) run(ctx context.Context, s *Server, i int) answer {
+	sp := obs.SpanFrom(ctx)
+	ti := sp.Clock()
 	c, err := s.prepare(j.c, j.maxChain)
+	sp.Since(obs.SpanIntern, ti)
 	if err != nil {
 		return errorAnswer(http.StatusBadRequest, err)
 	}
@@ -573,11 +703,17 @@ func (j *planJob) run(ctx context.Context, s *Server, i int) answer {
 	if plan != nil {
 		report.AttachSchedule(plan)
 	}
-	return renderReport(report.WriteJSON)
+	tm := sp.Clock()
+	ans := renderReport(report.WriteJSON)
+	sp.Since(obs.SpanMarshal, tm)
+	return ans
 }
 
 func (j *frontierJob) run(ctx context.Context, s *Server, i int) answer {
+	sp := obs.SpanFrom(ctx)
+	ti := sp.Clock()
 	c, err := s.prepare(j.c, j.maxChain)
+	sp.Since(obs.SpanIntern, ti)
 	if err != nil {
 		return errorAnswer(http.StatusBadRequest, err)
 	}
@@ -587,7 +723,10 @@ func (j *frontierJob) run(ctx context.Context, s *Server, i int) answer {
 	if err != nil {
 		return planErrorAnswer(ctx, err)
 	}
-	return renderReport(core.NewFrontierReport(c, j.plat, opts, fr).WriteJSON)
+	tm := sp.Clock()
+	ans := renderReport(core.NewFrontierReport(c, j.plat, opts, fr).WriteJSON)
+	sp.Since(obs.SpanMarshal, tm)
+	return ans
 }
 
 // planErrorAnswer classifies a planner error: infeasibility is a
@@ -622,35 +761,65 @@ func errorAnswer(status int, err error) answer {
 	return answer{status: status, body: append(body, '\n')}
 }
 
-func writeAnswer(w http.ResponseWriter, ans answer, memo string) {
+// writeAnswer sends a finished answer, stamps the span's write phase
+// and folds the response metadata into it. Shed statuses carry a
+// Retry-After derived from queue depth and the observed service-time
+// p50 (1s before any observations).
+func (s *Server) writeAnswer(w http.ResponseWriter, ans answer, memo string, sp *obs.Span) {
+	tw := sp.Clock()
+	shed := ans.status == http.StatusTooManyRequests || ans.status == http.StatusServiceUnavailable
 	w.Header().Set(HeaderMemo, memo)
-	if ans.status == http.StatusTooManyRequests || ans.status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if shed {
+		w.Header().Set("Retry-After", s.retryAfter())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(ans.body)))
 	w.WriteHeader(ans.status)
 	_, _ = w.Write(ans.body)
+	sp.Since(obs.SpanWrite, tw)
+	sp.SetMeta(memo, ans.status, len(ans.body), shed)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, err error, sp *obs.Span) {
+	tw := sp.Clock()
 	ans := errorAnswer(status, err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ans.status)
 	_, _ = w.Write(ans.body)
+	sp.Since(obs.SpanWrite, tw)
+	shed := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+	sp.SetMeta("", status, len(ans.body), shed)
 }
 
 // shed answers an overload rejection with Retry-After so well-behaved
 // clients back off instead of hammering a saturated daemon.
-func (s *Server) shed(w http.ResponseWriter, status int, why string) {
+func (s *Server) shed(w http.ResponseWriter, status int, why string, sp *obs.Span) {
 	if status == http.StatusServiceUnavailable {
 		s.cDraining.Inc()
 	}
-	w.Header().Set("Retry-After", "1")
-	writeError(w, status, fmt.Errorf("overloaded: %s", why))
+	w.Header().Set("Retry-After", s.retryAfter())
+	s.writeError(w, status, fmt.Errorf("overloaded: %s", why), sp)
 }
 
 // shedAnswer is shed for the in-flight path (queue full on a miss).
 func (s *Server) shedAnswer(status int, why string) answer {
 	return answer{status: status, body: errorAnswer(status, fmt.Errorf("overloaded: %s", why)).body}
+}
+
+// ObsBenchmarkHit performs exactly the observability work a memo hit
+// adds to a request — span start, admit/memo/write stamps, metadata,
+// finish into histograms, SLO counters and the flight recorder —
+// without the HTTP layer. Benchmarks use it to pin the disabled path
+// (no Registry) at zero allocations and to bound the enabled path.
+func (s *Server) ObsBenchmarkHit(endpoint string) {
+	sp := s.robs.start(endpoint)
+	t0 := sp.Clock()
+	sp.Since(obs.SpanAdmit, t0)
+	tm := sp.Clock()
+	sp.Since(obs.SpanMemo, tm)
+	sp.SetFingerprint("bench")
+	tw := sp.Clock()
+	sp.Since(obs.SpanWrite, tw)
+	sp.SetMeta("hit", http.StatusOK, 0, false)
+	s.robs.finish(sp)
 }

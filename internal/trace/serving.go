@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"madpipe/internal/obs"
+)
+
+// Serving lanes: the daemon's request lifecycle rendered as process 3
+// ("madpipe serving") of the trace — one lane per endpoint, one slice
+// per completed request, with each instrumented phase (admit, queue,
+// memo, plan, ...) nested inside its request slice. Records come from
+// the flight recorder, so a trace of the last N requests is one
+// GET /debug/requests?trace=1 away while the daemon keeps serving.
+
+// servingPID is the trace process id of the serving lanes (the pipeline
+// schedule is process 1, the planner process 2).
+const servingPID = 3
+
+// AppendServing adds one lane per endpoint to f with a slice per span
+// record and nested phase slices, then re-sorts the trace. Timestamps
+// are relative to the earliest record's start so the file opens at t=0.
+// Phase accumulators are additive, not stamped intervals, so phases lay
+// out sequentially from the request start: the picture shows where the
+// time went, not exactly when, and any uninstrumented remainder shows
+// as the parent slice outliving its children.
+func AppendServing(f *File, recs []obs.SpanRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	base := recs[0].Start
+	endpoints := make(map[string]int)
+	for _, r := range recs {
+		if r.Start.Before(base) {
+			base = r.Start
+		}
+		if _, ok := endpoints[r.Endpoint]; !ok {
+			endpoints[r.Endpoint] = 0
+		}
+	}
+	names := make([]string, 0, len(endpoints))
+	for ep := range endpoints {
+		names = append(names, ep)
+	}
+	sort.Strings(names)
+
+	evs := f.TraceEvents
+	evs = append(evs, Event{
+		Name: "process_name", Ph: "M", PID: servingPID,
+		Args: map[string]any{"name": "madpipe serving"},
+	})
+	for i, ep := range names {
+		endpoints[ep] = i + 1
+		evs = append(evs, Event{
+			Name: "thread_name", Ph: "M", PID: servingPID, TID: i + 1,
+			Args: map[string]any{"name": ep},
+		})
+	}
+
+	for _, r := range recs {
+		tid := endpoints[r.Endpoint]
+		ts := float64(r.Start.Sub(base)) / 1e3
+		verdict := r.Memo
+		if verdict == "" {
+			verdict = fmt.Sprintf("%d", r.Status)
+		}
+		args := map[string]any{
+			"status": fmt.Sprintf("%d", r.Status),
+			"bytes":  fmt.Sprintf("%d", r.Bytes),
+		}
+		if r.Memo != "" {
+			args["memo"] = r.Memo
+		}
+		if r.Fingerprint != "" {
+			args["fingerprint"] = r.Fingerprint
+		}
+		if r.Shed {
+			args["shed"] = "true"
+		}
+		if r.Slow {
+			args["slow"] = "true"
+		}
+		evs = append(evs, Event{
+			Name: fmt.Sprintf("req %d %s", r.Seq, verdict),
+			Cat:  "serving", Ph: "X",
+			TS: ts, Dur: float64(r.DurNS) / 1e3,
+			PID: servingPID, TID: tid,
+			Args: args,
+		})
+		// Phase children, laid out back-to-back from the request start in
+		// recording order. Nesting inside the parent "X" slice is purely
+		// containment in the trace viewer.
+		off := ts
+		for _, p := range obs.SpanPhases() {
+			ns := r.Phases[p]
+			if ns <= 0 {
+				continue
+			}
+			evs = append(evs, Event{
+				Name: p.String(),
+				Cat:  "serving", Ph: "X",
+				TS: off, Dur: float64(ns) / 1e3,
+				PID: servingPID, TID: tid,
+				Args: map[string]any{"ns": fmt.Sprintf("%d", ns)},
+			})
+			off += float64(ns) / 1e3
+		}
+	}
+	f.TraceEvents = evs
+	sortEvents(f.TraceEvents)
+}
+
+// FromSpanRecords builds a standalone serving trace, the body of
+// GET /debug/requests?trace=1.
+func FromSpanRecords(recs []obs.SpanRecord) *File {
+	f := &File{DisplayTimeUnit: "ms"}
+	if len(recs) > 0 {
+		f.OtherData = map[string]string{
+			"requests": fmt.Sprintf("%d", len(recs)),
+			"oldest":   recs[0].Start.Format(time.RFC3339Nano),
+		}
+	}
+	AppendServing(f, recs)
+	return f
+}

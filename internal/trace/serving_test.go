@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"madpipe/internal/obs"
+)
+
+// TestFromSpanRecords checks the serving-lane emission: endpoint lanes,
+// request slices relative to the earliest start, nested phase slices in
+// recording order, and a valid (marshalable, sorted) trace document.
+func TestFromSpanRecords(t *testing.T) {
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	var phases obs.PhaseDurations
+	phases[obs.SpanMemo] = int64(5 * time.Microsecond)
+	phases[obs.SpanPlan] = int64(2 * time.Millisecond)
+	recs := []obs.SpanRecord{
+		{Seq: 2, Endpoint: "/v1/plan", Start: base.Add(time.Millisecond),
+			DurNS: int64(3 * time.Millisecond), Status: 200, Memo: "miss",
+			Fingerprint: "abcd", Bytes: 512, Phases: phases},
+		{Seq: 3, Endpoint: "/v1/frontier", Start: base,
+			DurNS: int64(time.Millisecond), Status: 200, Memo: "hit", Bytes: 64},
+		{Seq: 4, Endpoint: "/v1/plan", Start: base.Add(2 * time.Millisecond),
+			DurNS: int64(100 * time.Microsecond), Status: 429, Shed: true},
+	}
+	f := FromSpanRecords(recs)
+
+	if _, err := json.Marshal(f); err != nil {
+		t.Fatalf("trace does not marshal: %v", err)
+	}
+	if f.OtherData["requests"] != "3" {
+		t.Errorf("OtherData requests = %q", f.OtherData["requests"])
+	}
+
+	var procName bool
+	lanes := map[string]int{}
+	byName := map[string]Event{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" && ev.PID == servingPID {
+			if ev.Name == "process_name" {
+				procName = true
+			}
+			if ev.Name == "thread_name" {
+				lanes[ev.Args["name"].(string)] = ev.TID
+			}
+		}
+		if ev.Ph == "X" {
+			byName[ev.Name] = ev
+		}
+	}
+	if !procName {
+		t.Error("missing serving process_name metadata")
+	}
+	if len(lanes) != 2 || lanes["/v1/frontier"] == lanes["/v1/plan"] {
+		t.Fatalf("endpoint lanes: %v", lanes)
+	}
+
+	// The earliest record (seq 3, frontier) anchors t=0; seq 2 starts 1ms
+	// later on the plan lane.
+	req2, ok := byName["req 2 miss"]
+	if !ok {
+		t.Fatalf("missing request slice; have %v", keysOf(byName))
+	}
+	if req2.TS != 1000 || req2.Dur != 3000 || req2.TID != lanes["/v1/plan"] {
+		t.Errorf("req 2 slice: ts=%g dur=%g tid=%d", req2.TS, req2.Dur, req2.TID)
+	}
+	if req3 := byName["req 3 hit"]; req3.TS != 0 || req3.TID != lanes["/v1/frontier"] {
+		t.Errorf("req 3 slice: ts=%g tid=%d", req3.TS, req3.TID)
+	}
+	if req4 := byName["req 4 429"]; req4.Args["shed"] != "true" {
+		t.Errorf("shed request not annotated: %+v", req4.Args)
+	}
+
+	// Phase children of req 2: memo first (5µs) then plan (2ms), laid out
+	// back-to-back from the request start.
+	memo, plan := byName["memo"], byName["plan"]
+	if memo.TS != req2.TS || memo.Dur != 5 {
+		t.Errorf("memo child: ts=%g dur=%g, want ts=%g dur=5", memo.TS, memo.Dur, req2.TS)
+	}
+	if plan.TS != memo.TS+memo.Dur || plan.Dur != 2000 {
+		t.Errorf("plan child: ts=%g dur=%g, want ts=%g dur=2000", plan.TS, plan.Dur, memo.TS+memo.Dur)
+	}
+
+	// Events are sorted by timestamp (metadata first at ts 0).
+	for i := 1; i < len(f.TraceEvents); i++ {
+		if f.TraceEvents[i].TS < f.TraceEvents[i-1].TS {
+			t.Fatalf("events unsorted at %d: %g after %g", i, f.TraceEvents[i].TS, f.TraceEvents[i-1].TS)
+		}
+	}
+
+	// Empty input yields a valid empty file and AppendServing is a no-op.
+	if ef := FromSpanRecords(nil); len(ef.TraceEvents) != 0 {
+		t.Errorf("empty trace has %d events", len(ef.TraceEvents))
+	}
+}
+
+func keysOf(m map[string]Event) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

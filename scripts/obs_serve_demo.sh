@@ -1,0 +1,87 @@
+#!/bin/sh
+# obs-serve-demo: request-level observability tour for the planning
+# daemon. Boots madpiped on an ephemeral port with the flight recorder
+# and SLO plane on (they are on whenever a Registry exists — madpiped
+# always wires one), drives the madpipeload concurrency ladder so the
+# latency histograms, per-phase attribution and flight recorder fill,
+# then scrapes the observability surfaces:
+#
+#   - madpipeload table: plans/s, p50/p99/p999, hit rate per level
+#   - server-side per-phase attribution (admit/queue/memo/…/write)
+#   - flight recorder tail (-tail 8)
+#   - /v1/stats latency + SLO excerpt
+#   - /metrics Prometheus histogram families (head)
+#   - /debug/requests JSON (newest 2)
+#   - /debug/requests?trace=1 saved as a Perfetto trace JSON
+#
+# Artifacts land in the directory printed at the end (override with
+# OBS_DEMO_DIR). Usage: scripts/obs_serve_demo.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DIR="${OBS_DEMO_DIR:-$(mktemp -d /tmp/madpipe-obs-demo.XXXXXX)}"
+mkdir -p "$DIR"
+go build -o "$DIR/madpiped" ./cmd/madpiped
+go build -o "$DIR/madpipeload" ./cmd/madpipeload
+
+"$DIR/madpiped" -addr 127.0.0.1:0 -addr-file "$DIR/addr" -slo-target 250ms \
+	>"$DIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+trap 'kill -TERM "$DAEMON_PID" 2>/dev/null; wait "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$DIR/addr" ] && [ "$i" -lt 100 ]; do
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -s "$DIR/addr" ] || { echo "daemon never bound"; cat "$DIR/daemon.log"; exit 1; }
+ADDR="$(cat "$DIR/addr")"
+echo "madpiped on $ADDR (slo-target 250ms), logs in $DIR/daemon.log"
+echo
+
+"$DIR/madpipeload" -addr "$ADDR" -c 1,4,8 -n 96 -tail 8
+
+fetch() { # fetch <path> <outfile>
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "http://$ADDR$1" -o "$2"
+	elif command -v wget >/dev/null 2>&1; then
+		wget -qO "$2" "http://$ADDR$1"
+	else
+		echo "neither curl nor wget on PATH; skipping $1"
+		return 1
+	fi
+}
+
+echo
+echo "== /v1/stats (latency + SLO excerpt)"
+if fetch /v1/stats "$DIR/stats.json"; then
+	if command -v python3 >/dev/null 2>&1; then
+		python3 -c '
+import json, sys
+st = json.load(open(sys.argv[1]))
+for k in ("latency", "slo", "flight"):
+    if k in st:
+        print(json.dumps({k: st[k]}, indent=2))
+' "$DIR/stats.json"
+	else
+		cat "$DIR/stats.json"
+	fi
+fi
+
+echo
+echo "== /metrics latency histogram families (head)"
+if fetch /metrics "$DIR/metrics.txt"; then
+	grep -E 'madpipe_serve_(req|span|slo)' "$DIR/metrics.txt" | head -25
+fi
+
+echo
+echo "== /debug/requests (newest 2)"
+fetch "/debug/requests?n=2" "$DIR/requests.json" && cat "$DIR/requests.json"
+
+echo
+fetch "/debug/requests?trace=1" "$DIR/serving_trace.json" &&
+	echo "Perfetto serving trace written to $DIR/serving_trace.json (open at https://ui.perfetto.dev)"
+
+echo
+echo "artifacts in $DIR"

@@ -99,12 +99,36 @@ go run ./cmd/benchdiff -bench 'BenchmarkFig7Frontier$' -benchtime 1x -write=fals
 echo "== serving memo regression check (gate: misses/op, exact)"
 go run ./cmd/benchdiff -bench 'BenchmarkServeLoad1$' -benchtime 1x -write=false -gate misses/op -threshold 0
 
+# The observability plane must be free when off and allocation-free
+# when on: with no Registry every obs hook is a nil-receiver no-op
+# behind one pointer check, and the enabled span/histogram/flight fold
+# runs entirely on preallocated atomics and rings. Both paths are
+# pinned at exactly 0 allocs/op by hard greps (benchdiff cannot gate a
+# zero baseline); the benchdiff run keeps the ns/op delta visible for
+# review.
+echo "== serving observability overhead (both paths: 0 allocs/op, exact)"
+OBS_BENCH="$(go test -run '^$' -bench 'BenchmarkServeObsOverhead' -benchmem -benchtime 1000x .)"
+echo "$OBS_BENCH"
+echo "$OBS_BENCH" | grep 'ServeObsOverhead/disabled' | grep -q ' 0 allocs/op' || {
+	echo "disabled observability path allocates; the serving fast path regressed"
+	exit 1
+}
+echo "$OBS_BENCH" | grep 'ServeObsOverhead/enabled' | grep -q ' 0 allocs/op' || {
+	echo "enabled observability path allocates; span/hist/flight fold regressed"
+	exit 1
+}
+go run ./cmd/benchdiff -bench 'BenchmarkServeObsOverhead' -benchtime 1000x -write=false -gate allocs -threshold 0
+
 # End-to-end daemon smoke: boot madpiped on an ephemeral port, run the
 # madpipeload smoke (health check, the pinned Fig 6 plan posted twice —
-# the repeat must be a bit-identical memo hit —, a frontier request and
-# a /metrics scrape), assert the served plan's headline fields match the
-# committed results/planreport_fig6.json, then SIGTERM and require a
-# clean drain.
+# the repeat must be a bit-identical memo hit —, a frontier request, a
+# /metrics scrape that requires the Prometheus latency histogram
+# families [madpipe_serve_req_plan_bucket/_count, serve_span_plan,
+# serve_slo_*], and a /debug/requests tail that must show the two plan
+# requests in order as miss-then-hit with equal fingerprints and plan
+# time only on the miss), assert the served plan's headline fields
+# match the committed results/planreport_fig6.json, then SIGTERM and
+# require a clean drain.
 echo "== daemon serving smoke (madpiped + madpipeload)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"madpipe/internal/expt"
+	"madpipe/internal/obs"
 	"madpipe/internal/serve"
 )
 
@@ -195,3 +196,33 @@ func serveMemoBench(b *testing.B, repeat bool) {
 
 func BenchmarkServeMemoHit(b *testing.B)  { serveMemoBench(b, true) }
 func BenchmarkServeMemoCold(b *testing.B) { serveMemoBench(b, false) }
+
+// BenchmarkServeObsOverhead measures exactly what the observability
+// plane adds to a memo-hit request, in process (no HTTP), via
+// serve.(*Server).ObsBenchmarkHit: span start, three phase stamps,
+// metadata, and the finish fold into histograms, SLO counters and the
+// flight recorder. The disabled variant (Config without a Registry —
+// the same configuration every other serving benchmark uses) must stay
+// zero-alloc: every obs hook behind it is a nil-receiver no-op, so the
+// whole plane costs one pointer check. scripts/verify.sh greps its
+// "0 allocs/op" and benchdiff gates the enabled variant's allocs
+// against the committed snapshot.
+func BenchmarkServeObsOverhead(b *testing.B) {
+	run := func(b *testing.B, cfg serve.Config) {
+		cfg.Workers = 1
+		srv := serve.NewServer(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.ObsBenchmarkHit("/v1/plan")
+		}
+		// Stop before Shutdown: at tiny -benchtime the drain's channel
+		// close would otherwise smear allocations over the few ops.
+		b.StopTimer()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, serve.Config{}) })
+	b.Run("enabled", func(b *testing.B) { run(b, serve.Config{Registry: obs.NewRegistry()}) })
+}
