@@ -381,6 +381,54 @@ func BenchmarkAlgorithm1SweepCold(b *testing.B) { algorithm1Sweep(b, false) }
 // `make bench-warm`) for the cross-cell reuse effect.
 func BenchmarkAlgorithm1SweepWarm(b *testing.B) { algorithm1Sweep(b, true) }
 
+// BenchmarkGPTCoarsen measures the transformer-era planning path: a
+// GPT-2-style chain profiled at op granularity (2048 decoder blocks,
+// 2050 layers) planned through exact run coarsening (group 64) on the
+// blocked DP table. ns/op and B/op price the whole pass — coarsening,
+// the phase-1 search on the coarse chain, un-coarsening the cuts —
+// while states/op, coarselayers/op and rawlayers/op are exact functions
+// of the input (fixed chain, fixed discretization, sequential search),
+// so cmd/benchdiff gates on them at a zero threshold: any drift is a
+// coarsening- or search-behavior change, not noise.
+func BenchmarkGPTCoarsen(b *testing.B) {
+	ts, ok := nets.TransformerPreset("gpt2")
+	if !ok {
+		b.Fatal("gpt2 preset missing")
+	}
+	ts.Blocks, ts.Granularity = 2048, 1
+	c, err := nets.BuildTransformer(ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc, err := c.CoarsenRuns(0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := benchPlat(8, 300, 25)
+	reg := obs.NewRegistry()
+	opts := core.Options{
+		Parallel:     1,
+		Disc:         core.Discretization{TP: 21, MP: 5, V: 21},
+		CoarsenGroup: 64,
+		Obs:          reg,
+	}
+	b.ResetTimer()
+	var states uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.PlanAllocation(c, plat, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = 0
+		for j := range res.Evals {
+			states += res.Evals[j].Stats.StatesEvaluated
+		}
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(cc.Chain.Len()), "coarselayers/op")
+	b.ReportMetric(float64(c.Len()), "rawlayers/op")
+}
+
 // BenchmarkPipeDreamPlan measures the baseline partitioner.
 func BenchmarkPipeDreamPlan(b *testing.B) {
 	c := benchChain(b, "resnet101")

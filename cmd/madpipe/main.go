@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		netName   = flag.String("net", "resnet50", "network profile: resnet50, resnet101, inception, densenet121")
+		netName   = flag.String("net", "resnet50", "network profile: resnet50, resnet101, inception, densenet121, gpt2, gpt2-xl, llama7b")
 		chainFile = flag.String("chain", "", "load the chain from a JSON profile instead of -net")
 		workers   = flag.Int("p", 4, "number of GPUs")
 		memGB     = flag.Float64("mem", 8, "memory per GPU in GB")
@@ -54,10 +54,14 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "planner worker budget (0 auto, 1 sequential reference; see core.Options.Parallel)")
 		timeout   = flag.Duration("timeout", 0, "planning deadline (0 = none); expiry cancels the planner between probes")
 		frontier  = flag.String("frontier", "", "solve the T*(M) frontier over these memory limits in GB instead of planning one cell: a comma-separated list (\"3,4,6,8\"), a lo:hi:step range (\"3:16:1\"), or both; dumps the breakpoint list as JSON to -stats (default stdout)")
+		blocks    = flag.Int("blocks", 0, "override a transformer preset's decoder-block count (with -net gpt2/gpt2-xl/llama7b)")
+		gran      = flag.Int("gran", 0, "transformer chain granularity: layers per decoder block, 1..8 (with a transformer -net; 0 = the preset's op granularity)")
+		coarsenG  = flag.Int("coarsen-group", 0, "merge runs of near-uniform layers into super-layers of at most this many layers before planning (0 off, 1 identity; replaces -maxchain when set)")
+		coarsenT  = flag.Float64("coarsen-tol", 0, "relative per-field tolerance of the run-coarsening scan (0 = bit-equal layers only)")
 	)
 	flag.Parse()
 
-	c, err := loadChain(*chainFile, *netName, *batch, *size)
+	c, err := loadChain(*chainFile, *netName, *batch, *size, *blocks, *gran)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,13 +69,42 @@ func main() {
 	if err := plat.Validate(); err != nil {
 		fatal(err)
 	}
-	cc, err := c.Coarsen(*maxChain)
-	if err != nil {
-		fatal(err)
+	if *coarsenG < 0 {
+		fatal(fmt.Errorf("-coarsen-group must be >= 0, got %d", *coarsenG))
+	}
+	if *coarsenT < 0 || math.IsInf(*coarsenT, 0) || math.IsNaN(*coarsenT) {
+		fatal(fmt.Errorf("-coarsen-tol must be finite and >= 0, got %g", *coarsenT))
+	}
+	// Chain reduction before planning. -coarsen-group selects the exact
+	// run-coarsening path: the planner merges runs of near-uniform layers
+	// into super-layers, plans on the short chain, and un-coarsens the
+	// cuts back to original layer indices — so it supersedes the greedy
+	// -maxchain pass here. Without it the greedy pass still applies,
+	// except that its CNN-era default of 24 nodes is not forced onto the
+	// transformer presets (it would blindly collapse thousands of uniform
+	// decoder layers); pass -maxchain explicitly to insist.
+	maxChainSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "maxchain" {
+			maxChainSet = true
+		}
+	})
+	_, isTransformer := nets.TransformerPreset(*netName)
+	cc := c
+	if *coarsenG == 0 && !(isTransformer && *chainFile == "" && !maxChainSet) {
+		cc, err = c.Coarsen(*maxChain)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("network: %v\nplatform: %v\n", cc, plat)
 
-	opts := core.Options{DisableSpecial: *contig, Parallel: *parallel}
+	opts := core.Options{
+		DisableSpecial:   *contig,
+		Parallel:         *parallel,
+		CoarsenGroup:     *coarsenG,
+		CoarsenTolerance: *coarsenT,
+	}
 	switch *weights {
 	case "2bw":
 		opts.Weights = chain.TwoBufferedWeights()
@@ -206,7 +239,7 @@ func winner(ratio float64) string {
 	return "slower"
 }
 
-func loadChain(file, net string, batch, size int) (*chain.Chain, error) {
+func loadChain(file, net string, batch, size, blocks, gran int) (*chain.Chain, error) {
 	if file != "" {
 		f, err := os.Open(file)
 		if err != nil {
@@ -214,6 +247,18 @@ func loadChain(file, net string, batch, size int) (*chain.Chain, error) {
 		}
 		defer f.Close()
 		return chain.Read(f)
+	}
+	if ts, ok := nets.TransformerPreset(net); ok {
+		if batch >= 1 {
+			ts.Batch = batch
+		}
+		if blocks >= 1 {
+			ts.Blocks = blocks
+		}
+		if gran >= 1 {
+			ts.Granularity = gran
+		}
+		return nets.BuildTransformer(ts)
 	}
 	return nets.Build(nets.Spec{Name: net, Batch: batch, Size: size})
 }

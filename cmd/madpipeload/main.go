@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"madpipe/internal/nets"
 	"madpipe/internal/obs"
 )
 
@@ -51,6 +52,7 @@ func main() {
 		addr   = flag.String("addr", "127.0.0.1:7333", "madpiped address (host:port)")
 		smoke  = flag.Bool("smoke", false, "run the verify.sh smoke sequence instead of the load mix")
 		out    = flag.String("out", "", "with -smoke: write the Fig 6 plan response body to this file")
+		netNm  = flag.String("net", "resnet50", "network the mix plans: a CNN profile (resnet50, ...) or a transformer preset (gpt2, gpt2-xl, llama7b — planned via exact run coarsening)")
 		levels = flag.String("c", "1,8,64", "comma-separated concurrency levels")
 		n      = flag.Int("n", 200, "requests per concurrency level")
 		hot    = flag.Int("hot", 4, "hot-set size (distinct repeated cells)")
@@ -79,7 +81,7 @@ func main() {
 	// earlier level's.
 	var coldSeq atomic.Int64
 	for _, c := range cs {
-		r := runLevel(base, c, *n, *hot, *coldEv, &coldSeq)
+		r := runLevel(base, *netNm, c, *n, *hot, *coldEv, &coldSeq)
 		fmt.Printf("%-4d %10.1f %10.2f %10.2f %10.2f %8.1f%% %7d\n",
 			c, r.rate, r.p50.Seconds()*1e3, r.p99.Seconds()*1e3, r.p999.Seconds()*1e3, 100*r.hitRate, r.errors)
 	}
@@ -108,8 +110,15 @@ func parseLevels(s string) ([]int, error) {
 // planBody renders a /v1/plan request for one serving cell. memGB keys
 // the cell: hot cells reuse a small ladder, cold cells get fresh
 // values. Parallel is pinned to 1 so responses are machine-independent.
-func planBody(memGB float64) []byte {
-	return []byte(fmt.Sprintf(`{"net":{"name":"resnet50","batch":8,"size":1000},"platform":{"workers":4,"memory_gb":%g,"bandwidth_gb":12},"options":{"max_chain":24,"parallel":1}}`, memGB))
+// CNN profiles plan through the greedy max_chain=24 pass; transformer
+// presets plan through exact run coarsening (coarsen_group=8), matching
+// expt.ServingMix.
+func planBody(net string, memGB float64) []byte {
+	opts := `"max_chain":24,"parallel":1`
+	if _, ok := nets.TransformerPreset(net); ok {
+		opts = `"coarsen_group":8,"parallel":1`
+	}
+	return []byte(fmt.Sprintf(`{"net":{"name":%q,"batch":8,"size":1000},"platform":{"workers":4,"memory_gb":%g,"bandwidth_gb":12},"options":{%s}}`, net, memGB, opts))
 }
 
 type levelResult struct {
@@ -121,7 +130,7 @@ type levelResult struct {
 	errors  int
 }
 
-func runLevel(base string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) levelResult {
+func runLevel(base, net string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) levelResult {
 	var (
 		next   atomic.Int64
 		hits   atomic.Int64
@@ -129,6 +138,13 @@ func runLevel(base string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) leve
 		lats   obs.Hist // lock-free; workers observe concurrently
 		wg     sync.WaitGroup
 	)
+	// Hot memory ladder. Transformer presets carry far more weight and
+	// activation state than the CNNs, so their ladder starts higher and
+	// steps wider; both ladders key distinct memo cells all the same.
+	ladderBase, ladderStep := 8.0, 1.0 // hot ladder: 8,9,... GB
+	if _, ok := nets.TransformerPreset(net); ok {
+		ladderBase, ladderStep = 24, 8 // 24,32,... GB
+	}
 	client := &http.Client{Timeout: 2 * time.Minute}
 	start := time.Now()
 	wg.Add(c)
@@ -140,14 +156,14 @@ func runLevel(base string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) leve
 				if i >= n {
 					return
 				}
-				memGB := 8 + float64(i%hot) // hot ladder: 8,9,... GB
+				memGB := ladderBase + ladderStep*float64(i%hot)
 				if coldEvery > 0 && i%coldEvery == coldEvery-1 {
 					// A memory limit no other request uses: misses the
 					// memo, but shares warm DP tables with the hot set.
-					memGB = 8 + 1e-4*float64(coldSeq.Add(1))
+					memGB = ladderBase + 1e-4*float64(coldSeq.Add(1))
 				}
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/plan", "application/json", bytes.NewReader(planBody(memGB)))
+				resp, err := client.Post(base+"/v1/plan", "application/json", bytes.NewReader(planBody(net, memGB)))
 				if err != nil {
 					errors.Add(1)
 					continue

@@ -1,0 +1,224 @@
+package chain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Run coarsening: the transformer-era preprocessing pass. A GPT/Llama
+// profile at op granularity is thousands of layers, almost all of them
+// byte-for-byte repeats of one block; the planners' state space grows
+// with the chain length, so planning such a chain raw wastes table
+// bytes and fill time on cut positions the caller never cared to
+// distinguish. CoarsenRuns detects maximal runs of contiguous
+// near-uniform layers and merges each into super-layers of a
+// caller-chosen granularity, keeping a provenance map so any plan found
+// on the coarse chain can be expressed — exactly — in original layer
+// indices.
+//
+// Two exactness properties hold by construction and are what "exact"
+// means here (TestCoarsenAggregationExact pins both):
+//
+//   - Aggregation is bit-exact at any tolerance: the coarse chain's
+//     prefix sums are samples of the original's (see contractSampled),
+//     so every quantity the planners consume over a coarse span —
+//     U, UF, UB, SumW, AStore, boundary activations, CommBytes,
+//     StageMemory at every group count — is bit-identical to the same
+//     quantity over the corresponding original span. A plan found on
+//     the coarse chain therefore carries exactly the periods and
+//     memory it would carry re-derived on the original chain.
+//   - The coarse problem is precisely the original problem with cut
+//     positions restricted to super-layer boundaries. Coarsening never
+//     perturbs costs; it only removes cut positions interior to a
+//     super-layer. With Group == 1 no position is removed and the
+//     original chain is returned unchanged, which is why tolerance-0,
+//     granularity-1 coarsening is plan-preserving bit-for-bit on any
+//     workload.
+//
+// Choosing Group > 1 trades cut resolution for planner state: on a
+// uniform chain whose optimum balances stages at multiples of the
+// granularity the plans stay bit-identical, and otherwise the coarse
+// optimum is the best boundary-restricted plan (bounded degradation:
+// at most the cost of shifting each cut to the nearest boundary).
+type Coarsened struct {
+	// From is the chain coarsening started from; Chain is the result.
+	// They are the same object when the partition is the identity.
+	From  *Chain
+	Chain *Chain
+	spans []Span
+}
+
+// Spans returns the partition of From's layers that produced Chain:
+// span i (0-based) is coarse layer i+1. The returned slice is shared;
+// callers must not modify it.
+func (cc *Coarsened) Spans() []Span { return cc.spans }
+
+// Identity reports whether coarsening merged nothing.
+func (cc *Coarsened) Identity() bool { return cc.From == cc.Chain }
+
+// Boundary maps a coarse cut position (0..Chain.Len(), 0 = before the
+// first layer) to the original layer index it sits after.
+func (cc *Coarsened) Boundary(l int) int {
+	if l == 0 {
+		return 0
+	}
+	if l < 0 || l > len(cc.spans) {
+		panic(fmt.Sprintf("chain: coarse boundary %d out of range [0,%d]", l, len(cc.spans)))
+	}
+	return cc.spans[l-1].To
+}
+
+// Uncoarsen maps a coarse stage span onto the original chain: coarse
+// layers [From, To] cover exactly the original layers
+// [spans[From-1].From, spans[To-1].To].
+func (cc *Coarsened) Uncoarsen(s Span) Span {
+	if s.From < 1 || s.To > len(cc.spans) || s.From > s.To {
+		panic(fmt.Sprintf("chain: coarse span %v invalid for %d super-layers", s, len(cc.spans)))
+	}
+	return Span{From: cc.spans[s.From-1].From, To: cc.spans[s.To-1].To}
+}
+
+// UncoarsenAll maps a coarse partition onto the original chain.
+func (cc *Coarsened) UncoarsenAll(spans []Span) []Span {
+	out := make([]Span, len(spans))
+	for i, s := range spans {
+		out[i] = cc.Uncoarsen(s)
+	}
+	return out
+}
+
+// nearEqual reports whether two layers are within relative tolerance
+// tol on every profiled quantity. tol == 0 demands bit-equality; tol >
+// 0 accepts |a-b| <= tol*max(|a|,|b|) per field, so a re-measured
+// profile whose repeats jitter by a fraction of a percent still
+// coarsens like the ideal uniform chain.
+func nearEqual(a, b Layer, tol float64) bool {
+	if tol <= 0 {
+		return a.UF == b.UF && a.UB == b.UB && a.W == b.W && a.A == b.A && a.AStore == b.AStore
+	}
+	close := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		return math.Abs(x-y) <= tol*math.Max(math.Abs(x), math.Abs(y))
+	}
+	return close(a.UF, b.UF) && close(a.UB, b.UB) && close(a.W, b.W) &&
+		close(a.A, b.A) && close(a.AStore, b.AStore)
+}
+
+// CoarsenRuns merges runs of contiguous near-uniform layers into
+// super-layers of at most group layers each. A run is a maximal
+// sequence of adjacent layers each within tol of the run's first layer
+// (tol 0: bit-equal — see nearEqual); a run of n layers becomes
+// ceil(n/group) super-layers whose sizes differ by at most one, with
+// the larger ones first (deterministic), and group 0 merges each run
+// whole. Layers outside any run, and every layer when group == 1
+// (identity granularity), pass through untouched; when nothing
+// merges the original chain itself is returned (Identity), so enabling
+// coarsening on a heterogeneous chain costs nothing and changes
+// nothing.
+//
+// Aggregated super-layer costs are bit-exact samples of the original
+// chain's prefix sums (contractSampled), not re-summed floats: every
+// planner quantity over a coarse span equals the original chain's
+// quantity over the un-coarsened span bit-for-bit.
+func (c *Chain) CoarsenRuns(tol float64, group int) (*Coarsened, error) {
+	if tol < 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		return nil, fmt.Errorf("chain %q: coarsening tolerance must be finite and >= 0, got %g", c.name, tol)
+	}
+	if group < 0 {
+		return nil, fmt.Errorf("chain %q: coarsening group must be >= 0, got %d", c.name, group)
+	}
+	n := c.Len()
+	spans := make([]Span, 0, n)
+	merged := false
+	for i := 1; i <= n; {
+		j := i
+		if group != 1 {
+			for j+1 <= n && nearEqual(c.layers[i-1], c.layers[j], tol) {
+				j++
+			}
+		}
+		if j == i {
+			spans = append(spans, Span{From: i, To: i})
+			i++
+			continue
+		}
+		// Run [i, j]: split into ceil(len/group) near-even chunks,
+		// remainder distributed to the leading chunks. group 0 takes
+		// the whole run as one super-layer.
+		run := j - i + 1
+		g := group
+		if g == 0 {
+			g = run
+		}
+		parts := (run + g - 1) / g
+		base, rem := run/parts, run%parts
+		from := i
+		for p := 0; p < parts; p++ {
+			size := base
+			if p < rem {
+				size++
+			}
+			spans = append(spans, Span{From: from, To: from + size - 1})
+			from += size
+		}
+		if parts < run {
+			merged = true
+		}
+		i = j + 1
+	}
+	if !merged {
+		return &Coarsened{From: c, Chain: c, spans: spans}, nil
+	}
+	coarse, err := c.contractSampled(spans)
+	if err != nil {
+		return nil, err
+	}
+	return &Coarsened{From: c, Chain: coarse, spans: spans}, nil
+}
+
+// contractSampled is Contract with bit-exact prefix sums: instead of
+// letting New re-sum the merged layer costs — floating-point addition
+// is not associative, so the re-summed prefixes can drift an ulp from
+// the original's — the coarse chain's prefix arrays are overwritten
+// with samples of the original's at the span boundaries:
+//
+//	pX_coarse[i] = pX_original[spans[i-1].To]
+//
+// which makes every range accessor over coarse spans return exactly
+// the original chain's value for the un-coarsened range. The Layer
+// values themselves are the prefix differences, so per-layer accessors
+// agree with the prefix arrays.
+func (c *Chain) contractSampled(spans []Span) (*Chain, error) {
+	if err := c.CheckPartition(spans); err != nil {
+		return nil, err
+	}
+	layers := make([]Layer, len(spans))
+	for i, s := range spans {
+		name := c.layers[s.From-1].Name
+		if s.Len() > 1 {
+			name = fmt.Sprintf("%s+%dmore", name, s.Len()-1)
+		}
+		layers[i] = Layer{
+			Name:   name,
+			UF:     c.UF(s.From, s.To),
+			UB:     c.UB(s.From, s.To),
+			W:      c.SumW(s.From, s.To),
+			A:      c.A(s.To),
+			AStore: c.AStore(s.From, s.To),
+		}
+	}
+	cc, err := New(c.name+"/coarse", c.input, layers)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range spans {
+		cc.pu[i+1] = c.pu[s.To]
+		cc.puF[i+1] = c.puF[s.To]
+		cc.puB[i+1] = c.puB[s.To]
+		cc.pw[i+1] = c.pw[s.To]
+		cc.pas[i+1] = c.pas[s.To]
+	}
+	return cc, nil
+}

@@ -1,0 +1,212 @@
+package chain
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformStack builds a chain of n identical layers bracketed by two
+// distinct boundary layers, shaped like an op-granularity transformer
+// profile (embedding, n equal blocks, head).
+func uniformStack(t *testing.T, n int) *Chain {
+	t.Helper()
+	layers := make([]Layer, 0, n+2)
+	layers = append(layers, Layer{Name: "embed", UF: 2e-3, UB: 3e-3, W: 4e8, A: 6e6})
+	for i := 0; i < n; i++ {
+		layers = append(layers, Layer{Name: "block", UF: 1e-3, UB: 2e-3, W: 2.8e7, A: 6e6})
+	}
+	layers = append(layers, Layer{Name: "head", UF: 4e-3, UB: 8e-3, W: 4e8, A: 1.6e6})
+	c, err := New("stack", 6e6, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// jitter returns the chain with every repeated block's quantities
+// scaled by a deterministic relative wobble below eps.
+func jitter(t *testing.T, c *Chain, eps float64) *Chain {
+	t.Helper()
+	ls := c.Layers()
+	for i := range ls {
+		f := 1 + eps*float64(i%7)/10
+		ls[i].UF *= f
+		ls[i].UB *= f
+		ls[i].W *= f
+	}
+	j, err := New(c.Name()+"/jitter", c.A(0), ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestCoarsenRunsIdentity(t *testing.T) {
+	c := uniformStack(t, 16)
+	for _, group := range []int{1} {
+		cc, err := c.CoarsenRuns(0, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cc.Identity() || cc.Chain != c {
+			t.Fatalf("group %d: expected identity coarsening", group)
+		}
+		if got := len(cc.Spans()); got != c.Len() {
+			t.Fatalf("identity spans: %d, want %d", got, c.Len())
+		}
+	}
+	// A chain with no equal-adjacent layers is identity at any group.
+	het := jitter(t, c, 0.5)
+	cc, err := het.CoarsenRuns(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.Identity() {
+		t.Fatalf("heterogeneous chain coarsened at tolerance 0")
+	}
+}
+
+func TestCoarsenRunsGrouping(t *testing.T) {
+	c := uniformStack(t, 16) // embed + 16 blocks + head
+	cases := []struct {
+		group  int
+		coarse int // expected coarse length
+	}{
+		{0, 3},  // whole run merges
+		{2, 10}, // 16/2 = 8 super-layers + 2 boundaries
+		{4, 6},
+		{5, 6},  // ceil(16/5)=4 chunks sized 4,4,4,4
+		{16, 3},
+		{64, 3}, // cap above run length: one super-layer
+	}
+	for _, tc := range cases {
+		cc, err := c.CoarsenRuns(0, tc.group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.Chain.Len() != tc.coarse {
+			t.Errorf("group %d: coarse L = %d, want %d", tc.group, cc.Chain.Len(), tc.coarse)
+		}
+		if err := c.CheckPartition(cc.Spans()); err != nil {
+			t.Errorf("group %d: spans not a partition: %v", tc.group, err)
+		}
+		// Chunk sizes within a run differ by at most one, larger first.
+		var prev int
+		for _, s := range cc.Spans() {
+			if s.Len() > 1 && prev > 1 && s.Len() > prev {
+				t.Errorf("group %d: chunk sizes not non-increasing within run: %v", tc.group, cc.Spans())
+				break
+			}
+			prev = s.Len()
+		}
+	}
+}
+
+func TestCoarsenRunsTolerance(t *testing.T) {
+	c := uniformStack(t, 12)
+	j := jitter(t, c, 1e-3)
+	// Tolerance 0 on the jittered chain merges nothing.
+	cc0, err := j.CoarsenRuns(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc0.Identity() {
+		t.Fatalf("tolerance 0 merged jittered layers")
+	}
+	// A tolerance above the wobble coarsens like the clean chain.
+	ccEps, err := j.CoarsenRuns(1e-2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccClean, err := c.CoarsenRuns(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccEps.Chain.Len() != ccClean.Chain.Len() {
+		t.Fatalf("tolerant coarse L = %d, clean coarse L = %d", ccEps.Chain.Len(), ccClean.Chain.Len())
+	}
+	// Aggregation stays exact even for inexact merges: totals are the
+	// original chain's bit-for-bit.
+	if ccEps.Chain.TotalU() != j.TotalU() || ccEps.Chain.TotalWeights() != j.TotalWeights() {
+		t.Fatalf("tolerant coarsening drifted totals")
+	}
+	if _, err := c.CoarsenRuns(-1, 2); err == nil {
+		t.Fatalf("negative tolerance accepted")
+	}
+	if _, err := c.CoarsenRuns(math.Inf(1), 2); err == nil {
+		t.Fatalf("infinite tolerance accepted")
+	}
+	if _, err := c.CoarsenRuns(0, -2); err == nil {
+		t.Fatalf("negative group accepted")
+	}
+}
+
+// TestCoarsenAggregationExact pins the bit-exactness contract: every
+// quantity the planners consume over a coarse span equals the original
+// chain's quantity over the un-coarsened span, bit-for-bit — no
+// floating-point drift anywhere, at any tolerance.
+func TestCoarsenAggregationExact(t *testing.T) {
+	chains := []*Chain{
+		uniformStack(t, 64),
+		jitter(t, uniformStack(t, 64), 1e-3),
+	}
+	for _, c := range chains {
+		for _, group := range []int{0, 3, 8} {
+			cc, err := c.CoarsenRuns(1e-2, group)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co := cc.Chain
+			for k := 1; k <= co.Len(); k++ {
+				for l := k; l <= co.Len(); l++ {
+					o := cc.Uncoarsen(Span{From: k, To: l})
+					if co.U(k, l) != c.U(o.From, o.To) ||
+						co.UF(k, l) != c.UF(o.From, o.To) ||
+						co.UB(k, l) != c.UB(o.From, o.To) ||
+						co.SumW(k, l) != c.SumW(o.From, o.To) ||
+						co.AStore(k, l) != c.AStore(o.From, o.To) {
+						t.Fatalf("%s group %d: span [%d,%d] -> %v aggregation drifted", c.Name(), group, k, l, o)
+					}
+					for _, g := range []int{1, 2, 5} {
+						if co.StageMemoryWith(k, l, g, TwoBufferedWeights()) != c.StageMemoryWith(o.From, o.To, g, TwoBufferedWeights()) {
+							t.Fatalf("%s group %d: StageMemory([%d,%d],%d) drifted", c.Name(), group, k, l, g)
+						}
+					}
+				}
+				if co.A(k) != c.A(cc.Boundary(k)) || co.CommBytes(k) != func() float64 {
+					if k == co.Len() {
+						return 0
+					}
+					return c.CommBytes(cc.Boundary(k))
+				}() {
+					t.Fatalf("%s: boundary activation at coarse %d drifted", c.Name(), k)
+				}
+			}
+			if co.A(0) != c.A(0) || co.TotalU() != c.TotalU() || co.TotalWeights() != c.TotalWeights() {
+				t.Fatalf("%s group %d: totals drifted", c.Name(), group)
+			}
+		}
+	}
+}
+
+func TestCoarsenBoundaryAndUncoarsen(t *testing.T) {
+	c := uniformStack(t, 10)
+	cc, err := c.CoarsenRuns(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Boundary(0) != 0 {
+		t.Fatalf("Boundary(0) = %d", cc.Boundary(0))
+	}
+	if got := cc.Boundary(cc.Chain.Len()); got != c.Len() {
+		t.Fatalf("Boundary(L) = %d, want %d", got, c.Len())
+	}
+	all := cc.Uncoarsen(Span{From: 1, To: cc.Chain.Len()})
+	if all.From != 1 || all.To != c.Len() {
+		t.Fatalf("Uncoarsen(full) = %v", all)
+	}
+	spans := cc.UncoarsenAll([]Span{{From: 1, To: 1}, {From: 2, To: cc.Chain.Len()}})
+	if err := c.CheckPartition(spans); err != nil {
+		t.Fatalf("uncoarsened partition invalid: %v", err)
+	}
+}

@@ -49,6 +49,13 @@ type PlannerCache struct {
 	mu     sync.Mutex
 	plans  map[planKey]*PhaseOneResult
 	tables map[tableKey][]*dpTable
+	// coarsens memoizes run-coarsening provenance per (chain, tolerance,
+	// group): the plan memo, warm tables and hints are all keyed by
+	// chain pointer, so repeated planner calls must present the SAME
+	// coarse chain pointer to hit them — re-running CoarsenRuns per call
+	// would mint a fresh chain every time and keep those stores
+	// permanently cold.
+	coarsens map[coarsenKey]*chain.Coarsened
 	// warmLeases/coldLeases count leaseTable outcomes: a pop from a warm
 	// stack vs a fresh table from the shared pool (including leases that
 	// asked for cold). Their ratio is the cache's warm-hit rate.
@@ -93,12 +100,51 @@ const (
 	tableStackCap = 16
 )
 
+// coarsenKey identifies one run-coarsening computation (deterministic
+// for a fixed chain and setting, so the memo can hand every caller the
+// same provenance object).
+type coarsenKey struct {
+	c     *chain.Chain
+	tol   float64
+	group int
+}
+
 // NewPlannerCache returns an empty cache.
 func NewPlannerCache() *PlannerCache {
 	return &PlannerCache{
-		plans:  make(map[planKey]*PhaseOneResult),
-		tables: make(map[tableKey][]*dpTable),
+		plans:    make(map[planKey]*PhaseOneResult),
+		tables:   make(map[tableKey][]*dpTable),
+		coarsens: make(map[coarsenKey]*chain.Coarsened),
 	}
+}
+
+// coarsenRunsCached resolves the run-coarsening provenance for one
+// planner call: through the cache's memo when one is attached (pointer
+// stability for the chain-keyed stores), fresh otherwise.
+func coarsenRunsCached(c *chain.Chain, opts Options) (*chain.Coarsened, error) {
+	pc := opts.Cache
+	if pc == nil {
+		return c.CoarsenRuns(opts.CoarsenTolerance, opts.CoarsenGroup)
+	}
+	k := coarsenKey{c: c, tol: opts.CoarsenTolerance, group: opts.CoarsenGroup}
+	pc.mu.Lock()
+	cc, ok := pc.coarsens[k]
+	pc.mu.Unlock()
+	if ok {
+		return cc, nil
+	}
+	cc, err := c.CoarsenRuns(k.tol, k.group)
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	if prev, ok := pc.coarsens[k]; ok {
+		cc = prev // a concurrent call won the race; adopt its pointer
+	} else {
+		pc.coarsens[k] = cc
+	}
+	pc.mu.Unlock()
+	return cc, nil
 }
 
 // CacheStats is a point-in-time census of a PlannerCache, for capacity
@@ -215,6 +261,7 @@ func (pc *PlannerCache) Release(reg *obs.Registry) {
 	tables := pc.tables
 	pc.tables = make(map[tableKey][]*dpTable)
 	clear(pc.plans)
+	clear(pc.coarsens)
 	pc.mu.Unlock()
 	for _, s := range tables {
 		for _, t := range s {

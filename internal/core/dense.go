@@ -16,12 +16,38 @@ import (
 // through a sync.Pool so a full Algorithm 1 run — and a whole sweep —
 // performs O(1) table allocations.
 
-// denseMaxStates bounds the dense table size (states, not bytes; each
-// state costs 64 bytes — one cache line holding the DP slot and both
-// certificate records, see dpState). Shapes beyond the cap — very long
-// uncoarsened chains — fall back to the legacy map-based DP, which only
-// pays for reachable states.
+// denseMaxStates bounds the upfront dense allocation (states, not
+// bytes; each state costs 64 bytes — one cache line holding the DP slot
+// and both certificate records, see dpState). Shapes beyond the cap
+// switch the same table to blocked storage (see blockBits): the packed
+// index space stays virtual and 256 KB blocks materialize on first
+// touch, so reachability pruning — kmin floors, monotone breaks, death
+// certificates — translates directly into bytes never allocated.
+// Transformer-era chains land here: a 2000-layer op-granularity profile
+// under the paper's special-mode grids is a multi-GB virtual plane of
+// which the lazy solver touches a few percent.
 const denseMaxStates = 1 << 25
+
+// Blocked-storage geometry: 1024 states per block = 64 KB. The l-
+// innermost index layout means one reachable (p, t_P, m_P, V) combo
+// touches a contiguous l-span, so the block size bounds how much dead
+// space a short span strands: 1024 states stays well under a long
+// chain's per-combo column (nL runs in the thousands) while still
+// amortizing the per-access indirection (one extra load and nil check)
+// across hundreds of resident states.
+const (
+	blockBits = 10
+	blockSize = 1 << blockBits
+	blockMask = blockSize - 1
+)
+
+// blockedMaxStates bounds the blocked table's virtual state space. The
+// cost of an untouched region is one pointer per block, so the ceiling
+// is set by the block directory (8 bytes per 4096 states: 16 MB at the
+// cap), not by state bytes. Shapes beyond it — or chains beyond
+// denseMaxL, whose k no longer fits the meta word — fall back to the
+// legacy map-based DP.
+const blockedMaxStates = 1 << 33
 
 // metaStampShift packs the epoch stamp in the high 16 bits of the meta
 // word; the low bits hold the reconstruction decision: (k+1) in bits
@@ -81,6 +107,22 @@ type dpTable struct {
 	states int  // fresh entries evaluated under the current stamp
 	grew   bool // last reset reallocated the slot array (vs epoch reuse)
 
+	// Blocked storage (shapes past denseMaxStates): the packed index
+	// space is covered by fixed-size blocks allocated on first write.
+	// blocks[idx>>blockBits] is nil until some state in the block is
+	// stored or certified; nAlloc counts resident blocks. Allocated
+	// blocks persist across the probes of a lease — they carry the
+	// cross-probe certificates exactly as the dense array does — and
+	// across resets of the same shape, and are dropped by the trim
+	// policy on release like oversized dense arrays. The stamp and both
+	// certificate epochs are shared with dense mode, so a pooled table
+	// alternating modes (PlanAndSchedule's special/contiguous pattern)
+	// can never read a stale entry from the other storage: the stamp is
+	// monotone across resets and a mode switch bumps certEpoch.
+	blocked bool
+	blocks  [][]dpState
+	nAlloc  int
+
 	nL, nP, nT, nM, nV int
 	size               int
 
@@ -120,13 +162,20 @@ type dpTable struct {
 	hoist hoistCache
 }
 
-// fits reports whether the dense table can represent the given shape.
+// tableStates is the packed state count of a DP shape.
+func tableStates(l, normals, nT, nM, nV int) int {
+	return (l + 1) * (normals + 1) * nT * nM * nV
+}
+
+// denseFits reports whether the shape gets the upfront dense array.
 func denseFits(l, normals, nT, nM, nV int) bool {
-	if l > denseMaxL {
-		return false
-	}
-	size := (l + 1) * (normals + 1) * nT * nM * nV
-	return size <= denseMaxStates
+	return l <= denseMaxL && tableStates(l, normals, nT, nM, nV) <= denseMaxStates
+}
+
+// tableFits reports whether the table can represent the shape at all
+// (dense or blocked); beyond it the map DP runs.
+func tableFits(l, normals, nT, nM, nV int) bool {
+	return l <= denseMaxL && tableStates(l, normals, nT, nM, nV) <= blockedMaxStates
 }
 
 // reset prepares the table for one DP run over the given shape, reusing
@@ -136,43 +185,73 @@ func denseFits(l, normals, nT, nM, nV int) bool {
 // stay addressable when only nP changes, which is what lets sweep cells
 // at a different worker count inherit a warm table.
 func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
-	if nL != t.nL || nT != t.nT || nM != t.nM || nV != t.nV {
+	size := nL * nP * nT * nM * nV
+	blocked := size > denseMaxStates
+	if nL != t.nL || nT != t.nT || nM != t.nM || nV != t.nV || blocked != t.blocked {
 		// The per-p stride changed: every packed index changes meaning,
 		// so no certificate recorded under the old layout may be read
 		// under the new one. (nP is deliberately absent from the stride —
-		// see idx — so worker-count changes do NOT invalidate.)
+		// see idx — so worker-count changes do NOT invalidate.) A storage
+		// mode switch invalidates too: the records live in the other
+		// array and must not be resurrected on a later switch back.
 		t.certEpoch++
 	}
 	t.nL, t.nP, t.nT, t.nM, t.nV = nL, nP, nT, nM, nV
-	t.size = nL * nP * nT * nM * nV
+	t.size = size
 	t.states = 0
-	if cap(t.slots) < t.size {
-		// A reallocating grow copies the full old capacity so the
-		// certificate fields survive losslessly: reslicing keeps tail
-		// data live in capacity, so a shrink-then-grow sequence (sweep
-		// cells at varying worker counts) round-trips every record.
-		// Fresh elements are zero, which never aliases a valid record
-		// (epochs start at 1) nor a present slot (the stamp advances
-		// below, and stale copied stamps are all older).
-		old := t.slots
-		t.slots = make([]dpState, t.size)
-		copy(t.slots, old[:cap(old)])
-		t.grew = true
-	} else {
+	if blocked {
+		t.blocked = true
 		t.grew = false
-		t.slots = t.slots[:t.size]
+		nB := (size + blockSize - 1) >> blockBits
+		if cap(t.blocks) < nB {
+			// Grow the block directory, keeping resident blocks (and the
+			// certificates they carry) alive; fresh entries are nil.
+			old := t.blocks
+			t.blocks = make([][]dpState, nB)
+			copy(t.blocks, old[:cap(old)])
+			t.grew = true
+		} else {
+			// A shrink keeps tail blocks live in capacity, mirroring the
+			// dense array's shrink-then-grow round-trip. nAlloc counts
+			// them still — they are resident either way.
+			t.blocks = t.blocks[:nB]
+		}
+	} else {
+		t.blocked = false
+		if cap(t.slots) < t.size {
+			// A reallocating grow copies the full old capacity so the
+			// certificate fields survive losslessly: reslicing keeps tail
+			// data live in capacity, so a shrink-then-grow sequence (sweep
+			// cells at varying worker counts) round-trips every record.
+			// Fresh elements are zero, which never aliases a valid record
+			// (epochs start at 1) nor a present slot (the stamp advances
+			// below, and stale copied stamps are all older).
+			old := t.slots
+			t.slots = make([]dpState, t.size)
+			copy(t.slots, old[:cap(old)])
+			t.grew = true
+		} else {
+			t.grew = false
+			t.slots = t.slots[:t.size]
+		}
 	}
 	t.stamp++
 	if t.stamp >= 1<<metaStampShift {
 		// Stamp space exhausted: clear the decision words and restart.
-		// The clear must cover the full capacity — a shrunken lease
-		// leaves stale stamps beyond len that a later regrow would
-		// re-expose. Certificate fields are untouched: their validity is
-		// tracked by epochs, not stamps. Amortized to nothing (once
-		// every 65534 probes per table).
+		// The clear must cover the full dense capacity and every resident
+		// block — the stamp is shared across both storages and a pooled
+		// table may alternate modes, so stale stamps in either array
+		// would alias the restarted generation. Certificate fields are
+		// untouched: their validity is tracked by epochs, not stamps.
+		// Amortized to nothing (once every 65534 probes per table).
 		s := t.slots[:cap(t.slots)]
 		for i := range s {
 			s[i].meta = 0
+		}
+		for _, b := range t.blocks[:cap(t.blocks)] {
+			for i := range b {
+				b[i].meta = 0
+			}
 		}
 		t.stamp = 1
 	}
@@ -213,8 +292,8 @@ func (t *dpTable) certDead(idx int, that float64) bool {
 	if that > t.certMax {
 		return false
 	}
-	s := &t.slots[idx]
-	return s.certSeen == t.certEpoch && that <= s.certThat
+	s := t.peek(idx)
+	return s != nil && s.certSeen == t.certEpoch && that <= s.certThat
 }
 
 // certMark records that idx is memory-dead at target period that.
@@ -234,7 +313,7 @@ func (t *dpTable) certMark(idx int, that float64) {
 // race-free, and the coordinator raises certMax once behind the final
 // barrier (nothing reads certMax during the plane fill).
 func (t *dpTable) certMarkIdx(idx int, that float64) {
-	s := &t.slots[idx]
+	s := t.slot(idx)
 	if s.certSeen == t.certEpoch {
 		if that > s.certThat {
 			s.certThat = that
@@ -249,8 +328,8 @@ func (t *dpTable) certMarkIdx(idx int, that float64) {
 // covers the probe target that, i.e. that lies inside the record's
 // proven validity interval. Callers must have certOn checked.
 func (t *dpTable) valGet(idx int, that float64) (dpEntry, bool) {
-	rec := &t.slots[idx]
-	if rec.vepoch != t.certEpoch || that < rec.vlo || that >= rec.vhi {
+	rec := t.peek(idx)
+	if rec == nil || rec.vepoch != t.certEpoch || that < rec.vlo || that >= rec.vhi {
 		return dpEntry{}, false
 	}
 	return dpEntry{
@@ -267,8 +346,8 @@ func (t *dpTable) valGet(idx int, that float64) (dpEntry, bool) {
 // case its interval says nothing about the value now stored. Parents
 // intersect the returned range into their own intervals.
 func (t *dpTable) valRange(idx int, that float64) (float64, float64, bool) {
-	rec := &t.slots[idx]
-	if rec.vepoch != t.certEpoch || that < rec.vlo || that >= rec.vhi {
+	rec := t.peek(idx)
+	if rec == nil || rec.vepoch != t.certEpoch || that < rec.vlo || that >= rec.vhi {
 		return 0, 0, false
 	}
 	return rec.vlo, rec.vhi, true
@@ -289,7 +368,7 @@ func (t *dpTable) valPut(idx int, lo, hi float64, e dpEntry) bool {
 	if e.special {
 		m |= metaSpecialBit
 	}
-	s := &t.slots[idx]
+	s := t.slot(idx)
 	s.vlo, s.vhi = lo, hi
 	s.vperiod = e.period
 	s.vmeta = m
@@ -303,7 +382,7 @@ func (t *dpTable) valPut(idx int, lo, hi float64, e dpEntry) bool {
 // record covering that is kept — it already says +Inf there and may be
 // wider.
 func (t *dpTable) valPutDead(idx int, that float64) {
-	rec := &t.slots[idx]
+	rec := t.slot(idx)
 	if rec.vepoch == t.certEpoch && that >= rec.vlo && that < rec.vhi {
 		return
 	}
@@ -328,9 +407,43 @@ func (t *dpTable) idx(l, p, itP, imP, iV int) int {
 	return (((p*t.nT+itP)*t.nM+imP)*t.nV+iV)*t.nL + l
 }
 
+// peek returns the state at idx for reading, or nil in blocked mode
+// when the state's block was never materialized — an untouched block
+// holds neither a present entry nor a live certificate, so every
+// reader treats nil as absent.
+func (t *dpTable) peek(idx int) *dpState {
+	if !t.blocked {
+		return &t.slots[idx]
+	}
+	b := t.blocks[idx>>blockBits]
+	if b == nil {
+		return nil
+	}
+	return &b[idx&blockMask]
+}
+
+// slot returns the state at idx for writing, materializing its block on
+// first touch in blocked mode. Only the sequential solver writes in
+// blocked mode (the wavefront is gated off — its plane-fill workers
+// would race on block allocation), so the first-touch path needs no
+// synchronization.
+func (t *dpTable) slot(idx int) *dpState {
+	if !t.blocked {
+		return &t.slots[idx]
+	}
+	bi := idx >> blockBits
+	b := t.blocks[bi]
+	if b == nil {
+		b = make([]dpState, blockSize)
+		t.blocks[bi] = b
+		t.nAlloc++
+	}
+	return &b[idx&blockMask]
+}
+
 func (t *dpTable) get(idx int) (dpEntry, bool) {
-	s := &t.slots[idx]
-	if s.meta>>metaStampShift != t.stamp {
+	s := t.peek(idx)
+	if s == nil || s.meta>>metaStampShift != t.stamp {
 		return dpEntry{}, false
 	}
 	return dpEntry{
@@ -342,8 +455,8 @@ func (t *dpTable) get(idx int) (dpEntry, bool) {
 
 // getPeriod is the hot-path lookup: it avoids materializing a dpEntry.
 func (t *dpTable) getPeriod(idx int) (float64, bool) {
-	s := &t.slots[idx]
-	if s.meta>>metaStampShift != t.stamp {
+	s := t.peek(idx)
+	if s == nil || s.meta>>metaStampShift != t.stamp {
 		return 0, false
 	}
 	return s.period, true
@@ -363,7 +476,7 @@ func (t *dpTable) putNC(idx int, e dpEntry) {
 	if e.special {
 		m |= metaSpecialBit
 	}
-	s := &t.slots[idx]
+	s := t.slot(idx)
 	s.period = e.period
 	s.meta = m
 }
@@ -420,18 +533,38 @@ func releaseTable(t *dpTable, reg *obs.Registry) {
 // touching the pool, so tests can drive the policy on a private table
 // (putting one table into the pool twice would alias concurrent leases).
 func trimOnRelease(t *dpTable, reg *obs.Registry) {
-	if hw := t.trimHWM / 2; hw > t.size {
+	// Demand is resident states, not virtual ones: a blocked lease's
+	// footprint is its materialized blocks, so a sparse traversal over a
+	// huge virtual plane does not inflate the high-water mark.
+	demand := t.size
+	if t.blocked {
+		demand = t.nAlloc * blockSize
+	}
+	if hw := t.trimHWM / 2; hw > demand {
 		t.trimHWM = hw
 	} else {
-		t.trimHWM = t.size
+		t.trimHWM = demand
 	}
-	if need := t.trimHWM; need > 0 && cap(t.slots) > tableTrimFactor*need {
+	need := t.trimHWM
+	if need > 0 && cap(t.slots) > tableTrimFactor*need {
 		t.slots = nil
-		t.stamp = 0
 		t.hoist = hoistCache{}
 		if reg != nil {
 			reg.Counter("dp_table_trims").Inc()
 		}
+	}
+	if need > 0 && t.nAlloc*blockSize > tableTrimFactor*need {
+		t.blocks = nil
+		t.nAlloc = 0
+		if reg != nil {
+			reg.Counter("dp_table_trims").Inc()
+		}
+	}
+	if t.slots == nil && t.nAlloc == 0 {
+		// Restart the stamp only when no storage survives: resident
+		// entries in either array carry stamps the restarted sequence
+		// would eventually alias.
+		t.stamp = 0
 	}
 	if reg != nil {
 		reg.Gauge("dp_table_pool_bytes").Observe(uint64(t.retainedBytes()))
@@ -441,7 +574,7 @@ func trimOnRelease(t *dpTable, reg *obs.Registry) {
 // retainedBytes sums the capacity the table's backing arrays hold onto
 // while pooled (element sizes by layout: dpState 64, colEnt 32).
 func (t *dpTable) retainedBytes() int {
-	b := cap(t.slots) * 64
+	b := cap(t.slots)*64 + t.nAlloc*blockSize*64 + cap(t.blocks)*8
 	cc := &t.cols
 	b += cap(cc.dir)*8 + cap(cc.ent)*32 + cap(cc.gmax)*4 +
 		cap(cc.gmaxSeen)*4 + cap(cc.gmaxCached)*4

@@ -977,7 +977,7 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 	if cfg.disableSpecial {
 		nT, nM = 1, 1
 	}
-	if !denseFits(c.Len(), normals, nT, nM, disc.V) {
+	if !tableFits(c.Len(), normals, nT, nM, disc.V) {
 		res, err := runDPMap(c, plat, that, disc, cfg.disableSpecial, cfg.weights)
 		if err == nil && cfg.mtrack {
 			// The map solver tracks no intervals; claim only the single
@@ -1024,8 +1024,10 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 	// The wavefront needs the column cache (its frontier builds columns,
 	// its workers only read them); for chains too long for the quadratic
 	// column directory the lazy solver runs instead, computing cut
-	// scalars inline.
-	wave := cfg.workers >= 2 && tab.cols.on && !cfg.mtrack
+	// scalars inline. Blocked tables run the lazy solver too: plane-fill
+	// workers would race on first-touch block allocation, and the lazy
+	// traversal's sparsity is exactly what blocked storage monetizes.
+	wave := cfg.workers >= 2 && tab.cols.on && !cfg.mtrack && !tab.blocked
 	if wave {
 		period = r.waveSolve(c.Len(), normals, cfg.workers)
 	} else {
@@ -1034,6 +1036,13 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 	res := &DPResult{Period: period, States: tab.states}
 	if st := r.stats; st != nil {
 		st.StatesEvaluated = uint64(tab.states)
+		st.TableVirtualBytes = uint64(tab.size) * 64
+		if tab.blocked {
+			st.TableResidentBytes = uint64(tab.nAlloc) * blockSize * 64
+			st.TableBlocksResident = uint64(tab.nAlloc)
+		} else {
+			st.TableResidentBytes = st.TableVirtualBytes
+		}
 		res.Stats = *st
 		st.flush(cfg.obs)
 	}

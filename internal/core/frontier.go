@@ -151,6 +151,17 @@ func PlanFrontierCtx(ctx context.Context, c *chain.Chain, plat platform.Platform
 	// parallel probes would fold results whose memory intervals were
 	// never tracked.
 	opts.Parallel = 1
+	// Chain preprocessing runs ONCE for the whole walk, and the prepare
+	// fields are stripped before the per-sample searches: the hint, plan
+	// memo and warm tables are all keyed by chain pointer, so every
+	// sample must present the same prepared chain — per-call coarsening
+	// would mint a fresh pointer each time and trip the hint's bind
+	// check. Results are un-coarsened after the segments are merged.
+	c, cc, err := prepared(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.MaxChainLength, opts.CoarsenGroup, opts.CoarsenTolerance = 0, 0, 0
 	if opts.Hint == nil {
 		opts.Hint = NewHint()
 	}
@@ -275,6 +286,11 @@ func PlanFrontierCtx(ctx context.Context, c *chain.Chain, plat platform.Platform
 		out.Segments = append(out.Segments, seg)
 	}
 
+	if cc != nil {
+		for i := range out.Segments {
+			out.Segments[i].Result = uncoarsenResult(out.Segments[i].Result, cc)
+		}
+	}
 	if opts.Obs != nil {
 		opts.Obs.Counter("frontier_breakpoints").Add(uint64(len(out.Segments)))
 		opts.Obs.Counter("frontier_replays").Add(uint64(out.Replays))

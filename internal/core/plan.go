@@ -30,6 +30,26 @@ type Options struct {
 	// coarsening). Coarsening preserves total compute, weights and stored
 	// activations exactly.
 	MaxChainLength int
+	// CoarsenGroup enables run coarsening before planning (after any
+	// MaxChainLength pass): maximal runs of contiguous near-uniform
+	// layers — adjacent layers within CoarsenTolerance of the run's
+	// head — merge into super-layers of at most CoarsenGroup original
+	// layers each, and every result is un-coarsened back to original
+	// layer indices on the way out. 0 (the default) disables the pass;
+	// 1 is the identity granularity (detects runs but merges nothing).
+	// Aggregated costs are bit-exact samples of the original chain's
+	// prefix sums (chain.CoarsenRuns), so the coarse problem is exactly
+	// the original problem restricted to super-layer-boundary cuts:
+	// periods and memory figures carry over bit-for-bit; only cut
+	// positions interior to a super-layer are forgone. This is the
+	// transformer-chain switch — a near-uniform 2000-layer profile
+	// plans at the granularity the caller picks instead of paying the
+	// full state space.
+	CoarsenGroup int
+	// CoarsenTolerance is the relative per-field tolerance of the run
+	// detector (|a-b| <= tol*max(|a|,|b|) on every profiled quantity).
+	// 0 demands bit-equal layers. Only consulted when CoarsenGroup > 0.
+	CoarsenTolerance float64
 	// Weights selects the weight-versioning policy; the zero value is
 	// the paper's PipeDream-2BW discipline (3W per stage).
 	Weights chain.WeightPolicy
@@ -185,24 +205,95 @@ func DP(c *chain.Chain, plat platform.Platform, that float64, opts Options) (*DP
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
-	c, err := prepared(c, opts)
+	c, cc, err := prepared(c, opts)
 	if err != nil {
 		return nil, err
 	}
-	return runDP(c, plat, that, dpConfig{
+	res, err := runDP(c, plat, that, dpConfig{
 		disc:           opts.Disc,
 		disableSpecial: opts.DisableSpecial,
 		weights:        opts.Weights,
 		workers:        resolveParallel(opts.Parallel),
 		obs:            opts.Obs,
 	})
+	if err != nil || cc == nil || res.Alloc == nil {
+		return res, err
+	}
+	res.Alloc = uncoarsenAlloc(res.Alloc, cc)
+	return res, nil
 }
 
-func prepared(c *chain.Chain, opts Options) (*chain.Chain, error) {
+// prepared applies the planner's chain preprocessing: the greedy
+// MaxChainLength cap first, then run coarsening (CoarsenGroup). The
+// returned provenance is nil when run coarsening is off or merged
+// nothing; when set, the planner runs entirely in coarse space — memo,
+// warm tables and hints all key on the coarse chain — and results are
+// un-coarsened on the way out. With a PlannerCache attached the coarse
+// chain for a given (chain, tolerance, group) is memoized, so repeated
+// calls present a stable pointer to those pointer-keyed stores.
+func prepared(c *chain.Chain, opts Options) (*chain.Chain, *chain.Coarsened, error) {
 	if opts.MaxChainLength > 0 {
-		return c.Coarsen(opts.MaxChainLength)
+		g, err := c.Coarsen(opts.MaxChainLength)
+		if err != nil {
+			return nil, nil, err
+		}
+		c = g
 	}
-	return c, nil
+	if opts.CoarsenGroup <= 0 {
+		return c, nil, nil
+	}
+	cc, err := coarsenRunsCached(c, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cc.Identity() {
+		return c, nil, nil
+	}
+	return cc.Chain, cc, nil
+}
+
+// uncoarsenAlloc maps one coarse-space allocation onto the original
+// chain. Stage quantities are bit-identical on both sides (coarse
+// prefix sums are samples of the original's), so the allocation stays
+// valid as-is; only the span indices change.
+func uncoarsenAlloc(a *partition.Allocation, cc *chain.Coarsened) *partition.Allocation {
+	return &partition.Allocation{
+		Chain: cc.From, Plat: a.Plat,
+		Spans: cc.UncoarsenAll(a.Spans), Procs: a.Procs, Weights: a.Weights,
+	}
+}
+
+// uncoarsenResult maps a coarse-space phase-1 result back onto the
+// original chain. Allocation sharing is preserved (a result and the
+// Evals that produced it point at one Allocation before and after), and
+// the Evals slice is rebuilt fresh — memo hits share their backing
+// array with the cache, which must keep the coarse originals. Periods,
+// the probe trajectory and all stats are untouched: coarse aggregation
+// is bit-exact, so they already are the original chain's numbers.
+func uncoarsenResult(res *PhaseOneResult, cc *chain.Coarsened) *PhaseOneResult {
+	if cc == nil || res == nil {
+		return res
+	}
+	seen := make(map[*partition.Allocation]*partition.Allocation, 4)
+	conv := func(a *partition.Allocation) *partition.Allocation {
+		if a == nil {
+			return nil
+		}
+		if u, ok := seen[a]; ok {
+			return u
+		}
+		u := uncoarsenAlloc(a, cc)
+		seen[a] = u
+		return u
+	}
+	out := *res
+	out.Alloc = conv(res.Alloc)
+	out.Evals = make([]Eval, len(res.Evals))
+	for i, ev := range res.Evals {
+		ev.Alloc = conv(ev.Alloc)
+		out.Evals[i] = ev
+	}
+	return &out
 }
 
 // PlanAllocation runs the first phase of MadPipe: Algorithm 1's modified
@@ -239,7 +330,7 @@ func PlanAllocationCtx(ctx context.Context, c *chain.Chain, plat platform.Platfo
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
-	c, err := prepared(c, opts)
+	c, cc, err := prepared(c, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +346,7 @@ func PlanAllocationCtx(ctx context.Context, c *chain.Chain, plat platform.Platfo
 	if opts.Cache != nil {
 		mkey = planKeyFor(c, plat, opts)
 		if res, ok := opts.Cache.getPlan(mkey); ok {
-			return res, nil
+			return uncoarsenResult(res, cc), nil
 		}
 	}
 
@@ -424,9 +515,12 @@ func PlanAllocationCtx(ctx context.Context, c *chain.Chain, plat platform.Platfo
 			opts.Iterations, platform.ErrInfeasible)
 	}
 	if opts.Cache != nil {
+		// The memo stores the coarse-space result: memo keys are coarse
+		// chain pointers, and hits un-coarsen on the way out exactly like
+		// this return does.
 		opts.Cache.putPlan(mkey, res)
 	}
-	return res, nil
+	return uncoarsenResult(res, cc), nil
 }
 
 // hintKeyFor derives the row signature a hint is bound to; opts must

@@ -85,6 +85,15 @@ type DPStats struct {
 	// its backing array.
 	TableEpochReuses uint64 `json:"table_epoch_reuses"`
 	TableGrows       uint64 `json:"table_grows"`
+	// TableVirtualBytes is the packed index space of this run's shape in
+	// state bytes; TableResidentBytes is what was actually backed by
+	// memory at the end of the run — equal on the dense path, and the
+	// materialized blocks only under blocked storage (dense.go), where
+	// TableBlocksResident counts them. Resident figures fold as
+	// high-water marks under add().
+	TableVirtualBytes   uint64 `json:"table_virtual_bytes,omitempty"`
+	TableResidentBytes  uint64 `json:"table_resident_bytes,omitempty"`
+	TableBlocksResident uint64 `json:"table_blocks_resident,omitempty"`
 
 	// PlaneSamples is the wavefront plane-fill timeline: one sample per
 	// plane, offsets relative to the DP run's start. Sizes and chunk
@@ -132,6 +141,15 @@ func (s *DPStats) add(o *DPStats) {
 	s.ChunksDispatched += o.ChunksDispatched
 	s.TableEpochReuses += o.TableEpochReuses
 	s.TableGrows += o.TableGrows
+	if o.TableVirtualBytes > s.TableVirtualBytes {
+		s.TableVirtualBytes = o.TableVirtualBytes
+	}
+	if o.TableResidentBytes > s.TableResidentBytes {
+		s.TableResidentBytes = o.TableResidentBytes
+	}
+	if o.TableBlocksResident > s.TableBlocksResident {
+		s.TableBlocksResident = o.TableBlocksResident
+	}
 }
 
 // atomicAdd folds the counter fields of o into s with atomic adds. The
@@ -174,6 +192,8 @@ func (s *DPStats) flush(reg *obs.Registry) {
 	reg.Counter("dp_table_grows").Add(s.TableGrows)
 	reg.Gauge("dp_plane_cells_max").Observe(s.PlaneCellsMax)
 	reg.Gauge("dp_states_max").Observe(s.StatesEvaluated)
+	reg.Gauge("dp_table_virtual_bytes").Observe(s.TableVirtualBytes)
+	reg.Gauge("dp_table_resident_bytes").Observe(s.TableResidentBytes)
 }
 
 // flushPlan publishes one Algorithm 1 search's probe economics into the

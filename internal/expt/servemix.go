@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"madpipe/internal/nets"
 	"madpipe/internal/serve"
 )
 
@@ -18,23 +19,36 @@ import (
 // it against a fresh daemon always produces the same hit/miss split
 // (len(hotLadder) + floor(n/coldEvery) misses when n > 0), which is
 // what lets the serving benchmark gate misses/op exactly.
+//
+// CNN profiles plan through the greedy MaxChain=24 pass the paper's
+// figures use. Transformer presets (gpt2, gpt2-xl, llama7b) instead
+// plan through exact run coarsening (CoarsenGroup=8) on a memory ladder
+// sized for their weight footprint — the request shape cmd/madpipeload
+// sends with -net gpt2.
 func ServingMix(netName string, n, coldEvery int) ([]serve.PlanRequest, error) {
 	if n < 0 || coldEvery < 0 {
 		return nil, fmt.Errorf("expt: ServingMix(n=%d, coldEvery=%d): negative argument", n, coldEvery)
 	}
 	hotLadder := []float64{6, 8, 10, 12} // GB, the Fig 7 ladder's interior
+	opts := serve.OptionsSpec{MaxChain: 24, Parallel: 1}
+	coldBase := 8.0
+	if _, ok := nets.TransformerPreset(netName); ok {
+		hotLadder = []float64{24, 32, 40, 48}
+		opts = serve.OptionsSpec{CoarsenGroup: 8, Parallel: 1}
+		coldBase = 32
+	}
 	reqs := make([]serve.PlanRequest, 0, n)
 	cold := 0
 	for i := 0; i < n; i++ {
 		memGB := hotLadder[i%len(hotLadder)]
 		if coldEvery > 0 && i%coldEvery == coldEvery-1 {
 			cold++
-			memGB = 8 + 1e-4*float64(cold)
+			memGB = coldBase + 1e-4*float64(cold)
 		}
 		reqs = append(reqs, serve.PlanRequest{
 			Net:      &serve.NetSpec{Name: netName, Batch: 8, Size: 1000},
 			Platform: serve.PlatformSpec{Workers: 4, MemoryGB: memGB, BandwidthGB: 12},
-			Options:  serve.OptionsSpec{MaxChain: 24, Parallel: 1},
+			Options:  opts,
 		})
 	}
 	return reqs, nil

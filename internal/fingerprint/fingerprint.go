@@ -114,7 +114,10 @@ func (d *digest) key() Key {
 
 // encoding version; bump when the canonical layout changes so stale
 // persisted keys (if any ever exist) cannot alias new ones.
-const version = 1
+// Version 2: coarsening options (CoarsenGroup, CoarsenTolerance) joined
+// the normal form — they change planner outputs, so requests differing
+// only in them must never collide.
+const version = 2
 
 // request kinds, hashed first so a plan and a frontier request over the
 // same inputs never collide.
@@ -147,6 +150,12 @@ func (d *digest) options(opts core.Options) {
 	d.int(opts.Iterations)
 	d.boolean(opts.DisableSpecial)
 	d.int(opts.MaxChainLength)
+	// Coarsening changes which cuts the planner may place, so both knobs
+	// are outcome-determining. The tolerance is hashed at the digest's
+	// own quantum like every other float: a quantized memo bucket then
+	// also buckets nearby tolerances, while q = 0 keeps them bit-exact.
+	d.int(opts.CoarsenGroup)
+	d.f64(opts.CoarsenTolerance)
 	d.f64(opts.Weights.Fixed)
 	d.f64(opts.Weights.PerBatch)
 	// Parallel changes the probe schedule (different fans can settle on

@@ -205,3 +205,40 @@ func TestShardStable(t *testing.T) {
 		}
 	}
 }
+
+// TestCoarsenOptionsSeparate pins the version-2 normal form: requests
+// differing only in the coarsening options must never collide — at any
+// quantum, since a coarsened and an uncoarsened plan over one chain are
+// different planner outputs no matter how forgiving the chain bucketing
+// is. Equal coarsening options on equal content must still collide.
+func TestCoarsenOptionsSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mems := []float64{1e10, 5e9}
+	for trial := 0; trial < 50; trial++ {
+		c := randChain(rng)
+		for _, q := range []float64{0, 0.01, 0.1} {
+			plain := core.Options{}
+			for _, group := range []int{1, 2, 8} {
+				co := core.Options{CoarsenGroup: group}
+				if PlanKey(c, testPlat(), plain, false, q) == PlanKey(c, testPlat(), co, false, q) {
+					t.Fatalf("trial %d q=%g group=%d: coarsened plan collided with uncoarsened", trial, q, group)
+				}
+				if FrontierKey(c, testPlat(), mems, plain, q) == FrontierKey(c, testPlat(), mems, co, q) {
+					t.Fatalf("trial %d q=%g group=%d: coarsened frontier collided with uncoarsened", trial, q, group)
+				}
+			}
+			// Same coarsening setting on identical content: must collide.
+			co := core.Options{CoarsenGroup: 4, CoarsenTolerance: 1e-3}
+			dup := chain.MustNew("other", c.A(0), c.Layers())
+			if PlanKey(c, testPlat(), co, false, q) != PlanKey(dup, testPlat(), co, false, q) {
+				t.Fatalf("trial %d q=%g: identical coarsened requests split", trial, q)
+			}
+		}
+		// At quantum 0 the tolerance is bit-exact in the normal form.
+		a := core.Options{CoarsenGroup: 4, CoarsenTolerance: 1e-3}
+		b := core.Options{CoarsenGroup: 4, CoarsenTolerance: 1e-3 * (1 + 1e-12)}
+		if PlanKey(c, testPlat(), a, false, 0) == PlanKey(c, testPlat(), b, false, 0) {
+			t.Fatalf("trial %d: tolerance ulp change collided at quantum 0", trial)
+		}
+	}
+}

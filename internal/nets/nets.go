@@ -91,6 +91,19 @@ func BuildGraph(s Spec) (*graph.Graph, string, error) {
 
 // Build constructs the linearized chain for a spec.
 func Build(s Spec) (*chain.Chain, error) {
+	// Transformer presets take a different route: there is no op graph to
+	// linearize — the chain is built analytically. Spec.Size (an image
+	// edge) has no transformer meaning and is ignored; sequence length
+	// comes from the preset. Batch carries over when set.
+	if ts, ok := TransformerPreset(s.Name); ok {
+		if s.Batch >= 1 {
+			ts.Batch = s.Batch
+		}
+		if s.Dev != (Device{}) {
+			ts.Dev = s.Dev
+		}
+		return BuildTransformer(ts)
+	}
 	g, name, err := BuildGraph(s)
 	if err != nil {
 		return nil, err

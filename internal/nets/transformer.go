@@ -1,0 +1,196 @@
+package nets
+
+import (
+	"fmt"
+	"strings"
+
+	"madpipe/internal/chain"
+)
+
+// Transformer-era profiles. The paper's evaluation stops at 2020-vintage
+// CNNs of a few hundred ops; the chains MadPipe-style planning matters
+// for today are GPT/Llama-style stacks of thousands of near-identical
+// fine-grained layers. These builders produce that regime analytically —
+// the same architectural-walk approach as the CNN profiles, with the
+// standard decoder-block FLOP and parameter formulas in place of a graph
+// walk: every block is bit-identical to its neighbors by construction
+// (one float evaluation, reused), which is exactly the shape the
+// planner's run coarsening (chain.CoarsenRuns) and blocked DP storage
+// are built to exploit.
+
+// transformerOps is the op-granularity decomposition of one decoder
+// block: ln1, qkv projection, attention mixing (scores+softmax+context),
+// output projection, ln2, FFN up, activation, FFN down.
+const transformerOps = 8
+
+// TransformerSpec describes an analytic decoder-only transformer
+// profile.
+type TransformerSpec struct {
+	Name   string
+	Blocks int // decoder blocks
+	DModel int // model width d
+	FFN    int // feed-forward inner width (0 = 4*DModel)
+	Heads  int // attention heads
+	SeqLen int // sequence length S
+	Vocab  int // vocabulary size
+	Batch  int // micro-batch size in sequences
+	// Granularity is the number of chain layers each block expands to,
+	// 1..8: the 8-op decomposition is grouped into Granularity
+	// near-even contiguous chunks. 1 yields one layer per block — the
+	// shape run coarsening collapses — and 8 the full op-level chain.
+	Granularity int
+	Dev         Device
+}
+
+// TransformerNames lists the built-in transformer presets. They are
+// deliberately NOT part of Names(): the paper's sweeps iterate Names()
+// and must keep seeing exactly the four CNNs.
+func TransformerNames() []string {
+	return []string{"gpt2", "gpt2-xl", "llama7b"}
+}
+
+// TransformerPreset returns the spec for a built-in transformer profile
+// (batch 8, op granularity, default device), or false for other names.
+func TransformerPreset(name string) (TransformerSpec, bool) {
+	s := TransformerSpec{Batch: 8, Granularity: transformerOps, Dev: DefaultDevice()}
+	switch strings.ToLower(name) {
+	case "gpt2":
+		s.Name, s.Blocks, s.DModel, s.Heads, s.SeqLen, s.Vocab = "gpt2", 12, 768, 12, 1024, 50257
+	case "gpt2-xl", "gpt2xl":
+		s.Name, s.Blocks, s.DModel, s.Heads, s.SeqLen, s.Vocab = "gpt2-xl", 48, 1600, 25, 1024, 50257
+	case "llama7b", "llama-7b":
+		s.Name, s.Blocks, s.DModel, s.Heads, s.SeqLen, s.Vocab = "llama7b", 32, 4096, 32, 2048, 32000
+		s.FFN = 11008
+	default:
+		return TransformerSpec{}, false
+	}
+	return s, true
+}
+
+// tOp is one block op of the analytic walk: forward FLOPs, parameter
+// count, output activation elements, elements retained for backward,
+// and whether the op runs at memory-bound efficiency.
+type tOp struct {
+	name     string
+	flops    float64
+	params   float64
+	out      float64
+	store    float64
+	memBound bool
+}
+
+// blockOps returns the 8-op decomposition of one decoder block for
+// batch b, sequence s, width d, FFN width f, heads h (float inputs so
+// every block evaluates to bit-identical layers).
+func blockOps(b, s, d, f, h float64) [transformerOps]tOp {
+	tok := b * s // tokens per micro-batch
+	return [transformerOps]tOp{
+		{name: "ln1", flops: 8 * tok * d, params: 2 * d, out: tok * d, store: tok * d, memBound: true},
+		{name: "qkv", flops: 6 * tok * d * d, params: 3*d*d + 3*d, out: 3 * tok * d, store: tok * d},
+		// Scores + context are two S x S matmuls per head; the stored
+		// attention probabilities (b*h*s^2) are the activation term that
+		// dominates long-sequence training memory.
+		{name: "attn", flops: 4 * tok * s * d, params: 0, out: tok * d, store: 3*tok*d + b*h*s*s},
+		{name: "proj", flops: 2 * tok * d * d, params: d*d + d, out: tok * d, store: tok * d},
+		{name: "ln2", flops: 8 * tok * d, params: 2 * d, out: tok * d, store: tok * d, memBound: true},
+		{name: "fc1", flops: 2 * tok * d * f, params: d*f + f, out: tok * f, store: tok * d},
+		{name: "act", flops: 8 * tok * f, params: 0, out: tok * f, store: tok * f, memBound: true},
+		{name: "fc2", flops: 2 * tok * f * d, params: f*d + d, out: tok * d, store: tok * f},
+	}
+}
+
+// layerOf converts a run of ops into one chain layer: compute and
+// parameters sum, the output activation is the last op's, retained
+// activations sum.
+func layerOf(name string, ops []tOp, dev Device) chain.Layer {
+	var l chain.Layer
+	l.Name = name
+	for _, op := range ops {
+		eff := dev.DenseEff
+		if op.memBound {
+			eff = dev.MemBoundEff
+		}
+		uf := op.flops / (dev.PeakFLOPS * eff)
+		l.UF += uf
+		l.UB += dev.BackwardRatio * uf
+		l.W += op.params * bytesPerElem
+		l.AStore += op.store * bytesPerElem
+		l.A = op.out * bytesPerElem
+	}
+	return l
+}
+
+// BuildTransformer constructs the linearized chain for a transformer
+// spec: an embedding layer, Blocks x Granularity block layers, and an
+// LM-head layer (final norm + untied vocabulary projection).
+func BuildTransformer(s TransformerSpec) (*chain.Chain, error) {
+	if s.FFN == 0 {
+		s.FFN = 4 * s.DModel
+	}
+	if s.Dev == (Device{}) {
+		s.Dev = DefaultDevice()
+	}
+	if s.Blocks < 1 || s.DModel < 1 || s.FFN < 1 || s.Heads < 1 ||
+		s.SeqLen < 1 || s.Vocab < 1 || s.Batch < 1 {
+		return nil, fmt.Errorf("nets: invalid transformer spec %+v", s)
+	}
+	if s.Granularity < 1 || s.Granularity > transformerOps {
+		return nil, fmt.Errorf("nets: transformer granularity must be in [1,%d], got %d",
+			transformerOps, s.Granularity)
+	}
+	b, sq := float64(s.Batch), float64(s.SeqLen)
+	d, f, h, v := float64(s.DModel), float64(s.FFN), float64(s.Heads), float64(s.Vocab)
+	tok := b * sq
+	dev := s.Dev
+
+	ops := blockOps(b, sq, d, f, h)
+	// Group the 8 ops into Granularity near-even contiguous chunks,
+	// larger chunks first (the same deterministic split CoarsenRuns
+	// uses), and build each block's layers ONCE — appending the same
+	// values per block keeps repeated blocks bit-identical.
+	blockLayers := make([]chain.Layer, 0, s.Granularity)
+	base, rem := transformerOps/s.Granularity, transformerOps%s.Granularity
+	from := 0
+	for p := 0; p < s.Granularity; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		name := ops[from].name
+		if size > 1 {
+			name = ops[from].name + "-" + ops[from+size-1].name
+		}
+		blockLayers = append(blockLayers, layerOf("block."+name, ops[from:from+size], dev))
+		from += size
+	}
+
+	layers := make([]chain.Layer, 0, 2+s.Blocks*s.Granularity)
+	layers = append(layers, layerOf("embed", []tOp{
+		// Token + position lookups: memory-bound gathers, the token ids
+		// themselves are the only retained input.
+		{name: "embed", flops: 2 * tok * d, params: (v + sq) * d, out: tok * d, store: tok, memBound: true},
+	}, dev))
+	for i := 0; i < s.Blocks; i++ {
+		layers = append(layers, blockLayers...)
+	}
+	layers = append(layers, layerOf("lm_head", []tOp{
+		{name: "ln_f", flops: 8 * tok * d, params: 2 * d, out: tok * d, store: tok * d, memBound: true},
+		{name: "logits", flops: 2 * tok * d * v, params: v * d, out: tok * v, store: tok * d},
+	}, dev))
+
+	name := s.Name
+	if name == "" {
+		name = "transformer"
+	}
+	// Input activations: the token-id tensor.
+	return chain.New(name, tok*bytesPerElem, layers)
+}
+
+// MustBuildTransformer is BuildTransformer that panics on error.
+func MustBuildTransformer(s TransformerSpec) *chain.Chain {
+	c, err := BuildTransformer(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

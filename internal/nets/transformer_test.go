@@ -1,0 +1,208 @@
+package nets
+
+import (
+	"reflect"
+	"testing"
+)
+
+// presetParams computes the analytic parameter count a preset must hit:
+// token+position embeddings, per-block 12d^2+13d, final norm, untied
+// vocabulary head.
+func presetParams(s TransformerSpec) float64 {
+	d, f := float64(s.DModel), float64(s.FFN)
+	if f == 0 {
+		f = 4 * d
+	}
+	block := 3*d*d + 3*d + // qkv
+		d*d + d + // proj
+		d*f + f + d*f + d + // fc1, fc2
+		4*d // ln1, ln2
+	return (float64(s.Vocab)+float64(s.SeqLen))*d +
+		float64(s.Blocks)*block +
+		2*d + float64(s.Vocab)*d
+}
+
+func TestTransformerPresets(t *testing.T) {
+	cases := []struct {
+		name       string
+		blocks     int
+		layers     int     // at op granularity: 2 + 8*blocks
+		paramsLo   float64 // sanity band on total parameters
+		paramsHi   float64
+	}{
+		{"gpt2", 12, 98, 120e6, 200e6},
+		{"gpt2-xl", 48, 386, 1.4e9, 2.0e9},
+		// The profile uses a two-matrix FFN, so the gated-FFN Llama lands
+		// under its headline 6.7B — the chain shape, not the exact count,
+		// is what the planner consumes.
+		{"llama7b", 32, 258, 4.5e9, 6.0e9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, ok := TransformerPreset(tc.name)
+			if !ok {
+				t.Fatalf("TransformerPreset(%q) not found", tc.name)
+			}
+			if spec.Blocks != tc.blocks {
+				t.Fatalf("blocks = %d, want %d", spec.Blocks, tc.blocks)
+			}
+			c, err := BuildTransformer(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Len() != tc.layers {
+				t.Fatalf("Len() = %d, want %d", c.Len(), tc.layers)
+			}
+			if c.Name() != spec.Name {
+				t.Fatalf("Name() = %q, want %q", c.Name(), spec.Name)
+			}
+			params := c.TotalWeights() / bytesPerElem
+			if !approx(params, presetParams(spec), 1e-9) {
+				t.Fatalf("params = %.0f, want %.0f", params, presetParams(spec))
+			}
+			if params < tc.paramsLo || params > tc.paramsHi {
+				t.Fatalf("params = %.3g outside sanity band [%.3g, %.3g]",
+					params, tc.paramsLo, tc.paramsHi)
+			}
+			if c.TotalU() <= 0 {
+				t.Fatalf("TotalU() = %g, want > 0", c.TotalU())
+			}
+			for l := 1; l <= c.Len(); l++ {
+				ly := c.Layer(l)
+				if ly.UF <= 0 || ly.UB <= 0 || ly.A <= 0 {
+					t.Fatalf("layer %d (%s) has non-positive profile: %+v", l, ly.Name, ly)
+				}
+			}
+		})
+	}
+}
+
+// TestTransformerUniformity pins the property the planner's run
+// coarsening depends on: at granularity 1 every interior block layer is
+// bit-identical, so CoarsenRuns collapses the whole stack to three
+// super-layers.
+func TestTransformerUniformity(t *testing.T) {
+	spec, _ := TransformerPreset("gpt2")
+	spec.Blocks = 64
+	spec.Granularity = 1
+	c := MustBuildTransformer(spec)
+	if c.Len() != 66 {
+		t.Fatalf("Len() = %d, want 66", c.Len())
+	}
+	first := c.Layer(2)
+	for l := 3; l < c.Len(); l++ {
+		if c.Layer(l) != first {
+			t.Fatalf("block layer %d differs from layer 2:\n%+v\n%+v", l, c.Layer(l), first)
+		}
+	}
+	cc, err := c.CoarsenRuns(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Chain.Len() != 3 {
+		t.Fatalf("coarse Len() = %d, want 3 (embed, blocks, head)", cc.Chain.Len())
+	}
+	if cc.Chain.TotalU() != c.TotalU() || cc.Chain.TotalWeights() != c.TotalWeights() {
+		t.Fatalf("coarse totals drifted: U %g vs %g, W %g vs %g",
+			cc.Chain.TotalU(), c.TotalU(), cc.Chain.TotalWeights(), c.TotalWeights())
+	}
+
+	// At op granularity the 8-layer pattern repeats with period 8, so no
+	// two ADJACENT layers are equal and run coarsening is an identity.
+	spec.Granularity = transformerOps
+	op := MustBuildTransformer(spec)
+	ci, err := op.CoarsenRuns(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Identity() || ci.Chain != op {
+		t.Fatalf("op-granularity chain should coarsen to itself, got Len %d", ci.Chain.Len())
+	}
+}
+
+func TestTransformerGranularity(t *testing.T) {
+	spec, _ := TransformerPreset("gpt2")
+	spec.Blocks = 5
+	ref := MustBuildTransformer(spec) // granularity 8
+	for _, g := range []int{1, 2, 3, 5, 8} {
+		spec.Granularity = g
+		c := MustBuildTransformer(spec)
+		if want := 2 + spec.Blocks*g; c.Len() != want {
+			t.Fatalf("granularity %d: Len() = %d, want %d", g, c.Len(), want)
+		}
+		// The per-op quantities are fixed; grouping only changes the
+		// summation bracketing, so totals agree to rounding.
+		if !approx(c.TotalU(), ref.TotalU(), 1e-12) {
+			t.Fatalf("granularity %d: TotalU %g, want %g", g, c.TotalU(), ref.TotalU())
+		}
+		if !approx(c.TotalWeights(), ref.TotalWeights(), 1e-12) {
+			t.Fatalf("granularity %d: TotalWeights %g, want %g", g, c.TotalWeights(), ref.TotalWeights())
+		}
+		if !approx(c.AStore(1, c.Len()), ref.AStore(1, ref.Len()), 1e-12) {
+			t.Fatalf("granularity %d: AStore %g, want %g", g, c.AStore(1, c.Len()), ref.AStore(1, ref.Len()))
+		}
+		// Block boundaries are cuts at every granularity: the activation
+		// crossing the end of block i is the block output d-vector.
+		if a := c.A(1 + g); a != ref.A(1+transformerOps) {
+			t.Fatalf("granularity %d: block-1 output %g, want %g", g, a, ref.A(1+transformerOps))
+		}
+	}
+}
+
+func TestTransformerDeterminism(t *testing.T) {
+	spec, _ := TransformerPreset("llama7b")
+	a := MustBuildTransformer(spec)
+	b := MustBuildTransformer(spec)
+	if !reflect.DeepEqual(a.Layers(), b.Layers()) {
+		t.Fatal("repeated builds differ")
+	}
+}
+
+func TestTransformerValidation(t *testing.T) {
+	if _, ok := TransformerPreset("resnet50"); ok {
+		t.Fatal("CNN name resolved as transformer preset")
+	}
+	spec, _ := TransformerPreset("gpt2")
+	spec.Granularity = 9
+	if _, err := BuildTransformer(spec); err == nil {
+		t.Fatal("granularity 9 accepted")
+	}
+	spec.Granularity = 0
+	if _, err := BuildTransformer(spec); err == nil {
+		t.Fatal("granularity 0 accepted")
+	}
+	spec, _ = TransformerPreset("gpt2")
+	spec.Blocks = 0
+	if _, err := BuildTransformer(spec); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+}
+
+// TestTransformerBuildSpec checks the Build() routing: transformer names
+// resolve without entering the CNN graph path, and the CNN name list is
+// untouched.
+func TestTransformerBuildSpec(t *testing.T) {
+	c, err := Build(Spec{Name: "gpt2", Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 98 {
+		t.Fatalf("Len() = %d, want 98", c.Len())
+	}
+	spec, _ := TransformerPreset("gpt2")
+	spec.Batch = 4
+	want := MustBuildTransformer(spec)
+	if !reflect.DeepEqual(c.Layers(), want.Layers()) {
+		t.Fatal("Build(Spec) and BuildTransformer disagree")
+	}
+	for _, n := range Names() {
+		if _, ok := TransformerPreset(n); ok {
+			t.Fatalf("Names() entry %q is also a transformer preset", n)
+		}
+	}
+	for _, n := range TransformerNames() {
+		if _, ok := TransformerPreset(n); !ok {
+			t.Fatalf("TransformerNames() entry %q has no preset", n)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"madpipe/internal/chain"
 	"madpipe/internal/core"
@@ -59,6 +60,11 @@ type NetSpec struct {
 	Name  string `json:"name"`
 	Batch int    `json:"batch,omitempty"` // default 8
 	Size  int    `json:"size,omitempty"`  // default 1000
+	// Blocks and Granularity apply to transformer presets (gpt2,
+	// gpt2-xl, llama7b): decoder-block count override and chain layers
+	// per block (1..8). Ignored for the CNN profiles.
+	Blocks      int `json:"blocks,omitempty"`
+	Granularity int `json:"granularity,omitempty"`
 }
 
 // OptionsSpec is the subset of core.Options a request may set. Work
@@ -83,6 +89,14 @@ type OptionsSpec struct {
 	// shard in both directions (per-request isolation; see
 	// core.Options.ColdTables). Outputs are identical either way.
 	ColdTables bool `json:"cold_tables,omitempty"`
+	// CoarsenGroup enables exact run coarsening before planning:
+	// contiguous runs of near-uniform layers merge into super-layers of
+	// at most this many original layers (0: off, 1: identity pass; see
+	// core.Options.CoarsenGroup). The transformer-chain switch.
+	CoarsenGroup int `json:"coarsen_group,omitempty"`
+	// CoarsenTolerance is the relative per-field tolerance of the run
+	// scan (0: bit-equal layers only). Consulted when CoarsenGroup > 0.
+	CoarsenTolerance float64 `json:"coarsen_tolerance,omitempty"`
 }
 
 // coreOptions maps the spec onto core.Options with the daemon default
@@ -91,10 +105,18 @@ type OptionsSpec struct {
 // sees one canonical chain pointer per (chain, max_chain) bucket.
 func (o OptionsSpec) coreOptions(defaultParallel int) (core.Options, error) {
 	opts := core.Options{
-		Iterations:     o.Iterations,
-		DisableSpecial: o.DisableSpecial,
-		Parallel:       o.Parallel,
-		ColdTables:     o.ColdTables,
+		Iterations:       o.Iterations,
+		DisableSpecial:   o.DisableSpecial,
+		Parallel:         o.Parallel,
+		ColdTables:       o.ColdTables,
+		CoarsenGroup:     o.CoarsenGroup,
+		CoarsenTolerance: o.CoarsenTolerance,
+	}
+	if o.CoarsenGroup < 0 {
+		return core.Options{}, fmt.Errorf("coarsen_group must be >= 0, got %d", o.CoarsenGroup)
+	}
+	if o.CoarsenTolerance < 0 || math.IsInf(o.CoarsenTolerance, 0) || math.IsNaN(o.CoarsenTolerance) {
+		return core.Options{}, fmt.Errorf("coarsen_tolerance must be finite and >= 0, got %g", o.CoarsenTolerance)
 	}
 	switch o.Weights {
 	case "", "2bw":
@@ -162,6 +184,18 @@ func resolveChain(c *chain.Chain, net *NetSpec) (*chain.Chain, error) {
 	case c != nil:
 		return c, nil
 	case net != nil:
+		if ts, ok := nets.TransformerPreset(net.Name); ok {
+			if net.Batch >= 1 {
+				ts.Batch = net.Batch
+			}
+			if net.Blocks >= 1 {
+				ts.Blocks = net.Blocks
+			}
+			if net.Granularity >= 1 {
+				ts.Granularity = net.Granularity
+			}
+			return nets.BuildTransformer(ts)
+		}
 		spec := nets.Spec{Name: net.Name, Batch: net.Batch, Size: net.Size}
 		if spec.Batch == 0 {
 			spec.Batch = 8

@@ -50,8 +50,8 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting + serving churn)"
-go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell|TestPlanCtxLiveMatchesBackground|TestServeChurnBitIdentical|TestServeQueueFullSheds' \
+echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting + serving churn + blocked table + long-chain coarsening)"
+go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell|TestPlanCtxLiveMatchesBackground|TestServeChurnBitIdentical|TestServeQueueFullSheds|TestBlockedTableRoundTrip|TestTransformerLongChainCoarsenPlan' \
 	./internal/core/ ./internal/expt/ ./internal/obs/ ./internal/serve/
 
 # The sweep's warm-shard determinism contract ("bit-identical at any -j")
@@ -90,6 +90,15 @@ go run ./cmd/benchdiff -bench 'BenchmarkFig7Sweep$' -benchtime 1x -write=false -
 # walk-behavior change and fails the gate outright.
 echo "== frontier probe-economics regression check (gate: probes/op + dpprobes/op, exact)"
 go run ./cmd/benchdiff -bench 'BenchmarkFig7Frontier$' -benchtime 1x -write=false -gate probes/op,dpprobes/op -threshold 0
+
+# The transformer coarsening pass's economics are exact for a fixed
+# chain and discretization: states/op counts DP states the phase-1
+# search evaluated on the coarse chain, coarselayers/op and rawlayers/op
+# pin the 2050 -> 34 layer reduction. Any drift is a coarsening- or
+# search-behavior change and fails the gate outright; ns/op and B/op on
+# the same series stay advisory.
+echo "== transformer coarsening regression check (gate: states/op + coarse/raw layers, exact)"
+go run ./cmd/benchdiff -bench 'BenchmarkGPTCoarsen$' -benchtime 1x -write=false -gate states/op,coarselayers/op,rawlayers/op -threshold 0
 
 # The serving layer's memo economics are an exact function of the
 # deterministic request mix at one client (no concurrent first contacts
