@@ -27,9 +27,13 @@ race:
 	$(GO) test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold' ./internal/core/ ./internal/expt/ ./internal/obs/
 
 # bench runs the regression suite, writes BENCH_<date>.json and fails on
-# ns/op or allocs/op regressions against the previous snapshot.
+# ns/op or allocs/op regressions against the previous snapshot. The
+# pattern must cover every bench verify.sh gates against the snapshot
+# (a -write run replaces the snapshot wholesale, so a missing bench
+# here would strip its baseline). GPTRawParallel adds about a minute
+# per iteration — the raw 2050-layer probe round dominates the run.
 bench:
-	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler|BenchmarkServeLoad|BenchmarkServeMemo|BenchmarkServeObsOverhead' -benchtime 3x
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkFig6ResNet50|BenchmarkFig7AllNetworks|BenchmarkFig7Sweep|BenchmarkFig7Frontier|BenchmarkFig8Speedup|BenchmarkMadPipeDP|BenchmarkAlgorithm1|BenchmarkListScheduler|BenchmarkServeLoad|BenchmarkServeMemo|BenchmarkServeObsOverhead|BenchmarkGPTCoarsen|BenchmarkGPTRawParallel' -benchtime 3x
 
 # bench-quick compares without recording a snapshot.
 bench-quick:

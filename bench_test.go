@@ -429,6 +429,60 @@ func BenchmarkGPTCoarsen(b *testing.B) {
 	b.ReportMetric(float64(c.Len()), "rawlayers/op")
 }
 
+// BenchmarkGPTRawParallel measures the raw (uncoarsened) transformer
+// planning path the serving layer's LargeParallel default routes long
+// requests through: GPT-2 profiled at 8-op granularity (2050 layers) on
+// the paper's special-mode grid, which puts the DP on blocked storage
+// (the virtual table exceeds denseMaxStates), planned with a 4-way
+// probe fan. Iterations is capped at 2 so the one-shot verify gate pays
+// for a single concurrent probe round. states/op (summed over probes)
+// and rawlayers/op are exact functions of the input — cmd/benchdiff
+// gates them at a zero threshold: a states drift is a search-behavior
+// change. blocksalloc/op (the largest per-probe resident block count)
+// stays advisory like ns/op: pooled tables keep their resident blocks
+// across leases (reset retains block storage so certificates survive),
+// so the count depends on process warmth and drifts across b.N — the
+// resident-over-virtual economics are gated deterministically by
+// TestTransformerLongChainPlan instead.
+func BenchmarkGPTRawParallel(b *testing.B) {
+	ts, ok := nets.TransformerPreset("gpt2")
+	if !ok {
+		b.Fatal("gpt2 preset missing")
+	}
+	ts.Blocks, ts.Granularity = 256, 8
+	c, err := nets.BuildTransformer(ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := benchPlat(8, 2000, 300)
+	opts := core.Options{
+		Parallel:   4,
+		Iterations: 2,
+		Disc:       core.Discretization{TP: 21, MP: 5, V: 21},
+	}
+	b.ResetTimer()
+	var states, blocks uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.PlanAllocation(c, plat, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states, blocks = 0, 0
+		for j := range res.Evals {
+			states += uint64(res.Evals[j].States)
+			if br := res.Evals[j].Stats.TableBlocksResident; br > blocks {
+				blocks = br
+			}
+		}
+		if blocks == 0 {
+			b.Fatal("no probe ran on blocked storage")
+		}
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(blocks), "blocksalloc/op")
+	b.ReportMetric(float64(c.Len()), "rawlayers/op")
+}
+
 // BenchmarkPipeDreamPlan measures the baseline partitioner.
 func BenchmarkPipeDreamPlan(b *testing.B) {
 	c := benchChain(b, "resnet101")

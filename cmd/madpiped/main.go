@@ -45,6 +45,8 @@ func main() {
 		ttl      = flag.Duration("ttl", 0, "plan memo entry TTL (0 = no expiry)")
 		quantum  = flag.Float64("quantum", 0, "fingerprint bucketing grid: requests whose floats quantize equal share memo entries (0 = byte-exact only)")
 		parallel = flag.Int("parallel", 1, "default planner worker budget for requests that leave options.parallel unset (1 = machine-independent sequential search)")
+		largePar = flag.Int("large-parallel", 0, "worker budget for large-chain requests that leave options.parallel unset (0 = off; an explicit count keeps probe schedules deterministic per daemon config); raw long-chain plans run tens of seconds per probe, so pair with a -timeout that covers them")
+		largeAt  = flag.Int("large-chain", 0, "chain length at which -large-parallel applies (0 = 1025, the column-cache cliff)")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
 		flightN  = flag.Int("flight", 64, "flight recorder capacity: last N completed requests kept for /debug/requests (plus N notable slow/shed)")
 		slow     = flag.Duration("slow", 0, "mark requests at least this slow as notable in the flight recorder (0 = the SLO target)")
@@ -55,16 +57,18 @@ func main() {
 	reg := obs.NewRegistry()
 	reg.Publish("madpipe")
 	srv := serve.NewServer(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
-		Quantum:    *quantum,
-		Memo:       serve.MemoConfig{MaxBytes: int64(*memoMB) << 20, TTL: *ttl},
-		Parallel:      *parallel,
-		Registry:      reg,
-		FlightN:       *flightN,
-		SlowThreshold: *slow,
-		SLOTarget:     *sloTgt,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		Timeout:          *timeout,
+		Quantum:          *quantum,
+		Memo:             serve.MemoConfig{MaxBytes: int64(*memoMB) << 20, TTL: *ttl},
+		Parallel:         *parallel,
+		LargeParallel:    *largePar,
+		LargeChainLayers: *largeAt,
+		Registry:         reg,
+		FlightN:          *flightN,
+		SlowThreshold:    *slow,
+		SLOTarget:        *sloTgt,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -53,6 +53,7 @@ func main() {
 		smoke  = flag.Bool("smoke", false, "run the verify.sh smoke sequence instead of the load mix")
 		out    = flag.String("out", "", "with -smoke: write the Fig 6 plan response body to this file")
 		netNm  = flag.String("net", "resnet50", "network the mix plans: a CNN profile (resnet50, ...) or a transformer preset (gpt2, gpt2-xl, llama7b — planned via exact run coarsening)")
+		raw    = flag.Bool("raw", false, "with a transformer preset: plan the raw op-granularity chain (no coarsening), leaving options.parallel unset so the daemon's -large-parallel budget applies; raw probes cost seconds — pair with a small -n")
 		levels = flag.String("c", "1,8,64", "comma-separated concurrency levels")
 		n      = flag.Int("n", 200, "requests per concurrency level")
 		hot    = flag.Int("hot", 4, "hot-set size (distinct repeated cells)")
@@ -81,7 +82,7 @@ func main() {
 	// earlier level's.
 	var coldSeq atomic.Int64
 	for _, c := range cs {
-		r := runLevel(base, *netNm, c, *n, *hot, *coldEv, &coldSeq)
+		r := runLevel(base, *netNm, *raw, c, *n, *hot, *coldEv, &coldSeq)
 		fmt.Printf("%-4d %10.1f %10.2f %10.2f %10.2f %8.1f%% %7d\n",
 			c, r.rate, r.p50.Seconds()*1e3, r.p99.Seconds()*1e3, r.p999.Seconds()*1e3, 100*r.hitRate, r.errors)
 	}
@@ -112,13 +113,27 @@ func parseLevels(s string) ([]int, error) {
 // values. Parallel is pinned to 1 so responses are machine-independent.
 // CNN profiles plan through the greedy max_chain=24 pass; transformer
 // presets plan through exact run coarsening (coarsen_group=8), matching
-// expt.ServingMix.
-func planBody(net string, memGB float64) []byte {
+// expt.ServingMix. With raw set, transformer presets instead plan the
+// uncoarsened op-granularity chain on the 8-worker platform (the
+// blocked-table regime), leaving parallel unset so the daemon's
+// -large-parallel default applies. Raw requests pin the special-mode
+// 21x5x21 discretization — the default grid would cost minutes per
+// probe — and a two-probe iteration budget bounds each cold request
+// to one concurrent round of raw DP solves, the shape
+// expt.ServingMixRaw replays in the serving benchmarks.
+func planBody(net string, memGB float64, raw bool) []byte {
+	netSpec := fmt.Sprintf(`{"name":%q,"batch":8,"size":1000}`, net)
+	platform := fmt.Sprintf(`{"workers":4,"memory_gb":%g,"bandwidth_gb":12}`, memGB)
 	opts := `"max_chain":24,"parallel":1`
 	if _, ok := nets.TransformerPreset(net); ok {
 		opts = `"coarsen_group":8,"parallel":1`
+		if raw {
+			netSpec = fmt.Sprintf(`{"name":%q,"batch":8,"size":1000,"blocks":256,"granularity":8}`, net)
+			platform = fmt.Sprintf(`{"workers":8,"memory_gb":%g,"bandwidth_gb":300}`, memGB)
+			opts = `"iterations":2,"disc_tp":21,"disc_mp":5,"disc_v":21`
+		}
 	}
-	return []byte(fmt.Sprintf(`{"net":{"name":%q,"batch":8,"size":1000},"platform":{"workers":4,"memory_gb":%g,"bandwidth_gb":12},"options":{%s}}`, net, memGB, opts))
+	return []byte(fmt.Sprintf(`{"net":%s,"platform":%s,"options":{%s}}`, netSpec, platform, opts))
 }
 
 type levelResult struct {
@@ -130,7 +145,7 @@ type levelResult struct {
 	errors  int
 }
 
-func runLevel(base, net string, c, n, hot, coldEvery int, coldSeq *atomic.Int64) levelResult {
+func runLevel(base, net string, raw bool, c, n, hot, coldEvery int, coldSeq *atomic.Int64) levelResult {
 	var (
 		next   atomic.Int64
 		hits   atomic.Int64
@@ -144,8 +159,21 @@ func runLevel(base, net string, c, n, hot, coldEvery int, coldSeq *atomic.Int64)
 	ladderBase, ladderStep := 8.0, 1.0 // hot ladder: 8,9,... GB
 	if _, ok := nets.TransformerPreset(net); ok {
 		ladderBase, ladderStep = 24, 8 // 24,32,... GB
+		if raw {
+			// Raw op-granularity chains hold per-op activation state:
+			// the feasible band sits in the TB range (ServingMixRaw).
+			ladderBase, ladderStep = 2000, 400
+		}
 	}
-	client := &http.Client{Timeout: 2 * time.Minute}
+	clientTimeout := 2 * time.Minute
+	if raw {
+		// A raw miss is a multi-ten-second DP solve and concurrent
+		// clients queue behind each other's misses, so the coarsened
+		// mix's 2-minute cap would convert queue wait into spurious
+		// client-side errors.
+		clientTimeout = 15 * time.Minute
+	}
+	client := &http.Client{Timeout: clientTimeout}
 	start := time.Now()
 	wg.Add(c)
 	for w := 0; w < c; w++ {
@@ -163,7 +191,7 @@ func runLevel(base, net string, c, n, hot, coldEvery int, coldSeq *atomic.Int64)
 					memGB = ladderBase + 1e-4*float64(coldSeq.Add(1))
 				}
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/plan", "application/json", bytes.NewReader(planBody(net, memGB)))
+				resp, err := client.Post(base+"/v1/plan", "application/json", bytes.NewReader(planBody(net, memGB, raw)))
 				if err != nil {
 					errors.Add(1)
 					continue

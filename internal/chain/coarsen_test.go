@@ -75,7 +75,7 @@ func TestCoarsenRunsGrouping(t *testing.T) {
 		{0, 3},  // whole run merges
 		{2, 10}, // 16/2 = 8 super-layers + 2 boundaries
 		{4, 6},
-		{5, 6},  // ceil(16/5)=4 chunks sized 4,4,4,4
+		{5, 6}, // ceil(16/5)=4 chunks sized 4,4,4,4
 		{16, 3},
 		{64, 3}, // cap above run length: one super-layer
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"madpipe/internal/chain"
 )
@@ -32,7 +33,7 @@ func TestBlockedTableRoundTrip(t *testing.T) {
 		}
 		tab.put(idx, dpEntry{period: float64(i + 1), k: int16(i)})
 	}
-	if tab.nAlloc != len(idxs) {
+	if int(tab.nAlloc) != len(idxs) {
 		t.Fatalf("nAlloc = %d after %d scattered writes", tab.nAlloc, len(idxs))
 	}
 	for i, idx := range idxs {
@@ -50,7 +51,7 @@ func TestBlockedTableRoundTrip(t *testing.T) {
 	if s := tab.peek(blockSize + 1); s != nil && tab.blocks[1] == nil {
 		t.Fatalf("peek materialized a block")
 	}
-	if tab.nAlloc != len(idxs) {
+	if int(tab.nAlloc) != len(idxs) {
 		t.Fatalf("reads changed residency: nAlloc = %d", tab.nAlloc)
 	}
 
@@ -164,5 +165,107 @@ func TestIndexWidthBoundaries(t *testing.T) {
 				t.Fatalf("L=%d: stage %d differs", L, i)
 			}
 		}
+	}
+}
+
+// TestBlockedWavefrontThreeWayIdentity is the blocked-parallel
+// acceptance property: on blocked tables the wavefront (Parallel 2 and
+// 8), the sequential blocked solver and the map reference must agree
+// bit-for-bit on period, feasibility and allocation at every tested
+// chain length — both sides of the 255/256 packing boundary (column
+// cache on) and of the colMaxL cliff (column-free wavefront), up to raw
+// transformer scale. States equality is asserted only between the
+// sequential solver and the map: the wavefront legitimately evaluates
+// the frontier's reachable superset of the lazy traversal.
+//
+// The test forces blocked storage by lowering denseStateCap instead of
+// inflating the discretization: production-sized blocked grids put the
+// map reference (and, under -race, every solver) minutes past any
+// reasonable test budget, while the storage protocol under test —
+// slot() pre-materialization, slotPub stragglers, per-plane barriers —
+// is identical at any block count. TestBlockedMatchesMapDP keeps a
+// production-threshold seq-vs-map case; the tight-memory case here
+// keeps the death-certificate (memory-infeasible cut) paths in the mix.
+func TestBlockedWavefrontThreeWayIdentity(t *testing.T) {
+	defer func(old int) { waveParThreshold = old }(waveParThreshold)
+	waveParThreshold = 2 // force pool dispatch even on small planes
+	defer func(old int) { denseStateCap = old }(denseStateCap)
+	denseStateCap = 1 << 12 // force blocked storage on small shapes
+
+	cases := []struct {
+		L     int
+		disc  Discretization
+		tight bool
+	}{
+		{255, Discretization{TP: 7, MP: 5, V: 7}, false},
+		{255, Discretization{TP: 7, MP: 5, V: 7}, true},
+		{256, Discretization{TP: 7, MP: 5, V: 7}, false},
+		{1025, Discretization{TP: 5, MP: 5, V: 5}, false},
+		{2050, Discretization{TP: 5, MP: 5, V: 5}, false},
+	}
+	for _, tc := range cases {
+		start := time.Now()
+		c := chain.Uniform(tc.L, 1e-3, 2e-3, 2e7, 4e6)
+		// Loose memory keeps all three solvers' reachable sets small
+		// (the m_P axis collapses); the tight case runs memory at 12x
+		// the fixed weights (the TestBlockedMatchesMapDP ratio) so
+		// stage packing and memory-death certificates engage too.
+		pl := plat(4, 1e12, 1e12)
+		if tc.tight {
+			pl = plat(4, float64(tc.L)*2.4e8, 12e9)
+		}
+		if tableStates(c.Len(), pl.Workers-1, tc.disc.TP, tc.disc.MP, tc.disc.V) <= denseStateCap {
+			t.Fatalf("L=%d: shape fits dense; test would not exercise blocked storage", tc.L)
+		}
+		that := c.TotalU() / 4 * 1.1
+
+		ref, err := runDPMap(c, pl, that, tc.disc, false, chain.WeightPolicy{})
+		if err != nil {
+			t.Fatalf("L=%d: map: %v", tc.L, err)
+		}
+		seq, err := runDP(c, pl, that, dpConfig{disc: tc.disc, workers: 1})
+		if err != nil {
+			t.Fatalf("L=%d: sequential: %v", tc.L, err)
+		}
+		if seq.Period != ref.Period || seq.States != ref.States {
+			t.Fatalf("L=%d: sequential (period %g, %d states) != map (period %g, %d states)",
+				tc.L, seq.Period, seq.States, ref.Period, ref.States)
+		}
+		if (seq.Alloc == nil) != (ref.Alloc == nil) {
+			t.Fatalf("L=%d: feasibility mismatch vs map", tc.L)
+		}
+		if seq.Alloc != nil {
+			for i := range seq.Alloc.Spans {
+				if seq.Alloc.Spans[i] != ref.Alloc.Spans[i] || seq.Alloc.Procs[i] != ref.Alloc.Procs[i] {
+					t.Fatalf("L=%d: sequential stage %d differs from map", tc.L, i)
+				}
+			}
+		}
+
+		for _, w := range []int{2, 8} {
+			par, err := runDP(c, pl, that, dpConfig{disc: tc.disc, workers: w})
+			if err != nil {
+				t.Fatalf("L=%d workers=%d: %v", tc.L, w, err)
+			}
+			if par.Period != seq.Period {
+				t.Fatalf("L=%d workers=%d: period %g != sequential %g", tc.L, w, par.Period, seq.Period)
+			}
+			if (par.Alloc == nil) != (seq.Alloc == nil) {
+				t.Fatalf("L=%d workers=%d: feasibility mismatch", tc.L, w)
+			}
+			if par.Alloc == nil {
+				continue
+			}
+			if len(par.Alloc.Spans) != len(seq.Alloc.Spans) {
+				t.Fatalf("L=%d workers=%d: %d stages != %d", tc.L, w, len(par.Alloc.Spans), len(seq.Alloc.Spans))
+			}
+			for i := range par.Alloc.Spans {
+				if par.Alloc.Spans[i] != seq.Alloc.Spans[i] || par.Alloc.Procs[i] != seq.Alloc.Procs[i] {
+					t.Fatalf("L=%d workers=%d: stage %d differs: %v/%d vs %v/%d", tc.L, w, i,
+						par.Alloc.Spans[i], par.Alloc.Procs[i], seq.Alloc.Spans[i], seq.Alloc.Procs[i])
+				}
+			}
+		}
+		t.Logf("L=%d: %d states, %s", tc.L, seq.States, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"madpipe/internal/obs"
 )
@@ -27,6 +29,13 @@ import (
 // under the paper's special-mode grids is a multi-GB virtual plane of
 // which the lazy solver touches a few percent.
 const denseMaxStates = 1 << 25
+
+// denseStateCap is the dense/blocked routing threshold actually
+// consulted. It equals denseMaxStates in production; identity tests
+// lower it (with a deferred restore) to force blocked storage onto
+// small, fast shapes, so the blocked wavefront's slot/slotPub
+// pre-materialization protocol is exercised without 2^25-state tables.
+var denseStateCap = denseMaxStates
 
 // Blocked-storage geometry: 1024 states per block = 64 KB. The l-
 // innermost index layout means one reachable (p, t_P, m_P, V) combo
@@ -119,9 +128,18 @@ type dpTable struct {
 	// alternating modes (PlanAndSchedule's special/contiguous pattern)
 	// can never read a stale entry from the other storage: the stamp is
 	// monotone across resets and a mode switch bumps certEpoch.
+	//
+	// Blocks are *[blockSize]dpState rather than []dpState so a directory
+	// entry is one word that slotPub can publish with a pointer CAS: the
+	// wavefront's plane-fill workers share the directory, and the
+	// sequential reachability frontier pre-materializes (via slot) every
+	// block its marks touch before workers fan out, leaving CAS
+	// publication as a rare straggler path. nAlloc is updated atomically
+	// for the same reason; single-threaded phases read it plainly behind
+	// the plane barriers.
 	blocked bool
-	blocks  [][]dpState
-	nAlloc  int
+	blocks  []*[blockSize]dpState
+	nAlloc  int64
 
 	nL, nP, nT, nM, nV int
 	size               int
@@ -169,7 +187,7 @@ func tableStates(l, normals, nT, nM, nV int) int {
 
 // denseFits reports whether the shape gets the upfront dense array.
 func denseFits(l, normals, nT, nM, nV int) bool {
-	return l <= denseMaxL && tableStates(l, normals, nT, nM, nV) <= denseMaxStates
+	return l <= denseMaxL && tableStates(l, normals, nT, nM, nV) <= denseStateCap
 }
 
 // tableFits reports whether the table can represent the shape at all
@@ -186,7 +204,7 @@ func tableFits(l, normals, nT, nM, nV int) bool {
 // at a different worker count inherit a warm table.
 func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
 	size := nL * nP * nT * nM * nV
-	blocked := size > denseMaxStates
+	blocked := size > denseStateCap
 	if nL != t.nL || nT != t.nT || nM != t.nM || nV != t.nV || blocked != t.blocked {
 		// The per-p stride changed: every packed index changes meaning,
 		// so no certificate recorded under the old layout may be read
@@ -207,7 +225,7 @@ func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
 			// Grow the block directory, keeping resident blocks (and the
 			// certificates they carry) alive; fresh entries are nil.
 			old := t.blocks
-			t.blocks = make([][]dpState, nB)
+			t.blocks = make([]*[blockSize]dpState, nB)
 			copy(t.blocks, old[:cap(old)])
 			t.grew = true
 		} else {
@@ -249,6 +267,9 @@ func (t *dpTable) reset(nL, nP, nT, nM, nV int) {
 			s[i].meta = 0
 		}
 		for _, b := range t.blocks[:cap(t.blocks)] {
+			if b == nil {
+				continue
+			}
 			for i := range b {
 				b[i].meta = 0
 			}
@@ -308,12 +329,16 @@ func (t *dpTable) certMark(idx int, that float64) {
 }
 
 // certMarkIdx writes the per-state certificate body without touching the
-// shared certMax watermark. The wavefront's plane-fill workers use it
-// directly — their idx slots are disjoint, so the per-state writes are
-// race-free, and the coordinator raises certMax once behind the final
-// barrier (nothing reads certMax during the plane fill).
+// shared certMax watermark; certMarkState is the same write on an
+// already-resolved slot pointer. The wavefront's plane-fill workers use
+// the pointer form — their cells are disjoint, so the per-state writes
+// are race-free, and the coordinator raises certMax once behind the
+// final barrier (nothing reads certMax during the plane fill).
 func (t *dpTable) certMarkIdx(idx int, that float64) {
-	s := t.slot(idx)
+	t.certMarkState(t.slot(idx), that)
+}
+
+func (t *dpTable) certMarkState(s *dpState, that float64) {
 	if s.certSeen == t.certEpoch {
 		if that > s.certThat {
 			s.certThat = that
@@ -361,6 +386,12 @@ func (t *dpTable) valRange(idx int, that float64) (float64, float64, bool) {
 // cover. Plane-fill workers call this on disjoint idx slots, so the
 // writes need no synchronization (same discipline as certMarkIdx).
 func (t *dpTable) valPut(idx int, lo, hi float64, e dpEntry) bool {
+	return t.valPutState(t.slot(idx), lo, hi, e)
+}
+
+// valPutState is valPut on an already-resolved slot pointer (the
+// plane-fill workers' form; same disjoint-cell discipline).
+func (t *dpTable) valPutState(s *dpState, lo, hi float64, e dpEntry) bool {
 	if !(lo < hi) {
 		return false
 	}
@@ -368,7 +399,6 @@ func (t *dpTable) valPut(idx int, lo, hi float64, e dpEntry) bool {
 	if e.special {
 		m |= metaSpecialBit
 	}
-	s := t.slot(idx)
 	s.vlo, s.vhi = lo, hi
 	s.vperiod = e.period
 	s.vmeta = m
@@ -382,7 +412,10 @@ func (t *dpTable) valPut(idx int, lo, hi float64, e dpEntry) bool {
 // record covering that is kept — it already says +Inf there and may be
 // wider.
 func (t *dpTable) valPutDead(idx int, that float64) {
-	rec := t.slot(idx)
+	t.valPutDeadState(t.slot(idx), that)
+}
+
+func (t *dpTable) valPutDeadState(rec *dpState, that float64) {
 	if rec.vepoch == t.certEpoch && that >= rec.vlo && that < rec.vhi {
 		return
 	}
@@ -423,10 +456,13 @@ func (t *dpTable) peek(idx int) *dpState {
 }
 
 // slot returns the state at idx for writing, materializing its block on
-// first touch in blocked mode. Only the sequential solver writes in
-// blocked mode (the wavefront is gated off — its plane-fill workers
-// would race on block allocation), so the first-touch path needs no
-// synchronization.
+// first touch in blocked mode. This is the SEQUENTIAL first-touch
+// variant: it writes the directory entry with a plain store, so it may
+// only run when no plane-fill worker is live — the lazy solver, the
+// wavefront's reachability frontier (which runs before any worker
+// starts and thereby pre-materializes every block the plane fill will
+// write), and the coordinator between plane barriers. Concurrent
+// first-touch goes through slotPub.
 func (t *dpTable) slot(idx int) *dpState {
 	if !t.blocked {
 		return &t.slots[idx]
@@ -434,11 +470,38 @@ func (t *dpTable) slot(idx int) *dpState {
 	bi := idx >> blockBits
 	b := t.blocks[bi]
 	if b == nil {
-		b = make([]dpState, blockSize)
+		b = new([blockSize]dpState)
 		t.blocks[bi] = b
 		t.nAlloc++
 	}
 	return &b[idx&blockMask]
+}
+
+// slotPub is slot's CONCURRENT first-touch variant: plane-fill workers
+// racing on an unmaterialized block publish it with a pointer CAS, and
+// exactly one publisher counts it in nAlloc (atomically). The frontier
+// pass pre-materializes each plane's reachable block set sequentially,
+// so this path is a straggler fallback — it fires only for cells the
+// frontier's bounds over-approximated away, and the returned published
+// flag feeds the BlocksPublished diagnostic counter. peek stays a plain
+// load by construction: any block a worker reads was either
+// materialized before the workers started (frontier, happens-before via
+// the pool's task channel) or published by the reading worker itself.
+func (t *dpTable) slotPub(idx int) (s *dpState, published bool) {
+	if !t.blocked {
+		return &t.slots[idx], false
+	}
+	bp := (*unsafe.Pointer)(unsafe.Pointer(&t.blocks[idx>>blockBits]))
+	b := (*[blockSize]dpState)(atomic.LoadPointer(bp))
+	if b == nil {
+		fresh := new([blockSize]dpState)
+		if atomic.CompareAndSwapPointer(bp, nil, unsafe.Pointer(fresh)) {
+			atomic.AddInt64(&t.nAlloc, 1)
+			return &fresh[idx&blockMask], true
+		}
+		b = (*[blockSize]dpState)(atomic.LoadPointer(bp))
+	}
+	return &b[idx&blockMask], false
 }
 
 func (t *dpTable) get(idx int) (dpEntry, bool) {
@@ -468,15 +531,19 @@ func (t *dpTable) put(idx int, e dpEntry) {
 }
 
 // putNC stores an entry without touching the shared states counter. The
-// wavefront's plane-fill workers use it — each worker owns a disjoint
-// cell set, counts its stores locally and the counts are summed behind
-// the level barrier, keeping the counter exact without atomics.
+// wavefront's plane-fill workers use it (through putState, on a slot
+// pointer resolved once per cell) — each worker owns a disjoint cell
+// set, counts its stores locally and the counts are summed behind the
+// level barrier, keeping the counter exact without atomics.
 func (t *dpTable) putNC(idx int, e dpEntry) {
+	t.putState(t.slot(idx), e)
+}
+
+func (t *dpTable) putState(s *dpState, e dpEntry) {
 	m := t.stamp<<metaStampShift | uint32(int32(e.k)+1)<<metaKShift
 	if e.special {
 		m |= metaSpecialBit
 	}
-	s := t.slot(idx)
 	s.period = e.period
 	s.meta = m
 }
@@ -538,7 +605,7 @@ func trimOnRelease(t *dpTable, reg *obs.Registry) {
 	// huge virtual plane does not inflate the high-water mark.
 	demand := t.size
 	if t.blocked {
-		demand = t.nAlloc * blockSize
+		demand = int(t.nAlloc) * blockSize
 	}
 	if hw := t.trimHWM / 2; hw > demand {
 		t.trimHWM = hw
@@ -553,7 +620,7 @@ func trimOnRelease(t *dpTable, reg *obs.Registry) {
 			reg.Counter("dp_table_trims").Inc()
 		}
 	}
-	if need > 0 && t.nAlloc*blockSize > tableTrimFactor*need {
+	if need > 0 && int(t.nAlloc)*blockSize > tableTrimFactor*need {
 		t.blocks = nil
 		t.nAlloc = 0
 		if reg != nil {
@@ -574,7 +641,7 @@ func trimOnRelease(t *dpTable, reg *obs.Registry) {
 // retainedBytes sums the capacity the table's backing arrays hold onto
 // while pooled (element sizes by layout: dpState 64, colEnt 32).
 func (t *dpTable) retainedBytes() int {
-	b := cap(t.slots)*64 + t.nAlloc*blockSize*64 + cap(t.blocks)*8
+	b := cap(t.slots)*64 + int(t.nAlloc)*blockSize*64 + cap(t.blocks)*8
 	cc := &t.cols
 	b += cap(cc.dir)*8 + cap(cc.ent)*32 + cap(cc.gmax)*4 +
 		cap(cc.gmaxSeen)*4 + cap(cc.gmaxCached)*4

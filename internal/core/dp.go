@@ -37,6 +37,11 @@
 //     children live on strictly lower planes, and planes are separated
 //     by barriers — so every read happens-after the write it observes
 //     and no two goroutines touch the same state.
+//   - Blocked-table first touch is single-writer by construction: the
+//     sequential frontier pass materializes (dpTable.slot) every block
+//     the plane fill will write before workers start, so workers read
+//     the block directory with plain loads; the CAS-publishing slotPub
+//     fallback keeps even an unexpected straggler race-free.
 //   - Column caches and certificate stores are mutated only by the
 //     owning invocation's sequential phases (lazy solve, frontier pass);
 //     plane-fill workers read them frozen.
@@ -82,6 +87,11 @@ type Discretization struct {
 func DefaultDiscretization() Discretization {
 	return Discretization{TP: 101, MP: 11, V: 51}
 }
+
+// Validate reports whether the grid sizes are inside the supported
+// ranges. Exported so API layers (internal/serve) can reject a bad
+// request at admission instead of surfacing a planner error mid-job.
+func (d Discretization) Validate() error { return d.validate() }
 
 func (d Discretization) validate() error {
 	if d.TP < 2 || d.TP > 256 || d.MP < 2 || d.MP > 64 || d.V < 2 || d.V > 256 {
@@ -932,8 +942,9 @@ type dpConfig struct {
 	disc           Discretization
 	disableSpecial bool
 	weights        chain.WeightPolicy
-	// workers >= 2 selects the parallel wavefront evaluator on the dense
-	// path; <= 1 runs the sequential explicit-stack reference solver.
+	// workers >= 2 selects the parallel wavefront evaluator on the tabled
+	// path (dense or blocked storage, with or without the column cache);
+	// <= 1 runs the sequential explicit-stack reference solver.
 	workers int
 	// obs enables stats collection and receives cumulative counters and
 	// phase timings; nil disables all instrumentation.
@@ -1021,28 +1032,36 @@ func runDPWith(tab *dpTable, c *chain.Chain, plat platform.Platform, that float6
 		weights: chain.WeightPolicy{Fixed: r.wFixed, PerBatch: r.wPerBatch},
 	})
 	var period float64
-	// The wavefront needs the column cache (its frontier builds columns,
-	// its workers only read them); for chains too long for the quadratic
-	// column directory the lazy solver runs instead, computing cut
-	// scalars inline. Blocked tables run the lazy solver too: plane-fill
-	// workers would race on first-touch block allocation, and the lazy
-	// traversal's sparsity is exactly what blocked storage monetizes.
-	wave := cfg.workers >= 2 && tab.cols.on && !cfg.mtrack && !tab.blocked
+	// The wavefront runs whenever a worker budget is granted: with the
+	// column cache when it fits, recomputing cut scalars inline past
+	// colMaxL, and on blocked tables too (the sequential frontier
+	// pre-materializes every block the plane fill writes; see
+	// wavefront.go). Only frontier-mode memory-interval tracking pins the
+	// sequential solver — its probe-global accumulator cannot be shared
+	// across plane-fill workers.
+	wave := cfg.workers >= 2 && !cfg.mtrack
 	if wave {
 		period = r.waveSolve(c.Len(), normals, cfg.workers)
 	} else {
 		period = r.solve(c.Len(), normals, 0, 0, 0)
 	}
 	res := &DPResult{Period: period, States: tab.states}
+	// Table economics are populated even without observability: they are
+	// a deterministic function of the run (no timing, no sampling), cost
+	// a handful of stores, and the serving layer surfaces them in
+	// /v1/stats gauges without handing the planner a registry.
+	res.Stats.TableVirtualBytes = uint64(tab.size) * 64
+	if tab.blocked {
+		res.Stats.TableResidentBytes = uint64(tab.nAlloc) * blockSize * 64
+		res.Stats.TableBlocksResident = uint64(tab.nAlloc)
+	} else {
+		res.Stats.TableResidentBytes = res.Stats.TableVirtualBytes
+	}
 	if st := r.stats; st != nil {
 		st.StatesEvaluated = uint64(tab.states)
-		st.TableVirtualBytes = uint64(tab.size) * 64
-		if tab.blocked {
-			st.TableResidentBytes = uint64(tab.nAlloc) * blockSize * 64
-			st.TableBlocksResident = uint64(tab.nAlloc)
-		} else {
-			st.TableResidentBytes = st.TableVirtualBytes
-		}
+		st.TableVirtualBytes = res.Stats.TableVirtualBytes
+		st.TableResidentBytes = res.Stats.TableResidentBytes
+		st.TableBlocksResident = res.Stats.TableBlocksResident
 		res.Stats = *st
 		st.flush(cfg.obs)
 	}

@@ -151,6 +151,37 @@ func probeFan(w int) (fan, waveWorkers int) {
 	return fan, waveWorkers
 }
 
+// probePlan resolves the probe fan for a concrete planning shape.
+// probeFan splits the budget mechanically; this layer applies the
+// measured profitability rule for the per-probe wavefront: it pays only
+// on dense column-cached tables, where the frontier pass amortizes cut
+// scalars through the column cache. Past colMaxL — or when the state
+// space spills to blocked storage — the sequential reachability
+// frontier re-derives every cut inline for every marked cell (with no
+// value-based pruning to shorten the scan), which costs more than the
+// entire lazy solve: on the raw 2050-layer GPT-2 profile the wavefront
+// measures ~6x slower than one sequential probe at every worker count.
+// Those probes therefore stay on the lazy evaluator and the budget buys
+// probe fan-out only. runDP itself stays mechanical (workers >= 2
+// engages the wavefront) so tests and explicit core.DP calls can drive
+// the blocked wavefront directly.
+func probePlan(c *chain.Chain, plat platform.Platform, opts Options, w int) (fan, waveWorkers int) {
+	fan, waveWorkers = probeFan(w)
+	if waveWorkers < 2 {
+		return fan, waveWorkers
+	}
+	normals := plat.Workers - 1
+	nT, nM := opts.Disc.TP, opts.Disc.MP
+	if opts.DisableSpecial {
+		normals = plat.Workers
+		nT, nM = 1, 1
+	}
+	if c.Len() > colMaxL || !denseFits(c.Len(), normals, nT, nM, opts.Disc.V) {
+		waveWorkers = 1
+	}
+	return fan, waveWorkers
+}
+
 // Eval records one iteration of Algorithm 1.
 type Eval struct {
 	// That is the target period T̂ probed.
@@ -565,12 +596,13 @@ func returnTableFor(t *dpTable, k tableKey, opts Options) {
 // the table's columns, gmax memo and armed certificate store, so later
 // rounds start warm. The total probe budget is opts.Iterations,
 // matching the sequential search's DP work; budget beyond the probe fan
-// goes to each probe's wavefront workers. The hint (when present) is
+// goes to each probe's wavefront workers when the shape profits from
+// them (see probePlan). The hint (when present) is
 // consulted and updated only here, on the coordinating goroutine:
 // floor-covered candidates never spawn a probe goroutine, and floors are
 // recorded during the sequential fold pass.
 func planParallel(ctx context.Context, c *chain.Chain, plat platform.Platform, opts Options, w int, planStart time.Time, lb, ub *float64, fold func(float64, *DPResult, int, int64, int64), res *PhaseOneResult) error {
-	fan, waveW := probeFan(w)
+	fan, waveW := probePlan(c, plat, opts, w)
 	tabs := make([]*dpTable, fan)
 	for i := range tabs {
 		if i == 0 {

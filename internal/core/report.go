@@ -14,7 +14,7 @@ import (
 // PlanReports and exported traces, so archived artifacts are
 // self-describing. Bump it when a change alters planner outputs or the
 // meaning of a reported counter.
-const PlannerVersion = "madpipe-planner/4"
+const PlannerVersion = "madpipe-planner/5"
 
 // ChainSummary condenses the planned chain for reports and trace
 // metadata.
@@ -118,7 +118,14 @@ func NewPlanReport(c *chain.Chain, plat platform.Platform, opts Options, p1 *Pha
 	w := resolveParallel(opts.Parallel)
 	fan, waveW := 1, 1
 	if w > 1 {
-		fan, waveW = probeFan(w)
+		// Report the split the parallel search actually ran with:
+		// probePlan's wavefront demotion keys on the prepared (capped,
+		// coarsened) chain, not the raw input.
+		pc := c
+		if p, _, err := prepared(c, opts); err == nil {
+			pc = p
+		}
+		fan, waveW = probePlan(pc, plat, opts, w)
 	}
 	r := &PlanReport{
 		Version: PlannerVersion,

@@ -94,6 +94,13 @@ type DPStats struct {
 	TableVirtualBytes   uint64 `json:"table_virtual_bytes,omitempty"`
 	TableResidentBytes  uint64 `json:"table_resident_bytes,omitempty"`
 	TableBlocksResident uint64 `json:"table_blocks_resident,omitempty"`
+	// BlocksPublished counts blocked-table blocks a plane-fill worker had
+	// to CAS-publish because the frontier's pre-materialization missed
+	// them. Zero by construction today (mark materializes every cell the
+	// plane fill writes); a nonzero value is the diagnostic that the
+	// straggler fallback fired. Scheduling-dependent in principle (which
+	// worker wins the CAS), so it is excluded from counterEqual.
+	BlocksPublished uint64 `json:"blocks_published,omitempty"`
 
 	// PlaneSamples is the wavefront plane-fill timeline: one sample per
 	// plane, offsets relative to the DP run's start. Sizes and chunk
@@ -150,6 +157,7 @@ func (s *DPStats) add(o *DPStats) {
 	if o.TableBlocksResident > s.TableBlocksResident {
 		s.TableBlocksResident = o.TableBlocksResident
 	}
+	s.BlocksPublished += o.BlocksPublished
 }
 
 // atomicAdd folds the counter fields of o into s with atomic adds. The
@@ -161,6 +169,7 @@ func (s *DPStats) atomicAdd(o *DPStats) {
 	atomic.AddUint64(&s.CutsSkippedMonotone, o.CutsSkippedMonotone)
 	atomic.AddUint64(&s.CertsRecorded, o.CertsRecorded)
 	atomic.AddUint64(&s.ValCertsRecorded, o.ValCertsRecorded)
+	atomic.AddUint64(&s.BlocksPublished, o.BlocksPublished)
 }
 
 // flush publishes the run's totals into the registry's cumulative
@@ -194,6 +203,15 @@ func (s *DPStats) flush(reg *obs.Registry) {
 	reg.Gauge("dp_states_max").Observe(s.StatesEvaluated)
 	reg.Gauge("dp_table_virtual_bytes").Observe(s.TableVirtualBytes)
 	reg.Gauge("dp_table_resident_bytes").Observe(s.TableResidentBytes)
+	if s.TableBlocksResident > 0 {
+		// Blocked-table economics: gauge names appear only when a blocked
+		// run actually happened, so dense-only registries stay unchanged.
+		reg.Gauge("dp_blocked_blocks_alloc").Observe(s.TableBlocksResident)
+		reg.Gauge("dp_blocked_resident_bytes").Observe(s.TableResidentBytes)
+	}
+	if s.BlocksPublished > 0 {
+		reg.Counter("dp_blocked_published").Add(s.BlocksPublished)
+	}
 }
 
 // flushPlan publishes one Algorithm 1 search's probe economics into the

@@ -40,7 +40,18 @@ import (
 // The frontier is where the monotone cut-point columns (columns.go) are
 // built; the parallel plane-fill only ever reads them, together with the
 // strictly-lower planes its children live on, so the worker pool needs
-// no locks — just a barrier between planes.
+// no locks — just a barrier between planes. Chains past the column
+// cache's quadratic directory (colMaxL) run the same two passes with the
+// cut scalars recomputed inline from the identical reference
+// expressions, so the raw transformer regime parallelizes too.
+//
+// Blocked tables (dense.go) are fully supported: every cell a plane-fill
+// worker will write was marked by the sequential frontier, and mark
+// routes through dpTable.slot — so each plane's reachable block set is
+// materialized before any worker starts, the workers' peek reads stay
+// plain loads, and the CAS-publishing slotPub path exists only as a
+// straggler fallback (counted in DPStats.BlocksPublished; zero by
+// construction).
 
 // waveCell is one frontier-marked cell: its packed table index and the
 // lower end of its cut range.
@@ -58,8 +69,12 @@ type waveScratch struct {
 }
 
 // npMaxWork caps the O(L²·P) bound-table build; beyond it the frontier
-// falls back to the special-completion bound alone.
-const npMaxWork = 1 << 22
+// falls back to the special-completion bound alone. Sized so raw
+// transformer chains (a few thousand layers on single-digit worker
+// counts) keep the normal-only bound: the build is tens of milliseconds
+// of flat float arithmetic against the seconds-long plane fill it
+// prunes.
+const npMaxWork = 1 << 27
 
 // waveParThreshold is the plane size below which the plane is evaluated
 // inline instead of being fanned across the worker pool. It is a
@@ -78,8 +93,10 @@ func labelPhase(name string, f func()) {
 }
 
 // waveSolve fills the table for the root state (L, P, 0, 0, 0) with the
-// two-pass wavefront and returns the root value. Requires the column
-// cache (the caller checked cols.on) and workers >= 2.
+// two-pass wavefront and returns the root value. Requires workers >= 2;
+// runs with or without the column cache (past colMaxL the cut scalars
+// are recomputed inline, branch-for-branch the lazy solver's inline
+// arm) and on dense or blocked tables alike.
 func (r *dpRun) waveSolve(L, P, workers int) float64 {
 	t := r.tab
 	rootIdx := t.idx(L, P, 0, 0, 0)
@@ -134,7 +151,7 @@ func (r *dpRun) waveSolve(L, P, workers int) float64 {
 
 	phaseTimed(r.obs, "frontier", func() {
 		r.buildBounds(L, P)
-		t.slots[rootIdx].meta = t.stamp << metaStampShift // mark pending
+		t.slot(rootIdx).meta = t.stamp << metaStampShift // mark pending
 		w.levels[L] = append(w.levels[L], waveCell{idx: int32(rootIdx)})
 		for l := L; l >= 1; l-- {
 			r.frontierLevel(l)
@@ -300,23 +317,50 @@ func (r *dpRun) frontierLevel(l int) {
 			stats.CutsSkippedKmin += uint64(kmin - 1)
 		}
 
-		for k := l; k >= kmin; k-- {
-			base, gmax := r.col(l, k)
-			e := &t.cols.ent[base+iV]
-			if e.g == 0 {
-				r.fillEnt(l, k, iV, e)
+		if t.cols.on {
+			for k := l; k >= kmin; k-- {
+				base, gmax := r.col(l, k)
+				e := &t.cols.ent[base+iV]
+				if e.g == 0 {
+					r.fillEnt(l, k, iV, e)
+				}
+				iVN := int(e.ivn)
+				if e.g <= gmax && k > 1 {
+					r.mark(k-1, t.idx(k-1, p-1, itP, imP, iVN))
+				}
+				if !r.disableSpecial {
+					mNext := mP + e.smem
+					if mNext <= r.mem && k > 1 {
+						u := r.uTo[l] - r.uTo[k-1]
+						itPN := roundUp(tP+u, r.stepT, r.nT)
+						imPN := roundUp(mNext, r.stepM, r.nM)
+						r.mark(k-1, t.idx(k-1, p, itPN, imPN, iVN))
+					}
+				}
 			}
-			iVN := int(e.ivn)
-			if e.g <= gmax && k > 1 {
-				r.mark(k-1, t.idx(k-1, p-1, itP, imP, iVN))
-			}
-			if !r.disableSpecial {
-				mNext := mP + e.smem
-				if mNext <= r.mem && k > 1 {
-					u := r.uTo[l] - r.uTo[k-1]
-					itPN := roundUp(tP+u, r.stepT, r.nT)
-					imPN := roundUp(mNext, r.stepM, r.nM)
-					r.mark(k-1, t.idx(k-1, p, itPN, imPN, iVN))
+		} else {
+			// Column-free marking (chains past colMaxL): the same cut
+			// scalars recomputed inline from the reference expressions, so
+			// the marking predicates match the columns bit-for-bit —
+			// g <= gmax holds iff stageMem(k,l,g) <= mem (gmaxFor bisects
+			// exactly this comparison) and e.smem/e.ivn are these very
+			// formulas (see fillEnt).
+			v := float64(iV) * r.stepV
+			for k := l; k >= kmin; k-- {
+				u := r.uTo[l] - r.uTo[k-1]
+				g := r.groupsU(v, u)
+				vNext := r.oplus(r.oplus(v, u), r.cLeft[k])
+				iVN := roundUp(vNext, r.stepV, r.nV)
+				if r.stageMem(k, l, g) <= r.mem && k > 1 {
+					r.mark(k-1, t.idx(k-1, p-1, itP, imP, iVN))
+				}
+				if !r.disableSpecial {
+					mNext := mP + r.stageMem(k, l, g-1)
+					if mNext <= r.mem && k > 1 {
+						itPN := roundUp(tP+u, r.stepT, r.nT)
+						imPN := roundUp(mNext, r.stepM, r.nM)
+						r.mark(k-1, t.idx(k-1, p, itPN, imPN, iVN))
+					}
 				}
 			}
 		}
@@ -330,10 +374,14 @@ func (r *dpRun) frontierLevel(l int) {
 // cross-probe certificate already settles it: a death certificate
 // stores its infinite entry outright, a value certificate covering the
 // probe target adopts the recorded entry — either way the cell's
-// subtree is pruned from the frontier.
+// subtree is pruned from the frontier. mark runs on the sequential
+// frontier pass only, and its slot call doubles as the blocked table's
+// pre-materialization: every cell the plane fill will write has its
+// block resident before any worker starts.
 func (r *dpRun) mark(lv, idx int) {
 	t := r.tab
-	if t.slots[idx].meta>>metaStampShift == t.stamp {
+	s := t.slot(idx)
+	if s.meta>>metaStampShift == t.stamp {
 		return // already marked (or settled by a certificate)
 	}
 	if t.certDead(idx, r.that) {
@@ -353,7 +401,7 @@ func (r *dpRun) mark(lv, idx int) {
 			return
 		}
 	}
-	t.slots[idx].meta = t.stamp << metaStampShift
+	s.meta = t.stamp << metaStampShift
 	w := &t.wave
 	w.levels[lv] = append(w.levels[lv], waveCell{idx: int32(idx)})
 }
@@ -488,6 +536,7 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 	p := rem / t.nT // p-outermost layout
 	tP := float64(itP) * r.stepT
 	mP := float64(imP) * r.stepM
+	v := float64(iV) * r.stepV
 
 	certOn := t.certOn
 	best := dpEntry{period: inf, k: -1}
@@ -506,28 +555,55 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 			cs.CutsEvaluated++
 		}
 		cl := r.cLeft[k]
-		base, gmax := r.colBuilt(l, k)
-		e := &cc.ent[base+iV]
-		if e.g == 0 {
-			panic("core: wavefront evaluation touched a column entry the frontier never filled")
-		}
-		iVN := int(e.ivn)
-		if certOn {
-			// Same interval discipline as the lazy solver: every visited
-			// cut and every consulted child narrows the cell's value
-			// certificate. Cuts below kmin need no constraint — their
-			// candidates are >= U(k,l) > ub >= value at every target in
-			// the interval (U and the candidate floors are
-			// T̂-independent), so they can never improve the entry.
-			if e.lo > flo {
-				flo = e.lo
+		// Per-cut scalars: from the frozen columns when the cache fits,
+		// recomputed inline past colMaxL — the same two arms, with the
+		// identical reference expressions, as the lazy solver's cut loop.
+		var iVN int
+		var smem float64
+		var normOK bool
+		if cc.on {
+			base, gmax := r.colBuilt(l, k)
+			e := &cc.ent[base+iV]
+			if e.g == 0 {
+				panic("core: wavefront evaluation touched a column entry the frontier never filled")
 			}
-			if e.hi < fhi {
-				fhi = e.hi
+			iVN = int(e.ivn)
+			normOK = e.g <= gmax
+			smem = e.smem
+			if certOn {
+				// Same interval discipline as the lazy solver: every visited
+				// cut and every consulted child narrows the cell's value
+				// certificate. Cuts below kmin need no constraint — their
+				// candidates are >= U(k,l) > ub >= value at every target in
+				// the interval (U and the candidate floors are
+				// T̂-independent), so they can never improve the entry.
+				if e.lo > flo {
+					flo = e.lo
+				}
+				if e.hi < fhi {
+					fhi = e.hi
+				}
+			}
+		} else {
+			g := r.groupsU(v, u)
+			vNext := r.oplus(r.oplus(v, u), cl)
+			iVN = roundUp(vNext, r.stepV, r.nV)
+			normOK = r.stageMem(k, l, g) <= r.mem
+			if !r.disableSpecial {
+				smem = r.stageMem(k, l, g-1)
+			}
+			if certOn {
+				clo, chi := r.cutInterval(v, u, cl, iVN)
+				if clo > flo {
+					flo = clo
+				}
+				if chi < fhi {
+					fhi = chi
+				}
 			}
 		}
 
-		if e.g <= gmax {
+		if normOK {
 			memOK = true
 			sub, cidx := r.waveChild(k-1, p-1, itP, imP, iVN)
 			if certOn && cidx >= 0 {
@@ -548,7 +624,7 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 			}
 		}
 		if !r.disableSpecial {
-			mNext := mP + e.smem
+			mNext := mP + smem
 			if mNext <= r.mem {
 				memOK = true
 				itPN := roundUp(tP+u, r.stepT, r.nT)
@@ -574,24 +650,32 @@ func (r *dpRun) evalCell(l int, cell waveCell, cs *DPStats) bool {
 			}
 		}
 	}
+	// Resolve the cell's slot once for all writes below. The block is
+	// resident — mark materialized it on the sequential frontier — so the
+	// publish path is a never-taken straggler guard; if it ever fires the
+	// BlocksPublished diagnostic says so.
+	s, published := t.slotPub(idx)
+	if published && cs != nil {
+		cs.BlocksPublished++
+	}
 	certed := false
 	if best.period == inf && !memOK && kmin == 1 && t.certOn {
 		// The full cut range was examined (no break fires against an
 		// infinite best) and every cut failed on memory alone: the death
-		// is monotone in T̂ and certifiable. Workers write disjoint idx
-		// slots, so the per-state store is race-free; the shared certMax
+		// is monotone in T̂ and certifiable. Workers write disjoint cells,
+		// so the per-state store is race-free; the shared certMax
 		// watermark is raised by the coordinator (see planeFill).
-		t.certMarkIdx(idx, r.that)
+		t.certMarkState(s, r.that)
 		certed = true
 		if cs != nil {
 			cs.CertsRecorded++
 		}
 	}
-	t.putNC(idx, best)
+	t.putState(s, best)
 	if certOn {
-		// Value-record writes hit disjoint idx slots, race-free under the
-		// same ownership argument as putNC/certMarkIdx.
-		if t.valPut(idx, flo, fhi, best) && cs != nil {
+		// Value-record writes hit disjoint cells, race-free under the
+		// same ownership argument as putState/certMarkState.
+		if t.valPutState(s, flo, fhi, best) && cs != nil {
 			cs.ValCertsRecorded++
 		}
 	}

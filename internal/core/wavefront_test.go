@@ -100,10 +100,14 @@ func TestPlanParallelMatchesSequentialWavefront(t *testing.T) {
 	}
 }
 
-// TestWavefrontLongChainFallback: chains beyond the column directory's
-// reach must silently take the lazy path even when workers are
-// requested, with identical results.
-func TestWavefrontLongChainFallback(t *testing.T) {
+// TestWavefrontColumnFree: chains beyond the column directory's reach
+// now run the wavefront in column-free mode (cut scalars recomputed
+// inline) instead of falling back to the lazy solver. Periods and
+// allocations must stay bit-identical to the sequential reference;
+// States may legitimately differ — the wavefront evaluates the whole
+// reachable frontier, while the lazy solver's best-bound skips children
+// whose cut length already exceeds the incumbent.
+func TestWavefrontColumnFree(t *testing.T) {
 	c := chain.Uniform(colMaxL+76, 1e-3, 2e-3, 1e6, 1e6)
 	pl := plat(4, 1e12, 1e12)
 	disc := Discretization{TP: 3, MP: 3, V: 5}
@@ -117,8 +121,19 @@ func TestWavefrontLongChainFallback(t *testing.T) {
 	if err != nil {
 		t.Fatalf("workers=4: %v", err)
 	}
-	if seq.Period != par.Period || seq.States != par.States {
-		t.Fatalf("fallback diverged: (%g, %d) vs (%g, %d)", seq.Period, seq.States, par.Period, par.States)
+	if seq.Period != par.Period {
+		t.Fatalf("column-free wavefront diverged: period %g vs %g", seq.Period, par.Period)
+	}
+	if (seq.Alloc == nil) != (par.Alloc == nil) {
+		t.Fatalf("feasibility mismatch")
+	}
+	if seq.Alloc != nil {
+		for i := range seq.Alloc.Spans {
+			if seq.Alloc.Spans[i] != par.Alloc.Spans[i] || seq.Alloc.Procs[i] != par.Alloc.Procs[i] {
+				t.Fatalf("stage %d differs: %v/%d vs %v/%d", i,
+					seq.Alloc.Spans[i], seq.Alloc.Procs[i], par.Alloc.Spans[i], par.Alloc.Procs[i])
+			}
+		}
 	}
 }
 

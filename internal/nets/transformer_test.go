@@ -24,11 +24,11 @@ func presetParams(s TransformerSpec) float64 {
 
 func TestTransformerPresets(t *testing.T) {
 	cases := []struct {
-		name       string
-		blocks     int
-		layers     int     // at op granularity: 2 + 8*blocks
-		paramsLo   float64 // sanity band on total parameters
-		paramsHi   float64
+		name     string
+		blocks   int
+		layers   int     // at op granularity: 2 + 8*blocks
+		paramsLo float64 // sanity band on total parameters
+		paramsHi float64
 	}{
 		{"gpt2", 12, 98, 120e6, 200e6},
 		{"gpt2-xl", 48, 386, 1.4e9, 2.0e9},

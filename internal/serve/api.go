@@ -81,9 +81,12 @@ type OptionsSpec struct {
 	// paper's PipeDream-2BW discipline, "stash" for original PipeDream.
 	Weights string `json:"weights,omitempty"`
 	// Parallel is the planner worker budget for this request. 0 uses
-	// the daemon's default (1 — the sequential reference search, whose
-	// outputs are machine-independent). Different budgets are different
-	// fingerprints: probe schedules differ.
+	// the daemon's default: Config.Parallel (1 unless configured — the
+	// sequential reference search, whose outputs are machine-
+	// independent), or Config.LargeParallel for chains of at least
+	// Config.LargeChainLayers layers when the daemon enables the
+	// large-chain override (-large-parallel). Different budgets are
+	// different fingerprints: probe schedules differ.
 	Parallel int `json:"parallel,omitempty"`
 	// ColdTables opts this request out of the worker's warm table
 	// shard in both directions (per-request isolation; see
@@ -97,6 +100,16 @@ type OptionsSpec struct {
 	// CoarsenTolerance is the relative per-field tolerance of the run
 	// scan (0: bit-equal layers only). Consulted when CoarsenGroup > 0.
 	CoarsenTolerance float64 `json:"coarsen_tolerance,omitempty"`
+	// DiscTP/DiscMP/DiscV override the DP discretization grids
+	// (core.Options.Disc). All zero uses the paper's defaults
+	// (101x11x51); anything else must name a full valid grid. The knob
+	// that makes raw multi-thousand-layer chains affordable to serve:
+	// at the default grid a single raw GPT-2 probe runs into the
+	// minutes, on the special-mode 21x5x21 grid it runs in tens of
+	// seconds. Different grids are different fingerprints.
+	DiscTP int `json:"disc_tp,omitempty"`
+	DiscMP int `json:"disc_mp,omitempty"`
+	DiscV  int `json:"disc_v,omitempty"`
 }
 
 // coreOptions maps the spec onto core.Options with the daemon default
@@ -125,6 +138,15 @@ func (o OptionsSpec) coreOptions(defaultParallel int) (core.Options, error) {
 		opts.Weights = chain.StashedWeights()
 	default:
 		return core.Options{}, fmt.Errorf("unknown weights policy %q (want 2bw or stash)", o.Weights)
+	}
+	if o.DiscTP != 0 || o.DiscMP != 0 || o.DiscV != 0 {
+		// All-or-nothing: a partially-set grid leaves zeros, which the
+		// range check below rejects — no silent default mixing.
+		d := core.Discretization{TP: o.DiscTP, MP: o.DiscMP, V: o.DiscV}
+		if err := d.Validate(); err != nil {
+			return core.Options{}, fmt.Errorf("disc_tp/disc_mp/disc_v: %w", err)
+		}
+		opts.Disc = d
 	}
 	if opts.Parallel == 0 {
 		opts.Parallel = defaultParallel

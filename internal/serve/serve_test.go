@@ -468,6 +468,8 @@ func TestServeBadRequests(t *testing.T) {
 		"bad weights":       `{"net":{"name":"resnet50"},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"weights":"nope"}}`,
 		"bad platform":      `{"net":{"name":"resnet50"},"platform":{"workers":0,"memory_gb":10,"bandwidth_gb":12}}`,
 		"negative maxchain": `{"net":{"name":"resnet50"},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"max_chain":-1}}`,
+		"partial disc":      `{"net":{"name":"resnet50"},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"disc_tp":21}}`,
+		"disc out of range": `{"net":{"name":"resnet50"},"platform":{"workers":4,"memory_gb":10,"bandwidth_gb":12},"options":{"disc_tp":21,"disc_mp":5,"disc_v":1000}}`,
 	} {
 		resp, err := http.Post(hs.URL+"/v1/plan", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -778,5 +780,52 @@ func TestServeStatsLatencyQuantiles(t *testing.T) {
 		if !strings.Contains(string(mb), want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestServeLargeParallelDefault: requests that leave options.parallel
+// unset get Config.LargeParallel as their worker budget exactly when
+// the resolved chain reaches Config.LargeChainLayers; shorter chains
+// keep Config.Parallel, an explicit parallel always wins, and the two
+// resolutions of the same chain produce distinct fingerprints (the
+// effective budget is part of the memo key).
+func TestServeLargeParallelDefault(t *testing.T) {
+	_, hs := newTestServer(t, Config{LargeParallel: 2, LargeChainLayers: 8})
+	plat := PlatformSpec{Workers: 4, Memory: 1e10, Bandwidth: 1.2e10}
+	post := func(n int, par int) (parallel, workers int, fp string) {
+		t.Helper()
+		resp, body := postJSON(t, hs.URL+"/v1/plan", PlanRequest{
+			Chain:    testChain(n, 3),
+			Platform: plat,
+			Options:  OptionsSpec{Parallel: par},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan(n=%d, parallel=%d): status %d: %s", n, par, resp.StatusCode, body)
+		}
+		var rep struct {
+			Options struct {
+				Parallel int `json:"parallel"`
+				Workers  int `json:"workers"`
+			} `json:"options"`
+		}
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Options.Parallel, rep.Options.Workers, resp.Header.Get(HeaderFingerprint)
+	}
+
+	gotPar, gotW, fpLifted := post(8, 0) // at threshold, unset -> lifted
+	if gotPar != 2 || gotW != 2 {
+		t.Errorf("large chain, parallel unset: got parallel=%d workers=%d, want 2/2", gotPar, gotW)
+	}
+	if gotPar, gotW, _ = post(7, 0); gotPar != 1 || gotW != 1 { // below threshold
+		t.Errorf("short chain, parallel unset: got parallel=%d workers=%d, want 1/1", gotPar, gotW)
+	}
+	var fpExplicit string
+	if gotPar, gotW, fpExplicit = post(8, 1); gotPar != 1 || gotW != 1 { // explicit wins
+		t.Errorf("large chain, explicit parallel=1: got parallel=%d workers=%d, want 1/1", gotPar, gotW)
+	}
+	if fpLifted == fpExplicit {
+		t.Errorf("lifted and explicit resolutions of the same chain share fingerprint %s; the effective budget must be keyed", fpLifted)
 	}
 }

@@ -55,6 +55,22 @@ type Config struct {
 	// leaves options.parallel unset (default 1, the sequential reference
 	// search, whose probe schedule is machine-independent).
 	Parallel int
+	// LargeParallel, when > 0, overrides Parallel as the default worker
+	// budget for requests whose resolved chain has at least
+	// LargeChainLayers layers — the raw transformer regime where a
+	// sequential blocked-table probe costs double-digit seconds and the
+	// wavefront's near-linear speedup matters most. It is an explicit
+	// count, never "all cores": the parallel search's probe schedule is
+	// part of the response, so the default must be a deterministic
+	// function of daemon configuration, not of the host. Requests that
+	// set options.parallel themselves are never overridden. Default 0
+	// (off: every request defaults to Parallel).
+	LargeParallel int
+	// LargeChainLayers is the resolved-chain length at which
+	// LargeParallel kicks in (default 1025, the first length past the
+	// column cache's colMaxL cliff — exactly where sequential probes
+	// stop being cheap).
+	LargeChainLayers int
 	// Registry receives the serving metrics (plan_memo_*, serve_*). May
 	// be nil. It is never handed to the planner: planner observability
 	// attaches wall-clock timings to probe evaluations, and daemon
@@ -95,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallel == 0 {
 		c.Parallel = 1
+	}
+	if c.LargeChainLayers <= 0 {
+		c.LargeChainLayers = 1025
 	}
 	if c.FlightN <= 0 {
 		c.FlightN = 64
@@ -507,7 +526,16 @@ func (s *Server) resolve(c *chain.Chain, net *NetSpec, ps PlatformSpec, os Optio
 	if os.MaxChain < 0 {
 		return nil, platform.Platform{}, core.Options{}, fmt.Errorf("max_chain must be >= 0, got %d", os.MaxChain)
 	}
-	opts, err := os.coreOptions(s.cfg.Parallel)
+	// Large-chain requests that leave parallel unset get the daemon's
+	// LargeParallel budget: the threshold tests the resolved (raw) chain
+	// length, so the decision depends only on request content and daemon
+	// configuration, and the effective budget lands in the fingerprint
+	// the handlers compute from the returned options.
+	defPar := s.cfg.Parallel
+	if s.cfg.LargeParallel > 0 && os.Parallel == 0 && rc.Len() >= s.cfg.LargeChainLayers {
+		defPar = s.cfg.LargeParallel
+	}
+	opts, err := os.coreOptions(defPar)
 	if err != nil {
 		return nil, platform.Platform{}, core.Options{}, err
 	}
@@ -699,6 +727,7 @@ func (j *planJob) run(ctx context.Context, s *Server, i int) answer {
 	if err != nil {
 		return planErrorAnswer(ctx, err)
 	}
+	s.observeTableEconomics(p1)
 	report := core.NewPlanReport(c, j.plat, opts, p1)
 	if plan != nil {
 		report.AttachSchedule(plan)
@@ -723,10 +752,39 @@ func (j *frontierJob) run(ctx context.Context, s *Server, i int) answer {
 	if err != nil {
 		return planErrorAnswer(ctx, err)
 	}
+	for i := range fr.Segments {
+		s.observeTableEconomics(fr.Segments[i].Result)
+	}
 	tm := sp.Clock()
 	ans := renderReport(core.NewFrontierReport(c, j.plat, opts, fr).WriteJSON)
 	sp.Since(obs.SpanMarshal, tm)
 	return ans
+}
+
+// observeTableEconomics surfaces the planner's blocked-table residency
+// in the daemon's own registry after a plan completes: the
+// dp_blocked_blocks_alloc / dp_blocked_resident_bytes high-water gauges
+// in /v1/stats. The planner itself never sees the registry (responses
+// stay a pure function of the request); the probe stats the report
+// already serializes carry the numbers, so the daemon reads them off
+// the finished result. Dense-table probes record no blocks and leave
+// the gauges untouched.
+func (s *Server) observeTableEconomics(p1 *core.PhaseOneResult) {
+	if s.reg == nil || p1 == nil {
+		return
+	}
+	var blocks, resident uint64
+	for i := range p1.Evals {
+		st := &p1.Evals[i].Stats
+		if st.TableBlocksResident > blocks {
+			blocks = st.TableBlocksResident
+			resident = st.TableResidentBytes
+		}
+	}
+	if blocks > 0 {
+		s.reg.Gauge("dp_blocked_blocks_alloc").Observe(blocks)
+		s.reg.Gauge("dp_blocked_resident_bytes").Observe(resident)
+	}
 }
 
 // planErrorAnswer classifies a planner error: infeasibility is a

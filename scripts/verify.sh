@@ -50,8 +50,8 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting + serving churn + blocked table + long-chain coarsening)"
-go test -race -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell|TestPlanCtxLiveMatchesBackground|TestServeChurnBitIdentical|TestServeQueueFullSheds|TestBlockedTableRoundTrip|TestTransformerLongChainCoarsenPlan' \
+echo "== race smoke (wavefront + concurrent probes + parallel sweep + obs counting + serving churn + blocked table + blocked wavefront identity + long-chain coarsening)"
+go test -race -timeout 20m -run 'TestPlanAllocationParallel|TestDenseMatchesMapDP|TestCertReuseMatchesColdProbes|TestPlanParallelMatchesSequentialWavefront|TestSweepParallelDeterministic|TestSweepDominance|TestWavefrontCountingExact|TestObsOnOffIdenticalPlan|TestConcurrentCountingExact|TestWarmAcrossCellsMatchesCold|TestWarmPlanAndScheduleMatchesCold|TestWarmParallelSearchMatchesCold|TestHintMatchesColdAcrossGrid|TestHintParallelSearchMatchesCold|TestFrontierMatchesColdPerCell|TestFrontierSamplingMatchesPerCell|TestPlanCtxLiveMatchesBackground|TestServeChurnBitIdentical|TestServeQueueFullSheds|TestBlockedTableRoundTrip|TestBlockedWavefrontThreeWayIdentity|TestTransformerLongChainCoarsenPlan' \
 	./internal/core/ ./internal/expt/ ./internal/obs/ ./internal/serve/
 
 # The sweep's warm-shard determinism contract ("bit-identical at any -j")
@@ -99,6 +99,18 @@ go run ./cmd/benchdiff -bench 'BenchmarkFig7Frontier$' -benchtime 1x -write=fals
 # the same series stay advisory.
 echo "== transformer coarsening regression check (gate: states/op + coarse/raw layers, exact)"
 go run ./cmd/benchdiff -bench 'BenchmarkGPTCoarsen$' -benchtime 1x -write=false -gate states/op,coarselayers/op,rawlayers/op -threshold 0
+
+# The raw (uncoarsened) transformer path plans 2050 layers on blocked
+# storage through the 4-way probe fan: states/op pins the search's DP
+# work — a drift is a solver-behavior change and fails the gate
+# outright. blocksalloc/op stays advisory (pooled tables retain
+# resident blocks across leases, so the count depends on process
+# warmth), as does ns/op; the resident/virtual bound is gated by
+# TestTransformerLongChainPlan. This is the most expensive gate in the
+# file (one concurrent probe round over a 36M-state virtual table,
+# about a minute of wall clock).
+echo "== raw transformer blocked-parallel regression check (gate: states/op + rawlayers/op, exact)"
+go run ./cmd/benchdiff -bench 'BenchmarkGPTRawParallel$' -benchtime 1x -write=false -gate states/op,rawlayers/op -threshold 0
 
 # The serving layer's memo economics are an exact function of the
 # deterministic request mix at one client (no concurrent first contacts

@@ -129,6 +129,72 @@ func BenchmarkServeLoad1(b *testing.B)  { serveLoad(b, 1) }
 func BenchmarkServeLoad8(b *testing.B)  { serveLoad(b, 8) }
 func BenchmarkServeLoad64(b *testing.B) { serveLoad(b, 64) }
 
+// BenchmarkGPTRawServe serves the raw (uncoarsened) GPT-2 mix end to
+// end: 2050-layer op-granularity requests whose probes run on blocked
+// DP tables, with options.parallel unset so the daemon's LargeParallel
+// default lifts them to the concurrent probe fan (per-probe wavefront
+// workers are demoted on column-free chains; see core.probePlan) — the
+// full blocked-parallel serving path. The mix is tiny (raw misses cost
+// tens of seconds each, not milliseconds — the name deliberately avoids
+// the BenchmarkServeLoad prefix so `make bench` does not sweep it in)
+// and the split stays exact: 3 misses and 1 hit per op. The run also
+// asserts the daemon surfaced the dp_blocked_* economics gauges, which
+// only a blocked-table plan can set.
+func BenchmarkGPTRawServe(b *testing.B) {
+	mix, err := expt.ServingMixRaw("gpt2", 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := make([][]byte, len(mix))
+	for i, r := range mix {
+		if bodies[i], err = json.Marshal(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+	var hits, misses uint64
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		reg := obs.NewRegistry()
+		srv := serve.NewServer(serve.Config{
+			Workers:       2,
+			LargeParallel: 4, // probe fan 4; wavefront demoted per probePlan
+			Timeout:       10 * time.Minute,
+			Registry:      reg,
+		})
+		hs := httptest.NewServer(srv.Mux())
+		for i, body := range bodies {
+			resp, err := client.Post(hs.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("request %d: status %d", i, resp.StatusCode)
+			}
+			if resp.Header.Get(serve.HeaderMemo) == "hit" {
+				hits++
+			} else {
+				misses++
+			}
+		}
+		snap := reg.Snapshot()
+		if snap.Gauges["dp_blocked_blocks_alloc"] == 0 {
+			b.Fatal("dp_blocked_blocks_alloc gauge not set: raw plans did not reach blocked tables")
+		}
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(misses)/float64(b.N), "misses/op")
+}
+
 // serveMemoBench times one /v1/plan round trip per op. With repeat=true
 // every op re-sends one pinned request against a pre-warmed server (a
 // pure memo hit); with repeat=false every op sends a never-seen cell (a
